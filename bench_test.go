@@ -1,0 +1,222 @@
+// Package repro's benchmark harness: one benchmark per table/figure of the
+// paper's evaluation, plus performance benchmarks of the simulator itself.
+//
+// The figure benchmarks report the *domain* quantities (bytes per run, RMSE
+// in meters) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's headline numbers alongside the usual ns/op:
+//
+//	BenchmarkFig5CommCost/cdpf/d20    ...  3476 bytes_per_run
+//	BenchmarkFig6RMSE/cdpf/d20        ...  4.1 rmse_m
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+// benchSeed keeps the figure benchmarks deterministic.
+const benchSeed = 31
+
+// BenchmarkTable1CostModel regenerates Table I: it measures N, N_s, and
+// H_max from a CDPF run at density 20 and evaluates the closed forms.
+func BenchmarkTable1CostModel(b *testing.B) {
+	var lastCDPF int
+	for i := 0; i < b.N; i++ {
+		_, meas, err := experiments.Table1(20, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCDPF = meas.Params.CDPF()
+	}
+	b.ReportMetric(float64(lastCDPF), "cdpf_bytes_per_iter")
+}
+
+// BenchmarkFig4Trajectory regenerates the Fig. 4 estimation example and
+// reports the example-track mean error.
+func BenchmarkFig4Trajectory(b *testing.B) {
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig4(20, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, p := range points {
+			if p.HaveC {
+				sum += p.CDPF.Dist(p.Truth)
+				n++
+			}
+		}
+		meanErr = sum / float64(n)
+	}
+	b.ReportMetric(meanErr, "cdpf_mean_err_m")
+}
+
+// BenchmarkFig5CommCost regenerates the Fig. 5 series: total communication
+// bytes per run, per algorithm, per density.
+func BenchmarkFig5CommCost(b *testing.B) {
+	for _, algo := range experiments.AllAlgos() {
+		for _, d := range []float64{5, 20, 40} {
+			b.Run(fmt.Sprintf("%s/d%g", algo, d), func(b *testing.B) {
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					r, err := experiments.RunOnce(scenario.Default(d, benchSeed), algo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = r.Bytes()
+				}
+				b.ReportMetric(float64(bytes), "bytes_per_run")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6RMSE regenerates the Fig. 6 series: RMSE per algorithm per
+// density.
+func BenchmarkFig6RMSE(b *testing.B) {
+	for _, algo := range experiments.AllAlgos() {
+		for _, d := range []float64{5, 20, 40} {
+			b.Run(fmt.Sprintf("%s/d%g", algo, d), func(b *testing.B) {
+				var rmse float64
+				for i := 0; i < b.N; i++ {
+					r, err := experiments.RunOnce(scenario.Default(d, benchSeed), algo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rmse = r.RMSE()
+				}
+				b.ReportMetric(rmse, "rmse_m")
+			})
+		}
+	}
+}
+
+// BenchmarkFailureTolerance regenerates the future-work extension: CDPF
+// under 30% random node failures.
+func BenchmarkFailureTolerance(b *testing.B) {
+	var rmse float64
+	for i := 0; i < b.N; i++ {
+		p := scenario.Default(20, benchSeed)
+		p.FailFraction = 0.3
+		r, err := experiments.RunOnce(p, experiments.AlgoCDPF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmse = r.RMSE()
+	}
+	b.ReportMetric(rmse, "rmse_m")
+}
+
+// BenchmarkDesignAblation regenerates the design-choice ablation.
+func BenchmarkDesignAblation(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DesignAblation(20, experiments.Seeds(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res)
+	}
+	b.ReportMetric(float64(rows), "variants")
+}
+
+// BenchmarkScenarioBuild measures the simulator's setup cost (deployment +
+// spatial index + trajectory) at the paper's largest density.
+func BenchmarkScenarioBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Build(scenario.Default(40, benchSeed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgoRun measures a full tracking run (scenario build + 10 filter
+// iterations) for each algorithm at density 20, the simulator's end-to-end
+// performance number.
+func BenchmarkAlgoRun(b *testing.B) {
+	for _, algo := range experiments.AllAlgos() {
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunOnce(scenario.Default(20, benchSeed), algo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRNGThroughput covers the numerics substrate end to end: sampling
+// the process noise path used by every propagation.
+func BenchmarkRNGThroughput(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Normal(0, 0.05)
+	}
+	_ = sink
+}
+
+// BenchmarkGossipAggregation prices the in-network alternative to CDPF's
+// overhearing: randomized pairwise averaging over a 30-node holder cluster.
+func BenchmarkGossipAggregation(b *testing.B) {
+	nw, err := wsn.NewNetwork(wsn.DefaultConfig(20), mathx.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(2)
+	values := map[wsn.NodeID]float64{}
+	for _, id := range nw.ActiveNodesWithin(mathx.V2(100, 100), 12) {
+		values[id] = rng.Float64()
+		if len(values) == 30 {
+			break
+		}
+	}
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		nw.Stats.Reset()
+		res, err := consensus.Average(nw, values, consensus.Config{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = res.Bytes
+	}
+	b.ReportMetric(float64(bytes), "bytes_per_aggregation")
+}
+
+// BenchmarkMultiTargetFleet runs the two-target fleet end to end.
+func BenchmarkMultiTargetFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiTargetExperiment(20, []int{2}, []uint64{benchSeed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventDrivenSession measures the DES-driven duty-cycled session.
+func BenchmarkEventDrivenSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := sim.NewSession(sim.Config{
+			Scenario:  scenario.Default(20, benchSeed),
+			Tracker:   core.DefaultConfig(false),
+			DutyCycle: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,193 @@
+package cdpf_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/cdpf"
+)
+
+// TestPublicAPITrackingFlow drives the whole quickstart flow through the
+// public facade only.
+func TestPublicAPITrackingFlow(t *testing.T) {
+	sc, err := cdpf.DefaultScenario(20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cdpf.NewTracker(sc.Net, cdpf.DefaultTrackerConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	estimates := 0
+	var sumErr float64
+	for k := 0; k < sc.Iterations(); k++ {
+		res := tr.Step(sc.Observations(k), rng)
+		if res.EstimateValid && k >= 1 {
+			estimates++
+			sumErr += res.Estimate.Dist(sc.Truth(k - 1))
+		}
+	}
+	if estimates < 8 {
+		t.Fatalf("estimates = %d", estimates)
+	}
+	if mean := sumErr / float64(estimates); math.IsNaN(mean) || mean > 10 {
+		t.Fatalf("mean error = %v", mean)
+	}
+	if sc.Net.Stats.TotalBytes() == 0 {
+		t.Fatal("no communication accounted")
+	}
+}
+
+func TestPublicAPINetworkConstruction(t *testing.T) {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(5), cdpf.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Len() != 2000 {
+		t.Fatalf("nodes = %d", nw.Len())
+	}
+	s := cdpf.PaperMsgSizes()
+	if s.Dp != 16 || s.Dm != 4 || s.Dw != 4 {
+		t.Fatalf("sizes = %+v", s)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	sc, err := cdpf.DefaultScenario(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cdpf.NewCPF(sc.Net, cdpf.DefaultCPFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Step(sc.Observations(0), sc.RNG(2)); !ok {
+		t.Fatal("CPF did not initialize on first detections")
+	}
+	sc2, err := cdpf.DefaultScenario(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cdpf.NewSDPF(sc2.Net, cdpf.DefaultSDPFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Step(sc2.Observations(0), sc2.RNG(3)); !ok {
+		t.Fatal("SDPF did not initialize on first detections")
+	}
+}
+
+func TestPublicAPIFilterPrimitives(t *testing.T) {
+	if len(cdpf.Resamplers()) != 4 {
+		t.Fatal("expected 4 resampling schemes")
+	}
+	pf, err := cdpf.NewSIR(cdpf.SIRConfig{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := cdpf.NewRNG(1)
+	pf.Init(func(r *cdpf.RNG) cdpf.State {
+		return cdpf.State{Pos: cdpf.V2(r.Float64(), r.Float64())}
+	}, rng)
+	if pf.Particles().Len() != 10 {
+		t.Fatal("SIR init failed")
+	}
+}
+
+func TestPublicAPINeighborhoodEstimation(t *testing.T) {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(20), cdpf.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cdpf.EstimateContributions(nw, cdpf.V2(100, 100), 10)
+	if cs == nil {
+		t.Skip("empty area")
+	}
+	if math.Abs(cs.Total()-1) > 1e-9 {
+		t.Fatalf("contributions not normalized: %v", cs.Total())
+	}
+}
+
+func TestPublicAPIScheduling(t *testing.T) {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(5), cdpf.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cdpf.NewDutyCycle(nw.Len(), 10, 0.25, cdpf.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cdpf.NewScheduler(nw, dc)
+	s.Apply(0)
+	frac := float64(s.AwakeCount()) / float64(nw.Len())
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("awake fraction = %v", frac)
+	}
+}
+
+func TestPublicAPIMultiTarget(t *testing.T) {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(20), cdpf.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := cdpf.NewMultiManager(nw, cdpf.DefaultMultiConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := cdpf.BearingSensor{SigmaN: 0.05}
+	noise := cdpf.NewRNG(10)
+	rng := cdpf.NewRNG(11)
+	target := cdpf.V2(50, 50)
+	for k := 0; k < 4; k++ {
+		var obs []cdpf.Observation
+		for _, id := range nw.ActiveNodesWithin(target, nw.Cfg.SensingRadius) {
+			obs = append(obs, cdpf.Observation{
+				Node:    id,
+				Bearing: sensor.Measure(nw.Node(id).Pos, target, noise),
+			})
+		}
+		mgr.Step(obs, rng)
+		target = target.Add(cdpf.V2(15, 0))
+	}
+	if len(mgr.Tracks()) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(mgr.Tracks()))
+	}
+}
+
+func TestPublicAPIKalmanAndModels(t *testing.T) {
+	cv, err := cdpf.NewCVModel(1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := cdpf.NewCTModel(1, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ct
+	h := cdpf.MatFromRows([]float64{1, 0, 0, 0}, []float64{0, 1, 0, 0})
+	r := cdpf.Diag(0.25, 0.25)
+	kf, err := cdpf.NewKalman(cv.Phi, cv.ProcessCov(), h, r, make([]float64, 4), cdpf.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf.Predict()
+	if err := kf.Update([]float64{0.5, -0.5}); err != nil {
+		t.Fatal(err)
+	}
+	ekf, err := cdpf.NewEKF(cv.Phi, cv.ProcessCov(), make([]float64, 4), cdpf.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ekf.Predict()
+	apf, err := cdpf.NewAPF(cdpf.APFConfig{N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apf.Init(func(r *cdpf.RNG) cdpf.State {
+		return cdpf.State{Pos: cdpf.V2(r.Float64(), r.Float64())}
+	}, cdpf.NewRNG(1))
+	if apf.Particles().Len() != 20 {
+		t.Fatal("APF init failed")
+	}
+}

@@ -1,0 +1,118 @@
+package cdpf_test
+
+import (
+	"fmt"
+
+	"repro/cdpf"
+)
+
+// ExampleNewTracker runs CDPF over the paper's scenario and prints the run's
+// outcome summary.
+func ExampleNewTracker() {
+	sc, err := cdpf.DefaultScenario(20, 42)
+	if err != nil {
+		panic(err)
+	}
+	tracker, err := cdpf.NewTracker(sc.Net, cdpf.DefaultTrackerConfig(false))
+	if err != nil {
+		panic(err)
+	}
+	rng := sc.RNG(1)
+	estimates := 0
+	for k := 0; k < sc.Iterations(); k++ {
+		res := tracker.Step(sc.Observations(k), rng)
+		if res.EstimateValid && k >= 1 {
+			estimates++
+		}
+	}
+	fmt.Printf("estimates: %d of %d iterations\n", estimates, sc.Iterations()-1)
+	fmt.Printf("measurement traffic present: %v\n", sc.Net.Stats.Bytes[1] > 0)
+	// Output:
+	// estimates: 10 of 10 iterations
+	// measurement traffic present: true
+}
+
+// ExampleEstimateContributions evaluates Definition 2 of the paper: the
+// normalized, communication-free contributions of the nodes inside an
+// estimation area.
+func ExampleEstimateContributions() {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(20), cdpf.NewRNG(3))
+	if err != nil {
+		panic(err)
+	}
+	cs := cdpf.EstimateContributions(nw, cdpf.V2(100, 100), 10)
+	fmt.Printf("contributions sum to 1: %v\n", cs.Total() > 0.999 && cs.Total() < 1.001)
+	fmt.Printf("nodes in the estimation area: %v\n", len(cs.Nodes) > 0)
+	// Output:
+	// contributions sum to 1: true
+	// nodes in the estimation area: true
+}
+
+// ExampleNewSIR cross-checks the generic SIR particle filter against direct
+// measurements on a toy problem.
+func ExampleNewSIR() {
+	pf, err := cdpf.NewSIR(cdpf.SIRConfig{N: 500})
+	if err != nil {
+		panic(err)
+	}
+	rng := cdpf.NewRNG(7)
+	pf.Init(func(r *cdpf.RNG) cdpf.State {
+		return cdpf.State{Pos: cdpf.V2(r.Normal(0, 2), r.Normal(0, 2))}
+	}, rng)
+
+	// One measurement update pulls the cloud toward the observation.
+	z := cdpf.V2(3, -1)
+	est := pf.Step(
+		func(s cdpf.State, r *cdpf.RNG) cdpf.State { return s }, // static state
+		func(c cdpf.State) float64 {
+			d := c.Pos.Dist(z)
+			return -0.5 * d * d // unit-variance Gaussian likelihood
+		},
+		rng,
+	)
+	fmt.Printf("estimate within 1 m of the measurement: %v\n", est.Pos.Dist(z) < 1)
+	// Output:
+	// estimate within 1 m of the measurement: true
+}
+
+// ExampleGossipAverage prices in-network aggregation: the same total weight
+// CDPF obtains for free by overhearing costs gossip messages.
+func ExampleGossipAverage() {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(20), cdpf.NewRNG(1))
+	if err != nil {
+		panic(err)
+	}
+	values := map[cdpf.NodeID]float64{}
+	for i, id := range nw.ActiveNodesWithin(cdpf.V2(100, 100), 10) {
+		values[id] = float64(i + 1)
+		if len(values) == 8 {
+			break
+		}
+	}
+	res, err := cdpf.GossipAverage(nw, values, cdpf.GossipConfig{}, cdpf.NewRNG(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("aggregation needed radio messages: %v\n", res.Msgs > 0)
+	// Output:
+	// aggregation needed radio messages: true
+}
+
+// ExampleNewDutyCycle shows the scheduling substrate: a 25% duty cycle
+// leaves about a quarter of the field awake at any instant.
+func ExampleNewDutyCycle() {
+	nw, err := cdpf.NewNetwork(cdpf.DefaultNetworkConfig(10), cdpf.NewRNG(5))
+	if err != nil {
+		panic(err)
+	}
+	dc, err := cdpf.NewDutyCycle(nw.Len(), 10, 0.25, cdpf.NewRNG(6))
+	if err != nil {
+		panic(err)
+	}
+	s := cdpf.NewScheduler(nw, dc)
+	s.Apply(0)
+	frac := float64(s.AwakeCount()) / float64(nw.Len())
+	fmt.Printf("awake fraction near 25%%: %v\n", frac > 0.2 && frac < 0.3)
+	// Output:
+	// awake fraction near 25%: true
+}

@@ -1,0 +1,225 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section (Table I, Figs. 4–6) plus the extension studies, as
+// aligned text tables on stdout and optional CSV files.
+//
+// Usage:
+//
+//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency]
+//	         [-seeds N] [-density D] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency")
+		seeds   = flag.Int("seeds", 10, "number of random seeds per configuration (paper: 10)")
+		density = flag.Float64("density", 20, "node density (nodes per 100 m²) for single-density experiments")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		chart   = flag.Bool("chart", false, "render Fig. 5/6 sweeps as ASCII charts too")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *seeds, *density, *csvDir, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seeds int, density float64, csvDir string, chart bool) error {
+	emit := func(name string, t *report.Table) error {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return t.WriteCSV(f)
+	}
+
+	seedList := experiments.Seeds(seeds)
+
+	wantsSweep := exp == "all" || exp == "fig5" || exp == "fig6"
+	var aggs []metrics.Aggregate
+	if wantsSweep {
+		results, err := experiments.Sweep(experiments.PaperDensities(), seedList, experiments.AllAlgos())
+		if err != nil {
+			return err
+		}
+		aggs = metrics.Summarize(results)
+	}
+
+	if exp == "all" || exp == "table1" {
+		t, _, err := experiments.Table1(density, seedList[0])
+		if err != nil {
+			return err
+		}
+		if err := emit("table1", t); err != nil {
+			return err
+		}
+		tv, err := experiments.Table1Empirical(density, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("table1_validation", tv); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "fig4" {
+		points, err := experiments.Fig4(density, seedList[0])
+		if err != nil {
+			return err
+		}
+		if err := emit("fig4", experiments.Fig4Table(points)); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "fig5" {
+		if err := emit("fig5", experiments.Fig5Table(aggs)); err != nil {
+			return err
+		}
+		if chart {
+			fmt.Println(experiments.Fig5Chart(aggs))
+		}
+	}
+	if exp == "all" || exp == "fig6" {
+		if err := emit("fig6", experiments.Fig6Table(aggs)); err != nil {
+			return err
+		}
+		if chart {
+			fmt.Println(experiments.Fig6Chart(aggs))
+		}
+	}
+	if wantsSweep {
+		h := experiments.Headlines(aggs)
+		fmt.Printf("Headlines (density-averaged): CDPF cost vs SDPF: -%.0f%%, vs CPF: %+.0f%%; "+
+			"error vs SDPF: CDPF %+.0f%%, CDPF-NE %+.0f%%\n\n",
+			h.CostReductionVsSDPF, -h.CostReductionVsCPF, h.ErrIncreaseCDPF, h.ErrIncreaseNE)
+	}
+	if exp == "all" || exp == "failure" {
+		results, err := experiments.FailureSweep(density, []float64{0, 0.1, 0.2, 0.3, 0.4}, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("failure", experiments.FailureTable(metrics.Summarize(results))); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "sleep" {
+		results, err := experiments.SleepSweep(density, []float64{0, 0.1, 0.2, 0.3, 0.4}, seedList)
+		if err != nil {
+			return err
+		}
+		t := experiments.FailureTable(metrics.Summarize(results))
+		t.Title = "Extension — RMSE vs unanticipated random sleeping (density 20)"
+		t.Headers[0] = "sleep %"
+		if err := emit("sleep", t); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "loss" {
+		results, err := experiments.LossSweep(density, []float64{0, 0.1, 0.2, 0.3, 0.5}, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("loss", experiments.LossTable(metrics.Summarize(results))); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "duty" {
+		results, err := experiments.DutyCycleEnergy(density, seedList[0], 0.2)
+		if err != nil {
+			return err
+		}
+		if err := emit("duty", experiments.DutyCycleTable(results)); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "ablation" {
+		results, err := experiments.DesignAblation(density, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation", experiments.AblationTable(results)); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "multitarget" {
+		t, err := experiments.MultiTargetExperiment(density, []int{1, 2, 3}, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("multitarget", t); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "mobility" {
+		results, err := experiments.MobilitySweep(density, []float64{0, 0.5, 1, 2, 4}, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("mobility", experiments.MobilityTable(metrics.Summarize(results))); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "radius" {
+		t, err := experiments.RadiusRatioSweep(density, []float64{20, 25, 30, 40, 60}, seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("radius", t); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "resampler" {
+		t, err := experiments.ResamplerAblation(seedList)
+		if err != nil {
+			return err
+		}
+		if err := emit("resampler", t); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "aggregation" {
+		t, err := experiments.AggregationComparison(density, seedList[0])
+		if err != nil {
+			return err
+		}
+		if err := emit("aggregation", t); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "latency" {
+		t, err := experiments.LatencyComparison(density, seedList[0])
+		if err != nil {
+			return err
+		}
+		if err := emit("latency", t); err != nil {
+			return err
+		}
+	}
+	switch exp {
+	case "all", "table1", "fig4", "fig5", "fig6", "failure", "sleep", "loss", "duty",
+		"ablation", "multitarget", "mobility", "radius", "resampler", "aggregation", "latency":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

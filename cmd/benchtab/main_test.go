@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1, 20, "", false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig4WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig4", 1, 20, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 12 { // header + 11 iterations
+		t.Fatalf("fig4.csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "k,truth_x") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Cheap single-seed smoke over every single-density experiment.
+	for _, exp := range []string{"table1", "duty", "latency", "aggregation", "resampler"} {
+		if err := run(exp, 1, 10, "", false); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}

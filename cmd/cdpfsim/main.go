@@ -1,0 +1,175 @@
+// Command cdpfsim runs one tracking scenario with a chosen algorithm and
+// prints a per-iteration trace plus the run summary — the quickest way to
+// watch CDPF work.
+//
+// Usage:
+//
+//	cdpfsim [-algo cdpf|cdpf-ne|cpf|sdpf] [-density D] [-seed S]
+//	        [-steps N] [-fail F] [-sleep F] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "cdpf", "algorithm: cdpf, cdpf-ne, cpf, dpf, sdpf, ekf")
+		density  = flag.Float64("density", 20, "node density (nodes per 100 m²)")
+		seed     = flag.Uint64("seed", 31, "master random seed")
+		steps    = flag.Int("steps", 10, "filter iterations (paper: 10 = 50 s at Δt 5 s)")
+		failFrac = flag.Float64("fail", 0, "fraction of nodes failed at deployment")
+		sleepFr  = flag.Float64("sleep", 0, "fraction of nodes in unanticipated sleep")
+		verbose  = flag.Bool("v", false, "print a per-iteration trace")
+		traceOut = flag.String("trace", "", "write a per-iteration CSV trace to this file")
+	)
+	flag.Parse()
+
+	if err := run(*algoName, *density, *seed, *steps, *failFrac, *sleepFr, *verbose, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "cdpfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, density float64, seed uint64, steps int, failFrac, sleepFr float64, verbose bool, traceOut string) error {
+	var algo experiments.Algo
+	if algoName == "ekf" {
+		algo = "ekf"
+	} else {
+		var err error
+		algo, err = experiments.ParseAlgo(algoName)
+		if err != nil {
+			return err
+		}
+	}
+	p := scenario.Default(density, seed)
+	p.Steps = steps
+	p.FailFraction = failFrac
+	p.SleepFraction = sleepFr
+	sc, err := scenario.Build(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("field %gx%g m, %d nodes (density %.1f/100m²), rs=%g m, rc=%g m, %d filter iterations\n",
+		sc.Net.Cfg.Width, sc.Net.Cfg.Height, sc.Net.Len(), sc.Net.Density(),
+		sc.Net.Cfg.SensingRadius, sc.Net.Cfg.CommRadius, sc.Iterations())
+
+	var errs []float64
+	step := func(k int) (mathx.Vec2, int, bool) { return mathx.Vec2{}, -1, false }
+
+	switch algo {
+	case experiments.AlgoCDPF, experiments.AlgoCDPFNE:
+		tr, err := core.NewTracker(sc.Net, core.DefaultConfig(algo == experiments.AlgoCDPFNE))
+		if err != nil {
+			return err
+		}
+		rng := sc.RNG(1)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			r := tr.Step(sc.Observations(k), rng)
+			return r.Estimate, k - 1, r.EstimateValid && k >= 1
+		}
+	case experiments.AlgoCPF:
+		c, err := baseline.NewCPF(sc.Net, baseline.DefaultCPFConfig())
+		if err != nil {
+			return err
+		}
+		rng := sc.RNG(2)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := c.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	case experiments.AlgoSDPF:
+		s, err := baseline.NewSDPF(sc.Net, baseline.DefaultSDPFConfig())
+		if err != nil {
+			return err
+		}
+		rng := sc.RNG(3)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := s.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	case experiments.AlgoDPF:
+		d, err := baseline.NewDPF(sc.Net, baseline.DefaultDPFConfig())
+		if err != nil {
+			return err
+		}
+		rng := sc.RNG(4)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := d.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	case "ekf":
+		e, err := baseline.NewEKFTracker(sc.Net, baseline.DefaultEKFConfig())
+		if err != nil {
+			return err
+		}
+		rng := sc.RNG(5)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := e.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	}
+
+	rec := trace.New(string(algo), density, seed)
+	for k := 0; k < sc.Iterations(); k++ {
+		before := sc.Net.Stats.Snapshot()
+		detectors := len(sc.DetectingNodes(k))
+		est, estFor, ok := step(k)
+		d := sc.Net.Stats.Diff(before)
+		r := trace.Record{
+			K: k, Time: sc.Filter.Times[k],
+			TruthX: sc.Truth(k).X, TruthY: sc.Truth(k).Y,
+			Detectors: detectors, Holders: -1,
+			MsgsDelta: d.TotalMsgs(), BytesDelta: d.TotalBytes(),
+		}
+		if ok && estFor >= 0 {
+			e := est.Dist(sc.Truth(estFor))
+			errs = append(errs, e)
+			r.HaveEst, r.EstForK, r.EstX, r.EstY, r.Err = true, estFor, est.X, est.Y, e
+			if verbose {
+				fmt.Printf("k=%2d truth=%v est[k=%d]=%v err=%.2f m, %d msgs / %d B this iteration\n",
+					k, sc.Truth(k), estFor, est, e, d.TotalMsgs(), d.TotalBytes())
+			}
+		} else if verbose {
+			fmt.Printf("k=%2d truth=%v (no estimate), %d msgs / %d B\n",
+				k, sc.Truth(k), d.TotalMsgs(), d.TotalBytes())
+		}
+		rec.Add(r)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d iterations)\n", traceOut, rec.Len())
+	}
+
+	fmt.Printf("\n%s: %d estimates, RMSE %.2f m, max error %.2f m\n",
+		algo, len(errs), mathx.RMS(errs), maxOf(errs))
+	fmt.Printf("communication: %s (total %d msgs / %d bytes)\n",
+		sc.Net.Stats, sc.Net.Stats.TotalMsgs(), sc.Net.Stats.TotalBytes())
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	if err := run("nope", 20, 1, 10, 0, 0, false, ""); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunEveryAlgo(t *testing.T) {
+	for _, algo := range []string{"cdpf", "cdpf-ne", "cpf", "dpf", "sdpf", "ekf"} {
+		if err := run(algo, 10, 31, 10, 0, 0, false, ""); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	if err := run("cdpf", 10, 31, 10, 0.2, 0.1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cdpf", 10, 31, 10, 2, 0, false, ""); err == nil {
+		t.Fatal("failure fraction above 1 accepted")
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run("cdpf", 10, 31, 10, 0, 0, false, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 12 { // header + 11 iterations
+		t.Fatalf("trace has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,105 @@
+// Command netinfo inspects a deployment: realized density, neighborhood
+// statistics, connectivity to a central sink, hop-count histogram, and the
+// quantities Table I is evaluated with. Useful for sanity-checking custom
+// configurations before running experiments on them.
+//
+// Usage:
+//
+//	netinfo [-density D] [-width W] [-height H] [-rs R] [-rc R] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+func main() {
+	var (
+		density = flag.Float64("density", 20, "node density (nodes per 100 m²)")
+		width   = flag.Float64("width", 200, "field width (m)")
+		height  = flag.Float64("height", 200, "field height (m)")
+		rs      = flag.Float64("rs", 10, "sensing radius (m)")
+		rc      = flag.Float64("rc", 30, "communication radius (m)")
+		seed    = flag.Uint64("seed", 1, "deployment seed")
+	)
+	flag.Parse()
+
+	cfg := wsn.Config{
+		Width: *width, Height: *height,
+		Density:    *density,
+		CommRadius: *rc, SensingRadius: *rs,
+	}
+	if err := run(cfg, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "netinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg wsn.Config, seed uint64) error {
+	nw, err := wsn.NewNetwork(cfg, mathx.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: %d nodes over %.0fx%.0f m (density %.2f /100m²), rs=%.0f m, rc=%.0f m\n",
+		nw.Len(), cfg.Width, cfg.Height, nw.Density(), cfg.SensingRadius, cfg.CommRadius)
+
+	// Neighborhood statistics over a sample of nodes.
+	sample := nw.Len()
+	if sample > 2000 {
+		sample = 2000
+	}
+	var degrees []float64
+	for i := 0; i < sample; i++ {
+		degrees = append(degrees, float64(len(nw.Neighbors(wsn.NodeID(i)))))
+	}
+	sort.Float64s(degrees)
+	fmt.Printf("one-hop degree (n=%d sample): mean %.1f, median %.0f, min %.0f, max %.0f\n",
+		sample, mathx.Mean(degrees), mathx.Quantile(degrees, 0.5),
+		degrees[0], degrees[len(degrees)-1])
+
+	// Expected detection workload: nodes whose sensing disc covers a point.
+	detectorsPerPoint := nw.Density() / 100 * 3.14159 * cfg.SensingRadius * cfg.SensingRadius
+	fmt.Printf("expected detectors per target position: %.1f\n", detectorsPerPoint)
+
+	// Connectivity to the central sink.
+	sink := nw.NearestNode(nw.Center())
+	ht := nw.BuildHopTable(sink)
+	fmt.Printf("sink: node %d at %v\n", sink, nw.Node(sink).Pos)
+	fmt.Printf("connectivity: %d of %d nodes reach the sink (H_max = %d)\n",
+		ht.Reachable(), nw.Len(), ht.MaxHops())
+
+	hist := map[int]int{}
+	maxH := 0
+	for _, nd := range nw.Nodes {
+		h := ht.HopsFrom(nd.ID)
+		hist[h]++
+		if h > maxH {
+			maxH = h
+		}
+	}
+	fmt.Println("hop-count histogram:")
+	for h := 0; h <= maxH; h++ {
+		if hist[h] == 0 {
+			continue
+		}
+		bar := hist[h] * 60 / nw.Len()
+		fmt.Printf("  %2d hops %6d %s\n", h, hist[h], bars(bar))
+	}
+	if hist[-1] > 0 {
+		fmt.Printf("  unreachable: %d\n", hist[-1])
+	}
+	return nil
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

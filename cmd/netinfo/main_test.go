@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/wsn"
+)
+
+func TestRunValidConfig(t *testing.T) {
+	cfg := wsn.Config{Width: 100, Height: 100, Density: 5, CommRadius: 30, SensingRadius: 10}
+	if err := run(cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := wsn.Config{Width: 0, Height: 100, Density: 5, CommRadius: 30, SensingRadius: 10}
+	if err := run(cfg, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBars(t *testing.T) {
+	if bars(0) != "" || bars(3) != "###" {
+		t.Fatalf("bars wrong: %q %q", bars(0), bars(3))
+	}
+}

@@ -1,0 +1,113 @@
+// Command trackplot renders the Fig. 4 estimation example as an ASCII plot
+// of the field around the trajectory plus the underlying data series, and
+// can emit the series as CSV for external plotting.
+//
+// Usage:
+//
+//	trackplot [-density D] [-seed S] [-csv FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		density = flag.Float64("density", 20, "node density (nodes per 100 m²)")
+		seed    = flag.Uint64("seed", 31, "master random seed")
+		csvPath = flag.String("csv", "", "write the series as CSV to this file")
+	)
+	flag.Parse()
+
+	points, err := experiments.Fig4(*density, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trackplot:", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(asciiPlot(points))
+	fmt.Println()
+	tbl := experiments.Fig4Table(points)
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trackplot:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trackplot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tbl.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trackplot:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// asciiPlot draws truth (*), CDPF estimates (o) and CDPF-NE estimates (x)
+// on a character grid covering the trajectory's bounding box.
+func asciiPlot(points []experiments.TrackPoint) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	expand := func(x, y float64) {
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	for _, p := range points {
+		expand(p.Truth.X, p.Truth.Y)
+		if p.HaveC {
+			expand(p.CDPF.X, p.CDPF.Y)
+		}
+		if p.HaveNE {
+			expand(p.CDPFNE.X, p.CDPFNE.Y)
+		}
+	}
+	minX -= 2
+	maxX += 2
+	minY -= 2
+	maxY += 2
+
+	const w, h = 100, 24
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, c byte) {
+		cx := int((x - minX) / (maxX - minX) * (w - 1))
+		cy := int((y - minY) / (maxY - minY) * (h - 1))
+		cy = h - 1 - cy // screen y grows downward
+		if cx >= 0 && cx < w && cy >= 0 && cy < h {
+			if grid[cy][cx] == ' ' || c == '*' {
+				grid[cy][cx] = c
+			}
+		}
+	}
+	for _, p := range points {
+		if p.HaveNE {
+			put(p.CDPFNE.X, p.CDPFNE.Y, 'x')
+		}
+		if p.HaveC {
+			put(p.CDPF.X, p.CDPF.Y, 'o')
+		}
+	}
+	for _, p := range points {
+		put(p.Truth.X, p.Truth.Y, '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — * truth, o CDPF, x CDPF-NE   [x: %.0f..%.0f m, y: %.0f..%.0f m]\n",
+		minX, maxX, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestAsciiPlot(t *testing.T) {
+	points, err := experiments.Fig4(10, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := asciiPlot(points)
+	if !strings.Contains(out, "truth") {
+		t.Fatal("missing legend")
+	}
+	if !strings.ContainsRune(out, '*') {
+		t.Fatal("no truth markers plotted")
+	}
+	if !strings.ContainsRune(out, 'o') {
+		t.Fatal("no CDPF markers plotted")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 25 { // legend + 24 grid rows
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,102 @@
+// Comparison: run all four algorithms of the paper's evaluation — CPF,
+// SDPF, CDPF, and CDPF-NE — on identical scenarios and print the
+// accuracy-versus-communication tradeoff that motivates the paper.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/cdpf"
+)
+
+const (
+	density = 20
+	seeds   = 5
+)
+
+func main() {
+	fmt.Printf("density %d nodes/100m², %d seeds, 10 filter iterations each\n\n", density, seeds)
+	type row struct {
+		name  string
+		rmse  float64
+		bytes float64
+	}
+	rows := []row{
+		{"CPF (centralized)", 0, 0},
+		{"SDPF (semi-distributed)", 0, 0},
+		{"CDPF (this paper)", 0, 0},
+		{"CDPF-NE (min. communication)", 0, 0},
+	}
+
+	for s := 0; s < seeds; s++ {
+		seed := uint64(s+1) * 31
+		for i := range rows {
+			rmse, bytes := runOne(i, seed)
+			rows[i].rmse += rmse / seeds
+			rows[i].bytes += bytes / seeds
+		}
+	}
+
+	fmt.Printf("%-30s %10s %14s\n", "algorithm", "RMSE (m)", "bytes per run")
+	for _, r := range rows {
+		fmt.Printf("%-30s %10.2f %14.0f\n", r.name, r.rmse, r.bytes)
+	}
+	fmt.Printf("\nCDPF transmits %.0f%% less than SDPF and %.0f%% less than CPF.\n",
+		100*(1-rows[2].bytes/rows[1].bytes), 100*(1-rows[2].bytes/rows[0].bytes))
+}
+
+// runOne executes algorithm index i on a fresh scenario and returns its
+// RMSE and total bytes.
+func runOne(i int, seed uint64) (float64, float64) {
+	sc, err := cdpf.DefaultScenario(density, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var errs []float64
+	switch i {
+	case 0: // CPF
+		c, err := cdpf.NewCPF(sc.Net, cdpf.DefaultCPFConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := sc.RNG(2)
+		for k := 0; k < sc.Iterations(); k++ {
+			if est, ok := c.Step(sc.Observations(k), rng); ok {
+				errs = append(errs, est.Dist(sc.Truth(k)))
+			}
+		}
+	case 1: // SDPF
+		s, err := cdpf.NewSDPF(sc.Net, cdpf.DefaultSDPFConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := sc.RNG(3)
+		for k := 0; k < sc.Iterations(); k++ {
+			if est, ok := s.Step(sc.Observations(k), rng); ok {
+				errs = append(errs, est.Dist(sc.Truth(k)))
+			}
+		}
+	default: // CDPF / CDPF-NE
+		tr, err := cdpf.NewTracker(sc.Net, cdpf.DefaultTrackerConfig(i == 3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := sc.RNG(1)
+		for k := 0; k < sc.Iterations(); k++ {
+			res := tr.Step(sc.Observations(k), rng)
+			if res.EstimateValid && k >= 1 {
+				errs = append(errs, res.Estimate.Dist(sc.Truth(k-1)))
+			}
+		}
+	}
+	sum := 0.0
+	for _, e := range errs {
+		sum += e * e
+	}
+	rmse := math.Sqrt(sum / float64(len(errs)))
+	return rmse, float64(sc.Net.Stats.TotalBytes())
+}

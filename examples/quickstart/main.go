@@ -1,0 +1,60 @@
+// Quickstart: deploy the paper's sensor field, let a target cross it, and
+// track it with the completely distributed particle filter (CDPF).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cdpf"
+)
+
+func main() {
+	// The paper's simulation environment: a 200x200 m field at 20 nodes
+	// per 100 m² (8,000 nodes), sensing radius 10 m, communication radius
+	// 30 m; the target enters at (0, 100) at 3 m/s with random ±15° turns,
+	// filtered every 5 s for 10 iterations.
+	sc, err := cdpf.DefaultScenario(20, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %d nodes over %.0fx%.0f m\n",
+		sc.Net.Len(), sc.Net.Cfg.Width, sc.Net.Cfg.Height)
+
+	// CDPF: particles live on sensor nodes and are propagated along the
+	// target trajectory; the overhearing effect during propagation replaces
+	// all weight-aggregation traffic.
+	tracker, err := cdpf.NewTracker(sc.Net, cdpf.DefaultTrackerConfig(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := sc.RNG(1)
+	for k := 0; k < sc.Iterations(); k++ {
+		// Nodes whose sensing disc contains the target measure a bearing.
+		obs := sc.Observations(k)
+		res := tracker.Step(obs, rng)
+
+		// The reordered pipeline estimates the *previous* iteration: the
+		// total weight needed for normalization is only overheard during
+		// the next propagation.
+		if res.EstimateValid && k >= 1 {
+			truth := sc.Truth(k - 1)
+			fmt.Printf("t=%3.0fs  %2d detectors, %2d particle holders; "+
+				"estimate for t=%.0fs: (%6.2f, %6.2f), error %.2f m\n",
+				sc.Filter.Times[k], len(obs), res.Holders,
+				sc.Filter.Times[k-1], res.Estimate.X, res.Estimate.Y,
+				res.Estimate.Dist(truth))
+		} else {
+			fmt.Printf("t=%3.0fs  %2d detectors, %2d particle holders (initializing)\n",
+				sc.Filter.Times[k], len(obs), res.Holders)
+		}
+	}
+
+	// Every byte above went through the simulated radio.
+	fmt.Printf("\ntotal communication: %v\n", sc.Net.Stats)
+	fmt.Printf("(%d messages, %d bytes for the whole run)\n",
+		sc.Net.Stats.TotalMsgs(), sc.Net.Stats.TotalBytes())
+}

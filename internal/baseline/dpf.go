@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/statex"
+	"repro/internal/wsn"
+)
+
+// DPFConfig parameterizes the compressed-convergecast baseline (Coates,
+// IPSN 2004, as analyzed in Section II-B): measurements are quantized to P
+// bytes before being routed to the computational center, and the adaptive
+// encoder's parameters flow backward to the sources each iteration, so the
+// total data volume shrinks while the number of messages stays equal to or
+// above CPF's.
+type DPFConfig struct {
+	// Sink is the CPF configuration of the center filter.
+	Sink CPFConfig
+	// P is the compressed measurement size in bytes (Table I's P; paper
+	// assumes P << Dm). 0 defaults to 1 (8-bit adaptive encoding, bearing
+	// resolution 2π/256 ≈ 0.025 rad ≈ 0.5σ).
+	P int
+	// ParamExchange enables the backward per-iteration parameter message
+	// to each reporting node (the "backward parameter exchange" that makes
+	// DPF's message count no lower than CPF's). Default true; set via
+	// NoParamExchange.
+	NoParamExchange bool
+}
+
+// DefaultDPFConfig returns the evaluation configuration with 1-byte
+// quantized bearings.
+func DefaultDPFConfig() DPFConfig {
+	return DPFConfig{Sink: DefaultCPFConfig(), P: 1}
+}
+
+// DPF is the compressed centralized filter: CPF with P-byte quantized
+// bearings and backward parameter-exchange traffic.
+type DPF struct {
+	nw     *wsn.Network
+	cfg    DPFConfig
+	sink   wsn.NodeID
+	hops   *wsn.HopTable
+	f      *sinkFilter
+	qStep  float64 // bearing quantization step (rad)
+	sigmaQ float64 // effective bearing noise incl. quantization
+}
+
+// NewDPF validates the configuration and builds the sink's hop table.
+func NewDPF(nw *wsn.Network, cfg DPFConfig) (*DPF, error) {
+	if cfg.P == 0 {
+		cfg.P = 1
+	}
+	if cfg.P < 1 || cfg.P > 8 {
+		return nil, fmt.Errorf("baseline: DPF compressed size %d outside [1,8] bytes", cfg.P)
+	}
+	c, err := cfg.Sink.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Sink = c
+	f, err := newSinkFilter(c)
+	if err != nil {
+		return nil, err
+	}
+	// Quantizing the bearing to 8P bits over (-pi, pi] adds uniform noise
+	// of variance qStep²/12 on top of the sensor noise.
+	levels := math.Pow(2, float64(8*cfg.P))
+	qStep := 2 * math.Pi / levels
+	sigmaQ := math.Sqrt(c.Sensor.SigmaN*c.Sensor.SigmaN + qStep*qStep/12)
+	sink := nw.NearestNode(nw.Center())
+	return &DPF{
+		nw:     nw,
+		cfg:    cfg,
+		sink:   sink,
+		hops:   nw.BuildHopTable(sink),
+		f:      f,
+		qStep:  qStep,
+		sigmaQ: sigmaQ,
+	}, nil
+}
+
+// Sink returns the sink node's ID.
+func (d *DPF) Sink() wsn.NodeID { return d.sink }
+
+// Quantize rounds a bearing to the encoder's grid (exported for tests).
+func (d *DPF) Quantize(bearing float64) float64 {
+	return mathx.WrapAngle(math.Round(bearing/d.qStep) * d.qStep)
+}
+
+// Step quantizes and routes the measurements to the sink (charging N·P·H_i),
+// sends the backward parameter messages, and advances the sink filter with
+// the quantization-aware noise model.
+func (d *DPF) Step(obs []core.Observation, rng *mathx.RNG) (est mathx.Vec2, ok bool) {
+	ms := make([]statex.Measurement, 0, len(obs))
+	for _, o := range obs {
+		if !d.nw.Node(o.Node).Active() {
+			continue
+		}
+		if _, reachable := d.nw.RouteBytes(d.hops, o.Node, wsn.MsgMeasurement, d.cfg.P); !reachable {
+			continue
+		}
+		// Backward parameter exchange: the encoder model parameters flow
+		// from the center back to the source over the same route.
+		if !d.cfg.NoParamExchange {
+			d.nw.RouteBytes(d.hops, o.Node, wsn.MsgControl, d.cfg.P)
+		}
+		ms = append(ms, statex.Measurement{
+			From:    d.nw.Node(o.Node).Pos,
+			Bearing: d.Quantize(o.Bearing),
+		})
+	}
+	return d.f.step(ms, d.sigmaQ, rng)
+}

@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/filter"
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+// sinkFilter is the SIR machinery shared by the centralized baselines (CPF
+// and DPF): a particle filter over continuous states at the sink, fed by the
+// measurements that survived the convergecast. It implements the
+// measurement-anchored importance density and likelihood tempering described
+// on CPFConfig.
+type sinkFilter struct {
+	cfg   CPFConfig
+	model *statex.CVModel
+	pf    *filter.SIR
+	init  bool
+}
+
+func newSinkFilter(cfg CPFConfig) (*sinkFilter, error) {
+	model, err := statex.NewCVModel(cfg.Dt, cfg.SigmaV, cfg.SigmaV)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := filter.NewSIR(filter.SIRConfig{N: cfg.N})
+	if err != nil {
+		return nil, err
+	}
+	return &sinkFilter{cfg: cfg, model: model, pf: pf}, nil
+}
+
+// step advances the filter with the given measurements (already delivered to
+// the sink) using the given effective bearing noise. It returns the
+// posterior-mean position estimate; ok is false until first initialization.
+func (f *sinkFilter) step(ms []statex.Measurement, sigmaEff float64, rng *mathx.RNG) (mathx.Vec2, bool) {
+	if !f.init {
+		if len(ms) == 0 {
+			return mathx.Vec2{}, false
+		}
+		f.initialize(ms, rng)
+		f.init = true
+		return f.pf.Particles().MeanPos(), true
+	}
+
+	// Measurement anchor: the centroid of the reporting nodes estimates the
+	// target position within roughly r_s/sqrt(M).
+	var anchor mathx.Vec2
+	haveAnchor := len(ms) > 0 && f.cfg.AnchorFraction > 0
+	if haveAnchor {
+		for _, m := range ms {
+			anchor = anchor.Add(m.From)
+		}
+		anchor = anchor.Scale(1 / float64(len(ms)))
+	}
+	propose := func(s statex.State, r *mathx.RNG) statex.State {
+		if haveAnchor && r.Float64() < f.cfg.AnchorFraction {
+			pos := anchor.Add(mathx.V2(r.Normal(0, f.cfg.AnchorSpread), r.Normal(0, f.cfg.AnchorSpread)))
+			vel := pos.Sub(s.Pos).Scale(1 / f.cfg.Dt)
+			return statex.State{Pos: pos, Vel: vel}
+		}
+		next := f.model.Step(s, r)
+		if f.cfg.Jitter > 0 {
+			next.Pos = next.Pos.Add(mathx.V2(r.Normal(0, f.cfg.Jitter), r.Normal(0, f.cfg.Jitter)))
+		}
+		if f.cfg.VelJitter > 0 {
+			next.Vel = next.Vel.Add(mathx.V2(r.Normal(0, f.cfg.VelJitter), r.Normal(0, f.cfg.VelJitter)))
+		}
+		return next
+	}
+	temper := 1.0
+	if f.cfg.TemperCount > 0 && len(ms) > f.cfg.TemperCount {
+		temper = float64(f.cfg.TemperCount) / float64(len(ms))
+	}
+	sensor := statex.BearingSensor{SigmaN: sigmaEff}
+	loglik := func(cand statex.State) float64 {
+		if len(ms) == 0 {
+			return 0 // no information this iteration
+		}
+		return temper * sensor.JointLogLikelihood(ms, cand.Pos)
+	}
+	s := f.pf.Step(propose, loglik, rng)
+	// Optional KLD-sampling: adapt the particle budget to the posterior's
+	// spatial spread (Fox 2003), bounded by the configured clamps.
+	if f.cfg.KLD != nil {
+		if err := f.pf.SetSize(f.cfg.KLD.AdaptiveSize(f.pf.Particles())); err != nil {
+			// Unreachable with a valid KLDConfig; keep the fixed size.
+			_ = err
+		}
+	}
+	return s.Pos, true
+}
+
+// initialize seeds the particle cloud around the centroid of the first
+// detections with a diffuse velocity prior.
+func (f *sinkFilter) initialize(ms []statex.Measurement, rng *mathx.RNG) {
+	var centroid mathx.Vec2
+	for _, m := range ms {
+		centroid = centroid.Add(m.From)
+	}
+	centroid = centroid.Scale(1 / float64(len(ms)))
+	f.pf.Init(func(r *mathx.RNG) statex.State {
+		pos := centroid.Add(mathx.V2(r.Normal(0, f.cfg.InitSpread), r.Normal(0, f.cfg.InitSpread)))
+		vel := mathx.Polar(r.Uniform(0, f.cfg.MaxSpeed), r.Uniform(-math.Pi, math.Pi))
+		return statex.State{Pos: pos, Vel: vel}
+	}, rng)
+}

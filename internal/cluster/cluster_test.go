@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func area() PredictedArea {
+	return PredictedArea{Center: mathx.V2(50, 50), Radius: 10}
+}
+
+func TestContains(t *testing.T) {
+	a := area()
+	if !a.Contains(mathx.V2(50, 50)) {
+		t.Fatal("center not contained")
+	}
+	if !a.Contains(mathx.V2(60, 50)) {
+		t.Fatal("boundary not contained")
+	}
+	if a.Contains(mathx.V2(61, 50)) {
+		t.Fatal("outside point contained")
+	}
+}
+
+func TestProbabilityShape(t *testing.T) {
+	a := area()
+	if got := a.Probability(a.Center); got != 1 {
+		t.Fatalf("P(center) = %v", got)
+	}
+	if got := a.Probability(mathx.V2(55, 50)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("P(half radius) = %v", got)
+	}
+	if got := a.Probability(mathx.V2(60, 50)); got != 0 {
+		t.Fatalf("P(boundary) = %v", got)
+	}
+	if got := a.Probability(mathx.V2(100, 100)); got != 0 {
+		t.Fatalf("P(outside) = %v", got)
+	}
+}
+
+func TestProbabilityMonotone(t *testing.T) {
+	a := area()
+	prev := 2.0
+	for d := 0.0; d <= 12; d += 0.5 {
+		p := a.Probability(a.Center.Add(mathx.V2(d, 0)))
+		if p > prev {
+			t.Fatalf("probability increased with distance at d=%v", d)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v outside [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestProbabilityDegenerateRadius(t *testing.T) {
+	a := PredictedArea{Center: mathx.V2(0, 0), Radius: 0}
+	if a.Probability(mathx.V2(0, 0)) != 0 {
+		t.Fatal("zero-radius area should yield zero probability")
+	}
+}
+
+func TestSelectRecorders(t *testing.T) {
+	a := area()
+	cands := []mathx.Vec2{
+		mathx.V2(50, 50), // inside
+		mathx.V2(58, 50), // inside
+		mathx.V2(60, 50), // exactly on boundary: probability 0, excluded
+		mathx.V2(90, 90), // outside
+	}
+	got := a.SelectRecorders(cands)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("SelectRecorders = %v", got)
+	}
+	if got := a.SelectRecorders(nil); got != nil {
+		t.Fatal("empty candidates should select nothing")
+	}
+}
+
+func TestDivisionRatiosRules(t *testing.T) {
+	a := area()
+	positions := []mathx.Vec2{
+		mathx.V2(50, 50), // p = 1
+		mathx.V2(55, 50), // p = 0.5
+		mathx.V2(52, 50), // p = 0.8
+	}
+	ratios := a.DivisionRatios(positions)
+	// Rule 1: weights sum preserved.
+	if math.Abs(mathx.Sum(ratios)-1) > 1e-12 {
+		t.Fatalf("ratios sum = %v", mathx.Sum(ratios))
+	}
+	// Rule 2: pairwise ratio equals probability ratio.
+	for i := range positions {
+		for j := range positions {
+			pi, pj := a.Probability(positions[i]), a.Probability(positions[j])
+			if pj == 0 || ratios[j] == 0 {
+				continue
+			}
+			if math.Abs(ratios[i]/ratios[j]-pi/pj) > 1e-9 {
+				t.Fatalf("ratio rule violated for pair (%d,%d): %v vs %v",
+					i, j, ratios[i]/ratios[j], pi/pj)
+			}
+		}
+	}
+}
+
+func TestDivisionRatiosDegenerateUniform(t *testing.T) {
+	a := area()
+	positions := []mathx.Vec2{mathx.V2(60, 50), mathx.V2(40, 50)} // both on boundary
+	ratios := a.DivisionRatios(positions)
+	if math.Abs(ratios[0]-0.5) > 1e-12 || math.Abs(ratios[1]-0.5) > 1e-12 {
+		t.Fatalf("degenerate ratios = %v", ratios)
+	}
+}
+
+func TestDivisionRatiosEdgeCases(t *testing.T) {
+	a := area()
+	if got := a.DivisionRatios(nil); got != nil {
+		t.Fatal("empty positions should return nil")
+	}
+	single := a.DivisionRatios([]mathx.Vec2{mathx.V2(53, 50)})
+	if len(single) != 1 || single[0] != 1 {
+		t.Fatalf("single recorder ratio = %v", single)
+	}
+}
+
+func TestDivisionRatiosSumProperty(t *testing.T) {
+	a := area()
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		positions := make([]mathx.Vec2, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			x, y := raw[i], raw[i+1]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return true
+			}
+			positions = append(positions, mathx.V2(math.Mod(x, 200), math.Mod(y, 200)))
+		}
+		if len(positions) == 0 {
+			return true
+		}
+		ratios := a.DivisionRatios(positions)
+		return math.Abs(mathx.Sum(ratios)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package consensus implements distributed in-network aggregation by
+// randomized pairwise gossip — the classical alternative the DPF literature
+// reaches for when no global transceiver exists and no overhearing trick
+// applies. CDPF's central claim is that weight aggregation, however it is
+// implemented, costs messages that its propagation-overhearing design gets
+// for free; this package makes that comparison concrete: computing the same
+// total weight by gossip costs 2·R·|participants| radio messages for R
+// rounds, versus zero for CDPF.
+package consensus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// Config parameterizes a gossip aggregation.
+type Config struct {
+	// Rounds is the number of gossip rounds; each round every participant
+	// initiates one pairwise exchange. 0 defaults to RoundsFor(0.01, n).
+	Rounds int
+	// Payload is the per-message payload in bytes (a running sum and a
+	// weight/count); 0 defaults to 2 * Dw = 8 bytes.
+	Payload int
+}
+
+// Result reports one aggregation.
+type Result struct {
+	// Values holds each participant's final estimate of the average.
+	Values map[wsn.NodeID]float64
+	// Rounds actually executed.
+	Rounds int
+	// Msgs and Bytes are the radio cost charged for the aggregation.
+	Msgs  int64
+	Bytes int64
+}
+
+// RoundsFor returns a sufficient round count for pairwise averaging gossip
+// to reach relative accuracy eps on a well-connected participant graph
+// (~O(log n + log 1/eps), with a safety factor).
+func RoundsFor(eps float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if eps <= 0 {
+		eps = 0.01
+	}
+	r := int(math.Ceil(2 * (math.Log(float64(n)) + math.Log(1/eps))))
+	if r < 3 {
+		r = 3
+	}
+	return r
+}
+
+// Average runs randomized pairwise averaging over the participants: each
+// round, every participant (in random order) exchanges its value with a
+// uniformly chosen participant inside its communication radius, both
+// adopting the mean. The global sum of values is invariant, so every
+// participant's value converges to the average. Participants with no
+// in-range peer keep their value (and are reported as isolated).
+//
+// Every exchange is charged as two unicast messages on nw's radio.
+func Average(nw *wsn.Network, values map[wsn.NodeID]float64, cfg Config, rng *mathx.RNG) (Result, error) {
+	n := len(values)
+	if n == 0 {
+		return Result{}, fmt.Errorf("consensus: no participants")
+	}
+	if cfg.Payload == 0 {
+		cfg.Payload = 2 * wsn.PaperMsgSizes().Dw
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = RoundsFor(0.01, n)
+	}
+
+	// Deterministic participant ordering.
+	ids := make([]wsn.NodeID, 0, n)
+	for id := range values {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Peer lists: participants within communication range of each other.
+	commR2 := nw.Cfg.CommRadius * nw.Cfg.CommRadius
+	peers := make(map[wsn.NodeID][]wsn.NodeID, n)
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			if nw.Node(a).Pos.Dist2(nw.Node(b).Pos) <= commR2 {
+				peers[a] = append(peers[a], b)
+				peers[b] = append(peers[b], a)
+			}
+		}
+	}
+
+	vals := make(map[wsn.NodeID]float64, n)
+	for id, v := range values {
+		vals[id] = v
+	}
+	res := Result{Rounds: cfg.Rounds}
+	before := nw.Stats.Snapshot()
+	for round := 0; round < cfg.Rounds; round++ {
+		order := rng.Perm(n)
+		for _, oi := range order {
+			a := ids[oi]
+			ps := peers[a]
+			if len(ps) == 0 || !nw.Node(a).Active() {
+				continue
+			}
+			b := ps[rng.Intn(len(ps))]
+			if !nw.Node(b).Active() {
+				continue
+			}
+			// Request + reply.
+			if err := nw.Unicast(a, b, wsn.MsgWeight, cfg.Payload); err != nil {
+				continue
+			}
+			if err := nw.Unicast(b, a, wsn.MsgWeight, cfg.Payload); err != nil {
+				continue
+			}
+			mean := (vals[a] + vals[b]) / 2
+			vals[a], vals[b] = mean, mean
+		}
+	}
+	d := nw.Stats.Diff(before)
+	res.Msgs = d.TotalMsgs()
+	res.Bytes = d.TotalBytes()
+	res.Values = vals
+	return res, nil
+}
+
+// Spread returns the maximum absolute deviation of the participants' values
+// from their true average — the convergence criterion of an aggregation.
+func Spread(values map[wsn.NodeID]float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	avg := sum / float64(len(values))
+	max := 0.0
+	for _, v := range values {
+		if d := math.Abs(v - avg); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Sum returns the participants' value total (invariant under Average when
+// no participant is isolated or asleep mid-round).
+func Sum(values map[wsn.NodeID]float64) float64 {
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s
+}

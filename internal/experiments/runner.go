@@ -1,0 +1,152 @@
+// Package experiments contains one runner per table/figure of the paper's
+// evaluation (Table I, Figs. 4–6) plus the extension studies (failure
+// tolerance, duty-cycled energy, resampling ablation, design ablations).
+// The cmd/benchtab binary and the repository's benchmarks are thin wrappers
+// over these runners.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// Algo names one of the four evaluated algorithms.
+type Algo string
+
+// The four algorithms of Section VI, plus DPF (Table I's compressed
+// centralized row, not part of the paper's figures).
+const (
+	AlgoCPF    Algo = "cpf"
+	AlgoDPF    Algo = "dpf"
+	AlgoSDPF   Algo = "sdpf"
+	AlgoCDPF   Algo = "cdpf"
+	AlgoCDPFNE Algo = "cdpf-ne"
+)
+
+// AllAlgos returns the four evaluated algorithms in the paper's
+// presentation order (Figs. 5 and 6).
+func AllAlgos() []Algo { return []Algo{AlgoCPF, AlgoSDPF, AlgoCDPF, AlgoCDPFNE} }
+
+// AllAlgosExtended additionally includes DPF, completing Table I's five
+// rows empirically.
+func AllAlgosExtended() []Algo {
+	return []Algo{AlgoCPF, AlgoDPF, AlgoSDPF, AlgoCDPF, AlgoCDPFNE}
+}
+
+// ParseAlgo resolves a name to an Algo.
+func ParseAlgo(name string) (Algo, error) {
+	switch Algo(name) {
+	case AlgoCPF, AlgoDPF, AlgoSDPF, AlgoCDPF, AlgoCDPFNE:
+		return Algo(name), nil
+	}
+	return "", fmt.Errorf("experiments: unknown algorithm %q (want cpf, dpf, sdpf, cdpf, cdpf-ne)", name)
+}
+
+// RunOnce builds the scenario and tracks its target with the given
+// algorithm, returning the per-iteration error series and the communication
+// counters the run caused.
+func RunOnce(p scenario.Params, algo Algo) (metrics.RunResult, error) {
+	sc, err := scenario.Build(p)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	return runOn(sc, algo)
+}
+
+// runOn executes one algorithm over a prepared scenario.
+func runOn(sc *scenario.Scenario, algo Algo) (metrics.RunResult, error) {
+	res := metrics.RunResult{
+		Algo:       string(algo),
+		Density:    sc.P.Density,
+		Seed:       sc.P.Seed,
+		Iterations: sc.Iterations(),
+	}
+	switch algo {
+	case AlgoCDPF, AlgoCDPFNE:
+		tr, err := core.NewTracker(sc.Net, core.DefaultConfig(algo == AlgoCDPFNE))
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(1)
+		for k := 0; k < sc.Iterations(); k++ {
+			r := tr.Step(sc.Observations(k), rng)
+			// CDPF's correction step estimates the previous iteration.
+			if r.EstimateValid && k >= 1 {
+				res.Errors = append(res.Errors, r.Estimate.Dist(sc.Truth(k-1)))
+			}
+		}
+	case AlgoCPF:
+		c, err := baseline.NewCPF(sc.Net, baseline.DefaultCPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(2)
+		for k := 0; k < sc.Iterations(); k++ {
+			if est, ok := c.Step(sc.Observations(k), rng); ok {
+				res.Errors = append(res.Errors, est.Dist(sc.Truth(k)))
+			}
+		}
+	case AlgoDPF:
+		d, err := baseline.NewDPF(sc.Net, baseline.DefaultDPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(4)
+		for k := 0; k < sc.Iterations(); k++ {
+			if est, ok := d.Step(sc.Observations(k), rng); ok {
+				res.Errors = append(res.Errors, est.Dist(sc.Truth(k)))
+			}
+		}
+	case AlgoSDPF:
+		s, err := baseline.NewSDPF(sc.Net, baseline.DefaultSDPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(3)
+		for k := 0; k < sc.Iterations(); k++ {
+			if est, ok := s.Step(sc.Observations(k), rng); ok {
+				res.Errors = append(res.Errors, est.Dist(sc.Truth(k)))
+			}
+		}
+	default:
+		return res, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+	res.Comm = sc.Net.Stats.Snapshot()
+	res.Energy = sc.Net.TotalEnergy()
+	return res, nil
+}
+
+// Seeds returns the canonical seed list for n repetitions (the paper runs
+// ten repetitions per configuration).
+func Seeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i+1) * 31
+	}
+	return out
+}
+
+// Sweep runs every (density, seed, algo) combination and returns the flat
+// result list, suitable for metrics.Summarize.
+func Sweep(densities []float64, seeds []uint64, algos []Algo) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, d := range densities {
+		for _, algo := range algos {
+			for _, seed := range seeds {
+				r, err := RunOnce(scenario.Default(d, seed), algo)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s at density %g seed %d: %w", algo, d, seed, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PaperDensities returns the evaluation's density grid (5..40 per 100 m²).
+func PaperDensities() []float64 { return []float64{5, 10, 15, 20, 25, 30, 35, 40} }

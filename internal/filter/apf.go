@@ -1,0 +1,111 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+// Auxiliary particle filtering (Pitt & Shephard). Where SIR weights after
+// blind propagation, the APF looks ahead: ancestors are preselected with
+// first-stage weights w_i · p(z_k | μ_i), where μ_i is the deterministic
+// prediction of particle i, then propagated and reweighted by the ratio
+// p(z_k | x_k) / p(z_k | μ_anc). With informative measurements this steers
+// sampling toward particles whose *future* matches the observation — the
+// other classical answer to degeneracy named in the paper's future work.
+
+// Predictor returns the deterministic mean prediction of a state (the μ_i
+// of the APF's first stage), typically the noiseless transition.
+type Predictor func(statex.State) statex.State
+
+// APFConfig configures an auxiliary particle filter.
+type APFConfig struct {
+	N         int
+	Resampler Resampler // nil defaults to Systematic
+}
+
+// APF is an auxiliary (look-ahead) particle filter.
+type APF struct {
+	cfg APFConfig
+	set *Set
+}
+
+// NewAPF validates the configuration.
+func NewAPF(cfg APFConfig) (*APF, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("filter: APF particle count must be positive, got %d", cfg.N)
+	}
+	if cfg.Resampler == nil {
+		cfg.Resampler = Systematic{}
+	}
+	return &APF{cfg: cfg}, nil
+}
+
+// Init draws the initial particle cloud.
+func (f *APF) Init(draw func(rng *mathx.RNG) statex.State, rng *mathx.RNG) {
+	set := &Set{P: make([]Particle, f.cfg.N)}
+	w := 1.0 / float64(f.cfg.N)
+	for i := range set.P {
+		set.P[i] = Particle{State: draw(rng), W: w}
+	}
+	f.set = set
+}
+
+// Particles exposes the current particle set.
+func (f *APF) Particles() *Set { return f.set }
+
+// Step runs one APF iteration and returns the posterior-mean estimate.
+func (f *APF) Step(predict Predictor, propose Proposal, loglik LogLikelihood, rng *mathx.RNG) statex.State {
+	if f.set == nil {
+		panic("filter: APF.Step before Init")
+	}
+	n := f.set.Len()
+	// First stage: score each ancestor by its predicted likelihood.
+	type anc struct {
+		state statex.State
+		muLL  float64
+	}
+	ancestors := make([]anc, n)
+	logFirst := make([]float64, n)
+	for i := range f.set.P {
+		mu := predict(f.set.P[i].State)
+		ll := loglik(mu)
+		ancestors[i] = anc{state: f.set.P[i].State, muLL: ll}
+		w := f.set.P[i].W
+		if w <= 0 {
+			w = 1e-300
+		}
+		logFirst[i] = math.Log(w) + ll
+	}
+	// Normalize first-stage weights stably and resample ancestor indices.
+	aux := &Set{P: make([]Particle, n)}
+	for i := range aux.P {
+		aux.P[i] = Particle{State: statex.State{Pos: mathx.V2(float64(i), 0)}} // index carrier
+	}
+	lse := mathx.LogSumExp(logFirst)
+	for i := range aux.P {
+		if math.IsInf(lse, -1) {
+			aux.P[i].W = 1.0 / float64(n)
+		} else {
+			aux.P[i].W = math.Exp(logFirst[i] - lse)
+		}
+	}
+	picked := f.cfg.Resampler.Resample(aux, n, rng)
+
+	// Second stage: propagate the chosen ancestors and correct the weights
+	// by p(z|x)/p(z|μ).
+	out := &Set{P: make([]Particle, n)}
+	logw := make([]float64, n)
+	for i := range picked.P {
+		idx := int(picked.P[i].State.Pos.X)
+		a := ancestors[idx]
+		x := propose(a.state, rng)
+		out.P[i] = Particle{State: x}
+		logw[i] = loglik(x) - a.muLL
+	}
+	out.SetLogWeights(logw)
+	f.set = out
+	return f.set.MeanState()
+}

@@ -1,0 +1,116 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// EKF is an extended Kalman filter with scalar sequential measurement
+// updates: nonlinear measurements (such as bearings) are incorporated one at
+// a time through their linearized observation rows, avoiding any matrix
+// inversion beyond a scalar. The related work positions the (extended)
+// Kalman filter as the classical alternative to particle filters for
+// tracking; the baseline package builds a centralized bearings-only tracker
+// from it.
+type EKF struct {
+	F *mathx.Mat // state transition (n x n)
+	Q *mathx.Mat // process noise covariance (n x n)
+
+	X *mathx.Mat // state estimate (n x 1)
+	P *mathx.Mat // estimate covariance (n x n)
+}
+
+// NewEKF validates dimensions and returns a filter initialized with state x0
+// and covariance p0.
+func NewEKF(f, q *mathx.Mat, x0 []float64, p0 *mathx.Mat) (*EKF, error) {
+	n := f.Rows
+	if f.Cols != n {
+		return nil, fmt.Errorf("filter: EKF F must be square, got %dx%d", f.Rows, f.Cols)
+	}
+	if q.Rows != n || q.Cols != n {
+		return nil, fmt.Errorf("filter: EKF Q shape %dx%d, want %dx%d", q.Rows, q.Cols, n, n)
+	}
+	if len(x0) != n || p0.Rows != n || p0.Cols != n {
+		return nil, fmt.Errorf("filter: EKF initial state/covariance dimension mismatch")
+	}
+	x := mathx.NewMat(n, 1)
+	copy(x.Data, x0)
+	return &EKF{F: f, Q: q, X: x, P: p0.Clone()}, nil
+}
+
+// Predict advances the estimate: x = F x, P = F P Fᵀ + Q.
+func (k *EKF) Predict() {
+	k.X = k.F.Mul(k.X)
+	k.P = k.F.Mul(k.P).Mul(k.F.T()).Add(k.Q)
+	k.P.Symmetrize()
+}
+
+// UpdateScalar incorporates one scalar measurement given its linearized
+// observation row h (length n), the innovation resid = z - h(x̂) (already
+// computed by the caller through the *nonlinear* h, with any angle wrapping
+// applied), and the measurement noise variance r. It returns an error when
+// the innovation variance is not positive.
+func (k *EKF) UpdateScalar(h []float64, resid, r float64) error {
+	n := k.F.Rows
+	if len(h) != n {
+		return fmt.Errorf("filter: EKF observation row length %d, want %d", len(h), n)
+	}
+	if r <= 0 {
+		return fmt.Errorf("filter: EKF measurement variance %v must be positive", r)
+	}
+	// s = h P hᵀ + r  (scalar innovation variance)
+	ph := make([]float64, n) // P hᵀ
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += k.P.At(i, j) * h[j]
+		}
+		ph[i] = sum
+	}
+	s := r
+	for i := 0; i < n; i++ {
+		s += h[i] * ph[i]
+	}
+	if s <= 0 {
+		return fmt.Errorf("filter: EKF innovation variance %v not positive", s)
+	}
+	// Gain K = P hᵀ / s; x += K resid; P -= K (P hᵀ)ᵀ.
+	for i := 0; i < n; i++ {
+		gain := ph[i] / s
+		k.X.Data[i] += gain * resid
+		for j := 0; j < n; j++ {
+			k.P.Set(i, j, k.P.At(i, j)-gain*ph[j])
+		}
+	}
+	k.P.Symmetrize()
+	return nil
+}
+
+// InnovationVariance returns s = h P hᵀ + r for a candidate scalar update,
+// letting callers gate outlier innovations before applying them.
+func (k *EKF) InnovationVariance(h []float64, r float64) float64 {
+	n := k.F.Rows
+	s := r
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += k.P.At(i, j) * h[j]
+		}
+		s += h[i] * row
+	}
+	return s
+}
+
+// PosEstimate returns the (x, y) components of the state estimate, assuming
+// the tracking layout (x, y, x', y').
+func (k *EKF) PosEstimate() mathx.Vec2 {
+	return mathx.V2(k.X.Data[0], k.X.Data[1])
+}
+
+// State returns a copy of the state estimate vector.
+func (k *EKF) State() []float64 {
+	out := make([]float64, len(k.X.Data))
+	copy(out, k.X.Data)
+	return out
+}

@@ -1,0 +1,157 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+func TestNewEKFValidation(t *testing.T) {
+	m := statex.MustCVModel(1, 0.1, 0.1)
+	if _, err := NewEKF(mathx.NewMat(4, 3), m.ProcessCov(), make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("non-square F accepted")
+	}
+	if _, err := NewEKF(m.Phi, mathx.Identity(3), make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong Q shape accepted")
+	}
+	if _, err := NewEKF(m.Phi, m.ProcessCov(), make([]float64, 3), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong x0 length accepted")
+	}
+	if _, err := NewEKF(m.Phi, m.ProcessCov(), make([]float64, 4), mathx.Identity(3)); err == nil {
+		t.Fatal("wrong P0 shape accepted")
+	}
+}
+
+func TestEKFUpdateScalarValidation(t *testing.T) {
+	m := statex.MustCVModel(1, 0.1, 0.1)
+	k, err := NewEKF(m.Phi, m.ProcessCov(), make([]float64, 4), mathx.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.UpdateScalar([]float64{1, 0, 0}, 0.1, 1); err == nil {
+		t.Fatal("short observation row accepted")
+	}
+	if err := k.UpdateScalar([]float64{1, 0, 0, 0}, 0.1, 0); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+// TestEKFMatchesKalmanOnLinearMeasurements cross-checks the scalar
+// sequential EKF update against the batch Kalman filter on a purely linear
+// system: applying the two position measurements one scalar at a time must
+// give the same posterior as the 2-D batch update.
+func TestEKFMatchesKalmanOnLinearMeasurements(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	const sigmaZ = 0.5
+	x0 := []float64{1, 2, 0.5, -0.5}
+	p0 := mathx.Diag(4, 4, 1, 1)
+
+	ekf, err := NewEKF(m.Phi, m.ProcessCov(), x0, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mathx.MatFromRows(
+		[]float64{1, 0, 0, 0},
+		[]float64{0, 1, 0, 0},
+	)
+	r := mathx.Diag(sigmaZ*sigmaZ, sigmaZ*sigmaZ)
+	kf, err := NewKalman(m.Phi, m.ProcessCov(), h, r, x0, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := mathx.NewRNG(5)
+	for step := 0; step < 20; step++ {
+		z := []float64{rng.Normal(float64(step), 0.5), rng.Normal(2, 0.5)}
+		kf.Predict()
+		if err := kf.Update(z); err != nil {
+			t.Fatal(err)
+		}
+		ekf.Predict()
+		// Sequential scalar updates with the innovations computed against
+		// the running state (order: x then y).
+		if err := ekf.UpdateScalar([]float64{1, 0, 0, 0}, z[0]-ekf.X.Data[0], sigmaZ*sigmaZ); err != nil {
+			t.Fatal(err)
+		}
+		if err := ekf.UpdateScalar([]float64{0, 1, 0, 0}, z[1]-ekf.X.Data[1], sigmaZ*sigmaZ); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if math.Abs(ekf.X.Data[i]-kf.X.Data[i]) > 1e-9 {
+				t.Fatalf("step %d state %d: EKF %v vs KF %v",
+					step, i, ekf.X.Data[i], kf.X.Data[i])
+			}
+		}
+		if ekf.P.MaxAbsDiff(kf.P) > 1e-9 {
+			t.Fatalf("step %d covariance diverged by %v", step, ekf.P.MaxAbsDiff(kf.P))
+		}
+	}
+}
+
+func TestEKFBearingsOnlyConvergence(t *testing.T) {
+	// Static observers around a moving target; sequential bearing updates
+	// must converge the position estimate.
+	m := statex.MustCVModel(1, 0.3, 0.3)
+	truth := statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0.5)}
+	observers := []mathx.Vec2{{X: -20, Y: 0}, {X: 20, Y: -10}, {X: 0, Y: 25}, {X: 10, Y: 10}}
+	const sigma = 0.02
+	rng := mathx.NewRNG(9)
+
+	ekf, err := NewEKF(m.Phi, m.ProcessCov(),
+		[]float64{3, -3, 0, 0}, mathx.Diag(25, 25, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr float64
+	for step := 0; step < 30; step++ {
+		truth = m.Step(truth, rng)
+		ekf.Predict()
+		for _, from := range observers {
+			z := truth.Pos.Sub(from).Angle() + rng.Normal(0, sigma)
+			px := ekf.X.Data[0] - from.X
+			py := ekf.X.Data[1] - from.Y
+			r2 := px*px + py*py
+			resid := mathx.AngleDiff(z, math.Atan2(py, px))
+			if err := ekf.UpdateScalar([]float64{-py / r2, px / r2, 0, 0}, resid, sigma*sigma); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lastErr = ekf.PosEstimate().Dist(truth.Pos)
+	}
+	if lastErr > 1.5 {
+		t.Fatalf("EKF bearings-only error after 30 steps = %v", lastErr)
+	}
+}
+
+func TestEKFInnovationVariance(t *testing.T) {
+	m := statex.MustCVModel(1, 0.1, 0.1)
+	k, _ := NewEKF(m.Phi, m.ProcessCov(), make([]float64, 4), mathx.Diag(2, 3, 1, 1))
+	// s = h P hᵀ + r with h = e0: s = P00 + r.
+	if got := k.InnovationVariance([]float64{1, 0, 0, 0}, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("InnovationVariance = %v, want 2.5", got)
+	}
+	// Variance must shrink after an update.
+	before := k.InnovationVariance([]float64{1, 0, 0, 0}, 0.5)
+	if err := k.UpdateScalar([]float64{1, 0, 0, 0}, 0.1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := k.InnovationVariance([]float64{1, 0, 0, 0}, 0.5)
+	if after >= before {
+		t.Fatalf("update did not reduce innovation variance: %v -> %v", before, after)
+	}
+}
+
+func TestEKFStateCopy(t *testing.T) {
+	m := statex.MustCVModel(1, 0.1, 0.1)
+	k, _ := NewEKF(m.Phi, m.ProcessCov(), []float64{1, 2, 3, 4}, mathx.Identity(4))
+	s := k.State()
+	s[0] = 99
+	if k.State()[0] == 99 {
+		t.Fatal("State returned aliased storage")
+	}
+	if k.PosEstimate() != mathx.V2(1, 2) {
+		t.Fatalf("PosEstimate = %v", k.PosEstimate())
+	}
+}

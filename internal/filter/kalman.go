@@ -1,0 +1,90 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Kalman is a linear Kalman filter over the 4-D tracking state. The related
+// work of the paper notes the Kalman filter is the optimal Bayesian estimator
+// under linear-Gaussian assumptions; we use it as the exact reference that
+// the particle filters must approach on a linear-Gaussian system.
+type Kalman struct {
+	F *mathx.Mat // state transition (n x n)
+	Q *mathx.Mat // process noise covariance (n x n)
+	H *mathx.Mat // measurement matrix (m x n)
+	R *mathx.Mat // measurement noise covariance (m x m)
+
+	X *mathx.Mat // state estimate (n x 1)
+	P *mathx.Mat // estimate covariance (n x n)
+}
+
+// NewKalman validates dimensions and returns a filter initialized with state
+// x0 and covariance p0.
+func NewKalman(f, q, h, r *mathx.Mat, x0 []float64, p0 *mathx.Mat) (*Kalman, error) {
+	n := f.Rows
+	if f.Cols != n {
+		return nil, fmt.Errorf("filter: Kalman F must be square, got %dx%d", f.Rows, f.Cols)
+	}
+	if q.Rows != n || q.Cols != n {
+		return nil, fmt.Errorf("filter: Kalman Q shape %dx%d, want %dx%d", q.Rows, q.Cols, n, n)
+	}
+	if h.Cols != n {
+		return nil, fmt.Errorf("filter: Kalman H cols %d, want %d", h.Cols, n)
+	}
+	m := h.Rows
+	if r.Rows != m || r.Cols != m {
+		return nil, fmt.Errorf("filter: Kalman R shape %dx%d, want %dx%d", r.Rows, r.Cols, m, m)
+	}
+	if len(x0) != n || p0.Rows != n || p0.Cols != n {
+		return nil, fmt.Errorf("filter: Kalman initial state/covariance dimension mismatch")
+	}
+	x := mathx.NewMat(n, 1)
+	copy(x.Data, x0)
+	return &Kalman{F: f, Q: q, H: h, R: r, X: x, P: p0.Clone()}, nil
+}
+
+// Predict advances the state estimate one step: x = F x, P = F P Fᵀ + Q.
+func (k *Kalman) Predict() {
+	k.X = k.F.Mul(k.X)
+	k.P = k.F.Mul(k.P).Mul(k.F.T()).Add(k.Q)
+	k.P.Symmetrize()
+}
+
+// Update incorporates measurement z (length m).
+func (k *Kalman) Update(z []float64) error {
+	if len(z) != k.H.Rows {
+		return fmt.Errorf("filter: Kalman Update measurement length %d, want %d", len(z), k.H.Rows)
+	}
+	zm := mathx.NewMat(len(z), 1)
+	copy(zm.Data, z)
+	// Innovation y = z - Hx, S = H P Hᵀ + R.
+	y := zm.Sub(k.H.Mul(k.X))
+	s := k.H.Mul(k.P).Mul(k.H.T()).Add(k.R)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("filter: Kalman innovation covariance singular: %w", err)
+	}
+	// Gain K = P Hᵀ S⁻¹; x += K y; P = (I - K H) P.
+	gain := k.P.Mul(k.H.T()).Mul(sInv)
+	k.X = k.X.Add(gain.Mul(y))
+	n := k.F.Rows
+	ikh := mathx.Identity(n).Sub(gain.Mul(k.H))
+	k.P = ikh.Mul(k.P)
+	k.P.Symmetrize()
+	return nil
+}
+
+// State returns a copy of the current state estimate vector.
+func (k *Kalman) State() []float64 {
+	out := make([]float64, len(k.X.Data))
+	copy(out, k.X.Data)
+	return out
+}
+
+// PosEstimate returns the (x, y) components of the state estimate, assuming
+// the tracking state layout (x, y, x', y').
+func (k *Kalman) PosEstimate() mathx.Vec2 {
+	return mathx.V2(k.X.Data[0], k.X.Data[1])
+}

@@ -1,0 +1,109 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+// positionKalman builds a KF for the CV model with direct (x, y) position
+// measurements of noise stddev sigmaZ.
+func positionKalman(t *testing.T, m *statex.CVModel, sigmaZ float64, x0 []float64) *Kalman {
+	t.Helper()
+	h := mathx.MatFromRows(
+		[]float64{1, 0, 0, 0},
+		[]float64{0, 1, 0, 0},
+	)
+	r := mathx.Diag(sigmaZ*sigmaZ, sigmaZ*sigmaZ)
+	p0 := mathx.Diag(1, 1, 1, 1)
+	kf, err := NewKalman(m.Phi, m.ProcessCov(), h, r, x0, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kf
+}
+
+func TestKalmanValidation(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	h := mathx.MatFromRows([]float64{1, 0, 0, 0})
+	r := mathx.Diag(1)
+	if _, err := NewKalman(mathx.NewMat(4, 3), m.ProcessCov(), h, r, make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("non-square F accepted")
+	}
+	if _, err := NewKalman(m.Phi, mathx.Identity(3), h, r, make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong Q shape accepted")
+	}
+	if _, err := NewKalman(m.Phi, m.ProcessCov(), mathx.NewMat(1, 3), r, make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong H shape accepted")
+	}
+	if _, err := NewKalman(m.Phi, m.ProcessCov(), h, mathx.Identity(2), make([]float64, 4), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong R shape accepted")
+	}
+	if _, err := NewKalman(m.Phi, m.ProcessCov(), h, r, make([]float64, 3), mathx.Identity(4)); err == nil {
+		t.Fatal("wrong x0 length accepted")
+	}
+}
+
+func TestKalmanTracksLinearSystem(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	rng := mathx.NewRNG(42)
+	truth := statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0.5)}
+	kf := positionKalman(t, m, 0.5, []float64{0, 0, 0, 0})
+
+	var errs []float64
+	for k := 0; k < 100; k++ {
+		truth = m.Step(truth, rng)
+		kf.Predict()
+		z := []float64{
+			truth.Pos.X + rng.Normal(0, 0.5),
+			truth.Pos.Y + rng.Normal(0, 0.5),
+		}
+		if err := kf.Update(z); err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, kf.PosEstimate().Dist(truth.Pos))
+	}
+	// After convergence the error should be well below the raw measurement
+	// noise (~0.7 for 2-D stddev 0.5 per axis).
+	late := mathx.Mean(errs[20:])
+	if late > 0.6 {
+		t.Fatalf("KF steady-state mean error %v too high", late)
+	}
+}
+
+func TestKalmanCovarianceContracts(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	kf := positionKalman(t, m, 0.5, []float64{0, 0, 0, 0})
+	kf.Predict()
+	tracePre := kf.P.At(0, 0) + kf.P.At(1, 1)
+	if err := kf.Update([]float64{0.1, -0.1}); err != nil {
+		t.Fatal(err)
+	}
+	tracePost := kf.P.At(0, 0) + kf.P.At(1, 1)
+	if tracePost >= tracePre {
+		t.Fatalf("update did not reduce position uncertainty: %v -> %v", tracePre, tracePost)
+	}
+	// Covariance stays symmetric.
+	if kf.P.MaxAbsDiff(kf.P.T()) > 1e-12 {
+		t.Fatal("covariance lost symmetry")
+	}
+}
+
+func TestKalmanUpdateWrongLength(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	kf := positionKalman(t, m, 0.5, []float64{0, 0, 0, 0})
+	if err := kf.Update([]float64{1}); err == nil {
+		t.Fatal("wrong-length measurement accepted")
+	}
+}
+
+func TestKalmanStateCopy(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	kf := positionKalman(t, m, 0.5, []float64{1, 2, 3, 4})
+	s := kf.State()
+	s[0] = 999
+	if kf.State()[0] == 999 {
+		t.Fatal("State returned aliased storage")
+	}
+}

@@ -1,0 +1,115 @@
+package filter
+
+import "math"
+
+// KLD-sampling (Fox, IJRR 2003) adapts the particle count so that, with
+// probability 1-delta, the KL divergence between the sample-based posterior
+// approximation and the true posterior stays below epsilon. The paper's
+// related-work section cites it as the main centralized sample-size adapter;
+// we implement it both as a library primitive and as the basis of the
+// "CDPF over other PF branches" future-work extension.
+
+// KLDConfig bounds and shapes the adaptive sample size.
+type KLDConfig struct {
+	Epsilon  float64 // KL error bound, e.g. 0.05
+	Delta    float64 // 1 - confidence, e.g. 0.01
+	MinN     int     // lower clamp on the sample size
+	MaxN     int     // upper clamp on the sample size
+	BinWidth float64 // spatial bin side length for counting occupied bins (m)
+}
+
+// DefaultKLDConfig returns a reasonable tracking configuration.
+func DefaultKLDConfig() KLDConfig {
+	return KLDConfig{Epsilon: 0.05, Delta: 0.01, MinN: 20, MaxN: 2000, BinWidth: 2}
+}
+
+// KLDSampleSize returns the number of particles needed for k occupied
+// histogram bins, using the Wilson–Hilferty chi-square approximation:
+//
+//	n = (k-1)/(2ε) · (1 - 2/(9(k-1)) + sqrt(2/(9(k-1))) z_{1-δ})³
+//
+// For k <= 1 the posterior occupies a single bin and MinN suffices.
+func (c KLDConfig) KLDSampleSize(k int) int {
+	if k <= 1 {
+		return c.clamp(c.MinN)
+	}
+	km1 := float64(k - 1)
+	z := normalQuantile(1 - c.Delta)
+	t := 2 / (9 * km1)
+	inner := 1 - t + math.Sqrt(t)*z
+	n := km1 / (2 * c.Epsilon) * inner * inner * inner
+	return c.clamp(int(math.Ceil(n)))
+}
+
+func (c KLDConfig) clamp(n int) int {
+	if c.MinN > 0 && n < c.MinN {
+		n = c.MinN
+	}
+	if c.MaxN > 0 && n > c.MaxN {
+		n = c.MaxN
+	}
+	return n
+}
+
+// OccupiedBins counts the distinct BinWidth x BinWidth spatial cells covered
+// by the particle positions — the k fed to KLDSampleSize.
+func (c KLDConfig) OccupiedBins(s *Set) int {
+	if c.BinWidth <= 0 {
+		panic("filter: KLD bin width must be positive")
+	}
+	type cell struct{ x, y int }
+	seen := make(map[cell]struct{}, s.Len())
+	for i := range s.P {
+		p := s.P[i].State.Pos
+		seen[cell{
+			x: int(math.Floor(p.X / c.BinWidth)),
+			y: int(math.Floor(p.Y / c.BinWidth)),
+		}] = struct{}{}
+	}
+	return len(seen)
+}
+
+// AdaptiveSize computes the KLD-recommended particle count for the current
+// spread of the set.
+func (c KLDConfig) AdaptiveSize(s *Set) int {
+	return c.KLDSampleSize(c.OccupiedBins(s))
+}
+
+// normalQuantile returns the p-quantile of the standard normal distribution
+// using the Beasley-Springer-Moro rational approximation (|error| < 3e-9 on
+// (0, 1)). It panics outside (0, 1).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("filter: normalQuantile p outside (0,1)")
+	}
+	// Coefficients from Moro (1995).
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	cc := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := cc[0]
+	pow := 1.0
+	for i := 1; i < 9; i++ {
+		pow *= r
+		x += cc[i] * pow
+	}
+	if y < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,157 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+func mkSet(weights ...float64) *Set {
+	s := NewSet(len(weights))
+	for i, w := range weights {
+		s.Add(Particle{
+			State: statex.State{Pos: mathx.V2(float64(i), 2*float64(i))},
+			W:     w,
+		})
+	}
+	return s
+}
+
+func TestSetBasics(t *testing.T) {
+	s := mkSet(1, 2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalWeight() != 6 {
+		t.Fatalf("TotalWeight = %v", s.TotalWeight())
+	}
+	if s.MaxWeight() != 3 {
+		t.Fatalf("MaxWeight = %v", s.MaxWeight())
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := mkSet(1, 2)
+	c := s.Clone()
+	c.P[0].W = 99
+	if s.P[0].W != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := mkSet(1, 3)
+	total := s.Normalize()
+	if total != 4 {
+		t.Fatalf("Normalize returned %v", total)
+	}
+	if math.Abs(s.P[0].W-0.25) > 1e-12 || math.Abs(s.P[1].W-0.75) > 1e-12 {
+		t.Fatalf("normalized weights = %v, %v", s.P[0].W, s.P[1].W)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	s := mkSet(0, 0, 0)
+	if total := s.Normalize(); total != 0 {
+		t.Fatalf("degenerate Normalize returned %v", total)
+	}
+	for i := range s.P {
+		if math.Abs(s.P[i].W-1.0/3) > 1e-12 {
+			t.Fatalf("degenerate weights not uniform: %v", s.Weights())
+		}
+	}
+}
+
+func TestNormalizeWith(t *testing.T) {
+	s := mkSet(2, 6)
+	s.NormalizeWith(8) // external (overheard) total
+	if math.Abs(s.P[0].W-0.25) > 1e-12 || math.Abs(s.P[1].W-0.75) > 1e-12 {
+		t.Fatalf("NormalizeWith weights = %v", s.Weights())
+	}
+	// Degenerate external total falls back to uniform.
+	s2 := mkSet(2, 6)
+	s2.NormalizeWith(0)
+	if math.Abs(s2.P[0].W-0.5) > 1e-12 {
+		t.Fatalf("NormalizeWith(0) weights = %v", s2.Weights())
+	}
+}
+
+func TestESS(t *testing.T) {
+	uniform := mkSet(1, 1, 1, 1)
+	if got := uniform.ESS(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("uniform ESS = %v, want 4", got)
+	}
+	degenerate := mkSet(1, 0, 0, 0)
+	if got := degenerate.ESS(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("degenerate ESS = %v, want 1", got)
+	}
+	// ESS is scale invariant.
+	a := mkSet(1, 2, 3)
+	b := mkSet(10, 20, 30)
+	if math.Abs(a.ESS()-b.ESS()) > 1e-9 {
+		t.Fatal("ESS not scale invariant")
+	}
+	if (&Set{}).ESS() != 0 {
+		t.Fatal("empty ESS != 0")
+	}
+}
+
+func TestMeanPos(t *testing.T) {
+	s := NewSet(2)
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(0, 0)}, W: 1})
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(10, 20)}, W: 3})
+	got := s.MeanPos()
+	if math.Abs(got.X-7.5) > 1e-12 || math.Abs(got.Y-15) > 1e-12 {
+		t.Fatalf("MeanPos = %v", got)
+	}
+	if (&Set{}).MeanPos() != (mathx.Vec2{}) {
+		t.Fatal("empty MeanPos should be zero vector")
+	}
+}
+
+func TestMeanState(t *testing.T) {
+	s := NewSet(2)
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0)}, W: 1})
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(2, 2), Vel: mathx.V2(3, 0)}, W: 1})
+	got := s.MeanState()
+	if got.Pos != mathx.V2(1, 1) || got.Vel != mathx.V2(2, 0) {
+		t.Fatalf("MeanState = %+v", got)
+	}
+}
+
+func TestSetLogWeights(t *testing.T) {
+	s := mkSet(1, 1, 1)
+	s.SetLogWeights([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, w := range s.Weights() {
+		if math.Abs(w-want[i]) > 1e-12 {
+			t.Fatalf("SetLogWeights = %v", s.Weights())
+		}
+	}
+}
+
+func TestSetLogWeightsUnderflowSafe(t *testing.T) {
+	s := mkSet(1, 1)
+	s.SetLogWeights([]float64{-5000, -5000 + math.Log(3)})
+	w := s.Weights()
+	if math.Abs(w[0]-0.25) > 1e-9 || math.Abs(w[1]-0.75) > 1e-9 {
+		t.Fatalf("far-tail log weights = %v", w)
+	}
+	// Total collapse recovers to uniform.
+	s2 := mkSet(1, 1)
+	s2.SetLogWeights([]float64{math.Inf(-1), math.Inf(-1)})
+	if math.Abs(s2.P[0].W-0.5) > 1e-12 {
+		t.Fatalf("collapsed log weights = %v", s2.Weights())
+	}
+}
+
+func TestSetLogWeightsLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SetLogWeights did not panic")
+		}
+	}()
+	mkSet(1, 2).SetLogWeights([]float64{0})
+}

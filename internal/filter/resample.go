@@ -1,0 +1,182 @@
+package filter
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Resampler draws n equally weighted particles from a weighted set,
+// eliminating low-weight particles and multiplying high-weight ones
+// (the degeneracy-reduction step of generic PFs).
+type Resampler interface {
+	// Resample returns a new set of n particles, each with weight 1/n,
+	// drawn (scheme-dependently) according to the weights of src. src is
+	// not modified. It panics when src is empty or n <= 0.
+	Resample(src *Set, n int, rng *mathx.RNG) *Set
+	// Name identifies the scheme in reports and benchmarks.
+	Name() string
+}
+
+func resampleGuard(src *Set, n int) {
+	if src.Len() == 0 {
+		panic("filter: resample of empty set")
+	}
+	if n <= 0 {
+		panic("filter: resample to non-positive size")
+	}
+}
+
+// replicate builds the output set from per-source-particle copy counts.
+func replicate(src *Set, counts []int, n int) *Set {
+	out := &Set{P: make([]Particle, 0, n)}
+	w := 1.0 / float64(n)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			p := src.P[i]
+			p.W = w
+			out.P = append(out.P, p)
+		}
+	}
+	return out
+}
+
+// normalizedWeights returns the normalized weight vector of src, falling
+// back to uniform for a degenerate total.
+func normalizedWeights(src *Set) []float64 {
+	w := src.Weights()
+	mathx.Normalize(w)
+	return w
+}
+
+// Multinomial is independent categorical resampling: each output particle is
+// an i.i.d. draw from the weight distribution. Highest variance, simplest.
+type Multinomial struct{}
+
+// Name implements Resampler.
+func (Multinomial) Name() string { return "multinomial" }
+
+// Resample implements Resampler.
+func (Multinomial) Resample(src *Set, n int, rng *mathx.RNG) *Set {
+	resampleGuard(src, n)
+	w := normalizedWeights(src)
+	// Cumulative distribution + inverse-CDF sampling per draw.
+	cdf := make([]float64, len(w))
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		cdf[i] = acc
+	}
+	cdf[len(cdf)-1] = 1 // guard against rounding
+	counts := make([]int, len(w))
+	for k := 0; k < n; k++ {
+		u := rng.Float64()
+		counts[searchCDF(cdf, u)]++
+	}
+	return replicate(src, counts, n)
+}
+
+// searchCDF returns the smallest index i with cdf[i] > u (binary search).
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Systematic is low-variance systematic resampling: a single uniform offset
+// u ~ U[0, 1/n) generates the n stratified points u + k/n. This is the
+// default scheme for all algorithms in the paper reproduction.
+type Systematic struct{}
+
+// Name implements Resampler.
+func (Systematic) Name() string { return "systematic" }
+
+// Resample implements Resampler.
+func (Systematic) Resample(src *Set, n int, rng *mathx.RNG) *Set {
+	resampleGuard(src, n)
+	w := normalizedWeights(src)
+	counts := make([]int, len(w))
+	u := rng.Float64() / float64(n)
+	acc := 0.0
+	i := 0
+	for k := 0; k < n; k++ {
+		point := u + float64(k)/float64(n)
+		for acc+w[i] < point && i < len(w)-1 {
+			acc += w[i]
+			i++
+		}
+		counts[i]++
+	}
+	return replicate(src, counts, n)
+}
+
+// Stratified resampling draws one uniform point per stratum [k/n, (k+1)/n).
+type Stratified struct{}
+
+// Name implements Resampler.
+func (Stratified) Name() string { return "stratified" }
+
+// Resample implements Resampler.
+func (Stratified) Resample(src *Set, n int, rng *mathx.RNG) *Set {
+	resampleGuard(src, n)
+	w := normalizedWeights(src)
+	counts := make([]int, len(w))
+	acc := 0.0
+	i := 0
+	for k := 0; k < n; k++ {
+		point := (float64(k) + rng.Float64()) / float64(n)
+		for acc+w[i] < point && i < len(w)-1 {
+			acc += w[i]
+			i++
+		}
+		counts[i]++
+	}
+	return replicate(src, counts, n)
+}
+
+// Residual resampling copies floor(n*w_i) of particle i deterministically and
+// fills the remainder multinomially from the fractional residuals.
+type Residual struct{}
+
+// Name implements Resampler.
+func (Residual) Name() string { return "residual" }
+
+// Resample implements Resampler.
+func (Residual) Resample(src *Set, n int, rng *mathx.RNG) *Set {
+	resampleGuard(src, n)
+	w := normalizedWeights(src)
+	counts := make([]int, len(w))
+	resid := make([]float64, len(w))
+	assigned := 0
+	for i, wi := range w {
+		exp := wi * float64(n)
+		c := int(math.Floor(exp))
+		counts[i] = c
+		resid[i] = exp - float64(c)
+		assigned += c
+	}
+	residTotal := mathx.Sum(resid)
+	for assigned < n {
+		if residTotal <= 0 {
+			// Residuals exhausted by rounding: fall back to uniform fill.
+			counts[rng.Intn(len(w))]++
+		} else {
+			counts[rng.Categorical(resid)]++
+		}
+		assigned++
+	}
+	return replicate(src, counts, n)
+}
+
+// Resamplers lists every available scheme, used by the resampling ablation
+// experiment.
+func Resamplers() []Resampler {
+	return []Resampler{Systematic{}, Multinomial{}, Stratified{}, Residual{}}
+}

@@ -1,0 +1,219 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+func TestResamplersBasicContract(t *testing.T) {
+	src := mkSet(0.1, 0.2, 0.3, 0.4)
+	rng := mathx.NewRNG(1)
+	for _, rs := range Resamplers() {
+		for _, n := range []int{1, 4, 17, 100} {
+			out := rs.Resample(src, n, rng)
+			if out.Len() != n {
+				t.Fatalf("%s: output size %d, want %d", rs.Name(), out.Len(), n)
+			}
+			w := 1.0 / float64(n)
+			for i := range out.P {
+				if math.Abs(out.P[i].W-w) > 1e-12 {
+					t.Fatalf("%s: particle %d weight %v, want %v", rs.Name(), i, out.P[i].W, w)
+				}
+			}
+			// Every output state must come from src.
+			for i := range out.P {
+				found := false
+				for j := range src.P {
+					if out.P[i].State == src.P[j].State {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: output particle not drawn from source", rs.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestResamplersDoNotMutateSource(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	for _, rs := range Resamplers() {
+		src := mkSet(1, 2, 3)
+		before := src.Weights()
+		rs.Resample(src, 10, rng)
+		after := src.Weights()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("%s mutated source weights", rs.Name())
+			}
+		}
+	}
+}
+
+func TestResamplersEmptyPanics(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	for _, rs := range Resamplers() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: empty resample did not panic", rs.Name())
+				}
+			}()
+			rs.Resample(&Set{}, 5, rng)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: n=0 resample did not panic", rs.Name())
+				}
+			}()
+			rs.Resample(mkSet(1), 0, rng)
+		}()
+	}
+}
+
+func TestResamplersUnbiasedMean(t *testing.T) {
+	// The weighted mean position must be preserved in expectation. Resample
+	// many times and compare the averaged mean to the weighted mean.
+	src := NewSet(5)
+	positions := []mathx.Vec2{{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 10}}
+	weights := []float64{0.05, 0.1, 0.15, 0.3, 0.4}
+	for i := range positions {
+		src.Add(Particle{State: statex.State{Pos: positions[i]}, W: weights[i]})
+	}
+	want := src.MeanPos().X
+	for _, rs := range Resamplers() {
+		rng := mathx.NewRNG(42)
+		total := 0.0
+		const trials = 2000
+		for trial := 0; trial < trials; trial++ {
+			out := rs.Resample(src, 50, rng)
+			total += out.MeanPos().X
+		}
+		got := total / trials
+		if math.Abs(got-want) > 0.05*want+0.05 {
+			t.Errorf("%s: mean after resampling %v, want ~%v", rs.Name(), got, want)
+		}
+	}
+}
+
+func TestSystematicLowVariance(t *testing.T) {
+	// Systematic resampling replication counts must satisfy
+	// floor(n w_i) <= count_i <= ceil(n w_i) for each particle.
+	src := mkSet(0.1, 0.2, 0.3, 0.4)
+	src.Normalize()
+	rng := mathx.NewRNG(7)
+	const n = 100
+	for trial := 0; trial < 200; trial++ {
+		out := Systematic{}.Resample(src, n, rng)
+		counts := make(map[mathx.Vec2]int)
+		for i := range out.P {
+			counts[out.P[i].State.Pos]++
+		}
+		for j := range src.P {
+			c := counts[src.P[j].State.Pos]
+			exp := float64(n) * src.P[j].W
+			if float64(c) < math.Floor(exp)-1e-9 || float64(c) > math.Ceil(exp)+1e-9 {
+				t.Fatalf("systematic count %d for weight %v outside [floor, ceil]", c, src.P[j].W)
+			}
+		}
+	}
+}
+
+func TestResidualDeterministicFloor(t *testing.T) {
+	// Residual resampling must copy at least floor(n*w_i) of each particle.
+	src := mkSet(0.5, 0.3, 0.2)
+	src.Normalize()
+	rng := mathx.NewRNG(11)
+	const n = 10
+	for trial := 0; trial < 100; trial++ {
+		out := Residual{}.Resample(src, n, rng)
+		counts := make(map[mathx.Vec2]int)
+		for i := range out.P {
+			counts[out.P[i].State.Pos]++
+		}
+		for j := range src.P {
+			min := int(math.Floor(float64(n) * src.P[j].W))
+			if counts[src.P[j].State.Pos] < min {
+				t.Fatalf("residual count %d below deterministic floor %d", counts[src.P[j].State.Pos], min)
+			}
+		}
+	}
+}
+
+func TestResampleDegenerateSingleSurvivor(t *testing.T) {
+	// One particle carries all the weight: every scheme must return n copies
+	// of it.
+	src := mkSet(0, 1, 0)
+	rng := mathx.NewRNG(13)
+	for _, rs := range Resamplers() {
+		out := rs.Resample(src, 20, rng)
+		for i := range out.P {
+			if out.P[i].State.Pos != src.P[1].State.Pos {
+				t.Fatalf("%s copied a zero-weight particle", rs.Name())
+			}
+		}
+	}
+}
+
+func TestResampleUnnormalizedInput(t *testing.T) {
+	// Resamplers must accept unnormalized weights.
+	src := mkSet(10, 20, 30, 40)
+	rng := mathx.NewRNG(17)
+	for _, rs := range Resamplers() {
+		out := rs.Resample(src, 1000, rng)
+		counts := make(map[mathx.Vec2]int)
+		for i := range out.P {
+			counts[out.P[i].State.Pos]++
+		}
+		// Heaviest particle should be most frequent.
+		if counts[src.P[3].State.Pos] <= counts[src.P[0].State.Pos] {
+			t.Errorf("%s: heaviest particle not favored (%d vs %d)",
+				rs.Name(), counts[src.P[3].State.Pos], counts[src.P[0].State.Pos])
+		}
+	}
+}
+
+func TestSearchCDF(t *testing.T) {
+	cdf := []float64{0.1, 0.3, 0.6, 1.0}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 1}, {0.29, 1}, {0.3, 2}, {0.59, 2}, {0.99, 3},
+	}
+	for _, c := range cases {
+		if got := searchCDF(cdf, c.u); got != c.want {
+			t.Errorf("searchCDF(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func BenchmarkResampleSystematic1000(b *testing.B) {
+	src := NewSet(1000)
+	rng := mathx.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		src.Add(Particle{State: statex.State{Pos: mathx.V2(rng.Float64(), rng.Float64())}, W: rng.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Systematic{}.Resample(src, 1000, rng)
+	}
+}
+
+func BenchmarkResampleMultinomial1000(b *testing.B) {
+	src := NewSet(1000)
+	rng := mathx.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		src.Add(Particle{State: statex.State{Pos: mathx.V2(rng.Float64(), rng.Float64())}, W: rng.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Multinomial{}.Resample(src, 1000, rng)
+	}
+}

@@ -1,0 +1,118 @@
+package filter
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+// Regularized particle filtering (Musso, Oudjane & Le Gland). The paper's
+// future work points at PF branches addressing sample impoverishment; the
+// regularized PF is the canonical one: after resampling, each copied
+// particle is jittered with a kernel whose bandwidth follows the optimal
+// Gaussian-kernel rule
+//
+//	h_opt = A · N^{-1/(d+4)},  A = (4/(d+2))^{1/(d+4)},
+//
+// scaled by the empirical covariance of the cloud, restoring the diversity
+// that exact copying destroys.
+
+// stateDim is the tracking state dimension (x, y, vx, vy).
+const stateDim = 4
+
+// Regularizer jitters a particle set after resampling.
+type Regularizer struct {
+	// Scale multiplies the optimal bandwidth; 1 is the textbook value,
+	// smaller is more conservative. Zero defaults to 1.
+	Scale float64
+}
+
+// bandwidth returns h_opt for n particles in d dimensions.
+func bandwidth(n, d int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	a := math.Pow(4/float64(d+2), 1/float64(d+4))
+	return a * math.Pow(float64(n), -1/float64(d+4))
+}
+
+// empiricalCov returns the weighted mean and covariance of the set's
+// (pos, vel) states as a stateDim x stateDim matrix.
+func empiricalCov(s *Set) (mean []float64, cov *mathx.Mat) {
+	mean = make([]float64, stateDim)
+	total := 0.0
+	for i := range s.P {
+		w := s.P[i].W
+		v := s.P[i].State.Vector()
+		for j := 0; j < stateDim; j++ {
+			mean[j] += w * v[j]
+		}
+		total += w
+	}
+	if total <= 0 {
+		total = 1
+	}
+	for j := range mean {
+		mean[j] /= total
+	}
+	cov = mathx.NewMat(stateDim, stateDim)
+	for i := range s.P {
+		w := s.P[i].W / total
+		v := s.P[i].State.Vector()
+		for a := 0; a < stateDim; a++ {
+			for b := 0; b < stateDim; b++ {
+				cov.Set(a, b, cov.At(a, b)+w*(v[a]-mean[a])*(v[b]-mean[b]))
+			}
+		}
+	}
+	return mean, cov
+}
+
+// Apply jitters every particle in place using the kernel bandwidth and the
+// cloud's empirical covariance. A degenerate covariance (cloud collapsed to
+// a point in some direction) is regularized with a small diagonal floor so
+// diversity is restored in every dimension.
+func (r Regularizer) Apply(s *Set, rng *mathx.RNG) {
+	if s.Len() <= 1 {
+		return
+	}
+	scale := r.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	_, cov := empiricalCov(s)
+	// Diagonal floor: never let a dimension's spread fall below epsilon.
+	const floor = 1e-6
+	for j := 0; j < stateDim; j++ {
+		cov.Set(j, j, cov.At(j, j)+floor)
+	}
+	chol, err := cov.Cholesky()
+	if err != nil {
+		// Should not happen with the floor; fall back to diagonal jitter.
+		chol = mathx.NewMat(stateDim, stateDim)
+		for j := 0; j < stateDim; j++ {
+			chol.Set(j, j, math.Sqrt(cov.At(j, j)))
+		}
+	}
+	h := scale * bandwidth(s.Len(), stateDim)
+	z := make([]float64, stateDim)
+	jit := make([]float64, stateDim)
+	for i := range s.P {
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		for a := 0; a < stateDim; a++ {
+			sum := 0.0
+			for b := 0; b <= a; b++ {
+				sum += chol.At(a, b) * z[b]
+			}
+			jit[a] = h * sum
+		}
+		v := s.P[i].State.Vector()
+		for j := range v {
+			v[j] += jit[j]
+		}
+		s.P[i].State = statex.StateFromVector(v)
+	}
+}

@@ -1,0 +1,227 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+func TestBandwidth(t *testing.T) {
+	if bandwidth(1, 4) != 0 {
+		t.Fatal("bandwidth for one particle should be 0")
+	}
+	// Decreasing in N.
+	if bandwidth(100, 4) <= bandwidth(10000, 4) {
+		t.Fatal("bandwidth not decreasing in N")
+	}
+	// Textbook value for d=4: A = (4/6)^(1/8), h = A * N^(-1/8).
+	want := math.Pow(4.0/6.0, 1.0/8.0) * math.Pow(1000, -1.0/8.0)
+	if got := bandwidth(1000, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bandwidth(1000,4) = %v, want %v", got, want)
+	}
+}
+
+func TestEmpiricalCov(t *testing.T) {
+	s := NewSet(2)
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(-1, 0)}, W: 0.5})
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(1, 0)}, W: 0.5})
+	mean, cov := empiricalCov(s)
+	if math.Abs(mean[0]) > 1e-12 || math.Abs(mean[1]) > 1e-12 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(cov.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("var(x) = %v, want 1", cov.At(0, 0))
+	}
+	if cov.At(1, 1) != 0 || cov.At(2, 2) != 0 {
+		t.Fatalf("degenerate dims non-zero: %v", cov)
+	}
+}
+
+func TestRegularizerRestoresDiversity(t *testing.T) {
+	// A cloud of identical copies (post-resampling degeneracy) must come
+	// out of Apply with distinct states.
+	s := NewSet(100)
+	for i := 0; i < 100; i++ {
+		s.Add(Particle{State: statex.State{Pos: mathx.V2(5, 5), Vel: mathx.V2(1, 0)}, W: 0.01})
+	}
+	Regularizer{}.Apply(s, mathx.NewRNG(1))
+	distinct := map[mathx.Vec2]bool{}
+	for i := range s.P {
+		distinct[s.P[i].State.Pos] = true
+	}
+	if len(distinct) < 90 {
+		t.Fatalf("only %d distinct positions after regularization", len(distinct))
+	}
+}
+
+func TestRegularizerPreservesMean(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	s := NewSet(5000)
+	for i := 0; i < 5000; i++ {
+		s.Add(Particle{
+			State: statex.State{
+				Pos: mathx.V2(rng.Normal(10, 2), rng.Normal(-5, 1)),
+				Vel: mathx.V2(rng.Normal(1, 0.5), 0),
+			},
+			W: 1.0 / 5000,
+		})
+	}
+	before := s.MeanState()
+	Regularizer{}.Apply(s, rng)
+	after := s.MeanState()
+	if before.Pos.Dist(after.Pos) > 0.2 || before.Vel.Dist(after.Vel) > 0.1 {
+		t.Fatalf("regularization moved the mean: %v -> %v", before.Pos, after.Pos)
+	}
+	// Jitter must be modest relative to the cloud spread (bandwidth < 1).
+	var spread float64
+	for i := range s.P {
+		spread += s.P[i].State.Pos.Dist2(after.Pos)
+	}
+	spread = math.Sqrt(spread / 5000)
+	if spread > 3.5 { // original stddev ~2.2; h ≈ 0.3 adds little
+		t.Fatalf("regularization inflated the cloud: spread %v", spread)
+	}
+}
+
+func TestRegularizerSingleParticleNoop(t *testing.T) {
+	s := NewSet(1)
+	s.Add(Particle{State: statex.State{Pos: mathx.V2(1, 2)}, W: 1})
+	Regularizer{}.Apply(s, mathx.NewRNG(3))
+	if s.P[0].State.Pos != mathx.V2(1, 2) {
+		t.Fatal("single particle was jittered")
+	}
+}
+
+func TestNewAPFValidation(t *testing.T) {
+	if _, err := NewAPF(APFConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	f, err := NewAPF(APFConfig{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.cfg.Resampler == nil {
+		t.Fatal("resampler default missing")
+	}
+}
+
+func TestAPFStepBeforeInitPanics(t *testing.T) {
+	f, _ := NewAPF(APFConfig{N: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step before Init did not panic")
+		}
+	}()
+	f.Step(
+		func(s statex.State) statex.State { return s },
+		func(s statex.State, rng *mathx.RNG) statex.State { return s },
+		func(statex.State) float64 { return 0 },
+		mathx.NewRNG(1),
+	)
+}
+
+// TestAPFTracksLinearGaussian checks the APF against the Kalman filter on
+// the same linear-Gaussian setup used for the SIR cross-check.
+func TestAPFTracksLinearGaussian(t *testing.T) {
+	m := statex.MustCVModel(1, 0.05, 0.05)
+	const sigmaZ = 0.5
+	sysRng := mathx.NewRNG(7)
+	truth := statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0.5)}
+
+	kf := positionKalman(t, m, sigmaZ, []float64{0, 0, 1, 0.5})
+
+	apf, _ := NewAPF(APFConfig{N: 2000})
+	pfRng := mathx.NewRNG(8)
+	apf.Init(func(r *mathx.RNG) statex.State {
+		return statex.State{
+			Pos: mathx.V2(r.Normal(0, 1), r.Normal(0, 1)),
+			Vel: mathx.V2(r.Normal(1, 0.3), r.Normal(0.5, 0.3)),
+		}
+	}, pfRng)
+
+	predict := func(s statex.State) statex.State { return m.StepDeterministic(s) }
+	propose := func(s statex.State, r *mathx.RNG) statex.State { return m.Step(s, r) }
+
+	var diff []float64
+	for k := 0; k < 60; k++ {
+		truth = m.Step(truth, sysRng)
+		z := mathx.V2(
+			truth.Pos.X+sysRng.Normal(0, sigmaZ),
+			truth.Pos.Y+sysRng.Normal(0, sigmaZ),
+		)
+		kf.Predict()
+		if err := kf.Update([]float64{z.X, z.Y}); err != nil {
+			t.Fatal(err)
+		}
+		loglik := func(c statex.State) float64 {
+			return mathx.GaussianLogPDF(z.X, c.Pos.X, sigmaZ) +
+				mathx.GaussianLogPDF(z.Y, c.Pos.Y, sigmaZ)
+		}
+		est := apf.Step(predict, propose, loglik, pfRng)
+		diff = append(diff, est.Pos.Dist(kf.PosEstimate()))
+	}
+	if mean := mathx.Mean(diff[10:]); mean > 0.3 {
+		t.Fatalf("APF deviates from KF by %v on average", mean)
+	}
+}
+
+// TestAPFBeatsSIRWithSharpLikelihood demonstrates the APF's raison d'être:
+// under a very sharp likelihood and few particles, look-ahead ancestor
+// selection keeps more effective samples than blind SIR propagation.
+func TestAPFBeatsSIRWithSharpLikelihood(t *testing.T) {
+	m := statex.MustCVModel(1, 0.4, 0.4)
+	const sigmaZ = 0.1 // sharp
+	const n = 100      // few particles
+
+	run := func(useAPF bool) float64 {
+		sysRng := mathx.NewRNG(21)
+		pfRng := mathx.NewRNG(22)
+		truth := statex.State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0)}
+		init := func(r *mathx.RNG) statex.State {
+			return statex.State{
+				Pos: mathx.V2(r.Normal(0, 0.5), r.Normal(0, 0.5)),
+				Vel: mathx.V2(r.Normal(1, 0.3), r.Normal(0, 0.3)),
+			}
+		}
+		predict := func(s statex.State) statex.State { return m.StepDeterministic(s) }
+		propose := func(s statex.State, r *mathx.RNG) statex.State { return m.Step(s, r) }
+
+		var apf *APF
+		var sir *SIR
+		if useAPF {
+			apf, _ = NewAPF(APFConfig{N: n})
+			apf.Init(init, pfRng)
+		} else {
+			sir, _ = NewSIR(SIRConfig{N: n})
+			sir.Init(init, pfRng)
+		}
+		var errs []float64
+		for k := 0; k < 60; k++ {
+			truth = m.Step(truth, sysRng)
+			z := mathx.V2(
+				truth.Pos.X+sysRng.Normal(0, sigmaZ),
+				truth.Pos.Y+sysRng.Normal(0, sigmaZ),
+			)
+			loglik := func(c statex.State) float64 {
+				return mathx.GaussianLogPDF(z.X, c.Pos.X, sigmaZ) +
+					mathx.GaussianLogPDF(z.Y, c.Pos.Y, sigmaZ)
+			}
+			var est statex.State
+			if useAPF {
+				est = apf.Step(predict, propose, loglik, pfRng)
+			} else {
+				est = sir.Step(propose, loglik, pfRng)
+			}
+			errs = append(errs, est.Pos.Dist(truth.Pos))
+		}
+		return mathx.RMS(errs[10:])
+	}
+	sirErr := run(false)
+	apfErr := run(true)
+	t.Logf("sharp-likelihood RMSE: SIR %.3f vs APF %.3f", sirErr, apfErr)
+	if apfErr > sirErr*1.2 {
+		t.Fatalf("APF (%.3f) much worse than SIR (%.3f) in its favourable regime", apfErr, sirErr)
+	}
+}

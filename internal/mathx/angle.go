@@ -1,0 +1,46 @@
+package mathx
+
+import "math"
+
+// Angular helpers for the bearings-only measurement model. Bearings live on
+// the circle, so residuals must be wrapped into (-pi, pi] before they are fed
+// to a Gaussian likelihood; a naive subtraction near the ±pi seam would
+// otherwise produce residuals of nearly 2*pi and annihilate particle weights.
+
+// WrapAngle maps theta into (-pi, pi].
+func WrapAngle(theta float64) float64 {
+	if theta > -math.Pi && theta <= math.Pi {
+		return theta
+	}
+	w := math.Mod(theta, 2*math.Pi)
+	if w <= -math.Pi {
+		w += 2 * math.Pi
+	} else if w > math.Pi {
+		w -= 2 * math.Pi
+	}
+	return w
+}
+
+// AngleDiff returns the signed smallest rotation from b to a, in (-pi, pi].
+func AngleDiff(a, b float64) float64 { return WrapAngle(a - b) }
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// MeanAngle returns the circular mean of the given angles, or NaN for an
+// empty input. The circular mean is the direction of the vector sum of unit
+// vectors, which handles wrap-around correctly.
+func MeanAngle(angles []float64) float64 {
+	if len(angles) == 0 {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for _, a := range angles {
+		sx += math.Cos(a)
+		sy += math.Sin(a)
+	}
+	return math.Atan2(sy, sx)
+}

@@ -1,0 +1,99 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapAngleKnown(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2 * math.Pi, 0},
+		{math.Pi / 4, math.Pi / 4},
+		{9 * math.Pi / 4, math.Pi / 4},
+		{-9 * math.Pi / 4, -math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapAngleRangeProperty(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		theta = math.Mod(theta, 1e6)
+		w := WrapAngle(theta)
+		if w <= -math.Pi || w > math.Pi {
+			return false
+		}
+		// Same point on the circle.
+		return math.Abs(math.Sin(w)-math.Sin(theta)) < 1e-6 &&
+			math.Abs(math.Cos(w)-math.Cos(theta)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiffSeam(t *testing.T) {
+	// Across the ±pi seam, the difference should be small, not ~2pi.
+	a := math.Pi - 0.05
+	b := -math.Pi + 0.05
+	if got := AngleDiff(a, b); math.Abs(got+0.1) > 1e-9 {
+		t.Fatalf("AngleDiff across seam = %v, want -0.1", got)
+	}
+	if got := AngleDiff(b, a); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("AngleDiff across seam = %v, want 0.1", got)
+	}
+}
+
+func TestAngleDiffAntisymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		d1 := AngleDiff(a, b)
+		d2 := AngleDiff(b, a)
+		// d1 = -d2 up to the pi == -pi identification.
+		return math.Abs(WrapAngle(d1+d2)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, deg := range []float64{-180, -15, 0, 15, 90, 360} {
+		if got := Rad2Deg(Deg2Rad(deg)); math.Abs(got-deg) > 1e-10 {
+			t.Errorf("round trip %v -> %v", deg, got)
+		}
+	}
+	if math.Abs(Deg2Rad(180)-math.Pi) > 1e-15 {
+		t.Fatal("Deg2Rad(180) != pi")
+	}
+}
+
+func TestMeanAngle(t *testing.T) {
+	// Mean of angles straddling the seam should be pi, not 0.
+	got := MeanAngle([]float64{math.Pi - 0.1, -math.Pi + 0.1})
+	if math.Abs(math.Abs(got)-math.Pi) > 1e-9 {
+		t.Fatalf("MeanAngle across seam = %v, want ±pi", got)
+	}
+	if got := MeanAngle([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("MeanAngle = %v, want 0.3", got)
+	}
+	if !math.IsNaN(MeanAngle(nil)) {
+		t.Fatal("MeanAngle(empty) should be NaN")
+	}
+}

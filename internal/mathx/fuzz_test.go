@@ -1,0 +1,95 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets complement the testing/quick properties: `go test` runs them
+// over the seed corpus; `go test -fuzz=FuzzX` explores further.
+
+func FuzzWrapAngle(f *testing.F) {
+	for _, seed := range []float64{0, math.Pi, -math.Pi, 2 * math.Pi, 1e6, -1e6, 0.5} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, theta float64) {
+		if math.IsNaN(theta) || math.Abs(theta) > 1e12 {
+			t.Skip()
+		}
+		w := WrapAngle(theta)
+		if w <= -math.Pi || w > math.Pi {
+			t.Fatalf("WrapAngle(%v) = %v outside (-pi, pi]", theta, w)
+		}
+		// Same point on the circle (tolerance grows with |theta| because
+		// math.Mod of huge values loses precision).
+		tol := 1e-9 * (1 + math.Abs(theta))
+		if math.Abs(math.Sin(w)-math.Sin(theta)) > tol {
+			t.Fatalf("WrapAngle(%v) changed the angle: %v", theta, w)
+		}
+	})
+}
+
+func FuzzSegmentPointDist(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 3.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 4.0, 5.0) // degenerate segment
+	f.Add(-5.0, 2.0, 7.0, -3.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, px, py float64) {
+		for _, v := range []float64{ax, ay, bx, by, px, py} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		a, b, p := V2(ax, ay), V2(bx, by), V2(px, py)
+		d := SegmentPointDist(a, b, p)
+		if math.IsNaN(d) || d < 0 {
+			t.Fatalf("distance %v invalid", d)
+		}
+		// Never farther than either endpoint; never closer than the
+		// distance to the infinite line through a and b would allow 0.
+		if d > p.Dist(a)+1e-9 || d > p.Dist(b)+1e-9 {
+			t.Fatalf("distance %v exceeds endpoint distances %v, %v", d, p.Dist(a), p.Dist(b))
+		}
+	})
+}
+
+func FuzzNormalize(f *testing.F) {
+	f.Add(float64(1), float64(2), float64(3))
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(1e-300, 1e300, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		xs := []float64{math.Abs(a), math.Abs(b), math.Abs(c)}
+		Normalize(xs)
+		if s := Sum(xs); math.Abs(s-1) > 1e-6 {
+			t.Fatalf("normalized sum = %v for inputs (%v,%v,%v)", s, a, b, c)
+		}
+		for _, x := range xs {
+			if x < 0 || math.IsNaN(x) {
+				t.Fatalf("normalized weight %v invalid", x)
+			}
+		}
+	})
+}
+
+func FuzzLogSumExp(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-1000.0, -1000.0, -1001.0)
+	f.Add(700.0, 690.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		lse := LogSumExp([]float64{a, b, c})
+		max := math.Max(a, math.Max(b, c))
+		// max <= lse <= max + log(3)
+		if lse < max-1e-9 || lse > max+math.Log(3)+1e-9 {
+			t.Fatalf("LogSumExp(%v,%v,%v) = %v outside [max, max+log 3]", a, b, c, lse)
+		}
+	})
+}

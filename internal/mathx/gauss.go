@@ -1,0 +1,91 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianPDF returns the density of N(mean, stddev²) at x.
+func GaussianPDF(x, mean, stddev float64) float64 {
+	if stddev <= 0 {
+		panic("mathx: GaussianPDF non-positive stddev")
+	}
+	d := (x - mean) / stddev
+	return math.Exp(-0.5*d*d) / (stddev * math.Sqrt(2*math.Pi))
+}
+
+// GaussianLogPDF returns the log density of N(mean, stddev²) at x. Using the
+// log form avoids underflow when many per-node likelihoods are multiplied.
+func GaussianLogPDF(x, mean, stddev float64) float64 {
+	if stddev <= 0 {
+		panic("mathx: GaussianLogPDF non-positive stddev")
+	}
+	d := (x - mean) / stddev
+	return -0.5*d*d - math.Log(stddev) - 0.5*math.Log(2*math.Pi)
+}
+
+// MVN is a multivariate normal distribution with a precomputed Cholesky
+// factor, used to draw correlated process-noise vectors.
+type MVN struct {
+	Mean []float64
+	chol *Mat
+}
+
+// NewMVN constructs a multivariate normal from a mean vector and covariance
+// matrix. The covariance must be symmetric positive definite.
+func NewMVN(mean []float64, cov *Mat) (*MVN, error) {
+	if cov.Rows != len(mean) || cov.Cols != len(mean) {
+		return nil, fmt.Errorf("mathx: MVN dimension mismatch: mean %d, cov %dx%d",
+			len(mean), cov.Rows, cov.Cols)
+	}
+	l, err := cov.Cholesky()
+	if err != nil {
+		return nil, fmt.Errorf("mathx: MVN covariance: %w", err)
+	}
+	m := make([]float64, len(mean))
+	copy(m, mean)
+	return &MVN{Mean: m, chol: l}, nil
+}
+
+// Dim returns the dimensionality of the distribution.
+func (d *MVN) Dim() int { return len(d.Mean) }
+
+// Sample draws one vector from the distribution using rng.
+func (d *MVN) Sample(rng *RNG) []float64 {
+	n := d.Dim()
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := d.Mean[i]
+		for j := 0; j <= i; j++ {
+			s += d.chol.At(i, j) * z[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably. It is the standard tool
+// for normalizing log weights in particle filters.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}

@@ -1,0 +1,139 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianPDFStandard(t *testing.T) {
+	got := GaussianPDF(0, 0, 1)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pdf(0;0,1) = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianPDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 2, 3.7} {
+		if math.Abs(GaussianPDF(x, 0, 1)-GaussianPDF(-x, 0, 1)) > 1e-15 {
+			t.Fatalf("pdf asymmetric at %v", x)
+		}
+	}
+}
+
+func TestGaussianPDFIntegratesToOne(t *testing.T) {
+	// Trapezoidal integral over [-8, 8] sigma.
+	const n = 10000
+	h := 16.0 / n
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		x := -8 + float64(i)*h
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * GaussianPDF(x, 0, 1)
+	}
+	if math.Abs(sum*h-1) > 1e-6 {
+		t.Fatalf("pdf integral = %v", sum*h)
+	}
+}
+
+func TestGaussianLogPDFConsistent(t *testing.T) {
+	for _, x := range []float64{-3, -0.5, 0, 1.2, 4} {
+		p := GaussianPDF(x, 1, 2)
+		lp := GaussianLogPDF(x, 1, 2)
+		if math.Abs(math.Log(p)-lp) > 1e-10 {
+			t.Fatalf("logpdf inconsistent at %v: log(%v)=%v vs %v", x, p, math.Log(p), lp)
+		}
+	}
+}
+
+func TestGaussianLogPDFNoUnderflow(t *testing.T) {
+	// Far tail: pdf underflows to 0 but logpdf remains finite.
+	lp := GaussianLogPDF(100, 0, 1)
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("logpdf at far tail = %v", lp)
+	}
+	if GaussianPDF(100, 0, 1) != 0 {
+		t.Skip("pdf did not underflow on this platform")
+	}
+}
+
+func TestGaussianPDFPanicsOnBadSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaussianPDF with sigma=0 did not panic")
+		}
+	}()
+	GaussianPDF(0, 0, 0)
+}
+
+func TestMVNSampleMoments(t *testing.T) {
+	mean := []float64{1, -2}
+	cov := MatFromRows([]float64{2, 0.8}, []float64{0.8, 1})
+	d, err := NewMVN(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(99)
+	n := 100000
+	var s0, s1, s00, s11, s01 float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		s0 += x[0]
+		s1 += x[1]
+		s00 += x[0] * x[0]
+		s11 += x[1] * x[1]
+		s01 += x[0] * x[1]
+	}
+	fn := float64(n)
+	m0, m1 := s0/fn, s1/fn
+	if math.Abs(m0-1) > 0.03 || math.Abs(m1+2) > 0.03 {
+		t.Fatalf("MVN mean = (%v, %v)", m0, m1)
+	}
+	c00 := s00/fn - m0*m0
+	c11 := s11/fn - m1*m1
+	c01 := s01/fn - m0*m1
+	if math.Abs(c00-2) > 0.06 || math.Abs(c11-1) > 0.04 || math.Abs(c01-0.8) > 0.04 {
+		t.Fatalf("MVN cov = [[%v %v][%v %v]]", c00, c01, c01, c11)
+	}
+}
+
+func TestMVNDimensionMismatch(t *testing.T) {
+	if _, err := NewMVN([]float64{1}, Identity(2)); err == nil {
+		t.Fatal("NewMVN accepted a dimension mismatch")
+	}
+}
+
+func TestMVNRejectsIndefiniteCov(t *testing.T) {
+	cov := MatFromRows([]float64{1, 2}, []float64{2, 1})
+	if _, err := NewMVN([]float64{0, 0}, cov); err == nil {
+		t.Fatal("NewMVN accepted an indefinite covariance")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(xs); math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Fatalf("LogSumExp = %v, want log 6", got)
+	}
+}
+
+func TestLogSumExpStability(t *testing.T) {
+	xs := []float64{-1000, -1000, -1000}
+	got := LogSumExp(xs)
+	want := -1000 + math.Log(3)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LogSumExp far-tail = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpEdge(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Fatal("LogSumExp(empty) should be -Inf")
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Fatal("LogSumExp(-Inf) should be -Inf")
+	}
+}

@@ -1,0 +1,279 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mat is a small dense row-major matrix. The dynamic-system models need only
+// tiny matrices (the 4x4 state transition Φ and 4x2 noise gain Γ of the
+// bearings-only model), so Mat favors clarity and determinism over BLAS-style
+// performance tricks.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len = Rows*Cols, row-major
+}
+
+// NewMat returns a zero matrix with the given shape.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: NewMat invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatFromRows builds a matrix from row slices; all rows must have equal length.
+func MatFromRows(rows ...[]float64) *Mat {
+	if len(rows) == 0 {
+		panic("mathx: MatFromRows needs at least one row")
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("mathx: MatFromRows ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d ...float64) *Mat {
+	m := NewMat(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Add returns m + n as a new matrix.
+func (m *Mat) Add(n *Mat) *Mat {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("mathx: Add shape mismatch")
+	}
+	out := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - n as a new matrix.
+func (m *Mat) Sub(n *Mat) *Mat {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("mathx: Sub shape mismatch")
+	}
+	out := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Mat) Scale(s float64) *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m*n as a new matrix.
+func (m *Mat) Mul(n *Mat) *Mat {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("mathx: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMat(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Mat) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("mathx: MulVec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Cholesky returns the lower-triangular L with L*Lᵀ = m for a symmetric
+// positive-definite m, or an error when m is not positive definite.
+func (m *Mat) Cholesky() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("mathx: Cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("mathx: Cholesky pivot %d not positive (%g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// Inverse returns m⁻¹ via Gauss-Jordan elimination with partial pivoting, or
+// an error when m is singular. Intended for the tiny (≤4x4) matrices used by
+// the Kalman filter reference implementation.
+func (m *Mat) Inverse() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("mathx: Inverse of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("mathx: Inverse of singular matrix (column %d)", col)
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *Mat) swapRows(i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Symmetrize overwrites m with (m + mᵀ)/2, guarding covariance updates
+// against floating-point asymmetry drift.
+func (m *Mat) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("mathx: Symmetrize of non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between m
+// and n; useful in tests.
+func (m *Mat) MaxAbsDiff(n *Mat) float64 {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic("mathx: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i := range m.Data {
+		if d := math.Abs(m.Data[i] - n.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Mat) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%9.4f", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatIdentityMul(t *testing.T) {
+	a := MatFromRows(
+		[]float64{1, 2, 3},
+		[]float64{4, 5, 6},
+		[]float64{7, 8, 10},
+	)
+	i := Identity(3)
+	if got := a.Mul(i); got.MaxAbsDiff(a) > 0 {
+		t.Fatalf("A*I != A:\n%v", got)
+	}
+	if got := i.Mul(a); got.MaxAbsDiff(a) > 0 {
+		t.Fatalf("I*A != A:\n%v", got)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{3, 4})
+	b := MatFromRows([]float64{5, 6}, []float64{7, 8})
+	want := MatFromRows([]float64{19, 22}, []float64{43, 50})
+	if got := a.Mul(b); got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("Mul = \n%v", got)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched Mul did not panic")
+		}
+	}()
+	NewMat(2, 3).Mul(NewMat(2, 3))
+}
+
+func TestMatTranspose(t *testing.T) {
+	a := MatFromRows([]float64{1, 2, 3}, []float64{4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatAddSubScale(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{3, 4})
+	b := MatFromRows([]float64{4, 3}, []float64{2, 1})
+	if got := a.Add(b); got.MaxAbsDiff(MatFromRows([]float64{5, 5}, []float64{5, 5})) > 0 {
+		t.Fatalf("Add wrong:\n%v", got)
+	}
+	if got := a.Sub(a); got.MaxAbsDiff(NewMat(2, 2)) > 0 {
+		t.Fatalf("Sub wrong:\n%v", got)
+	}
+	if got := a.Scale(2); got.MaxAbsDiff(MatFromRows([]float64{2, 4}, []float64{6, 8})) > 0 {
+		t.Fatalf("Scale wrong:\n%v", got)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{3, 4})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := MatFromRows(
+		[]float64{4, 12, -16},
+		[]float64{12, 37, -43},
+		[]float64{-16, -43, 98},
+	)
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatFromRows(
+		[]float64{2, 0, 0},
+		[]float64{6, 1, 0},
+		[]float64{-8, 5, 3},
+	)
+	if l.MaxAbsDiff(want) > 1e-9 {
+		t.Fatalf("Cholesky = \n%v", l)
+	}
+}
+
+func TestCholeskyReconstructsSPD(t *testing.T) {
+	// Property: for random B, A = B*Bᵀ + n*I is SPD, and chol(A)*chol(A)ᵀ = A.
+	r := NewRNG(123)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(5)
+		b := NewMat(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.Normal(0, 1)
+		}
+		a := b.Mul(b.T()).Add(Identity(n).Scale(float64(n)))
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rec := l.Mul(l.T())
+		if rec.MaxAbsDiff(a) > 1e-8 {
+			t.Fatalf("trial %d: L*Lᵀ differs from A by %v", trial, rec.MaxAbsDiff(a))
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{2, 1}) // eigenvalues 3, -1
+	if _, err := a.Cholesky(); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := MatFromRows([]float64{4, 7}, []float64{2, 6})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatFromRows([]float64{0.6, -0.7}, []float64{-0.2, 0.4})
+	if inv.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("Inverse = \n%v", inv)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	r := NewRNG(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(4)
+		a := NewMat(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Normal(0, 1)
+		}
+		// Make it comfortably non-singular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if prod := a.Mul(inv); prod.MaxAbsDiff(Identity(n)) > 1e-8 {
+			t.Fatalf("trial %d: A*A⁻¹ differs from I by %v", trial, prod.MaxAbsDiff(Identity(n)))
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{2, 4})
+	if _, err := a.Inverse(); err == nil {
+		t.Fatal("Inverse accepted a singular matrix")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{4, 3})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = \n%v", a)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag(1, 2, 3)
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Fatalf("Diag = \n%v", d)
+	}
+}
+
+func TestMatFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged MatFromRows did not panic")
+		}
+	}()
+	MatFromRows([]float64{1, 2}, []float64{3})
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := MatFromRows(vals[0:3], vals[3:6])
+		return a.T().T().MaxAbsDiff(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

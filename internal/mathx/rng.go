@@ -1,0 +1,193 @@
+// Package mathx provides the small numerical substrate used throughout the
+// repository: a deterministic random number generator, 2-D vector and small
+// dense matrix algebra, Gaussian and multivariate-Gaussian sampling, circular
+// (angular) arithmetic, and summary statistics.
+//
+// The package exists because the evaluation must be bit-reproducible across
+// runs and platforms: every stochastic component (deployment, target motion,
+// measurement noise, resampling) draws from an explicitly seeded mathx.RNG,
+// never from a global source.
+package mathx
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). It is not safe for concurrent use;
+// give each goroutine its own RNG (see Split).
+type RNG struct {
+	s [4]uint64
+	// cached second variate from the polar Gaussian method
+	gauss   float64
+	hasGaus bool
+}
+
+// NewRNG returns an RNG seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed using splitmix64, so that any
+// seed (including 0) yields a well-mixed state.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	r.hasGaus = false
+}
+
+// Split derives an independent child generator from the current one. The
+// child's stream is a deterministic function of the parent state and key, so
+// per-node or per-component generators can be created reproducibly without
+// coupling their consumption order.
+func (r *RNG) Split(key uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (key * 0x9E3779B97F4A7C15))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mathx: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method with one-variate caching.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGaus {
+		r.hasGaus = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGaus = true
+		return u * f
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Categorical draws an index with probability proportional to weights[i].
+// Weights need not be normalized; they must be non-negative with a positive
+// sum, otherwise Categorical panics.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("mathx: Categorical weight negative or NaN")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("mathx: Categorical weights sum to zero")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

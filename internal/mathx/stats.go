@@ -1,0 +1,148 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs (0 for empty input).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN when len(xs) == 0.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RMS returns the root mean square of xs, or NaN for empty input.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs; it panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or q
+// outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("mathx: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("mathx: Quantile q outside [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Normalize scales xs in place so it sums to 1 and returns the original sum.
+// If the sum is zero or not finite, xs is reset to the uniform distribution
+// and the returned sum is 0; particle filters use that as the degeneracy
+// recovery path.
+func Normalize(xs []float64) float64 {
+	s := Sum(xs)
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1.0 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return 0
+	}
+	inv := 1 / s
+	for i := range xs {
+		xs[i] *= inv
+	}
+	return s
+}
+
+// WeightedMean returns Σ w_i x_i / Σ w_i, or NaN when the weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("mathx: WeightedMean length mismatch")
+	}
+	var sw, sx float64
+	for i := range xs {
+		sw += ws[i]
+		sx += ws[i] * xs[i]
+	}
+	if sw == 0 {
+		return math.NaN()
+	}
+	return sx / sw
+}
+
+// Clamp limits x into [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ApproxEqual reports whether a and b differ by at most tol in absolute
+// value, treating NaN as never equal.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,153 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMS = %v", got)
+	}
+	if !math.IsNaN(RMS(nil)) {
+		t.Fatal("RMS(nil) should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interp median = %v", got)
+	}
+	// Input must not be mutated.
+	ys := []float64{5, 1, 3}
+	Quantile(ys, 0.5)
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	sum := Normalize(xs)
+	if sum != 10 {
+		t.Fatalf("Normalize returned %v", sum)
+	}
+	if math.Abs(Sum(xs)-1) > 1e-12 {
+		t.Fatalf("normalized sum = %v", Sum(xs))
+	}
+	if math.Abs(xs[3]-0.4) > 1e-12 {
+		t.Fatalf("normalized xs = %v", xs)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	xs := []float64{0, 0, 0}
+	sum := Normalize(xs)
+	if sum != 0 {
+		t.Fatalf("degenerate Normalize returned %v", sum)
+	}
+	for _, x := range xs {
+		if math.Abs(x-1.0/3) > 1e-12 {
+			t.Fatalf("degenerate Normalize did not go uniform: %v", xs)
+		}
+	}
+	ys := []float64{math.NaN(), 1}
+	Normalize(ys)
+	if math.Abs(Sum(ys)-1) > 1e-12 {
+		t.Fatalf("NaN Normalize did not recover: %v", ys)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			xs[i] = math.Abs(math.Mod(v, 1e6))
+		}
+		Normalize(xs)
+		return math.Abs(Sum(xs)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if got := WeightedMean([]float64{1, 3}, []float64{1, 1}); got != 2 {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+	if got := WeightedMean([]float64{1, 3}, []float64{3, 1}); got != 1.5 {
+		t.Fatalf("WeightedMean = %v", got)
+	}
+	if !math.IsNaN(WeightedMean([]float64{1}, []float64{0})) {
+		t.Fatal("zero-weight WeightedMean should be NaN")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1, 1.0001, 0.001) {
+		t.Fatal("ApproxEqual false negative")
+	}
+	if ApproxEqual(1, 2, 0.5) {
+		t.Fatal("ApproxEqual false positive")
+	}
+	if ApproxEqual(math.NaN(), math.NaN(), 1) {
+		t.Fatal("NaN should never compare equal")
+	}
+}

@@ -1,0 +1,165 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Basics(t *testing.T) {
+	v := V2(3, 4)
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	if v.Norm2() != 25 {
+		t.Fatalf("Norm2 = %v", v.Norm2())
+	}
+	if got := v.Add(V2(1, -1)); got != V2(4, 3) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Sub(V2(1, 1)); got != V2(2, 3) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V2(6, 8) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Dot(V2(2, 1)); got != 10 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Dist(V2(0, 0)); got != 5 {
+		t.Fatalf("Dist = %v", got)
+	}
+	if got := v.Dist2(V2(0, 0)); got != 25 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	u := V2(3, 4).Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Fatalf("Unit norm = %v", u.Norm())
+	}
+	if z := V2(0, 0).Unit(); z != V2(0, 0) {
+		t.Fatalf("Unit of zero = %v", z)
+	}
+}
+
+func TestVec2AngleAndPolar(t *testing.T) {
+	cases := []struct {
+		v    Vec2
+		want float64
+	}{
+		{V2(1, 0), 0},
+		{V2(0, 1), math.Pi / 2},
+		{V2(-1, 0), math.Pi},
+		{V2(0, -1), -math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := c.v.Angle(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Angle(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	p := Polar(2, math.Pi/2)
+	if math.Abs(p.X) > 1e-12 || math.Abs(p.Y-2) > 1e-12 {
+		t.Fatalf("Polar = %v", p)
+	}
+}
+
+func TestVec2Rotate(t *testing.T) {
+	v := V2(1, 0).Rotate(math.Pi / 2)
+	if math.Abs(v.X) > 1e-12 || math.Abs(v.Y-1) > 1e-12 {
+		t.Fatalf("Rotate = %v", v)
+	}
+}
+
+func TestVec2RotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		v := V2(x, y)
+		r := v.Rotate(theta)
+		return math.Abs(v.Norm()-r.Norm()) <= 1e-6*(1+v.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Fatalf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Fatalf("Lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V2(5, 10) {
+		t.Fatalf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V2(1, 2).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if V2(math.NaN(), 0).IsFinite() {
+		t.Fatal("NaN vector reported finite")
+	}
+	if V2(0, math.Inf(1)).IsFinite() {
+		t.Fatal("Inf vector reported finite")
+	}
+}
+
+func TestSegmentPointDist(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 0)
+	cases := []struct {
+		p    Vec2
+		want float64
+	}{
+		{V2(5, 3), 3},   // projects inside
+		{V2(-4, 3), 5},  // clamps to a
+		{V2(13, 4), 5},  // clamps to b
+		{V2(5, 0), 0},   // on the segment
+		{V2(0, 0), 0},   // endpoint
+		{V2(5, -2), 2},  // below
+		{V2(10, -7), 7}, // below endpoint
+		{V2(-3, -4), 5}, // diagonal from endpoint
+	}
+	for _, c := range cases {
+		if got := SegmentPointDist(a, b, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SegmentPointDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentPointDistDegenerate(t *testing.T) {
+	a := V2(2, 2)
+	if got := SegmentPointDist(a, a, V2(5, 6)); got != 5 {
+		t.Fatalf("degenerate segment dist = %v", got)
+	}
+}
+
+func TestSegmentPointDistBounds(t *testing.T) {
+	// Property: distance to segment is never more than distance to either
+	// endpoint, and never negative.
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, px, py} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := V2(math.Mod(ax, 1e4), math.Mod(ay, 1e4))
+		b := V2(math.Mod(bx, 1e4), math.Mod(by, 1e4))
+		p := V2(math.Mod(px, 1e4), math.Mod(py, 1e4))
+		d := SegmentPointDist(a, b, p)
+		return d >= 0 && d <= p.Dist(a)+1e-9 && d <= p.Dist(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package metrics defines the evaluation's measurement vocabulary: per-run
+// tracking results (error series + communication counters) and seed-averaged
+// aggregates, matching the paper's methodology of averaging ten runs with
+// different random seeds.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// RunResult captures one algorithm run on one scenario.
+type RunResult struct {
+	Algo    string
+	Density float64
+	Seed    uint64
+	// Errors are per-iteration position-estimate errors (m); iterations
+	// without an estimate are omitted.
+	Errors []float64
+	// Iterations is the number of filter iterations executed, for coverage
+	// accounting.
+	Iterations int
+	// Comm are the run's communication counters.
+	Comm wsn.CommStats
+	// Energy is total radio energy (µJ) when the energy model was enabled.
+	Energy float64
+}
+
+// RMSE returns the root-mean-squared estimation error of the run
+// (the paper's Fig. 6 metric), or NaN when no estimates were produced.
+func (r RunResult) RMSE() float64 { return mathx.RMS(r.Errors) }
+
+// Bytes returns the run's total communication cost in bytes (Fig. 5 metric).
+func (r RunResult) Bytes() int64 { return r.Comm.TotalBytes() }
+
+// Coverage returns the fraction of iterations that produced an estimate.
+func (r RunResult) Coverage() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(len(r.Errors)) / float64(r.Iterations)
+}
+
+// Aggregate is the seed-averaged summary of runs sharing (Algo, Density).
+type Aggregate struct {
+	Algo    string
+	Density float64
+	Runs    int
+
+	MeanRMSE float64
+	StdRMSE  float64
+
+	MeanBytes float64
+	StdBytes  float64
+
+	MeanMsgs     float64
+	MeanCoverage float64
+	MeanEnergy   float64
+}
+
+// Summarize groups results by (Algo, Density) and averages each group. The
+// output order follows first appearance in the input.
+func Summarize(results []RunResult) []Aggregate {
+	type key struct {
+		algo    string
+		density float64
+	}
+	order := []key{}
+	groups := map[key][]RunResult{}
+	for _, r := range results {
+		k := key{r.Algo, r.Density}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var out []Aggregate
+	for _, k := range order {
+		rs := groups[k]
+		var rmses, bytes, msgs, covs, energies []float64
+		for _, r := range rs {
+			if rm := r.RMSE(); !math.IsNaN(rm) {
+				rmses = append(rmses, rm)
+			}
+			bytes = append(bytes, float64(r.Bytes()))
+			msgs = append(msgs, float64(r.Comm.TotalMsgs()))
+			covs = append(covs, r.Coverage())
+			energies = append(energies, r.Energy)
+		}
+		agg := Aggregate{
+			Algo:         k.algo,
+			Density:      k.density,
+			Runs:         len(rs),
+			MeanBytes:    mathx.Mean(bytes),
+			StdBytes:     mathx.StdDev(bytes),
+			MeanMsgs:     mathx.Mean(msgs),
+			MeanCoverage: mathx.Mean(covs),
+			MeanEnergy:   mathx.Mean(energies),
+		}
+		if len(rmses) > 0 {
+			agg.MeanRMSE = mathx.Mean(rmses)
+			agg.StdRMSE = mathx.StdDev(rmses)
+		} else {
+			agg.MeanRMSE = math.NaN()
+			agg.StdRMSE = math.NaN()
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%s@%g: rmse=%.2f±%.2f m, bytes=%.0f±%.0f, msgs=%.0f, coverage=%.0f%% (%d runs)",
+		a.Algo, a.Density, a.MeanRMSE, a.StdRMSE, a.MeanBytes, a.StdBytes,
+		a.MeanMsgs, 100*a.MeanCoverage, a.Runs)
+}
+
+// Reduction returns the relative cost reduction of a versus b in percent
+// (positive when a is cheaper than b).
+func Reduction(a, b Aggregate) float64 {
+	if b.MeanBytes == 0 {
+		return math.NaN()
+	}
+	return 100 * (1 - a.MeanBytes/b.MeanBytes)
+}
+
+// ErrorIncrease returns the relative RMSE increase of a versus b in percent.
+func ErrorIncrease(a, b Aggregate) float64 {
+	if b.MeanRMSE == 0 {
+		return math.NaN()
+	}
+	return 100 * (a.MeanRMSE/b.MeanRMSE - 1)
+}

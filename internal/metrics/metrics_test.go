@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wsn"
+)
+
+func mkRun(algo string, density float64, seed uint64, errs []float64, bytes int) RunResult {
+	var cs wsn.CommStats
+	cs.Record(wsn.MsgParticle, bytes)
+	return RunResult{
+		Algo: algo, Density: density, Seed: seed,
+		Errors: errs, Iterations: 10, Comm: cs,
+	}
+}
+
+func TestRunResultBasics(t *testing.T) {
+	r := mkRun("cdpf", 20, 1, []float64{3, 4}, 100)
+	if got := r.RMSE(); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if r.Bytes() != 100 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+	if r.Coverage() != 0.2 {
+		t.Fatalf("Coverage = %v", r.Coverage())
+	}
+	empty := RunResult{}
+	if !math.IsNaN(empty.RMSE()) {
+		t.Fatal("empty RMSE should be NaN")
+	}
+	if empty.Coverage() != 0 {
+		t.Fatal("empty Coverage should be 0")
+	}
+}
+
+func TestSummarizeGroups(t *testing.T) {
+	results := []RunResult{
+		mkRun("cdpf", 20, 1, []float64{2}, 100),
+		mkRun("cdpf", 20, 2, []float64{4}, 200),
+		mkRun("cpf", 20, 1, []float64{1}, 1000),
+		mkRun("cdpf", 40, 1, []float64{3}, 300),
+	}
+	aggs := Summarize(results)
+	if len(aggs) != 3 {
+		t.Fatalf("groups = %d", len(aggs))
+	}
+	if aggs[0].Algo != "cdpf" || aggs[0].Density != 20 || aggs[0].Runs != 2 {
+		t.Fatalf("first group = %+v", aggs[0])
+	}
+	if math.Abs(aggs[0].MeanRMSE-3) > 1e-12 {
+		t.Fatalf("MeanRMSE = %v", aggs[0].MeanRMSE)
+	}
+	if math.Abs(aggs[0].MeanBytes-150) > 1e-12 {
+		t.Fatalf("MeanBytes = %v", aggs[0].MeanBytes)
+	}
+	// Order follows first appearance.
+	if aggs[1].Algo != "cpf" || aggs[2].Density != 40 {
+		t.Fatalf("group order wrong: %+v", aggs)
+	}
+}
+
+func TestSummarizeNaNRobust(t *testing.T) {
+	results := []RunResult{
+		mkRun("x", 5, 1, nil, 10),          // no estimates
+		mkRun("x", 5, 2, []float64{2}, 10), // one estimate
+	}
+	aggs := Summarize(results)
+	if len(aggs) != 1 {
+		t.Fatalf("groups = %d", len(aggs))
+	}
+	if math.Abs(aggs[0].MeanRMSE-2) > 1e-12 {
+		t.Fatalf("NaN run polluted the mean: %v", aggs[0].MeanRMSE)
+	}
+	allNaN := Summarize([]RunResult{mkRun("y", 5, 1, nil, 10)})
+	if !math.IsNaN(allNaN[0].MeanRMSE) {
+		t.Fatal("all-NaN group should report NaN")
+	}
+}
+
+func TestReductionAndErrorIncrease(t *testing.T) {
+	a := Aggregate{MeanBytes: 100, MeanRMSE: 6}
+	b := Aggregate{MeanBytes: 1000, MeanRMSE: 4}
+	if got := Reduction(a, b); math.Abs(got-90) > 1e-12 {
+		t.Fatalf("Reduction = %v", got)
+	}
+	if got := ErrorIncrease(a, b); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("ErrorIncrease = %v", got)
+	}
+	if !math.IsNaN(Reduction(a, Aggregate{})) {
+		t.Fatal("zero-denominator Reduction should be NaN")
+	}
+	if !math.IsNaN(ErrorIncrease(a, Aggregate{})) {
+		t.Fatal("zero-denominator ErrorIncrease should be NaN")
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	a := Aggregate{Algo: "cdpf", Density: 20, Runs: 10, MeanRMSE: 4.2, MeanBytes: 3100}
+	s := a.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

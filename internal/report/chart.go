@@ -1,0 +1,147 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders multi-series line data as an ASCII plot — the terminal
+// rendition of the paper's Fig. 5/6 axes. Series are drawn with distinct
+// marker runes and a legend; the y-axis is linear or logarithmic.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker rune
+	xs, ys []float64
+}
+
+// seriesMarkers are assigned to series in order of addition.
+var seriesMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart creates an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	marker := seriesMarkers[len(c.series)%len(seriesMarkers)]
+	sx := append([]float64(nil), xs...)
+	sy := append([]float64(nil), ys...)
+	c.series = append(c.series, chartSeries{name: name, marker: marker, xs: sx, ys: sy})
+	return nil
+}
+
+// Render draws the chart (width x height character plot area) to w.
+func (c *Chart) Render(w io.Writer, width, height int) error {
+	if width < 10 || height < 4 {
+		return fmt.Errorf("report: chart area %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.xs {
+			y := s.ys[i]
+			if math.IsNaN(y) || (c.LogY && y <= 0) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("report: chart has no drawable points")
+	}
+	dispMinX, dispMaxX := minX, maxX
+	dispMinY, dispMaxY := minY, maxY
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	loY, hiY := ty(minY), ty(maxY)
+	if hiY == loY {
+		hiY = loY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			y := s.ys[i]
+			if math.IsNaN(y) || (c.LogY && y <= 0) {
+				continue
+			}
+			cx := int(math.Round((s.xs[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((ty(y) - loY) / (hiY - loY) * float64(height-1)))
+			row := height - 1 - cy
+			if grid[row][cx] == ' ' {
+				grid[row][cx] = s.marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	// Legend.
+	var legend []string
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.marker, s.name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "   "))
+	scale := "linear"
+	if c.LogY {
+		scale = "log10"
+	}
+	fmt.Fprintf(&b, "%s: %.6g .. %.6g (%s)\n", c.YLabel, dispMinY, dispMaxY, scale)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	fmt.Fprintf(&b, "%s: %.6g .. %.6g\n", c.XLabel, dispMinX, dispMaxX)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart at a default 72x16 plot area.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if err := c.Render(&b, 72, 16); err != nil {
+		return "chart: " + err.Error()
+	}
+	return b.String()
+}

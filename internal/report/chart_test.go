@@ -1,0 +1,114 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func chartFixture(t *testing.T) *Chart {
+	t.Helper()
+	c := NewChart("demo", "density", "bytes")
+	if err := c.AddSeries("cdpf", []float64{5, 10, 20}, []float64{1000, 2000, 3000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("sdpf", []float64{5, 10, 20}, []float64{19000, 36000, 65000}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	out := chartFixture(t).String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* cdpf") || !strings.Contains(out, "o sdpf") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatal("markers not plotted")
+	}
+	if !strings.Contains(out, "density: 5 .. 20") {
+		t.Fatalf("x range missing:\n%s", out)
+	}
+	if !strings.Contains(out, "bytes: 1000 .. 65000") {
+		t.Fatalf("y range missing:\n%s", out)
+	}
+}
+
+func TestChartSeriesLengthMismatch(t *testing.T) {
+	c := NewChart("", "", "")
+	if err := c.AddSeries("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestChartEmptyFails(t *testing.T) {
+	c := NewChart("", "x", "y")
+	var b strings.Builder
+	if err := c.Render(&b, 40, 10); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+}
+
+func TestChartTooSmallFails(t *testing.T) {
+	c := chartFixture(t)
+	var b strings.Builder
+	if err := c.Render(&b, 5, 2); err == nil {
+		t.Fatal("tiny plot area accepted")
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := NewChart("log demo", "x", "y")
+	c.LogY = true
+	if err := c.AddSeries("s", []float64{1, 2, 3}, []float64{10, 1000, 100000}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "log10") {
+		t.Fatalf("log scale not indicated:\n%s", out)
+	}
+	// On a log axis the three points should be roughly evenly spaced
+	// vertically: find their rows.
+	var rows []int
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "s ") || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		if strings.ContainsRune(line, '*') {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 marker rows, got %d:\n%s", len(rows), out)
+	}
+	gap1 := rows[1] - rows[0]
+	gap2 := rows[2] - rows[1]
+	if math.Abs(float64(gap1-gap2)) > 2 {
+		t.Fatalf("log spacing uneven: gaps %d and %d", gap1, gap2)
+	}
+}
+
+func TestChartLogSkipsNonPositive(t *testing.T) {
+	c := NewChart("", "x", "y")
+	c.LogY = true
+	if err := c.AddSeries("s", []float64{1, 2}, []float64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "100 .. 100") {
+		t.Fatalf("non-positive point not skipped:\n%s", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := NewChart("", "x", "y")
+	if err := c.AddSeries("flat", []float64{1, 2, 3}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if out := c.String(); !strings.ContainsRune(out, '*') {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "algo", "rmse", "bytes")
+	tb.AddRow("cdpf", 4.16, 3100)
+	tb.AddRow("sdpf", 3.87, 65501)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "cdpf") || !strings.Contains(out, "4.16") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbb")
+	tb.AddRow("xxxxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and data rows must align on the widened first column.
+	if len(lines[0]) < 8 {
+		t.Fatalf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("ignored", "algo", "note")
+	tb.AddRow("cdpf", `has,comma`)
+	tb.AddRow("x", `has"quote`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "algo,note\ncdpf,\"has,comma\"\nx,\"has\"\"quote\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Fatalf("float not formatted: %s", tb.String())
+	}
+	tb2 := NewTable("", "v")
+	tb2.AddRow(float32(2.5))
+	if !strings.Contains(tb2.String(), "2.50") {
+		t.Fatalf("float32 not formatted: %s", tb2.String())
+	}
+}

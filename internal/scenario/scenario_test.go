@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := Default(20, 42)
+	if p.Density != 20 || p.Seed != 42 {
+		t.Fatalf("params = %+v", p)
+	}
+	if p.Steps != 10 || p.Dt != 5 || p.SigmaN != 0.05 {
+		t.Fatalf("paper params wrong: %+v", p)
+	}
+	if p.Target.Speed != 3 || p.Target.Start != mathx.V2(0, 100) {
+		t.Fatalf("target config wrong: %+v", p.Target)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := Default(10, 1)
+	p.Steps = 0
+	if _, err := Build(p); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	p = Default(10, 1)
+	p.Dt = 3 // not a multiple of the 1 s motion step? 3 = 3*1, fine; use 2.5
+	p.Dt = 2.5
+	if _, err := Build(p); err == nil {
+		t.Fatal("non-multiple filter period accepted")
+	}
+	p = Default(10, 1)
+	p.FailFraction = 1.5
+	if _, err := Build(p); err == nil {
+		t.Fatal("failure fraction above 1 accepted")
+	}
+	p = Default(10, 1)
+	p.SleepFraction = -0.1
+	if _, err := Build(p); err == nil {
+		t.Fatal("negative sleep fraction accepted")
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	sc, err := Build(Default(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Iterations() != 11 {
+		t.Fatalf("Iterations = %d", sc.Iterations())
+	}
+	if sc.Fine.Len() != 51 {
+		t.Fatalf("fine trajectory = %d points", sc.Fine.Len())
+	}
+	if sc.Net.Len() != 4000 {
+		t.Fatalf("nodes = %d", sc.Net.Len())
+	}
+	if sc.Truth(0) != mathx.V2(0, 100) {
+		t.Fatalf("Truth(0) = %v", sc.Truth(0))
+	}
+	// Filter samples coincide with every 5th fine sample.
+	for k := 0; k < sc.Iterations(); k++ {
+		if sc.Filter.Points[k] != sc.Fine.Points[5*k] {
+			t.Fatalf("filter sample %d mismatch", k)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Default(10, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Default(10, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Net.Nodes {
+		if a.Net.Nodes[i].Pos != b.Net.Nodes[i].Pos {
+			t.Fatal("deployments differ")
+		}
+	}
+	for i := range a.Fine.Points {
+		if a.Fine.Points[i] != b.Fine.Points[i] {
+			t.Fatal("trajectories differ")
+		}
+	}
+	oa, ob := a.Observations(3), b.Observations(3)
+	if len(oa) != len(ob) {
+		t.Fatal("observation counts differ")
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("observations differ")
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, _ := Build(Default(10, 1))
+	b, _ := Build(Default(10, 2))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Net.Nodes[i].Pos == b.Net.Nodes[i].Pos {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("deployments nearly identical across seeds: %d/100", same)
+	}
+	if a.Fine.Points[50] == b.Fine.Points[50] {
+		t.Fatal("trajectories identical across seeds")
+	}
+}
+
+func TestObservationsAreFromDetectors(t *testing.T) {
+	sc, _ := Build(Default(20, 11))
+	for k := 0; k < sc.Iterations(); k++ {
+		obs := sc.Observations(k)
+		truth := sc.Truth(k)
+		for _, o := range obs {
+			nd := sc.Net.Node(o.Node)
+			if nd.Pos.Dist(truth) > sc.Net.Cfg.SensingRadius {
+				t.Fatalf("k=%d: observer %d outside sensing range", k, o.Node)
+			}
+			if !nd.Active() {
+				t.Fatalf("k=%d: inactive observer", k)
+			}
+			// Bearings point roughly from the node to the target.
+			want := truth.Sub(nd.Pos).Angle()
+			if math.Abs(mathx.AngleDiff(o.Bearing, want)) > 0.5 {
+				t.Fatalf("k=%d: bearing residual too large", k)
+			}
+		}
+	}
+}
+
+func TestMeasurementsConversion(t *testing.T) {
+	sc, _ := Build(Default(20, 12))
+	obs := sc.Observations(0)
+	ms := sc.Measurements(obs)
+	if len(ms) != len(obs) {
+		t.Fatalf("lengths differ: %d vs %d", len(ms), len(obs))
+	}
+	for i := range ms {
+		if ms[i].From != sc.Net.Node(obs[i].Node).Pos || ms[i].Bearing != obs[i].Bearing {
+			t.Fatalf("measurement %d mismatch", i)
+		}
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	p := Default(10, 13)
+	p.FailFraction = 0.25
+	sc, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, nd := range sc.Net.Nodes {
+		if nd.State == wsn.Failed {
+			failed++
+		}
+	}
+	frac := float64(failed) / float64(sc.Net.Len())
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("failed fraction = %v", frac)
+	}
+}
+
+func TestSleepInjection(t *testing.T) {
+	p := Default(10, 14)
+	p.FailFraction = 0.1
+	p.SleepFraction = 0.2
+	sc, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, asleep int
+	for _, nd := range sc.Net.Nodes {
+		switch nd.State {
+		case wsn.Failed:
+			failed++
+		case wsn.Asleep:
+			asleep++
+		}
+	}
+	if f := float64(failed) / float64(sc.Net.Len()); math.Abs(f-0.1) > 0.03 {
+		t.Fatalf("failed fraction = %v", f)
+	}
+	if f := float64(asleep) / float64(sc.Net.Len()); math.Abs(f-0.2) > 0.03 {
+		t.Fatalf("asleep fraction = %v", f)
+	}
+}
+
+func TestCrossedNodes(t *testing.T) {
+	sc, _ := Build(Default(20, 15))
+	crossed := sc.CrossedNodes(1)
+	det := sc.DetectingNodes(1)
+	// Every instant detector at t_1 was crossed during (t_0, t_1].
+	detSet := make(map[wsn.NodeID]bool)
+	for _, id := range crossed {
+		detSet[id] = true
+	}
+	for _, id := range det {
+		if !detSet[id] {
+			t.Fatalf("instant detector %d missing from crossed set", id)
+		}
+	}
+	if len(crossed) < len(det) {
+		t.Fatal("crossed set smaller than instant set")
+	}
+	// k=0 falls back to the instant set.
+	if len(sc.CrossedNodes(0)) != len(sc.DetectingNodes(0)) {
+		t.Fatal("CrossedNodes(0) fallback wrong")
+	}
+}
+
+func TestRNGKeysIndependent(t *testing.T) {
+	sc, _ := Build(Default(5, 16))
+	a := sc.RNG(1)
+	b := sc.RNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("algorithm RNG streams correlated")
+	}
+	// Same key twice gives the same stream.
+	c, d := sc.RNG(3), sc.RNG(3)
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("RNG key not deterministic")
+		}
+	}
+}

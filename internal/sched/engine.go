@@ -1,0 +1,107 @@
+// Package sched provides the time machinery of the simulator: a
+// deterministic discrete-event engine, periodic duty-cycling of sensor
+// nodes, and the TDSS-style proactive wake-up used by CDPF to ensure nodes
+// around the predicted target position are awake when particles arrive
+// (Section III-C).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback; Seq breaks ties so same-time events run in
+// scheduling order, keeping the simulation deterministic.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulation clock.
+type Engine struct {
+	pq      eventHeap
+	now     float64
+	seq     int64
+	stopped bool
+}
+
+// NewEngine returns an engine at time 0 with no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// At schedules fn at absolute time t. Scheduling in the past is an error.
+func (e *Engine) At(t float64, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("sched: cannot schedule at %v before now %v", t, e.now)
+	}
+	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+	e.seq++
+	return nil
+}
+
+// After schedules fn d seconds from now. Negative delays are an error.
+func (e *Engine) After(d float64, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("sched: negative delay %v", d)
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event and returns true, or returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for !e.stopped && e.pq.Len() > 0 && e.pq[0].time <= t {
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Stop aborts the current Run/RunUntil after the executing event returns.
+func (e *Engine) Stop() { e.stopped = true }

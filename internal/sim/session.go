@@ -1,0 +1,151 @@
+// Package sim runs tracking sessions on the discrete-event engine: target
+// motion ticks, duty-cycle state changes, proactive wake-ups, and filter
+// iterations are all events on one clock, rather than the lock-step loop the
+// figure experiments use. This is the integration layer that exercises
+// sched.Engine end to end and the natural place to grow asynchronous
+// behaviors (per-node phase offsets, delayed detections, staggered filter
+// starts).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// Config parameterizes an event-driven session.
+type Config struct {
+	// Scenario is the underlying environment (network + ground truth).
+	Scenario scenario.Params
+	// Tracker is the CDPF configuration.
+	Tracker core.Config
+	// DutyCycle, when positive (0 < f < 1), runs the field at that awake
+	// fraction with a 10 s period and TDSS proactive wake-up.
+	DutyCycle float64
+	// ScheduleEvery is the duty-cycle re-application period in seconds;
+	// 0 defaults to 1 s (each motion tick).
+	ScheduleEvery float64
+}
+
+// IterationEvent is delivered to the session observer after every filter
+// iteration.
+type IterationEvent struct {
+	K           int
+	Time        float64
+	Result      core.StepResult
+	Truth       mathx.Vec2
+	ErrorToPrev float64 // estimate error vs previous-iteration truth; <0 if none
+	Awake       int
+}
+
+// Session is an event-driven tracking run.
+type Session struct {
+	cfg    Config
+	sc     *scenario.Scenario
+	engine *sched.Engine
+	schd   *sched.Scheduler
+	tr     *core.Tracker
+	rng    *mathx.RNG
+
+	events []IterationEvent
+	last   core.StepResult
+}
+
+// NewSession builds the scenario and schedules all events.
+func NewSession(cfg Config) (*Session, error) {
+	sc, err := scenario.Build(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTracker(sc.Net, cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	var dc *sched.DutyCycle
+	if cfg.DutyCycle > 0 {
+		if cfg.DutyCycle >= 1 {
+			return nil, fmt.Errorf("sim: duty cycle %v must be below 1 (0 disables)", cfg.DutyCycle)
+		}
+		dc, err = sched.NewDutyCycle(sc.Net.Len(), 10, cfg.DutyCycle, sc.RNG(50))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ScheduleEvery == 0 {
+		cfg.ScheduleEvery = 1
+	}
+	s := &Session{
+		cfg:    cfg,
+		sc:     sc,
+		engine: sched.NewEngine(),
+		schd:   sched.NewScheduler(sc.Net, dc),
+		tr:     tr,
+		rng:    sc.RNG(1),
+	}
+	s.schedule()
+	return s, nil
+}
+
+// schedule queues the duty-cycle ticks and filter iterations.
+func (s *Session) schedule() {
+	horizon := s.sc.Filter.Times[s.sc.Iterations()-1]
+	// Duty-cycle (and wake-expiry) application ticks.
+	for t := 0.0; t <= horizon; t += s.cfg.ScheduleEvery {
+		tt := t
+		_ = s.engine.At(tt, func() { s.schd.Apply(tt) })
+	}
+	// Filter iterations; scheduled after the same-time duty tick (the
+	// engine is FIFO for equal timestamps, and these are queued later).
+	for k := 0; k < s.sc.Iterations(); k++ {
+		k := k
+		tt := s.sc.Filter.Times[k]
+		_ = s.engine.At(tt, func() { s.iterate(k, tt) })
+	}
+}
+
+// iterate runs one filter iteration as an event.
+func (s *Session) iterate(k int, now float64) {
+	// TDSS proactive wake-up ahead of the predicted area.
+	if s.cfg.DutyCycle > 0 && s.last.PredictedValid {
+		beacon := wsn.NodeID(-1)
+		if hs := s.tr.Holders(); len(hs) > 0 {
+			beacon = hs[0]
+		}
+		wakeR := s.sc.Net.Cfg.SensingRadius + 1.5*s.cfg.Scenario.Target.Speed*s.cfg.Scenario.Dt
+		s.schd.ProactiveWake(beacon, s.last.Predicted, wakeR, now+s.cfg.Scenario.Dt)
+	}
+	res := s.tr.Step(s.sc.Observations(k), s.rng)
+	ev := IterationEvent{
+		K: k, Time: now, Result: res, Truth: s.sc.Truth(k),
+		ErrorToPrev: -1, Awake: s.schd.AwakeCount(),
+	}
+	if res.EstimateValid && k >= 1 {
+		ev.ErrorToPrev = res.Estimate.Dist(s.sc.Truth(k - 1))
+	}
+	s.events = append(s.events, ev)
+	s.last = res
+}
+
+// Run executes the whole session and returns the per-iteration events.
+func (s *Session) Run() []IterationEvent {
+	s.engine.Run()
+	return s.events
+}
+
+// Network exposes the session's network (for cost inspection).
+func (s *Session) Network() *wsn.Network { return s.sc.Net }
+
+// RMSE returns the session's estimation RMSE.
+func (s *Session) RMSE() float64 {
+	var errs []float64
+	for _, ev := range s.events {
+		if ev.ErrorToPrev >= 0 {
+			errs = append(errs, ev.ErrorToPrev)
+		}
+	}
+	return mathx.RMS(errs)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func TestSessionAlwaysOnMatchesLockstep(t *testing.T) {
+	// The event-driven session with no duty cycle must reproduce exactly
+	// the lock-step driver's results (same seeds, same order of draws).
+	cfg := Config{
+		Scenario: scenario.Default(20, 31),
+		Tracker:  core.DefaultConfig(false),
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Run()
+	if len(events) != 11 {
+		t.Fatalf("events = %d", len(events))
+	}
+
+	// Lock-step reference.
+	sc, err := scenario.Build(scenario.Default(20, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	for k := 0; k < sc.Iterations(); k++ {
+		res := tr.Step(sc.Observations(k), rng)
+		ev := events[k]
+		if res.EstimateValid != ev.Result.EstimateValid {
+			t.Fatalf("k=%d: estimate validity differs", k)
+		}
+		if res.EstimateValid && res.Estimate != ev.Result.Estimate {
+			t.Fatalf("k=%d: estimates differ: %v vs %v", k, res.Estimate, ev.Result.Estimate)
+		}
+	}
+	if sc.Net.Stats.TotalBytes() != s.Network().Stats.TotalBytes() {
+		t.Fatalf("costs differ: %d vs %d",
+			sc.Net.Stats.TotalBytes(), s.Network().Stats.TotalBytes())
+	}
+}
+
+func TestSessionEventsOrderedAndStamped(t *testing.T) {
+	s, err := NewSession(Config{
+		Scenario: scenario.Default(10, 7),
+		Tracker:  core.DefaultConfig(false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Run()
+	for i, ev := range events {
+		if ev.K != i {
+			t.Fatalf("event %d has K=%d", i, ev.K)
+		}
+		if ev.Time != float64(i)*5 {
+			t.Fatalf("event %d at t=%v", i, ev.Time)
+		}
+		if ev.Awake <= 0 {
+			t.Fatalf("event %d reports %d awake nodes", i, ev.Awake)
+		}
+	}
+	if rmse := s.RMSE(); math.IsNaN(rmse) || rmse > 15 {
+		t.Fatalf("session RMSE = %v", rmse)
+	}
+}
+
+func TestSessionDutyCycled(t *testing.T) {
+	s, err := NewSession(Config{
+		Scenario:  scenario.Default(20, 31),
+		Tracker:   core.DefaultConfig(false),
+		DutyCycle: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := s.Run()
+	// Most of the field sleeps.
+	for _, ev := range events[1:] {
+		frac := float64(ev.Awake) / float64(s.Network().Len())
+		if frac > 0.5 {
+			t.Fatalf("k=%d: awake fraction %v too high for a 20%% duty cycle", ev.K, frac)
+		}
+	}
+	// Tracking still works.
+	estimates := 0
+	for _, ev := range events {
+		if ev.ErrorToPrev >= 0 {
+			estimates++
+		}
+	}
+	if estimates < 7 {
+		t.Fatalf("only %d estimates under duty cycling", estimates)
+	}
+	if rmse := s.RMSE(); rmse > 15 {
+		t.Fatalf("duty-cycled RMSE = %v", rmse)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(Config{
+		Scenario:  scenario.Default(5, 1),
+		Tracker:   core.DefaultConfig(false),
+		DutyCycle: 1.5,
+	}); err == nil {
+		t.Fatal("duty cycle >= 1 accepted")
+	}
+	bad := core.DefaultConfig(false)
+	bad.Dt = -1
+	if _, err := NewSession(Config{Scenario: scenario.Default(5, 1), Tracker: bad}); err == nil {
+		t.Fatal("invalid tracker config accepted")
+	}
+}

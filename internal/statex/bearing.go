@@ -1,0 +1,64 @@
+package statex
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// BearingSensor is the bearings-only measurement model of Eq. (5):
+//
+//	z_k = arctan(y_k / x_k) + n_k,  n_k ~ N(0, σn²)
+//
+// In the WSN setting each sensor node measures the bearing of the target
+// relative to its own position, so the model is evaluated on the offset
+// (target - node). The paper's single-observer form is the special case of a
+// node at the origin.
+type BearingSensor struct {
+	SigmaN float64 // measurement noise standard deviation (rad)
+}
+
+// Measure returns a noisy bearing from the node at `from` to the target.
+func (s BearingSensor) Measure(from, target mathx.Vec2, rng *mathx.RNG) float64 {
+	true_ := target.Sub(from).Angle()
+	return mathx.WrapAngle(true_ + rng.Normal(0, s.SigmaN))
+}
+
+// TrueBearing returns the noiseless bearing from `from` to `target`.
+func (s BearingSensor) TrueBearing(from, target mathx.Vec2) float64 {
+	return target.Sub(from).Angle()
+}
+
+// LogLikelihood returns log p(z | candidate), the log density of observing
+// bearing z from node position `from` when the target is at `candidate`. The
+// angular residual is wrapped into (-pi, pi] before the Gaussian evaluation.
+func (s BearingSensor) LogLikelihood(from mathx.Vec2, z float64, candidate mathx.Vec2) float64 {
+	if s.SigmaN <= 0 {
+		panic("statex: BearingSensor.SigmaN must be positive")
+	}
+	pred := candidate.Sub(from).Angle()
+	resid := mathx.AngleDiff(z, pred)
+	return mathx.GaussianLogPDF(resid, 0, s.SigmaN)
+}
+
+// Likelihood returns p(z | candidate); see LogLikelihood.
+func (s BearingSensor) Likelihood(from mathx.Vec2, z float64, candidate mathx.Vec2) float64 {
+	return math.Exp(s.LogLikelihood(from, z, candidate))
+}
+
+// Measurement couples a node's position with its observed bearing, as shared
+// in the likelihood step of the filters.
+type Measurement struct {
+	From    mathx.Vec2 // observing node position
+	Bearing float64    // observed bearing (rad)
+}
+
+// JointLogLikelihood returns Σ_i log p(z_i | candidate) over a set of shared
+// measurements, i.e. the factorized likelihood used by the update step.
+func (s BearingSensor) JointLogLikelihood(ms []Measurement, candidate mathx.Vec2) float64 {
+	total := 0.0
+	for _, m := range ms {
+		total += s.LogLikelihood(m.From, m.Bearing, candidate)
+	}
+	return total
+}

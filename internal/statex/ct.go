@@ -1,0 +1,75 @@
+package statex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// CTModel is the coordinated-turn state transition: the target moves at
+// (nearly) constant speed along a circular arc with turn rate ω (rad/s),
+// the standard maneuvering-target alternative to the CV model. For ω → 0 it
+// degenerates to the CV transition. It complements the evaluation's
+// random-turn ground truth: a filter that assumes CV mismatches a turning
+// target, while a CT-matched filter follows the arc.
+type CTModel struct {
+	Dt     float64
+	Omega  float64 // turn rate (rad/s); sign = CCW positive
+	SigmaV float64 // velocity noise stddev per axis per step
+
+	phi *mathx.Mat
+}
+
+// NewCTModel constructs the model. Omega may be zero (CV limit).
+func NewCTModel(dt, omega, sigmaV float64) (*CTModel, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("statex: CT model dt must be positive, got %v", dt)
+	}
+	if sigmaV < 0 {
+		return nil, fmt.Errorf("statex: CT model sigma must be non-negative, got %v", sigmaV)
+	}
+	m := &CTModel{Dt: dt, Omega: omega, SigmaV: sigmaV}
+	m.phi = ctPhi(dt, omega)
+	return m, nil
+}
+
+// ctPhi builds the exact coordinated-turn transition matrix over
+// (x, y, vx, vy). The ω → 0 limit is handled analytically.
+func ctPhi(dt, omega float64) *mathx.Mat {
+	if math.Abs(omega) < 1e-9 {
+		return mathx.MatFromRows(
+			[]float64{1, 0, dt, 0},
+			[]float64{0, 1, 0, dt},
+			[]float64{0, 0, 1, 0},
+			[]float64{0, 0, 0, 1},
+		)
+	}
+	s, c := math.Sin(omega*dt), math.Cos(omega*dt)
+	return mathx.MatFromRows(
+		[]float64{1, 0, s / omega, -(1 - c) / omega},
+		[]float64{0, 1, (1 - c) / omega, s / omega},
+		[]float64{0, 0, c, -s},
+		[]float64{0, 0, s, c},
+	)
+}
+
+// Phi returns a copy of the transition matrix (for Kalman-style filters).
+func (m *CTModel) Phi() *mathx.Mat { return m.phi.Clone() }
+
+// StepDeterministic applies the noiseless coordinated turn.
+func (m *CTModel) StepDeterministic(s State) State {
+	return StateFromVector(m.phi.MulVec(s.Vector()))
+}
+
+// Step applies one noisy transition: the exact turn plus white velocity
+// noise (and the matching half-step position displacement).
+func (m *CTModel) Step(s State, rng *mathx.RNG) State {
+	next := m.StepDeterministic(s)
+	vx := rng.Normal(0, m.SigmaV)
+	vy := rng.Normal(0, m.SigmaV)
+	half := m.Dt * m.Dt / 2
+	next.Pos = next.Pos.Add(mathx.V2(half*vx, half*vy))
+	next.Vel = next.Vel.Add(mathx.V2(vx, vy))
+	return next
+}

@@ -1,0 +1,109 @@
+package statex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestCTModelValidation(t *testing.T) {
+	if _, err := NewCTModel(0, 0.1, 0.1); err == nil {
+		t.Fatal("dt=0 accepted")
+	}
+	if _, err := NewCTModel(1, 0.1, -1); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+}
+
+func TestCTZeroOmegaMatchesCV(t *testing.T) {
+	ct, err := NewCTModel(5, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := MustCVModel(5, 0.05, 0.05)
+	s := State{Pos: mathx.V2(3, 4), Vel: mathx.V2(1, -2)}
+	a := ct.StepDeterministic(s)
+	b := cv.StepDeterministic(s)
+	if a.Pos.Dist(b.Pos) > 1e-12 || a.Vel.Dist(b.Vel) > 1e-12 {
+		t.Fatalf("CT(ω=0) %+v differs from CV %+v", a, b)
+	}
+}
+
+func TestCTPreservesSpeed(t *testing.T) {
+	// The noiseless coordinated turn is a rotation of the velocity: speed
+	// is invariant.
+	ct, _ := NewCTModel(1, 0.3, 0)
+	s := State{Pos: mathx.V2(0, 0), Vel: mathx.V2(3, 1)}
+	speed := s.Speed()
+	for k := 0; k < 50; k++ {
+		s = ct.StepDeterministic(s)
+		if math.Abs(s.Speed()-speed) > 1e-9 {
+			t.Fatalf("step %d: speed %v drifted from %v", k, s.Speed(), speed)
+		}
+	}
+}
+
+func TestCTClosesCircle(t *testing.T) {
+	// With ω·dt·N = 2π the trajectory returns to its start.
+	const omega = 0.1
+	n := 100
+	dt := 2 * math.Pi / (omega * float64(n))
+	ct, err := NewCTModel(dt, omega, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := State{Pos: mathx.V2(10, 20), Vel: mathx.V2(2, 0)}
+	s := start
+	for k := 0; k < n; k++ {
+		s = ct.StepDeterministic(s)
+	}
+	if s.Pos.Dist(start.Pos) > 1e-6 {
+		t.Fatalf("circle did not close: %v vs %v", s.Pos, start.Pos)
+	}
+	if s.Vel.Dist(start.Vel) > 1e-6 {
+		t.Fatalf("velocity did not close: %v vs %v", s.Vel, start.Vel)
+	}
+}
+
+func TestCTTurnDirection(t *testing.T) {
+	// Positive omega turns the velocity counter-clockwise.
+	ct, _ := NewCTModel(1, 0.5, 0)
+	s := State{Vel: mathx.V2(1, 0)}
+	next := ct.StepDeterministic(s)
+	if mathx.AngleDiff(next.Vel.Angle(), s.Vel.Angle()) <= 0 {
+		t.Fatal("positive omega did not turn CCW")
+	}
+	ctNeg, _ := NewCTModel(1, -0.5, 0)
+	next = ctNeg.StepDeterministic(s)
+	if mathx.AngleDiff(next.Vel.Angle(), s.Vel.Angle()) >= 0 {
+		t.Fatal("negative omega did not turn CW")
+	}
+}
+
+func TestCTNoiseMoments(t *testing.T) {
+	ct, _ := NewCTModel(1, 0.2, 0.3)
+	rng := mathx.NewRNG(4)
+	s := State{Pos: mathx.V2(0, 0), Vel: mathx.V2(1, 0)}
+	base := ct.StepDeterministic(s)
+	var dvx []float64
+	for i := 0; i < 50000; i++ {
+		n := ct.Step(s, rng)
+		dvx = append(dvx, n.Vel.X-base.Vel.X)
+	}
+	if sd := mathx.StdDev(dvx); math.Abs(sd-0.3) > 0.01 {
+		t.Fatalf("velocity noise stddev = %v, want 0.3", sd)
+	}
+	if mu := mathx.Mean(dvx); math.Abs(mu) > 0.01 {
+		t.Fatalf("velocity noise mean = %v", mu)
+	}
+}
+
+func TestCTPhiClone(t *testing.T) {
+	ct, _ := NewCTModel(1, 0.2, 0.1)
+	p := ct.Phi()
+	p.Set(0, 0, 999)
+	if ct.Phi().At(0, 0) == 999 {
+		t.Fatal("Phi returned aliased storage")
+	}
+}

@@ -1,0 +1,96 @@
+package statex
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// CVModel is the nearly-constant-velocity state transition model of Eq. (5):
+//
+//	x_k = Φ x_{k-1} + Γ v_{k-1}
+//
+// with
+//
+//	Φ = [1 0 Δt 0; 0 1 0 Δt; 0 0 1 0; 0 0 0 1]
+//	Γ = [Δt²/2 0; 0 Δt²/2; 1 0; 0 1] (scaled acceleration noise gain; the
+//	    paper applies Γ directly to the noise vector v_{k-1})
+//
+// and v_{k-1} ~ N(0, diag(σx², σy²)).
+type CVModel struct {
+	Dt             float64
+	SigmaX, SigmaY float64
+
+	Phi   *mathx.Mat // 4x4 state transition
+	Gamma *mathx.Mat // 4x2 noise gain
+	q     *mathx.Mat // 4x4 process covariance Γ diag(σ²) Γᵀ
+}
+
+// NewCVModel constructs the model for time step dt and process-noise standard
+// deviations sigmaX, sigmaY.
+func NewCVModel(dt, sigmaX, sigmaY float64) (*CVModel, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("statex: CV model dt must be positive, got %v", dt)
+	}
+	if sigmaX < 0 || sigmaY < 0 {
+		return nil, fmt.Errorf("statex: CV model sigma must be non-negative, got %v, %v", sigmaX, sigmaY)
+	}
+	phi := mathx.MatFromRows(
+		[]float64{1, 0, dt, 0},
+		[]float64{0, 1, 0, dt},
+		[]float64{0, 0, 1, 0},
+		[]float64{0, 0, 0, 1},
+	)
+	gamma := mathx.MatFromRows(
+		[]float64{dt * dt / 2, 0},
+		[]float64{0, dt * dt / 2},
+		[]float64{1, 0},
+		[]float64{0, 1},
+	)
+	sig := mathx.Diag(sigmaX*sigmaX, sigmaY*sigmaY)
+	q := gamma.Mul(sig).Mul(gamma.T())
+	return &CVModel{Dt: dt, SigmaX: sigmaX, SigmaY: sigmaY, Phi: phi, Gamma: gamma, q: q}, nil
+}
+
+// MustCVModel is NewCVModel that panics on error, for use with constant
+// configuration in examples and tests.
+func MustCVModel(dt, sigmaX, sigmaY float64) *CVModel {
+	m, err := NewCVModel(dt, sigmaX, sigmaY)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// StepDeterministic applies x_k = Φ x_{k-1} without noise.
+func (m *CVModel) StepDeterministic(s State) State {
+	return State{
+		Pos: s.Pos.Add(s.Vel.Scale(m.Dt)),
+		Vel: s.Vel,
+	}
+}
+
+// Step applies one noisy transition x_k = Φ x_{k-1} + Γ v_{k-1}, drawing
+// v_{k-1} ~ N(0, diag(σx², σy²)) from rng.
+func (m *CVModel) Step(s State, rng *mathx.RNG) State {
+	vx := rng.Normal(0, m.SigmaX)
+	vy := rng.Normal(0, m.SigmaY)
+	half := m.Dt * m.Dt / 2
+	return State{
+		Pos: mathx.V2(
+			s.Pos.X+m.Dt*s.Vel.X+half*vx,
+			s.Pos.Y+m.Dt*s.Vel.Y+half*vy,
+		),
+		Vel: mathx.V2(s.Vel.X+vx, s.Vel.Y+vy),
+	}
+}
+
+// ProcessCov returns Q = Γ diag(σx², σy²) Γᵀ, the process noise covariance
+// used by the Kalman reference filter.
+func (m *CVModel) ProcessCov() *mathx.Mat { return m.q.Clone() }
+
+// Predict returns the deterministically predicted position after one step;
+// CDPF uses it as the centre of the next predicted area.
+func (m *CVModel) Predict(s State) mathx.Vec2 {
+	return m.StepDeterministic(s).Pos
+}

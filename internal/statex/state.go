@@ -1,0 +1,33 @@
+// Package statex implements the paper's dynamic-system models (Section VI,
+// Eq. 5): the constant-velocity state-transition model with Gaussian process
+// noise, the random-turn target trajectory generator used as ground truth,
+// and the bearings-only measurement model.
+package statex
+
+import "repro/internal/mathx"
+
+// State is the four-dimensional tracking state x = (x, y, x', y')ᵀ of the
+// bearings-only problem.
+type State struct {
+	Pos mathx.Vec2 // position (m)
+	Vel mathx.Vec2 // velocity (m/s)
+}
+
+// Vector flattens the state to the paper's column ordering (x, y, x', y').
+func (s State) Vector() []float64 {
+	return []float64{s.Pos.X, s.Pos.Y, s.Vel.X, s.Vel.Y}
+}
+
+// StateFromVector builds a State from (x, y, x', y').
+func StateFromVector(v []float64) State {
+	if len(v) != 4 {
+		panic("statex: StateFromVector needs 4 elements")
+	}
+	return State{Pos: mathx.V2(v[0], v[1]), Vel: mathx.V2(v[2], v[3])}
+}
+
+// Speed returns the magnitude of the velocity.
+func (s State) Speed() float64 { return s.Vel.Norm() }
+
+// Heading returns the direction of motion in radians.
+func (s State) Heading() float64 { return s.Vel.Angle() }

@@ -1,0 +1,128 @@
+package statex
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// TargetConfig describes the ground-truth target of Section VI: it enters at
+// Start, moves with constant Speed, and at every motion step of StepDt turns
+// by a random angle uniform in [-MaxTurn, +MaxTurn].
+type TargetConfig struct {
+	Start   mathx.Vec2 // entry point, paper: (0, 100)
+	Heading float64    // initial heading in radians, paper: 0 (crossing in +x)
+	Speed   float64    // constant speed (m/s), paper: 3
+	StepDt  float64    // motion time step (s), paper: 1
+	MaxTurn float64    // max |turn| per motion step (rad), paper: 15°
+}
+
+// DefaultTargetConfig returns the paper's simulation target.
+func DefaultTargetConfig() TargetConfig {
+	return TargetConfig{
+		Start:   mathx.V2(0, 100),
+		Heading: 0,
+		Speed:   3,
+		StepDt:  1,
+		MaxTurn: mathx.Deg2Rad(15),
+	}
+}
+
+// Trajectory is a time-indexed polyline of ground-truth target states.
+type Trajectory struct {
+	Times  []float64    // Times[i] is the time of Points[i]
+	Points []mathx.Vec2 // positions
+	Vels   []mathx.Vec2 // velocity over the segment leaving Points[i]
+}
+
+// Len returns the number of trajectory samples.
+func (t *Trajectory) Len() int { return len(t.Points) }
+
+// At returns the state at sample i.
+func (t *Trajectory) At(i int) State {
+	return State{Pos: t.Points[i], Vel: t.Vels[i]}
+}
+
+// Segment returns the motion segment from sample i to sample i+1. It panics
+// when i+1 is out of range.
+func (t *Trajectory) Segment(i int) (a, b mathx.Vec2) {
+	return t.Points[i], t.Points[i+1]
+}
+
+// GenTrajectory simulates steps motion steps of the random-turn target and
+// returns the resulting (steps+1)-point trajectory.
+func GenTrajectory(cfg TargetConfig, steps int, rng *mathx.RNG) (*Trajectory, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("statex: GenTrajectory negative steps %d", steps)
+	}
+	if cfg.Speed < 0 || cfg.StepDt <= 0 {
+		return nil, fmt.Errorf("statex: GenTrajectory invalid speed %v / step %v", cfg.Speed, cfg.StepDt)
+	}
+	tr := &Trajectory{
+		Times:  make([]float64, 0, steps+1),
+		Points: make([]mathx.Vec2, 0, steps+1),
+		Vels:   make([]mathx.Vec2, 0, steps+1),
+	}
+	pos := cfg.Start
+	heading := cfg.Heading
+	for k := 0; k <= steps; k++ {
+		vel := mathx.Polar(cfg.Speed, heading)
+		tr.Times = append(tr.Times, float64(k)*cfg.StepDt)
+		tr.Points = append(tr.Points, pos)
+		tr.Vels = append(tr.Vels, vel)
+		if k == steps {
+			break
+		}
+		pos = pos.Add(vel.Scale(cfg.StepDt))
+		heading = mathx.WrapAngle(heading + rng.Uniform(-cfg.MaxTurn, cfg.MaxTurn))
+	}
+	return tr, nil
+}
+
+// Subsample returns every stride-th sample of t (always including sample 0).
+// The evaluation moves the target at 1 s resolution but filters at Δt = 5 s,
+// so the filter sees Subsample(5).
+func (t *Trajectory) Subsample(stride int) *Trajectory {
+	if stride <= 0 {
+		panic("statex: Subsample non-positive stride")
+	}
+	out := &Trajectory{}
+	for i := 0; i < t.Len(); i += stride {
+		out.Times = append(out.Times, t.Times[i])
+		out.Points = append(out.Points, t.Points[i])
+		// Velocity over the coarse step: displacement / elapsed, so the
+		// filter's CV model sees the effective coarse-scale velocity.
+		j := i + stride
+		if j >= t.Len() {
+			out.Vels = append(out.Vels, t.Vels[i])
+		} else {
+			dt := t.Times[j] - t.Times[i]
+			out.Vels = append(out.Vels, t.Points[j].Sub(t.Points[i]).Scale(1/dt))
+		}
+	}
+	return out
+}
+
+// PathLength returns the total polyline length of the trajectory.
+func (t *Trajectory) PathLength() float64 {
+	total := 0.0
+	for i := 0; i+1 < t.Len(); i++ {
+		total += t.Points[i].Dist(t.Points[i+1])
+	}
+	return total
+}
+
+// SegmentsBetween returns the list of fine-trajectory segment index pairs
+// (start, end) covering times (from, to]. It is used by the instant-detection
+// model to test which nodes the target passed during one filter step.
+func (t *Trajectory) SegmentsBetween(from, to float64) [][2]mathx.Vec2 {
+	var segs [][2]mathx.Vec2
+	for i := 0; i+1 < t.Len(); i++ {
+		// Segment spans (Times[i], Times[i+1]].
+		if t.Times[i+1] <= from || t.Times[i] >= to {
+			continue
+		}
+		segs = append(segs, [2]mathx.Vec2{t.Points[i], t.Points[i+1]})
+	}
+	return segs
+}

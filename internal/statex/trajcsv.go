@@ -1,0 +1,75 @@
+package statex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mathx"
+)
+
+// Trajectory serialization: ground-truth tracks can be exported for external
+// plotting and re-imported to replay exactly the same workload (e.g. to
+// compare algorithm versions on a pinned trajectory).
+
+// WriteCSV writes the trajectory as "t,x,y,vx,vy" rows with a header.
+func (t *Trajectory) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t,x,y,vx,vy"); err != nil {
+		return err
+	}
+	for i := 0; i < t.Len(); i++ {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			t.Times[i], t.Points[i].X, t.Points[i].Y, t.Vels[i].X, t.Vels[i].Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTrajectoryCSV parses a trajectory written by WriteCSV. Times must be
+// strictly increasing.
+func ReadTrajectoryCSV(r io.Reader) (*Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	tr := &Trajectory{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 {
+			if text != "t,x,y,vx,vy" {
+				return nil, fmt.Errorf("statex: trajectory CSV header %q unrecognized", text)
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("statex: trajectory CSV line %d has %d fields", line, len(fields))
+		}
+		vals := make([]float64, 5)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("statex: trajectory CSV line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if n := tr.Len(); n > 0 && vals[0] <= tr.Times[n-1] {
+			return nil, fmt.Errorf("statex: trajectory CSV line %d: time %v not increasing", line, vals[0])
+		}
+		tr.Times = append(tr.Times, vals[0])
+		tr.Points = append(tr.Points, mathx.V2(vals[1], vals[2]))
+		tr.Vels = append(tr.Vels, mathx.V2(vals[3], vals[4]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("statex: trajectory CSV has no samples")
+	}
+	return tr, nil
+}

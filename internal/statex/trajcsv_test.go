@@ -1,0 +1,65 @@
+package statex
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestTrajectoryCSVRoundTrip(t *testing.T) {
+	orig, err := GenTrajectory(DefaultTargetConfig(), 20, mathx.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := orig.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrajectoryCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("lengths differ: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if math.Abs(back.Times[i]-orig.Times[i]) > 1e-6 {
+			t.Fatalf("time %d differs", i)
+		}
+		if back.Points[i].Dist(orig.Points[i]) > 1e-5 {
+			t.Fatalf("point %d differs: %v vs %v", i, back.Points[i], orig.Points[i])
+		}
+		if back.Vels[i].Dist(orig.Vels[i]) > 1e-5 {
+			t.Fatalf("velocity %d differs", i)
+		}
+	}
+}
+
+func TestReadTrajectoryCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "a,b,c\n1,2,3,4,5\n",
+		"wrong fields":   "t,x,y,vx,vy\n1,2,3\n",
+		"non-numeric":    "t,x,y,vx,vy\n1,2,three,4,5\n",
+		"non-increasing": "t,x,y,vx,vy\n1,0,0,0,0\n1,1,1,0,0\n",
+		"empty":          "",
+		"header only":    "t,x,y,vx,vy\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTrajectoryCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTrajectoryCSVSkipsBlankLines(t *testing.T) {
+	input := "t,x,y,vx,vy\n0,0,0,1,0\n\n1,1,0,1,0\n"
+	tr, err := ReadTrajectoryCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Recorder {
+	r := New("cdpf", 20, 31)
+	r.Add(Record{K: 0, Time: 0, TruthX: 0, TruthY: 100, Detectors: 20, Holders: 20})
+	r.Add(Record{
+		K: 1, Time: 5, TruthX: 15, TruthY: 100,
+		HaveEst: true, EstForK: 0, EstX: 1, EstY: 99, Err: 3,
+		Detectors: 25, Holders: 12, MsgsDelta: 40, BytesDelta: 528,
+	})
+	r.Add(Record{
+		K: 2, Time: 10, TruthX: 30, TruthY: 98,
+		HaveEst: true, EstForK: 1, EstX: 14, EstY: 100, Err: 4,
+		Detectors: 22, Holders: 10, MsgsDelta: 30, BytesDelta: 400,
+	})
+	return r
+}
+
+func TestRecorderSummary(t *testing.T) {
+	r := sample()
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if got := r.RMSE(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if r.TotalBytes() != 928 {
+		t.Fatalf("TotalBytes = %d", r.TotalBytes())
+	}
+	empty := New("x", 1, 1)
+	if !math.IsNaN(empty.RMSE()) {
+		t.Fatal("empty RMSE should be NaN")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "k,t,truth_x") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "528") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	// Every row has the same number of fields as the header.
+	nf := len(strings.Split(lines[0], ","))
+	for i, l := range lines {
+		if len(strings.Split(l, ",")) != nf {
+			t.Fatalf("line %d has wrong field count: %q", i, l)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL lines = %d", len(lines))
+	}
+	var meta map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["algo"] != "cdpf" || meta["density"] != 20.0 {
+		t.Fatalf("meta = %v", meta)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.K != 1 || !rec.HaveEst || rec.Err != 3 {
+		t.Fatalf("record = %+v", rec)
+	}
+}

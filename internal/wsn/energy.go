@@ -1,0 +1,52 @@
+package wsn
+
+// EnergyModel is a first-order radio energy model in the style of
+// Heinzelman et al.: a fixed per-message electronics cost plus a per-byte
+// cost, with reception cheaper than transmission and idle listening charged
+// per unit time. Values are microjoules.
+type EnergyModel struct {
+	TxBase    float64 // per transmitted message
+	TxPerByte float64 // per transmitted byte
+	RxBase    float64 // per received message
+	RxPerByte float64 // per received byte
+	IdlePerS  float64 // idle listening per second awake
+	SleepPerS float64 // sleep-state drain per second
+}
+
+// DefaultEnergyModel returns MICA2-flavored constants (order-of-magnitude;
+// the evaluation compares relative energy, not absolute joules).
+func DefaultEnergyModel() *EnergyModel {
+	return &EnergyModel{
+		TxBase:    50,
+		TxPerByte: 1.0,
+		RxBase:    25,
+		RxPerByte: 0.5,
+		IdlePerS:  30,
+		SleepPerS: 0.03,
+	}
+}
+
+// TxCost returns the energy to transmit one message of the given size.
+func (e *EnergyModel) TxCost(bytes int) float64 {
+	return e.TxBase + e.TxPerByte*float64(bytes)
+}
+
+// RxCost returns the energy to receive one message of the given size.
+func (e *EnergyModel) RxCost(bytes int) float64 {
+	return e.RxBase + e.RxPerByte*float64(bytes)
+}
+
+// IdleCost returns the energy of being awake but idle for dt seconds.
+func (e *EnergyModel) IdleCost(dt float64) float64 { return e.IdlePerS * dt }
+
+// SleepCost returns the energy of sleeping for dt seconds.
+func (e *EnergyModel) SleepCost(dt float64) float64 { return e.SleepPerS * dt }
+
+// TotalEnergy sums the energy used by all nodes in the network.
+func (nw *Network) TotalEnergy() float64 {
+	total := 0.0
+	for _, nd := range nw.Nodes {
+		total += nd.EnergyUsed
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+package wsn
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Grid is a uniform spatial hash over node positions supporting
+// O(candidates) circular range queries. Cell size is chosen close to the
+// query radius so a query touches at most 9 cells' worth of candidates.
+type Grid struct {
+	cell       float64
+	cols, rows int
+	minX, minY float64
+	buckets    [][]NodeID
+	positions  []mathx.Vec2 // indexed by NodeID
+}
+
+// NewGrid indexes the given positions over the bounding box
+// [0,width] x [0,height] with the given cell size.
+func NewGrid(width, height, cell float64, positions []mathx.Vec2) *Grid {
+	if cell <= 0 {
+		panic("wsn: grid cell size must be positive")
+	}
+	cols := int(math.Ceil(width/cell)) + 1
+	rows := int(math.Ceil(height/cell)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := &Grid{
+		cell:      cell,
+		cols:      cols,
+		rows:      rows,
+		buckets:   make([][]NodeID, cols*rows),
+		positions: positions,
+	}
+	for id, p := range positions {
+		idx := g.bucketIndex(p)
+		g.buckets[idx] = append(g.buckets[idx], NodeID(id))
+	}
+	return g
+}
+
+func (g *Grid) bucketIndex(p mathx.Vec2) int {
+	cx := int(math.Floor((p.X - g.minX) / g.cell))
+	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Within appends to dst the IDs of all indexed nodes with distance <= r from
+// p and returns the extended slice. Results are in ascending ID order within
+// each visited bucket but not globally sorted.
+func (g *Grid) Within(p mathx.Vec2, r float64, dst []NodeID) []NodeID {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	cx0 := clampInt(int(math.Floor((p.X-g.minX-r)/g.cell)), 0, g.cols-1)
+	cx1 := clampInt(int(math.Floor((p.X-g.minX+r)/g.cell)), 0, g.cols-1)
+	cy0 := clampInt(int(math.Floor((p.Y-g.minY-r)/g.cell)), 0, g.rows-1)
+	cy1 := clampInt(int(math.Floor((p.Y-g.minY+r)/g.cell)), 0, g.rows-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.buckets[cy*g.cols+cx] {
+				if g.positions[id].Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// WithinSegment appends the IDs of nodes whose distance to segment [a, b] is
+// at most r — the instant-detection query: which sensing discs did the
+// target's motion segment cross?
+func (g *Grid) WithinSegment(a, b mathx.Vec2, r float64, dst []NodeID) []NodeID {
+	if r < 0 {
+		return dst
+	}
+	minX := math.Min(a.X, b.X) - r
+	maxX := math.Max(a.X, b.X) + r
+	minY := math.Min(a.Y, b.Y) - r
+	maxY := math.Max(a.Y, b.Y) + r
+	cx0 := clampInt(int(math.Floor((minX-g.minX)/g.cell)), 0, g.cols-1)
+	cx1 := clampInt(int(math.Floor((maxX-g.minX)/g.cell)), 0, g.cols-1)
+	cy0 := clampInt(int(math.Floor((minY-g.minY)/g.cell)), 0, g.rows-1)
+	cy1 := clampInt(int(math.Floor((maxY-g.minY)/g.cell)), 0, g.rows-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.buckets[cy*g.cols+cx] {
+				if mathx.SegmentPointDist(a, b, g.positions[id]) <= r {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,57 @@
+package wsn
+
+// Unreliable links. The paper's motivating deployments run over lossy,
+// duty-cycled radios ([13]); this file adds an optional per-receiver packet
+// loss model so the tracking algorithms can be evaluated under unreliable
+// communication (an uncertainty-tolerance extension).
+//
+// Loss draws are deterministic functions of (epoch, sender, receiver, seed):
+// within one epoch every query about the same link returns the same answer,
+// so an algorithm that reasons twice about one broadcast stays consistent,
+// and whole runs remain reproducible. Drivers advance the epoch once per
+// filter iteration.
+
+// SetLossRate enables packet loss: each (sender, receiver) delivery within
+// an epoch independently fails with probability rate. A rate of 0 disables
+// loss. It panics for rates outside [0, 1).
+func (nw *Network) SetLossRate(rate float64, seed uint64) {
+	if rate < 0 || rate >= 1 {
+		panic("wsn: loss rate outside [0, 1)")
+	}
+	nw.lossRate = rate
+	nw.lossSeed = seed
+}
+
+// LossRate returns the configured packet loss probability.
+func (nw *Network) LossRate() float64 { return nw.lossRate }
+
+// NextEpoch advances the loss epoch; call once per filter iteration so each
+// iteration's broadcasts see fresh, independent loss draws.
+func (nw *Network) NextEpoch() { nw.lossEpoch++ }
+
+// Delivers reports whether a transmission from `from` reaches `to` in the
+// current epoch, assuming geometry and node state already permit it. With
+// no loss configured it is always true. Self-delivery never fails.
+func (nw *Network) Delivers(from, to NodeID) bool {
+	if nw.lossRate == 0 || from == to {
+		return true
+	}
+	// splitmix64 over the link identity.
+	x := nw.lossEpoch*0x9E3779B97F4A7C15 ^
+		uint64(from)*0xBF58476D1CE4E5B9 ^
+		uint64(to)*0x94D049BB133111EB ^
+		nw.lossSeed
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11) * (1.0 / (1 << 53))
+	return u >= nw.lossRate
+}
+
+// ExpectedDeliveries returns the expected number of successful deliveries
+// for n receivers under the configured loss rate (for tests and capacity
+// estimates).
+func (nw *Network) ExpectedDeliveries(n int) float64 {
+	return float64(n) * (1 - nw.lossRate)
+}

@@ -1,0 +1,103 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossDisabledByDefault(t *testing.T) {
+	nw := testNetwork(t, 5, 50)
+	if nw.LossRate() != 0 {
+		t.Fatal("loss enabled by default")
+	}
+	for i := 0; i < 100; i++ {
+		if !nw.Delivers(NodeID(i%nw.Len()), NodeID((i+1)%nw.Len())) {
+			t.Fatal("lossless network dropped a delivery")
+		}
+	}
+}
+
+func TestSetLossRateValidation(t *testing.T) {
+	nw := testNetwork(t, 5, 51)
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("loss rate %v accepted", bad)
+				}
+			}()
+			nw.SetLossRate(bad, 1)
+		}()
+	}
+}
+
+func TestLossRateStatistics(t *testing.T) {
+	nw := testNetwork(t, 5, 52)
+	nw.SetLossRate(0.3, 7)
+	drops := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if i%97 == 0 {
+			nw.NextEpoch()
+		}
+		from := NodeID(i % 100)
+		to := NodeID((i*31 + 7) % 100)
+		if from == to {
+			continue
+		}
+		if !nw.Delivers(from, to) {
+			drops++
+		}
+	}
+	rate := float64(drops) / trials
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("observed loss rate %v, want ~0.3", rate)
+	}
+}
+
+func TestLossDeterministicWithinEpoch(t *testing.T) {
+	nw := testNetwork(t, 5, 53)
+	nw.SetLossRate(0.5, 3)
+	for i := 0; i < 200; i++ {
+		from, to := NodeID(i%50), NodeID((i+13)%50)
+		if nw.Delivers(from, to) != nw.Delivers(from, to) {
+			t.Fatal("delivery verdict changed within an epoch")
+		}
+	}
+}
+
+func TestLossVariesAcrossEpochs(t *testing.T) {
+	nw := testNetwork(t, 5, 54)
+	nw.SetLossRate(0.5, 3)
+	changed := false
+	for i := 0; i < 100 && !changed; i++ {
+		from, to := NodeID(i), NodeID(i+1)
+		before := nw.Delivers(from, to)
+		nw.NextEpoch()
+		if nw.Delivers(from, to) != before {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("loss draws identical across 100 epochs")
+	}
+}
+
+func TestLossSelfDeliveryNeverFails(t *testing.T) {
+	nw := testNetwork(t, 5, 55)
+	nw.SetLossRate(0.9, 3)
+	for i := 0; i < 100; i++ {
+		nw.NextEpoch()
+		if !nw.Delivers(7, 7) {
+			t.Fatal("self-delivery failed")
+		}
+	}
+}
+
+func TestExpectedDeliveries(t *testing.T) {
+	nw := testNetwork(t, 5, 56)
+	nw.SetLossRate(0.25, 1)
+	if got := nw.ExpectedDeliveries(100); math.Abs(got-75) > 1e-12 {
+		t.Fatalf("ExpectedDeliveries = %v", got)
+	}
+}

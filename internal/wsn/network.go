@@ -1,0 +1,247 @@
+package wsn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Config describes a deployment matching Section VI's simulation
+// environment. Either NumNodes or Density must be set (Density wins when
+// both are non-zero).
+type Config struct {
+	Width, Height float64 // field size (m); paper: 200 x 200
+	NumNodes      int     // explicit node count
+	Density       float64 // nodes per 100 m²; paper sweeps 5..40
+
+	CommRadius    float64 // communication radius (m); paper: 30
+	SensingRadius float64 // sensing radius (m); paper: 10
+}
+
+// DefaultConfig returns the paper's field with the given density.
+func DefaultConfig(density float64) Config {
+	return Config{
+		Width: 200, Height: 200,
+		Density:    density,
+		CommRadius: 30, SensingRadius: 10,
+	}
+}
+
+// nodeCount resolves the configured node count.
+func (c Config) nodeCount() int {
+	if c.Density > 0 {
+		return int(math.Round(c.Density * c.Width * c.Height / 100))
+	}
+	return c.NumNodes
+}
+
+// Validate checks the configuration, including the paper's structural
+// assumption that the sensing radius is at most half the communication
+// radius (Section II-C2) — the CDPF overhearing argument depends on it.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("wsn: field size %vx%v must be positive", c.Width, c.Height)
+	}
+	if c.nodeCount() <= 0 {
+		return fmt.Errorf("wsn: node count %d must be positive (NumNodes=%d, Density=%v)",
+			c.nodeCount(), c.NumNodes, c.Density)
+	}
+	if c.CommRadius <= 0 || c.SensingRadius <= 0 {
+		return fmt.Errorf("wsn: radii must be positive (comm=%v, sensing=%v)",
+			c.CommRadius, c.SensingRadius)
+	}
+	if c.SensingRadius > c.CommRadius/2 {
+		return fmt.Errorf("wsn: sensing radius %v exceeds half the communication radius %v",
+			c.SensingRadius, c.CommRadius)
+	}
+	return nil
+}
+
+// Network is a deployed sensor field: nodes, a spatial index, and the radio
+// accounting shared by every algorithm run on it.
+type Network struct {
+	Cfg   Config
+	Nodes []*Node
+
+	grid  *Grid
+	Stats *CommStats
+	// Energy is the radio energy model used to charge nodes per
+	// transmission/reception; nil disables energy accounting.
+	Energy *EnergyModel
+
+	// scratch buffer reused by queries that immediately copy out.
+	scratch []NodeID
+
+	// packet-loss model (see loss.go)
+	lossRate  float64
+	lossSeed  uint64
+	lossEpoch uint64
+}
+
+// NewNetwork deploys cfg.nodeCount() nodes uniformly at random over the
+// field and builds the spatial index.
+func NewNetwork(cfg Config, rng *mathx.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.nodeCount()
+	nodes := make([]*Node, n)
+	positions := make([]mathx.Vec2, n)
+	for i := 0; i < n; i++ {
+		p := mathx.V2(rng.Uniform(0, cfg.Width), rng.Uniform(0, cfg.Height))
+		nodes[i] = &Node{ID: NodeID(i), Pos: p, State: Awake}
+		positions[i] = p
+	}
+	// Cell size near the communication radius keeps per-query candidate
+	// counts proportional to true neighborhood sizes.
+	cell := cfg.CommRadius
+	if cell > cfg.Width {
+		cell = cfg.Width
+	}
+	return &Network{
+		Cfg:   cfg,
+		Nodes: nodes,
+		grid:  NewGrid(cfg.Width, cfg.Height, cell, positions),
+		Stats: NewCommStats(),
+	}, nil
+}
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id NodeID) *Node { return nw.Nodes[int(id)] }
+
+// Len returns the number of deployed nodes.
+func (nw *Network) Len() int { return len(nw.Nodes) }
+
+// Density returns the realized deployment density in nodes per 100 m².
+func (nw *Network) Density() float64 {
+	return float64(len(nw.Nodes)) * 100 / (nw.Cfg.Width * nw.Cfg.Height)
+}
+
+// NodesWithin returns the IDs of all nodes (any state) within distance r of
+// p. The returned slice is freshly allocated.
+func (nw *Network) NodesWithin(p mathx.Vec2, r float64) []NodeID {
+	nw.scratch = nw.grid.Within(p, r, nw.scratch[:0])
+	out := make([]NodeID, len(nw.scratch))
+	copy(out, nw.scratch)
+	return out
+}
+
+// ActiveNodesWithin returns the IDs of awake nodes within distance r of p.
+func (nw *Network) ActiveNodesWithin(p mathx.Vec2, r float64) []NodeID {
+	nw.scratch = nw.grid.Within(p, r, nw.scratch[:0])
+	out := make([]NodeID, 0, len(nw.scratch))
+	for _, id := range nw.scratch {
+		if nw.Nodes[id].Active() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the awake one-hop neighbors of node id (nodes within the
+// communication radius, excluding id itself).
+func (nw *Network) Neighbors(id NodeID) []NodeID {
+	self := nw.Nodes[id]
+	nw.scratch = nw.grid.Within(self.Pos, nw.Cfg.CommRadius, nw.scratch[:0])
+	out := make([]NodeID, 0, len(nw.scratch))
+	for _, nid := range nw.scratch {
+		if nid != id && nw.Nodes[nid].CanReceive() {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// DetectingNodes returns the awake nodes whose sensing disc is crossed by
+// any of the target's motion segments during one filter step — the instant
+// detection model (Section II-C2).
+func (nw *Network) DetectingNodes(segs [][2]mathx.Vec2) []NodeID {
+	seen := make(map[NodeID]struct{})
+	var out []NodeID
+	for _, seg := range segs {
+		nw.scratch = nw.grid.WithinSegment(seg[0], seg[1], nw.Cfg.SensingRadius, nw.scratch[:0])
+		for _, id := range nw.scratch {
+			if !nw.Nodes[id].Active() {
+				continue
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NearestNode returns the ID of the node closest to p (any state), searching
+// outward in expanding radius rings. It panics on an empty network.
+func (nw *Network) NearestNode(p mathx.Vec2) NodeID {
+	if len(nw.Nodes) == 0 {
+		panic("wsn: NearestNode on empty network")
+	}
+	r := nw.Cfg.CommRadius
+	maxR := math.Hypot(nw.Cfg.Width, nw.Cfg.Height) + r
+	for ; r <= maxR; r *= 2 {
+		nw.scratch = nw.grid.Within(p, r, nw.scratch[:0])
+		if len(nw.scratch) == 0 {
+			continue
+		}
+		best := nw.scratch[0]
+		bestD := nw.Nodes[best].Pos.Dist2(p)
+		for _, id := range nw.scratch[1:] {
+			if d := nw.Nodes[id].Pos.Dist2(p); d < bestD {
+				best, bestD = id, d
+			}
+		}
+		return best
+	}
+	// Fallback: linear scan (unreachable for in-field queries).
+	best := nw.Nodes[0].ID
+	bestD := nw.Nodes[0].Pos.Dist2(p)
+	for _, nd := range nw.Nodes[1:] {
+		if d := nd.Pos.Dist2(p); d < bestD {
+			best, bestD = nd.ID, d
+		}
+	}
+	return best
+}
+
+// Center returns the field's geometric centre, where CPF's sink is placed.
+func (nw *Network) Center() mathx.Vec2 {
+	return mathx.V2(nw.Cfg.Width/2, nw.Cfg.Height/2)
+}
+
+// ApplyDrift moves every node by independent Gaussian steps of the given
+// per-axis standard deviation, clamped to the field, and rebuilds the
+// spatial index — the slow-mobility model of Section V-D ("even in a mobile
+// WSN, nodes rarely move fast"). Hop tables built before a drift are stale
+// and must be rebuilt by their owners.
+func (nw *Network) ApplyDrift(sigma float64, rng *mathx.RNG) {
+	if sigma <= 0 {
+		return
+	}
+	positions := make([]mathx.Vec2, len(nw.Nodes))
+	for i, nd := range nw.Nodes {
+		p := nd.Pos.Add(mathx.V2(rng.Normal(0, sigma), rng.Normal(0, sigma)))
+		p.X = mathx.Clamp(p.X, 0, nw.Cfg.Width)
+		p.Y = mathx.Clamp(p.Y, 0, nw.Cfg.Height)
+		nd.Pos = p
+		positions[i] = p
+	}
+	cell := nw.Cfg.CommRadius
+	if cell > nw.Cfg.Width {
+		cell = nw.Cfg.Width
+	}
+	nw.grid = NewGrid(nw.Cfg.Width, nw.Cfg.Height, cell, positions)
+}
+
+// ResetStates marks every node Awake and clears energy accounting; used
+// between repeated runs on a shared deployment.
+func (nw *Network) ResetStates() {
+	for _, nd := range nw.Nodes {
+		nd.State = Awake
+		nd.EnergyUsed = 0
+	}
+}

@@ -1,0 +1,107 @@
+package wsn
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestProtocolCanReceiveRange(t *testing.T) {
+	p := ProtocolModel{Range: 30, Delta: 0.5}
+	tx := mathx.V2(0, 0)
+	if !p.CanReceive(tx, mathx.V2(29, 0), nil) {
+		t.Fatal("in-range reception rejected")
+	}
+	if p.CanReceive(tx, mathx.V2(31, 0), nil) {
+		t.Fatal("out-of-range reception accepted")
+	}
+}
+
+func TestProtocolInterference(t *testing.T) {
+	p := ProtocolModel{Range: 30, Delta: 0.5}
+	tx := mathx.V2(0, 0)
+	rx := mathx.V2(20, 0)
+	// Guard zone is (1+0.5)*30 = 45 around the receiver.
+	near := mathx.V2(60, 0) // 40 m from rx: inside guard zone
+	far := mathx.V2(70, 0)  // 50 m from rx: outside guard zone
+	if p.CanReceive(tx, rx, []mathx.Vec2{near}) {
+		t.Fatal("reception succeeded despite close interferer")
+	}
+	if !p.CanReceive(tx, rx, []mathx.Vec2{far}) {
+		t.Fatal("reception failed despite distant interferer")
+	}
+	// The transmitter itself in the interferer list is ignored.
+	if !p.CanReceive(tx, rx, []mathx.Vec2{tx, far}) {
+		t.Fatal("transmitter counted as its own interferer")
+	}
+}
+
+func TestScheduleBroadcastsSeparation(t *testing.T) {
+	p := ProtocolModel{Range: 30, Delta: 0}
+	// Three transmitters all within 60 m of each other need 3 slots; a
+	// fourth far away can share any slot.
+	txs := []mathx.Vec2{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 500, Y: 500},
+	}
+	slots := p.ScheduleBroadcasts(txs)
+	if len(slots) != 3 {
+		t.Fatalf("slot count = %d, want 3", len(slots))
+	}
+	// Every pair within a slot must be >= (2+Delta)*Range apart.
+	minSep := (2 + p.Delta) * p.Range
+	for _, slot := range slots {
+		for i := 0; i < len(slot); i++ {
+			for j := i + 1; j < len(slot); j++ {
+				if txs[slot[i]].Dist(txs[slot[j]]) < minSep {
+					t.Fatalf("co-slot transmitters too close: %v and %v",
+						txs[slot[i]], txs[slot[j]])
+				}
+			}
+		}
+	}
+	// All transmitters must be scheduled exactly once.
+	seen := make(map[int]bool)
+	for _, slot := range slots {
+		for _, i := range slot {
+			if seen[i] {
+				t.Fatalf("transmitter %d scheduled twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(txs) {
+		t.Fatalf("scheduled %d of %d transmitters", len(seen), len(txs))
+	}
+}
+
+func TestScheduleBroadcastsOneHopClusterSerializes(t *testing.T) {
+	// Transmitters packed into one predicted area (radius 10) can never
+	// share a slot with Range=30: latency equals the transmitter count.
+	p := ProtocolModel{Range: 30, Delta: 0}
+	rng := mathx.NewRNG(1)
+	var txs []mathx.Vec2
+	for i := 0; i < 12; i++ {
+		txs = append(txs, mathx.Polar(rng.Uniform(0, 10), rng.Uniform(0, 6.28)))
+	}
+	if slots := p.ScheduleBroadcasts(txs); len(slots) != len(txs) {
+		t.Fatalf("clustered broadcasts: %d slots for %d txs", len(slots), len(txs))
+	}
+}
+
+func TestConvergecastSlots(t *testing.T) {
+	p := ProtocolModel{Range: 30}
+	if p.ConvergecastSlots(17) != 17 {
+		t.Fatal("convergecast latency must equal message count")
+	}
+	if p.ConvergecastSlots(-3) != 0 {
+		t.Fatal("negative count should clamp to 0")
+	}
+}
+
+func TestNetworkProtocolModel(t *testing.T) {
+	nw := testNetwork(t, 5, 30)
+	p := nw.NewProtocolModel(0.25)
+	if p.Range != nw.Cfg.CommRadius || p.Delta != 0.25 {
+		t.Fatalf("model = %+v", p)
+	}
+}

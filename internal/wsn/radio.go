@@ -1,0 +1,200 @@
+package wsn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MsgKind categorizes radio traffic so the evaluation can attribute bytes to
+// the paper's cost components (Section II-B).
+type MsgKind uint8
+
+const (
+	// MsgParticle carries particle states during propagation (size Dp each).
+	MsgParticle MsgKind = iota
+	// MsgMeasurement carries one node's observation (size Dm).
+	MsgMeasurement
+	// MsgWeight carries particle weights (size Dw each).
+	MsgWeight
+	// MsgControl covers handshakes and aggregate broadcasts (queries,
+	// total-weight dissemination, wake-up signals).
+	MsgControl
+	numMsgKinds
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgParticle:
+		return "particle"
+	case MsgMeasurement:
+		return "measurement"
+	case MsgWeight:
+		return "weight"
+	case MsgControl:
+		return "control"
+	}
+	return "unknown"
+}
+
+// MsgSizes are the payload sizes in bytes of the three data elements on a
+// 32-bit platform (Section VI-B): a particle is four integers, a measurement
+// or a weight is one integer.
+type MsgSizes struct {
+	Dp int // particle: 16 bytes
+	Dm int // measurement: 4 bytes
+	Dw int // weight: 4 bytes
+}
+
+// PaperMsgSizes returns the evaluation's sizes.
+func PaperMsgSizes() MsgSizes { return MsgSizes{Dp: 16, Dm: 4, Dw: 4} }
+
+// CommStats accumulates transmitted messages and bytes by kind. Bytes count
+// each transmission once regardless of receiver count (broadcast medium), as
+// in the paper's accounting.
+type CommStats struct {
+	Msgs  [numMsgKinds]int64
+	Bytes [numMsgKinds]int64
+}
+
+// NewCommStats returns zeroed counters.
+func NewCommStats() *CommStats { return &CommStats{} }
+
+// Record counts one transmission of the given kind and payload size.
+func (s *CommStats) Record(kind MsgKind, bytes int) {
+	if bytes < 0 {
+		panic("wsn: negative message size")
+	}
+	s.Msgs[kind]++
+	s.Bytes[kind] += int64(bytes)
+}
+
+// TotalBytes returns the bytes summed over all kinds.
+func (s *CommStats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// TotalMsgs returns the message count summed over all kinds.
+func (s *CommStats) TotalMsgs() int64 {
+	var t int64
+	for _, m := range s.Msgs {
+		t += m
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (s *CommStats) Reset() { *s = CommStats{} }
+
+// Snapshot returns a copy of the counters.
+func (s *CommStats) Snapshot() CommStats { return *s }
+
+// Diff returns the counters accumulated since the snapshot prev.
+func (s *CommStats) Diff(prev CommStats) CommStats {
+	var d CommStats
+	for k := 0; k < int(numMsgKinds); k++ {
+		d.Msgs[k] = s.Msgs[k] - prev.Msgs[k]
+		d.Bytes[k] = s.Bytes[k] - prev.Bytes[k]
+	}
+	return d
+}
+
+// String renders a compact per-kind breakdown.
+func (s *CommStats) String() string {
+	var parts []string
+	for k := MsgKind(0); k < numMsgKinds; k++ {
+		if s.Msgs[k] == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %d msgs / %d B", k, s.Msgs[k], s.Bytes[k]))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "no traffic"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Broadcast transmits a message of the given kind and size from node `from`
+// to its one-hop neighborhood. It returns the IDs of the awake receivers
+// (from's neighbors), charges transmit energy to the sender and receive
+// energy to each receiver, and records one message in the statistics. A
+// sleeping or failed sender transmits nothing and returns nil.
+func (nw *Network) Broadcast(from NodeID, kind MsgKind, bytes int) []NodeID {
+	sender := nw.Nodes[from]
+	if !sender.Active() {
+		return nil
+	}
+	receivers := nw.Neighbors(from)
+	nw.Stats.Record(kind, bytes)
+	if nw.Energy != nil {
+		sender.EnergyUsed += nw.Energy.TxCost(bytes)
+		for _, id := range receivers {
+			nw.Nodes[id].EnergyUsed += nw.Energy.RxCost(bytes)
+		}
+	}
+	return receivers
+}
+
+// ForEachNeighbor calls fn for every awake one-hop neighbor of id without
+// allocating a result slice. fn must not call other Network query methods
+// (they share the iteration buffer).
+func (nw *Network) ForEachNeighbor(id NodeID, fn func(NodeID)) {
+	self := nw.Nodes[id]
+	nw.scratch = nw.grid.Within(self.Pos, nw.Cfg.CommRadius, nw.scratch[:0])
+	for _, nid := range nw.scratch {
+		if nid != id && nw.Nodes[nid].CanReceive() {
+			fn(nid)
+		}
+	}
+}
+
+// BroadcastQuiet is Broadcast without materializing the receiver list: it
+// records the message, charges energy, and returns the receiver count. Use
+// it on hot paths where the caller identifies receivers geometrically.
+func (nw *Network) BroadcastQuiet(from NodeID, kind MsgKind, bytes int) int {
+	sender := nw.Nodes[from]
+	if !sender.Active() {
+		return 0
+	}
+	nw.Stats.Record(kind, bytes)
+	count := 0
+	if nw.Energy != nil {
+		sender.EnergyUsed += nw.Energy.TxCost(bytes)
+		nw.ForEachNeighbor(from, func(id NodeID) {
+			nw.Nodes[id].EnergyUsed += nw.Energy.RxCost(bytes)
+			count++
+		})
+	} else {
+		nw.ForEachNeighbor(from, func(NodeID) { count++ })
+	}
+	return count
+}
+
+// Unicast transmits to a single in-range neighbor. It returns an error when
+// the receiver is out of range or cannot receive; statistics and energy are
+// charged only on success.
+func (nw *Network) Unicast(from, to NodeID, kind MsgKind, bytes int) error {
+	sender := nw.Nodes[from]
+	receiver := nw.Nodes[to]
+	if !sender.Active() {
+		return fmt.Errorf("wsn: unicast from inactive node %d", from)
+	}
+	if !receiver.CanReceive() {
+		return fmt.Errorf("wsn: unicast to unreachable node %d (%s)", to, receiver.State)
+	}
+	if sender.Pos.Dist(receiver.Pos) > nw.Cfg.CommRadius {
+		return fmt.Errorf("wsn: unicast %d->%d exceeds communication radius", from, to)
+	}
+	nw.Stats.Record(kind, bytes)
+	if nw.Energy != nil {
+		sender.EnergyUsed += nw.Energy.TxCost(bytes)
+		receiver.EnergyUsed += nw.Energy.RxCost(bytes)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package wsn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperMsgSizes(t *testing.T) {
+	s := PaperMsgSizes()
+	if s.Dp != 16 || s.Dm != 4 || s.Dw != 4 {
+		t.Fatalf("PaperMsgSizes = %+v", s)
+	}
+}
+
+func TestCommStatsRecordAndTotals(t *testing.T) {
+	s := NewCommStats()
+	s.Record(MsgParticle, 16)
+	s.Record(MsgParticle, 16)
+	s.Record(MsgMeasurement, 4)
+	if s.Msgs[MsgParticle] != 2 || s.Bytes[MsgParticle] != 32 {
+		t.Fatalf("particle counters = %d msgs / %d B", s.Msgs[MsgParticle], s.Bytes[MsgParticle])
+	}
+	if s.TotalBytes() != 36 || s.TotalMsgs() != 3 {
+		t.Fatalf("totals = %d B / %d msgs", s.TotalBytes(), s.TotalMsgs())
+	}
+	s.Reset()
+	if s.TotalBytes() != 0 || s.TotalMsgs() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCommStatsSnapshotDiff(t *testing.T) {
+	s := NewCommStats()
+	s.Record(MsgWeight, 4)
+	snap := s.Snapshot()
+	s.Record(MsgWeight, 4)
+	s.Record(MsgControl, 1)
+	d := s.Diff(snap)
+	if d.Bytes[MsgWeight] != 4 || d.Msgs[MsgWeight] != 1 || d.Msgs[MsgControl] != 1 {
+		t.Fatalf("Diff = %+v", d)
+	}
+}
+
+func TestCommStatsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	NewCommStats().Record(MsgParticle, -1)
+}
+
+func TestCommStatsString(t *testing.T) {
+	s := NewCommStats()
+	if s.String() != "no traffic" {
+		t.Fatalf("empty String = %q", s.String())
+	}
+	s.Record(MsgParticle, 16)
+	if !strings.Contains(s.String(), "particle") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	want := map[MsgKind]string{
+		MsgParticle: "particle", MsgMeasurement: "measurement",
+		MsgWeight: "weight", MsgControl: "control", numMsgKinds: "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("MsgKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestBroadcastCountsOnceAndReachesNeighbors(t *testing.T) {
+	nw := testNetwork(t, 10, 20)
+	from := NodeID(50)
+	want := nw.Neighbors(from)
+	got := nw.Broadcast(from, MsgParticle, 16)
+	if len(got) != len(want) {
+		t.Fatalf("broadcast reached %d, expected %d neighbors", len(got), len(want))
+	}
+	// One message, 16 bytes, regardless of receiver count.
+	if nw.Stats.Msgs[MsgParticle] != 1 || nw.Stats.Bytes[MsgParticle] != 16 {
+		t.Fatalf("broadcast counters = %d msgs / %d B", nw.Stats.Msgs[MsgParticle], nw.Stats.Bytes[MsgParticle])
+	}
+}
+
+func TestBroadcastFromInactiveNode(t *testing.T) {
+	nw := testNetwork(t, 10, 21)
+	nw.Node(10).State = Asleep
+	if got := nw.Broadcast(10, MsgParticle, 16); got != nil {
+		t.Fatal("sleeping node transmitted")
+	}
+	if nw.Stats.TotalMsgs() != 0 {
+		t.Fatal("sleeping broadcast was counted")
+	}
+}
+
+func TestBroadcastEnergyCharged(t *testing.T) {
+	nw := testNetwork(t, 10, 22)
+	nw.Energy = DefaultEnergyModel()
+	from := NodeID(77)
+	receivers := nw.Broadcast(from, MsgMeasurement, 4)
+	wantTx := nw.Energy.TxCost(4)
+	if math.Abs(nw.Node(from).EnergyUsed-wantTx) > 1e-9 {
+		t.Fatalf("sender energy = %v, want %v", nw.Node(from).EnergyUsed, wantTx)
+	}
+	for _, id := range receivers {
+		if math.Abs(nw.Node(id).EnergyUsed-nw.Energy.RxCost(4)) > 1e-9 {
+			t.Fatalf("receiver %d energy = %v", id, nw.Node(id).EnergyUsed)
+		}
+	}
+	wantTotal := wantTx + float64(len(receivers))*nw.Energy.RxCost(4)
+	if math.Abs(nw.TotalEnergy()-wantTotal) > 1e-6 {
+		t.Fatalf("TotalEnergy = %v, want %v", nw.TotalEnergy(), wantTotal)
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	nw := testNetwork(t, 10, 23)
+	from := NodeID(5)
+	nbrs := nw.Neighbors(from)
+	if len(nbrs) == 0 {
+		t.Skip("no neighbors")
+	}
+	if err := nw.Unicast(from, nbrs[0], MsgWeight, 4); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats.Bytes[MsgWeight] != 4 {
+		t.Fatal("unicast not counted")
+	}
+	// Out of range unicast fails and is not counted.
+	var far NodeID = -1
+	for _, nd := range nw.Nodes {
+		if nd.Pos.Dist(nw.Node(from).Pos) > nw.Cfg.CommRadius {
+			far = nd.ID
+			break
+		}
+	}
+	if far >= 0 {
+		before := nw.Stats.TotalMsgs()
+		if err := nw.Unicast(from, far, MsgWeight, 4); err == nil {
+			t.Fatal("out-of-range unicast accepted")
+		}
+		if nw.Stats.TotalMsgs() != before {
+			t.Fatal("failed unicast was counted")
+		}
+	}
+	// Unicast to a sleeping node fails.
+	nw.Node(nbrs[0]).State = Asleep
+	if err := nw.Unicast(from, nbrs[0], MsgWeight, 4); err == nil {
+		t.Fatal("unicast to sleeping node accepted")
+	}
+}
+
+func TestEnergyModelCosts(t *testing.T) {
+	e := DefaultEnergyModel()
+	if e.TxCost(10) <= e.TxCost(0) {
+		t.Fatal("TxCost not increasing in bytes")
+	}
+	if e.RxCost(10) >= e.TxCost(10) {
+		t.Fatal("reception should be cheaper than transmission")
+	}
+	if e.SleepCost(1) >= e.IdleCost(1) {
+		t.Fatal("sleeping should be cheaper than idle listening")
+	}
+}
+
+func TestBroadcastQuietParity(t *testing.T) {
+	// BroadcastQuiet must charge identical statistics and energy to
+	// Broadcast and report the same receiver count.
+	a := testNetwork(t, 10, 80)
+	b := testNetwork(t, 10, 80) // same seed: identical deployment
+	a.Energy = DefaultEnergyModel()
+	b.Energy = DefaultEnergyModel()
+	from := NodeID(123)
+	receivers := a.Broadcast(from, MsgParticle, 20)
+	count := b.BroadcastQuiet(from, MsgParticle, 20)
+	if count != len(receivers) {
+		t.Fatalf("receiver counts differ: %d vs %d", count, len(receivers))
+	}
+	if a.Stats.TotalBytes() != b.Stats.TotalBytes() || a.Stats.TotalMsgs() != b.Stats.TotalMsgs() {
+		t.Fatal("statistics differ between Broadcast and BroadcastQuiet")
+	}
+	if a.TotalEnergy() != b.TotalEnergy() {
+		t.Fatalf("energy differs: %v vs %v", a.TotalEnergy(), b.TotalEnergy())
+	}
+}
+
+func TestForEachNeighborMatchesNeighbors(t *testing.T) {
+	nw := testNetwork(t, 10, 81)
+	id := NodeID(55)
+	want := nw.Neighbors(id)
+	var got []NodeID
+	nw.ForEachNeighbor(id, func(n NodeID) { got = append(got, n) })
+	if len(got) != len(want) {
+		t.Fatalf("counts differ: %d vs %d", len(got), len(want))
+	}
+	wantSet := map[NodeID]bool{}
+	for _, n := range want {
+		wantSet[n] = true
+	}
+	for _, n := range got {
+		if !wantSet[n] {
+			t.Fatalf("ForEachNeighbor returned non-neighbor %d", n)
+		}
+	}
+}
