@@ -164,6 +164,11 @@ type (
 // the CDPF-NE variant.
 func DefaultTrackerConfig(useNE bool) TrackerConfig { return core.DefaultConfig(useNE) }
 
+// ResilientTrackerConfig returns the evaluation configuration hardened for
+// lossy networks: bounded re-broadcast and overheard-total compensation
+// enabled (both inert without packet loss).
+func ResilientTrackerConfig(useNE bool) TrackerConfig { return core.ResilientConfig(useNE) }
+
 // NewTracker creates a CDPF/CDPF-NE tracker on the network.
 func NewTracker(nw *Network, cfg TrackerConfig) (*Tracker, error) { return core.NewTracker(nw, cfg) }
 
@@ -320,6 +325,24 @@ func NewScheduler(nw *Network, dc *DutyCycle) *Scheduler { return sched.NewSched
 
 // DefaultEnergyModel returns MICA2-flavored energy constants.
 func DefaultEnergyModel() *EnergyModel { return wsn.DefaultEnergyModel() }
+
+// Fault injection.
+type (
+	// FaultSchedule is a replayable script of node failures (fail-stops,
+	// transient outages, regional blackouts) applied to a network over time.
+	FaultSchedule = wsn.FaultSchedule
+	// FaultEvent is one scheduled state change.
+	FaultEvent = wsn.FaultEvent
+)
+
+// NewFaultSchedule creates an empty fault script.
+func NewFaultSchedule() *FaultSchedule { return wsn.NewFaultSchedule() }
+
+// RandomFaultNodes picks a deterministic victim set of the given fraction
+// of the network's nodes.
+func RandomFaultNodes(nw *Network, frac float64, rng *RNG) []NodeID {
+	return wsn.RandomNodes(nw, frac, rng)
+}
 
 // In-network aggregation by gossip.
 type (

@@ -191,3 +191,39 @@ func TestPublicAPIKalmanAndModels(t *testing.T) {
 		t.Fatal("APF init failed")
 	}
 }
+
+// TestPublicAPIResilience drives the fault-injection facade: bursty loss,
+// a fail-stop schedule, and the hardened tracker configuration.
+func TestPublicAPIResilience(t *testing.T) {
+	sc, err := cdpf.DefaultScenario(20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Net.SetBurstLoss(0.3, 3, 99)
+	faults := cdpf.NewFaultSchedule()
+	mid := sc.Filter.Times[sc.Iterations()/2]
+	victims := cdpf.RandomFaultNodes(sc.Net, 0.2, sc.RNG(70))
+	faults.FailStopAt(mid, victims)
+	tr, err := cdpf.NewTracker(sc.Net, cdpf.ResilientTrackerConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	estimates := 0
+	for k := 0; k < sc.Iterations(); k++ {
+		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
+		if tr.Step(sc.Observations(k), rng).EstimateValid {
+			estimates++
+		}
+	}
+	if estimates < 5 {
+		t.Fatalf("estimates = %d under faults", estimates)
+	}
+	if faults.DownCount() != len(victims) {
+		t.Fatalf("DownCount = %d, want %d", faults.DownCount(), len(victims))
+	}
+	rs := tr.Resilience()
+	if rs.Compensated == 0 {
+		t.Fatal("compensation never fired under 30% bursty loss")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency]
+//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience]
 //	         [-seeds N] [-density D] [-csv DIR]
 package main
 
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency")
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience")
 		seeds   = flag.Int("seeds", 10, "number of random seeds per configuration (paper: 10)")
 		density = flag.Float64("density", 20, "node density (nodes per 100 m²) for single-density experiments")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
@@ -216,9 +216,60 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 			return err
 		}
 	}
+	if exp == "all" || exp == "resilience" {
+		results, err := experiments.ResilienceLossSweep(density, experiments.ResilienceLossRates(),
+			experiments.ResilienceFailFrac, experiments.ResilienceBurstLen, seedList)
+		if err != nil {
+			return err
+		}
+		lossAggs := metrics.Summarize(results)
+		rmse, cov, reacq := experiments.ResilienceTables(lossAggs, "loss %")
+		named := []struct {
+			name string
+			t    *report.Table
+		}{
+			{"resilience_rmse", rmse},
+			{"resilience_coverage", cov},
+			{"resilience_reacq", reacq},
+			{"resilience_locked", experiments.ResilienceLockTable(lossAggs, "loss %")},
+		}
+		for _, nt := range named {
+			if err := emit(nt.name, nt.t); err != nil {
+				return err
+			}
+		}
+		for _, h := range experiments.ResilienceHeadlines(lossAggs) {
+			fmt.Printf("Resilience headline %s: worst-corner RMSE x%.2f of clean, coverage %.0f%% at worst\n",
+				h.Algo, h.RMSEInflation, 100*h.CoverageAtWorst)
+		}
+		fmt.Println()
+		if chart {
+			fmt.Println(experiments.ResilienceChart(lossAggs, "loss %"))
+		}
+		failResults, err := experiments.ResilienceFailSweep(density, experiments.ResilienceFailFracs(),
+			experiments.ResilienceLossRate, experiments.ResilienceBurstLen, seedList)
+		if err != nil {
+			return err
+		}
+		failRMSE, failCov, failReacq := experiments.ResilienceTables(metrics.Summarize(failResults), "fail %")
+		failNamed := []struct {
+			name string
+			t    *report.Table
+		}{
+			{"resilience_fail_rmse", failRMSE},
+			{"resilience_fail_coverage", failCov},
+			{"resilience_fail_reacq", failReacq},
+		}
+		for _, nt := range failNamed {
+			if err := emit(nt.name, nt.t); err != nil {
+				return err
+			}
+		}
+	}
 	switch exp {
 	case "all", "table1", "fig4", "fig5", "fig6", "failure", "sleep", "loss", "duty",
-		"ablation", "multitarget", "mobility", "radius", "resampler", "aggregation", "latency":
+		"ablation", "multitarget", "mobility", "radius", "resampler", "aggregation", "latency",
+		"resilience":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cdpfsim [-algo cdpf|cdpf-ne|cpf|sdpf] [-density D] [-seed S]
-//	        [-steps N] [-fail F] [-sleep F] [-v]
+//	        [-steps N] [-fail F] [-sleep F] [-loss P] [-burst L]
+//	        [-failfrac F] [-v]
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/wsn"
 )
 
 func main() {
@@ -29,18 +32,21 @@ func main() {
 		steps    = flag.Int("steps", 10, "filter iterations (paper: 10 = 50 s at Δt 5 s)")
 		failFrac = flag.Float64("fail", 0, "fraction of nodes failed at deployment")
 		sleepFr  = flag.Float64("sleep", 0, "fraction of nodes in unanticipated sleep")
+		loss     = flag.Float64("loss", 0, "link packet-loss rate in [0,1)")
+		burst    = flag.Float64("burst", 1, "mean loss-burst length in filter iterations; >1 selects Gilbert–Elliott bursty loss")
+		failMid  = flag.Float64("failfrac", 0, "fraction of nodes fail-stopped mid-run (fault injection)")
 		verbose  = flag.Bool("v", false, "print a per-iteration trace")
 		traceOut = flag.String("trace", "", "write a per-iteration CSV trace to this file")
 	)
 	flag.Parse()
 
-	if err := run(*algoName, *density, *seed, *steps, *failFrac, *sleepFr, *verbose, *traceOut); err != nil {
+	if err := run(*algoName, *density, *seed, *steps, *failFrac, *sleepFr, *loss, *burst, *failMid, *verbose, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cdpfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName string, density float64, seed uint64, steps int, failFrac, sleepFr float64, verbose bool, traceOut string) error {
+func run(algoName string, density float64, seed uint64, steps int, failFrac, sleepFr, loss, burst, failMid float64, verbose bool, traceOut string) error {
 	var algo experiments.Algo
 	if algoName == "ekf" {
 		algo = "ekf"
@@ -63,15 +69,49 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 		sc.Net.Cfg.Width, sc.Net.Cfg.Height, sc.Net.Len(), sc.Net.Density(),
 		sc.Net.Cfg.SensingRadius, sc.Net.Cfg.CommRadius, sc.Iterations())
 
+	// Fault injection: link loss and a mid-run fail-stop schedule.
+	if loss < 0 || loss >= 1 {
+		return fmt.Errorf("-loss %v outside [0, 1)", loss)
+	}
+	if failMid < 0 || failMid > 1 {
+		return fmt.Errorf("-failfrac %v outside [0, 1]", failMid)
+	}
+	if loss > 0 && burst > 1 && loss/(1-loss) > burst {
+		return fmt.Errorf("-loss %v unreachable with -burst %v (needs loss/(1-loss) <= burst)", loss, burst)
+	}
+	if loss > 0 {
+		if burst > 1 {
+			sc.Net.SetBurstLoss(loss, burst, seed^0xfa117)
+			fmt.Printf("link loss: %.0f%% bursty (mean burst %.1f iterations)\n", 100*loss, burst)
+		} else {
+			sc.Net.SetLossRate(loss, seed^0xfa117)
+			fmt.Printf("link loss: %.0f%% iid\n", 100*loss)
+		}
+	}
+	faults := wsn.NewFaultSchedule()
+	if failMid > 0 {
+		mid := sc.Filter.Times[sc.Iterations()/2]
+		victims := wsn.RandomNodes(sc.Net, failMid, sc.RNG(70))
+		faults.FailStopAt(mid, victims)
+		fmt.Printf("fault injection: %d nodes fail-stop at t=%g s\n", len(victims), mid)
+	}
+	hardened := loss > 0 || failMid > 0
+
 	var errs []float64
+	var resilTr *core.Tracker
 	step := func(k int) (mathx.Vec2, int, bool) { return mathx.Vec2{}, -1, false }
 
 	switch algo {
 	case experiments.AlgoCDPF, experiments.AlgoCDPFNE:
-		tr, err := core.NewTracker(sc.Net, core.DefaultConfig(algo == experiments.AlgoCDPFNE))
+		cfg := core.DefaultConfig(algo == experiments.AlgoCDPFNE)
+		if hardened {
+			cfg = core.ResilientConfig(algo == experiments.AlgoCDPFNE)
+		}
+		tr, err := core.NewTracker(sc.Net, cfg)
 		if err != nil {
 			return err
 		}
+		resilTr = tr
 		rng := sc.RNG(1)
 		step = func(k int) (mathx.Vec2, int, bool) {
 			r := tr.Step(sc.Observations(k), rng)
@@ -120,10 +160,13 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 	}
 
 	rec := trace.New(string(algo), density, seed)
+	valid := make([]bool, 0, sc.Iterations())
 	for k := 0; k < sc.Iterations(); k++ {
+		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
 		before := sc.Net.Stats.Snapshot()
 		detectors := len(sc.DetectingNodes(k))
 		est, estFor, ok := step(k)
+		valid = append(valid, ok)
 		d := sc.Net.Stats.Diff(before)
 		r := trace.Record{
 			K: k, Time: sc.Filter.Times[k],
@@ -161,6 +204,20 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 		algo, len(errs), mathx.RMS(errs), maxOf(errs))
 	fmt.Printf("communication: %s (total %d msgs / %d bytes)\n",
 		sc.Net.Stats, sc.Net.Stats.TotalMsgs(), sc.Net.Stats.TotalBytes())
+	if hardened {
+		episodes, reacq, locked := metrics.TrackEpisodes(valid)
+		fmt.Printf("track loss: %d episodes, locked %.0f%% of the time since acquisition",
+			episodes, 100*locked)
+		if len(reacq) > 0 {
+			fmt.Printf(", mean reacquire %.1f iterations", mathx.Mean(reacq))
+		}
+		fmt.Println()
+		if resilTr != nil {
+			rs := resilTr.Resilience()
+			fmt.Printf("degradation: %d rebroadcasts (%d saved a particle), %d compensated totals, %d failed nodes at end\n",
+				rs.Rebroadcasts, rs.RebroadcastSaves, rs.Compensated, faults.DownCount())
+		}
+	}
 	return nil
 }
 

@@ -8,31 +8,45 @@ import (
 )
 
 func TestRunRejectsUnknownAlgo(t *testing.T) {
-	if err := run("nope", 20, 1, 10, 0, 0, false, ""); err == nil {
+	if err := run("nope", 20, 1, 10, 0, 0, 0, 1, 0, false, ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestRunEveryAlgo(t *testing.T) {
 	for _, algo := range []string{"cdpf", "cdpf-ne", "cpf", "dpf", "sdpf", "ekf"} {
-		if err := run(algo, 10, 31, 10, 0, 0, false, ""); err != nil {
+		if err := run(algo, 10, 31, 10, 0, 0, 0, 1, 0, false, ""); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
 }
 
 func TestRunWithFaultInjection(t *testing.T) {
-	if err := run("cdpf", 10, 31, 10, 0.2, 0.1, false, ""); err != nil {
+	if err := run("cdpf", 10, 31, 10, 0.2, 0.1, 0, 1, 0, false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cdpf", 10, 31, 10, 2, 0, false, ""); err == nil {
+	if err := run("cdpf", 10, 31, 10, 2, 0, 0, 1, 0, false, ""); err == nil {
 		t.Fatal("failure fraction above 1 accepted")
+	}
+}
+
+func TestRunWithLossAndFailStops(t *testing.T) {
+	// Bursty loss plus mid-run fail-stops must run to completion for both
+	// the hardened CDPF path and a baseline.
+	for _, algo := range []string{"cdpf", "sdpf"} {
+		if err := run(algo, 10, 31, 10, 0, 0, 0.4, 3, 0.2, false, ""); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	// iid loss (burst <= 1) exercises the other loss branch.
+	if err := run("cdpf", 10, 31, 10, 0, 0, 0.3, 1, 0, false, ""); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("cdpf", 10, 31, 10, 0, 0, false, path); err != nil {
+	if err := run("cdpf", 10, 31, 10, 0, 0, 0, 1, 0, false, path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -42,5 +56,17 @@ func TestRunWritesTrace(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) != 12 { // header + 11 iterations
 		t.Fatalf("trace has %d lines", len(lines))
+	}
+}
+
+func TestRunRejectsInvalidFaultFlags(t *testing.T) {
+	if err := run("cdpf", 10, 31, 10, 0, 0, 1.5, 1, 0, false, ""); err == nil {
+		t.Fatal("loss rate above 1 accepted")
+	}
+	if err := run("cdpf", 10, 31, 10, 0, 0, 0, 1, 1.2, false, ""); err == nil {
+		t.Fatal("failfrac above 1 accepted")
+	}
+	if err := run("cdpf", 10, 31, 10, 0, 0, 0.8, 3, 0, false, ""); err == nil {
+		t.Fatal("unreachable loss/burst combination accepted")
 	}
 }

@@ -89,6 +89,27 @@ type Config struct {
 	// growing without bound while the filter coasts with no measurements
 	// (e.g. after the target leaves the field). 0 defaults to 256.
 	MaxHolders int
+
+	// Graceful degradation under faults (DESIGN.md, "Fault model &
+	// degradation behavior"). All three knobs leave the fault-free paper
+	// behavior bit-identical when disabled, which is the default.
+
+	// Rebroadcasts is the maximum number of retry transmissions a holder
+	// makes when its propagated particle finds no recorder (the silent-drop
+	// path): each retry is charged like a normal propagation message and
+	// widens the recording distance by RebroadcastBackoff, announcing a
+	// relaxed record threshold in the retry header. 0 disables (default).
+	Rebroadcasts int
+	// RebroadcastBackoff multiplies the maximum recording distance on each
+	// retry. 0 defaults to 1.5; values below 1 are invalid.
+	RebroadcastBackoff float64
+	// CompensateLoss makes each recorder extrapolate its overheard weight
+	// total when it detected in-range propagation traffic it failed to
+	// decode (a radio knows it lost a frame far more often than it knows
+	// what the frame held): the locally-observed total is scaled by the
+	// ratio of in-range broadcasters to successfully decoded ones. Without
+	// packet loss the two counts are equal and behavior is unchanged.
+	CompensateLoss bool
 }
 
 // DefaultConfig returns the evaluation configuration of Section VI.
@@ -171,5 +192,23 @@ func (c Config) withDefaults(nw *wsn.Network) (Config, error) {
 	if c.MaxHolders < 1 {
 		return c, fmt.Errorf("core: MaxHolders %d must be positive", c.MaxHolders)
 	}
+	if c.Rebroadcasts < 0 || c.Rebroadcasts > 8 {
+		return c, fmt.Errorf("core: Rebroadcasts %d outside [0, 8]", c.Rebroadcasts)
+	}
+	if c.RebroadcastBackoff == 0 {
+		c.RebroadcastBackoff = 1.5
+	}
+	if c.RebroadcastBackoff < 1 {
+		return c, fmt.Errorf("core: RebroadcastBackoff %v must be >= 1", c.RebroadcastBackoff)
+	}
 	return c, nil
+}
+
+// ResilientConfig returns DefaultConfig with the graceful-degradation
+// mechanisms enabled — the configuration the resilience benchmark runs.
+func ResilientConfig(useNE bool) Config {
+	c := DefaultConfig(useNE)
+	c.Rebroadcasts = 2
+	c.CompensateLoss = true
+	return c
 }

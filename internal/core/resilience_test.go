@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/wsn"
+)
+
+// runUnderLoss runs a CDPF tracker over the default scenario with the given
+// loss model and config, returning the tracker and its per-iteration
+// estimate-validity series.
+func runUnderLoss(t *testing.T, cfg core.Config, steps int, loss, burst float64, seed uint64) (*core.Tracker, []bool) {
+	t.Helper()
+	p := scenario.Default(20, seed)
+	p.Steps = steps
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0 {
+		if burst > 1 {
+			sc.Net.SetBurstLoss(loss, burst, seed^0xfa11)
+		} else {
+			sc.Net.SetLossRate(loss, seed^0xfa11)
+		}
+	}
+	tr, err := core.NewTracker(sc.Net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	var valid []bool
+	for k := 0; k < sc.Iterations(); k++ {
+		r := tr.Step(sc.Observations(k), rng)
+		valid = append(valid, r.EstimateValid)
+	}
+	return tr, valid
+}
+
+// TestRecoveryUnderSustainedLoss exercises the track-divergence recovery
+// path (reinit after all particles dropped) under sustained heavy packet
+// loss: the hardened tracker must keep reacquiring the target within a
+// bounded number of iterations rather than staying diverged.
+func TestRecoveryUnderSustainedLoss(t *testing.T) {
+	const maxReacquire = 3
+	for _, seed := range []uint64{31, 62, 93} {
+		tr, valid := runUnderLoss(t, core.ResilientConfig(false), 20, 0.4, 0, seed)
+		rs := tr.Resilience()
+		for i, gap := range rs.Reacquires {
+			if gap > maxReacquire {
+				t.Errorf("seed %d: episode %d took %d iterations to reacquire, want <= %d",
+					seed, i, gap, maxReacquire)
+			}
+		}
+		// The run must end locked (no unbounded divergence at the tail) and
+		// must have produced estimates for most iterations.
+		if !valid[len(valid)-1] {
+			t.Errorf("seed %d: tracker ended a 40%% loss run without an estimate", seed)
+		}
+		locked := 0
+		for _, v := range valid {
+			if v {
+				locked++
+			}
+		}
+		if locked < len(valid)*2/3 {
+			t.Errorf("seed %d: locked only %d/%d iterations under 40%% loss", seed, locked, len(valid))
+		}
+	}
+}
+
+// TestReinitAfterTotalParticleLoss forces the all-particles-dropped path and
+// checks that createFresh re-initializes the filter on the detectors and the
+// episode accounting records the loss and the reacquisition.
+func TestReinitAfterTotalParticleLoss(t *testing.T) {
+	p := scenario.Default(20, 31)
+	p.Steps = 20
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	// Acquire the track first (steps 0..2).
+	var r core.StepResult
+	for k := 0; k < 3; k++ {
+		r = tr.Step(sc.Observations(k), rng)
+	}
+	if r.Holders == 0 || !r.EstimateValid {
+		t.Fatal("tracker failed to acquire under no loss")
+	}
+	// Force divergence: a detection at a failed node far from the cloud.
+	// The recovery logic drops the whole cloud (no holder detected) and the
+	// creation step cannot re-initialize on a failed node, so the particle
+	// population hits zero — the state a long burst over all holders causes.
+	farID := sc.Net.NearestNode(mathx.V2(sc.Net.Cfg.Width, 0))
+	sc.Net.Node(farID).State = wsn.Failed
+	// Two steps: the first may only consume the post-reinit grace period;
+	// the second must drop the whole cloud.
+	tr.Step([]core.Observation{{Node: farID, Bearing: 0}}, rng)
+	r = tr.Step([]core.Observation{{Node: farID, Bearing: 0}}, rng)
+	if r.Holders != 0 {
+		t.Fatalf("divergence recovery left %d holders", r.Holders)
+	}
+	// No detections while the cloud is empty: no estimate — a loss episode.
+	r = tr.Step(nil, rng)
+	if r.EstimateValid {
+		t.Fatal("estimate produced with no particles")
+	}
+	// Real detections return: reinit creates particles on the detectors...
+	r = tr.Step(sc.Observations(5), rng)
+	if r.Created == 0 {
+		t.Fatal("reinit did not create particles on the detectors")
+	}
+	// ...and the next propagation produces an estimate again.
+	r = tr.Step(sc.Observations(6), rng)
+	if !r.EstimateValid {
+		t.Fatal("tracker did not reacquire one iteration after reinit")
+	}
+	rs := tr.Resilience()
+	if rs.LossEpisodes != 1 {
+		t.Fatalf("LossEpisodes = %d, want 1", rs.LossEpisodes)
+	}
+	if len(rs.Reacquires) != 1 {
+		t.Fatalf("Reacquires = %v, want one ended episode", rs.Reacquires)
+	}
+	if rs.Reacquires[0] > 2 {
+		t.Fatalf("reacquisition took %d iterations, want <= 2", rs.Reacquires[0])
+	}
+}
+
+// TestRebroadcastRecoversDroppedParticles compares the same lossy run with
+// and without bounded re-broadcast: retries must fire under heavy bursty
+// loss and must be charged for the extra bytes.
+func TestRebroadcastRecoversDroppedParticles(t *testing.T) {
+	base := core.DefaultConfig(false)
+	hard := core.DefaultConfig(false)
+	hard.Rebroadcasts = 2
+
+	run := func(cfg core.Config) (*core.Tracker, int64) {
+		p := scenario.Default(20, 31)
+		p.Steps = 20
+		sc, err := scenario.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Net.SetBurstLoss(0.35, 3, 77)
+		tr, err := core.NewTracker(sc.Net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sc.RNG(1)
+		for k := 0; k < sc.Iterations(); k++ {
+			tr.Step(sc.Observations(k), rng)
+		}
+		return tr, sc.Net.Stats.TotalBytes()
+	}
+	_, baseBytes := run(base)
+	trHard, hardBytes := run(hard)
+	rs := trHard.Resilience()
+	if rs.Rebroadcasts == 0 {
+		t.Fatal("no rebroadcasts fired under 35% bursty loss")
+	}
+	if hardBytes <= baseBytes {
+		t.Fatalf("rebroadcasts not charged: %d bytes vs %d", hardBytes, baseBytes)
+	}
+}
+
+// TestDegradationOffIsBitIdentical pins that the degradation knobs change
+// nothing without loss: estimates with CompensateLoss and Rebroadcasts
+// enabled match the seed behavior exactly on a lossless network.
+func TestDegradationOffIsBitIdentical(t *testing.T) {
+	run := func(cfg core.Config) []float64 {
+		sc, err := scenario.Build(scenario.Default(20, 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := core.NewTracker(sc.Net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sc.RNG(1)
+		var xs []float64
+		for k := 0; k < sc.Iterations(); k++ {
+			r := tr.Step(sc.Observations(k), rng)
+			if r.EstimateValid {
+				xs = append(xs, r.Estimate.X, r.Estimate.Y)
+			}
+		}
+		return xs
+	}
+	a := run(core.DefaultConfig(false))
+	b := run(core.ResilientConfig(false))
+	if len(a) != len(b) {
+		t.Fatalf("estimate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs without loss: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -60,6 +60,27 @@ type Tracker struct {
 	// as track divergence and triggers re-initialization, with a one-iteration
 	// grace period after each reinit to prevent reinit storms.
 	missedIters int
+
+	// resilience accounting (see ResilienceStats)
+	resil   ResilienceStats
+	iter    int  // Step invocations so far
+	lostAt  int  // iteration the current loss episode began; -1 when locked
+	everEst bool // an estimate has been produced at least once
+}
+
+// ResilienceStats counts the tracker's degradation events across a run:
+// how often the graceful-degradation mechanisms fired and how the track
+// lock evolved. An episode begins when a previously locked tracker stops
+// producing estimates and ends at the next valid estimate; Reacquires holds
+// the length (in filter iterations) of each episode that ended.
+type ResilienceStats struct {
+	Rebroadcasts     int   // charged retry transmissions after silent drops
+	RebroadcastSaves int   // particles that found recorders only on a retry
+	Compensated      int   // overheard totals extrapolated over detected loss
+	LossEpisodes     int   // track-loss episodes entered
+	LockedIters      int   // iterations with a valid estimate
+	LostIters        int   // iterations inside a loss episode
+	Reacquires       []int // iterations-to-reacquire per ended episode
 }
 
 // recAccum accumulates a recorder's incoming particle contributions during
@@ -82,8 +103,12 @@ func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
 		cfg:        c,
 		parts:      make(map[wsn.NodeID]*nodeParticle),
 		recContrib: make(map[wsn.NodeID]*recAccum),
+		lostAt:     -1,
 	}, nil
 }
+
+// Resilience returns the degradation counters accumulated so far.
+func (t *Tracker) Resilience() ResilienceStats { return t.resil }
 
 // Holders returns the IDs of nodes currently maintaining a particle, sorted
 // for determinism.
@@ -171,8 +196,29 @@ func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
 	t.createFresh(obs, &res)
 
 	res.Holders = len(t.parts)
+	t.accountLock(res.EstimateValid)
 	_ = rng // reserved for stochastic extensions (e.g. randomized recording)
 	return res
+}
+
+// accountLock updates the track-loss episode bookkeeping after one Step.
+func (t *Tracker) accountLock(estimateValid bool) {
+	switch {
+	case estimateValid:
+		if t.lostAt >= 0 {
+			t.resil.Reacquires = append(t.resil.Reacquires, t.iter-t.lostAt)
+			t.lostAt = -1
+		}
+		t.everEst = true
+		t.resil.LockedIters++
+	case t.everEst:
+		if t.lostAt < 0 {
+			t.lostAt = t.iter
+			t.resil.LossEpisodes++
+		}
+		t.resil.LostIters++
+	}
+	t.iter++
 }
 
 // pruneLowWeight removes particles whose normalized weight is below
@@ -273,17 +319,23 @@ func (t *Tracker) propagate(res *StepResult) {
 	// maxRecordDist is the distance at which the linear probability equals
 	// the threshold.
 	maxRecordDist := t.cfg.PredictRadius * (1 - t.cfg.RecordThreshold)
-	commR := t.nw.Cfg.CommRadius
 
 	clear(t.recContrib)
 	for _, b := range bcasts {
-		cand := t.nw.ActiveNodesWithin(b.area.Center, maxRecordDist)
-		// A recorder must physically receive the broadcast: within the
-		// communication radius of the sender (or be the sender itself).
-		recorders := cand[:0]
-		for _, id := range cand {
-			if id == b.id || (t.nw.Node(id).Pos.Dist(b.pos) <= commR && t.nw.Delivers(b.id, id)) {
-				recorders = append(recorders, id)
+		recorders := t.selectRecorders(b, maxRecordDist, 0)
+		// Bounded re-broadcast with backoff: a holder whose propagation drew
+		// no recorder (nobody awake/reachable in the predicted area) retries
+		// up to Rebroadcasts times, each retry charged like the original
+		// message and announcing a recording distance widened by the backoff
+		// factor — trading bytes for a chance to keep the particle alive
+		// instead of silently dropping it.
+		for attempt := 1; len(recorders) == 0 && attempt <= t.cfg.Rebroadcasts; attempt++ {
+			t.nw.BroadcastQuiet(b.id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
+			t.resil.Rebroadcasts++
+			dist := maxRecordDist * math.Pow(t.cfg.RebroadcastBackoff, float64(attempt))
+			recorders = t.selectRecorders(b, dist, attempt)
+			if len(recorders) > 0 {
+				t.resil.RebroadcastSaves++
 			}
 		}
 		if len(recorders) == 0 {
@@ -357,16 +409,56 @@ func (t *Tracker) propagate(res *StepResult) {
 	}
 }
 
+// selectRecorders returns the awake nodes within maxDist of the broadcast's
+// predicted-area center that physically received the attempt-th transmission
+// of the broadcast: within the communication radius of the sender (or the
+// sender itself). The returned slice aliases a fresh candidate query.
+func (t *Tracker) selectRecorders(b bcast, maxDist float64, attempt int) []wsn.NodeID {
+	commR := t.nw.Cfg.CommRadius
+	cand := t.nw.ActiveNodesWithin(b.area.Center, maxDist)
+	recorders := cand[:0]
+	for _, id := range cand {
+		if id == b.id || (t.nw.Node(id).Pos.Dist(b.pos) <= commR && t.nw.DeliversAttempt(b.id, id, attempt)) {
+			recorders = append(recorders, id)
+		}
+	}
+	return recorders
+}
+
 // overheardTotal returns the sum of broadcast weights receivable at node id:
 // broadcasts from within the communication radius (overhearing effect).
+//
+// With CompensateLoss enabled, the recorder falls back to extrapolating its
+// locally-observed total when the overheard total is incomplete: a radio
+// detects in-range frames it failed to decode (preamble heard, CRC failed)
+// even though it cannot recover their payloads, so the recorder knows how
+// many in-range propagation broadcasts it missed and scales the weight it
+// did observe by inRange/heard. Without packet loss heard == inRange and
+// the total is exactly the seed behavior.
 func (t *Tracker) overheardTotal(id wsn.NodeID, bcasts []bcast) float64 {
 	pos := t.nw.Node(id).Pos
 	commR := t.nw.Cfg.CommRadius
 	total := 0.0
+	heard, inRange := 0, 0
 	for i := range bcasts {
-		if bcasts[i].id == id || (bcasts[i].pos.Dist(pos) <= commR && t.nw.Delivers(bcasts[i].id, id)) {
+		if bcasts[i].id == id {
 			total += bcasts[i].w
+			heard++
+			inRange++
+			continue
 		}
+		if bcasts[i].pos.Dist(pos) > commR {
+			continue
+		}
+		inRange++
+		if t.nw.Delivers(bcasts[i].id, id) {
+			total += bcasts[i].w
+			heard++
+		}
+	}
+	if t.cfg.CompensateLoss && heard > 0 && inRange > heard {
+		total *= float64(inRange) / float64(heard)
+		t.resil.Compensated++
 	}
 	return total
 }

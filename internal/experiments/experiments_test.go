@@ -382,3 +382,82 @@ func TestMultiTargetExperiment(t *testing.T) {
 		t.Fatalf("rows = %d", tbl.Rows())
 	}
 }
+
+func TestResilienceLossSweep(t *testing.T) {
+	rates := []float64{0, 0.5}
+	results, err := ResilienceLossSweep(20, rates, 0.2, ResilienceBurstLen, Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(rates)*4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Every algorithm must appear at both corners and must report the
+	// resilience metrics without panicking, even at 50% bursty loss with
+	// 20% of the nodes fail-stopped mid-run.
+	seen := map[string]int{}
+	for _, r := range results {
+		seen[r.Algo]++
+		if r.Iterations == 0 {
+			t.Fatalf("%s at %.0f%%: no iterations recorded", r.Algo, r.Density)
+		}
+	}
+	for _, algo := range AllAlgos() {
+		if seen[string(algo)] != len(rates) {
+			t.Fatalf("algo %s appeared %d times, want %d", algo, seen[string(algo)], len(rates))
+		}
+	}
+	aggs := metrics.Summarize(results)
+	rmse, cov, reacq := ResilienceTables(aggs, "loss %")
+	for _, tbl := range []interface{ Rows() int }{rmse, cov, reacq} {
+		if tbl.Rows() != len(rates) {
+			t.Fatalf("resilience table rows = %d, want %d", tbl.Rows(), len(rates))
+		}
+	}
+	if !strings.Contains(rmse.String(), "cdpf-ne") {
+		t.Fatalf("rmse table missing algo column:\n%s", rmse)
+	}
+	if ResilienceLockTable(aggs, "loss %").Rows() != len(rates) {
+		t.Fatal("lock table rows")
+	}
+	if len(ResilienceHeadlines(aggs)) != 4 {
+		t.Fatal("headline count")
+	}
+	// The clean corner must track well for all algorithms.
+	for _, a := range aggs {
+		if a.Density == 0 && (math.IsNaN(a.MeanRMSE) || a.MeanRMSE > 30) {
+			t.Fatalf("%s clean-corner rmse = %v", a.Algo, a.MeanRMSE)
+		}
+	}
+}
+
+func TestResilienceSweepDeterministic(t *testing.T) {
+	run := func() []metrics.RunResult {
+		results, err := ResilienceLossSweep(20, []float64{0.4}, 0.2, ResilienceBurstLen, Seeds(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].RMSE() != b[i].RMSE() || a[i].Bytes() != b[i].Bytes() ||
+			a[i].LossEpisodes != b[i].LossEpisodes || a[i].LockedFrac != b[i].LockedFrac {
+			t.Fatalf("run %d (%s) not deterministic: %+v vs %+v", i, a[i].Algo, a[i], b[i])
+		}
+	}
+}
+
+func TestResilienceFailSweep(t *testing.T) {
+	results, err := ResilienceFailSweep(20, []float64{0, 0.2}, ResilienceLossRate, ResilienceBurstLen, Seeds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	tbl, _, _ := ResilienceTables(metrics.Summarize(results), "fail %")
+	if tbl.Rows() != 2 {
+		t.Fatalf("fail table rows = %d", tbl.Rows())
+	}
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/wsn"
+)
+
+// The resilience benchmark: the repo's first quantitative robustness study.
+// It injects the fault classes real deployments exhibit — bursty link loss
+// (Gilbert–Elliott, whole filter iterations dark) and scheduled mid-run
+// node failures — and measures how each algorithm's error, coverage, and
+// time-to-reacquire degrade. CDPF and CDPF-NE run with the graceful-
+// degradation mechanisms enabled (core.ResilientConfig: bounded
+// re-broadcast with backoff, incomplete-total compensation), so the tables
+// price robustness in the same bytes the rest of the evaluation uses.
+
+// ResilienceDefaults are the benchmark's fixed parameters.
+const (
+	// ResilienceBurstLen is the mean Bad-state sojourn in filter iterations;
+	// values <= 1 select iid loss instead.
+	ResilienceBurstLen = 3.0
+	// ResilienceFailFrac is the fraction of nodes fail-stopped mid-run in
+	// the loss-rate sweep.
+	ResilienceFailFrac = 0.2
+	// ResilienceLossRate is the link loss rate held fixed in the
+	// failed-fraction sweep.
+	ResilienceLossRate = 0.3
+)
+
+// ResilienceLossRates returns the benchmark's loss-rate grid (0..0.5).
+func ResilienceLossRates() []float64 { return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} }
+
+// ResilienceFailFracs returns the benchmark's failed-fraction grid.
+func ResilienceFailFracs() []float64 { return []float64{0, 0.1, 0.2, 0.3, 0.4} }
+
+// resilienceFaults builds the benchmark's fault script for one scenario:
+// frac of the nodes fail-stop at the mid-run filter time. Victims are a
+// deterministic function of the scenario seed, so every algorithm faces the
+// same failures.
+func resilienceFaults(sc *scenario.Scenario, frac float64) *wsn.FaultSchedule {
+	fs := wsn.NewFaultSchedule()
+	if frac > 0 {
+		mid := sc.Filter.Times[sc.Iterations()/2]
+		fs.FailStopAt(mid, wsn.RandomNodes(sc.Net, frac, sc.RNG(70)))
+	}
+	return fs
+}
+
+// setLoss configures the scenario's link-loss process.
+func setLoss(sc *scenario.Scenario, rate, burstLen float64) {
+	if rate <= 0 {
+		return
+	}
+	seed := sc.P.Seed ^ 0xfa117
+	if burstLen > 1 {
+		sc.Net.SetBurstLoss(rate, burstLen, seed)
+	} else {
+		sc.Net.SetLossRate(rate, seed)
+	}
+}
+
+// runResilient tracks one scenario with the given algorithm while replaying
+// the fault schedule before every filter iteration, and fills the track-loss
+// accounting fields of the result. CDPF variants run hardened
+// (core.ResilientConfig); the baselines run as shipped.
+func runResilient(sc *scenario.Scenario, algo Algo, faults *wsn.FaultSchedule) (metrics.RunResult, error) {
+	res := metrics.RunResult{
+		Algo:       string(algo),
+		Density:    sc.P.Density,
+		Seed:       sc.P.Seed,
+		Iterations: sc.Iterations(),
+	}
+	// step runs iteration k and reports the estimate, the iteration it is
+	// for, and its validity.
+	var step func(k int) (mathx.Vec2, int, bool)
+	switch algo {
+	case AlgoCDPF, AlgoCDPFNE:
+		tr, err := core.NewTracker(sc.Net, core.ResilientConfig(algo == AlgoCDPFNE))
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(1)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			r := tr.Step(sc.Observations(k), rng)
+			return r.Estimate, k - 1, r.EstimateValid && k >= 1
+		}
+	case AlgoCPF:
+		c, err := baseline.NewCPF(sc.Net, baseline.DefaultCPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(2)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := c.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	case AlgoDPF:
+		d, err := baseline.NewDPF(sc.Net, baseline.DefaultDPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(4)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := d.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	case AlgoSDPF:
+		s, err := baseline.NewSDPF(sc.Net, baseline.DefaultSDPFConfig())
+		if err != nil {
+			return res, err
+		}
+		rng := sc.RNG(3)
+		step = func(k int) (mathx.Vec2, int, bool) {
+			est, ok := s.Step(sc.Observations(k), rng)
+			return est, k, ok
+		}
+	default:
+		return res, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+	valid := make([]bool, sc.Iterations())
+	for k := 0; k < sc.Iterations(); k++ {
+		if faults != nil {
+			faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
+		}
+		est, forK, ok := step(k)
+		valid[k] = ok
+		if ok && forK >= 0 {
+			res.Errors = append(res.Errors, est.Dist(sc.Truth(forK)))
+		}
+	}
+	res.LossEpisodes, res.ReacquireIters, res.LockedFrac = metrics.TrackEpisodes(valid)
+	res.Comm = sc.Net.Stats.Snapshot()
+	res.Energy = sc.Net.TotalEnergy()
+	return res, nil
+}
+
+// ResilienceLossSweep runs all four algorithms across the loss-rate grid
+// under bursty loss with failFrac of the nodes fail-stopping mid-run. The
+// Density field of the results stores the loss percentage for grouping.
+func ResilienceLossSweep(density float64, rates []float64, failFrac, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, rate := range rates {
+		for _, algo := range AllAlgos() {
+			for _, seed := range seeds {
+				sc, err := scenario.Build(scenario.Default(density, seed))
+				if err != nil {
+					return nil, err
+				}
+				setLoss(sc, rate, burstLen)
+				r, err := runResilient(sc, algo, resilienceFaults(sc, failFrac))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: resilience %s at loss %g seed %d: %w", algo, rate, seed, err)
+				}
+				r.Density = 100 * rate
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ResilienceFailSweep runs all four algorithms across the failed-fraction
+// grid at a fixed bursty loss rate. The Density field of the results stores
+// the failed percentage for grouping.
+func ResilienceFailSweep(density float64, fracs []float64, lossRate, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var out []metrics.RunResult
+	for _, frac := range fracs {
+		for _, algo := range AllAlgos() {
+			for _, seed := range seeds {
+				sc, err := scenario.Build(scenario.Default(density, seed))
+				if err != nil {
+					return nil, err
+				}
+				setLoss(sc, lossRate, burstLen)
+				r, err := runResilient(sc, algo, resilienceFaults(sc, frac))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: resilience %s at failfrac %g seed %d: %w", algo, frac, seed, err)
+				}
+				r.Density = 100 * frac
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ResilienceTables renders one resilience sweep as three tables: RMSE,
+// coverage (fraction of iterations with an estimate), and mean
+// time-to-reacquire in filter iterations. axis labels the sweep variable
+// (e.g. "loss %" or "fail %").
+func ResilienceTables(aggs []metrics.Aggregate, axis string) (rmse, cov, reacq *report.Table) {
+	rmse = sweepTable(aggs, fmt.Sprintf("Resilience — RMSE (m) vs %s", axis),
+		func(a metrics.Aggregate) float64 { return a.MeanRMSE })
+	rmse.Headers[0] = axis
+	cov = sweepTable(aggs, fmt.Sprintf("Resilience — coverage vs %s", axis),
+		func(a metrics.Aggregate) float64 { return a.MeanCoverage })
+	cov.Headers[0] = axis
+	reacq = sweepTable(aggs, fmt.Sprintf("Resilience — mean iterations to reacquire vs %s", axis),
+		func(a metrics.Aggregate) float64 { return a.MeanReacquire })
+	reacq.Headers[0] = axis
+	return rmse, cov, reacq
+}
+
+// ResilienceLockTable renders the fraction-of-time-locked view of a sweep.
+func ResilienceLockTable(aggs []metrics.Aggregate, axis string) *report.Table {
+	t := sweepTable(aggs, fmt.Sprintf("Resilience — fraction of time locked vs %s", axis),
+		func(a metrics.Aggregate) float64 { return a.MeanLocked })
+	t.Headers[0] = axis
+	return t
+}
+
+// ResilienceChart renders the RMSE degradation curves of a sweep.
+func ResilienceChart(aggs []metrics.Aggregate, axis string) *report.Chart {
+	return sweepChart(aggs, fmt.Sprintf("Resilience — RMSE vs %s", axis), axis, "rmse_m",
+		func(a metrics.Aggregate) float64 { return a.MeanRMSE })
+}
+
+// ResilienceHeadline summarizes CDPF's degradation between the clean and
+// the worst corner of a loss sweep: RMSE inflation and coverage retained.
+type ResilienceHeadline struct {
+	Algo            string
+	RMSEInflation   float64 // worst-corner RMSE / clean RMSE
+	CoverageAtWorst float64
+}
+
+// ResilienceHeadlines extracts per-algorithm degradation headlines from a
+// sweep grouped by loss percentage.
+func ResilienceHeadlines(aggs []metrics.Aggregate) []ResilienceHeadline {
+	lo := map[string]metrics.Aggregate{}
+	hi := map[string]metrics.Aggregate{}
+	var order []string
+	for _, a := range aggs {
+		if _, seen := lo[a.Algo]; !seen {
+			order = append(order, a.Algo)
+			lo[a.Algo] = a
+			hi[a.Algo] = a
+			continue
+		}
+		if a.Density < lo[a.Algo].Density {
+			lo[a.Algo] = a
+		}
+		if a.Density > hi[a.Algo].Density {
+			hi[a.Algo] = a
+		}
+	}
+	var out []ResilienceHeadline
+	for _, algo := range order {
+		h := ResilienceHeadline{Algo: algo, CoverageAtWorst: hi[algo].MeanCoverage}
+		if lo[algo].MeanRMSE > 0 && !math.IsNaN(lo[algo].MeanRMSE) && !math.IsNaN(hi[algo].MeanRMSE) {
+			h.RMSEInflation = hi[algo].MeanRMSE / lo[algo].MeanRMSE
+		} else {
+			h.RMSEInflation = math.NaN()
+		}
+		out = append(out, h)
+	}
+	return out
+}

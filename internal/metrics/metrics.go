@@ -27,6 +27,16 @@ type RunResult struct {
 	Comm wsn.CommStats
 	// Energy is total radio energy (µJ) when the energy model was enabled.
 	Energy float64
+
+	// Track-loss accounting (resilience experiments; zero-valued for runs
+	// that did not record it). LossEpisodes counts maximal no-estimate gaps
+	// after the first acquisition; ReacquireIters holds the length in
+	// iterations of each gap that ended; LockedFrac is the fraction of
+	// iterations with a valid estimate from first acquisition onward (NaN
+	// when the run never acquired).
+	LossEpisodes   int
+	ReacquireIters []float64
+	LockedFrac     float64
 }
 
 // RMSE returns the root-mean-squared estimation error of the run
@@ -44,6 +54,49 @@ func (r RunResult) Coverage() float64 {
 	return float64(len(r.Errors)) / float64(r.Iterations)
 }
 
+// MeanReacquire returns the mean time-to-reacquire in iterations over the
+// run's ended track-loss episodes, or NaN when no episode ended.
+func (r RunResult) MeanReacquire() float64 {
+	if len(r.ReacquireIters) == 0 {
+		return math.NaN()
+	}
+	return mathx.Mean(r.ReacquireIters)
+}
+
+// TrackEpisodes derives track-loss accounting from a per-iteration
+// estimate-validity series: the number of loss episodes (maximal runs of
+// invalid iterations after the first valid one), the length of each episode
+// that ended in a reacquisition, and the locked fraction (valid iterations
+// over iterations since first acquisition). It is algorithm-agnostic, so
+// the resilience experiments can compare CDPF against the baselines on the
+// same footing. lockedFrac is NaN when the series never becomes valid.
+func TrackEpisodes(valid []bool) (episodes int, reacquire []float64, lockedFrac float64) {
+	first := -1
+	for i, v := range valid {
+		if v {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0, nil, math.NaN()
+	}
+	locked, lostAt := 0, -1
+	for i := first; i < len(valid); i++ {
+		if valid[i] {
+			locked++
+			if lostAt >= 0 {
+				reacquire = append(reacquire, float64(i-lostAt))
+				lostAt = -1
+			}
+		} else if lostAt < 0 {
+			lostAt = i
+			episodes++
+		}
+	}
+	return episodes, reacquire, float64(locked) / float64(len(valid)-first)
+}
+
 // Aggregate is the seed-averaged summary of runs sharing (Algo, Density).
 type Aggregate struct {
 	Algo    string
@@ -59,6 +112,15 @@ type Aggregate struct {
 	MeanMsgs     float64
 	MeanCoverage float64
 	MeanEnergy   float64
+
+	// Resilience aggregates (NaN / zero when the runs carried no track-loss
+	// accounting). MeanEpisodes averages per-run episode counts;
+	// MeanReacquire pools every ended episode's time-to-reacquire across
+	// runs (NaN when none ended); MeanLocked averages the per-run locked
+	// fractions over runs that acquired at least once (NaN when none did).
+	MeanEpisodes  float64
+	MeanReacquire float64
+	MeanLocked    float64
 }
 
 // Summarize groups results by (Algo, Density) and averages each group. The
@@ -81,6 +143,7 @@ func Summarize(results []RunResult) []Aggregate {
 	for _, k := range order {
 		rs := groups[k]
 		var rmses, bytes, msgs, covs, energies []float64
+		var episodes, reacquires, lockeds []float64
 		for _, r := range rs {
 			if rm := r.RMSE(); !math.IsNaN(rm) {
 				rmses = append(rmses, rm)
@@ -89,6 +152,11 @@ func Summarize(results []RunResult) []Aggregate {
 			msgs = append(msgs, float64(r.Comm.TotalMsgs()))
 			covs = append(covs, r.Coverage())
 			energies = append(energies, r.Energy)
+			episodes = append(episodes, float64(r.LossEpisodes))
+			reacquires = append(reacquires, r.ReacquireIters...)
+			if !math.IsNaN(r.LockedFrac) {
+				lockeds = append(lockeds, r.LockedFrac)
+			}
 		}
 		agg := Aggregate{
 			Algo:         k.algo,
@@ -99,6 +167,7 @@ func Summarize(results []RunResult) []Aggregate {
 			MeanMsgs:     mathx.Mean(msgs),
 			MeanCoverage: mathx.Mean(covs),
 			MeanEnergy:   mathx.Mean(energies),
+			MeanEpisodes: mathx.Mean(episodes),
 		}
 		if len(rmses) > 0 {
 			agg.MeanRMSE = mathx.Mean(rmses)
@@ -106,6 +175,16 @@ func Summarize(results []RunResult) []Aggregate {
 		} else {
 			agg.MeanRMSE = math.NaN()
 			agg.StdRMSE = math.NaN()
+		}
+		if len(reacquires) > 0 {
+			agg.MeanReacquire = mathx.Mean(reacquires)
+		} else {
+			agg.MeanReacquire = math.NaN()
+		}
+		if len(lockeds) > 0 {
+			agg.MeanLocked = mathx.Mean(lockeds)
+		} else {
+			agg.MeanLocked = math.NaN()
 		}
 		out = append(out, agg)
 	}

@@ -104,3 +104,75 @@ func TestAggregateString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestTrackEpisodes(t *testing.T) {
+	cases := []struct {
+		name      string
+		valid     []bool
+		episodes  int
+		reacquire []float64
+		locked    float64
+	}{
+		{"never acquired", []bool{false, false, false}, 0, nil, math.NaN()},
+		{"always locked", []bool{false, true, true, true}, 0, nil, 1},
+		{"one ended episode", []bool{true, false, false, true}, 1, []float64{2}, 0.5},
+		{"tail episode never ends", []bool{true, false, false}, 1, nil, 1.0 / 3},
+		{"two episodes", []bool{true, false, true, false, false, true}, 2, []float64{1, 2}, 0.5},
+		{"warmup skipped", []bool{false, false, true, true}, 0, nil, 1},
+		{"empty", nil, 0, nil, math.NaN()},
+	}
+	for _, c := range cases {
+		ep, re, lf := TrackEpisodes(c.valid)
+		if ep != c.episodes {
+			t.Errorf("%s: episodes = %d, want %d", c.name, ep, c.episodes)
+		}
+		if len(re) != len(c.reacquire) {
+			t.Errorf("%s: reacquire = %v, want %v", c.name, re, c.reacquire)
+		} else {
+			for i := range re {
+				if re[i] != c.reacquire[i] {
+					t.Errorf("%s: reacquire = %v, want %v", c.name, re, c.reacquire)
+					break
+				}
+			}
+		}
+		switch {
+		case math.IsNaN(c.locked):
+			if !math.IsNaN(lf) {
+				t.Errorf("%s: locked = %v, want NaN", c.name, lf)
+			}
+		case math.Abs(lf-c.locked) > 1e-12:
+			t.Errorf("%s: locked = %v, want %v", c.name, lf, c.locked)
+		}
+	}
+}
+
+func TestSummarizeResilienceFields(t *testing.T) {
+	rs := []RunResult{
+		{Algo: "cdpf", Density: 10, Iterations: 4, Errors: []float64{1},
+			LossEpisodes: 2, ReacquireIters: []float64{1, 3}, LockedFrac: 0.5},
+		{Algo: "cdpf", Density: 10, Iterations: 4, Errors: []float64{1},
+			LossEpisodes: 0, LockedFrac: 1},
+	}
+	aggs := Summarize(rs)
+	if len(aggs) != 1 {
+		t.Fatalf("got %d aggregates", len(aggs))
+	}
+	a := aggs[0]
+	if a.MeanEpisodes != 1 {
+		t.Errorf("MeanEpisodes = %v, want 1", a.MeanEpisodes)
+	}
+	if a.MeanReacquire != 2 {
+		t.Errorf("MeanReacquire = %v, want 2 (pooled)", a.MeanReacquire)
+	}
+	if math.Abs(a.MeanLocked-0.75) > 1e-12 {
+		t.Errorf("MeanLocked = %v, want 0.75", a.MeanLocked)
+	}
+}
+
+func TestSummarizeNoEpisodesIsNaN(t *testing.T) {
+	aggs := Summarize([]RunResult{{Algo: "cdpf", Density: 10, Iterations: 4}})
+	if !math.IsNaN(aggs[0].MeanReacquire) {
+		t.Errorf("MeanReacquire = %v, want NaN with no ended episodes", aggs[0].MeanReacquire)
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	// ScheduleEvery is the duty-cycle re-application period in seconds;
 	// 0 defaults to 1 s (each motion tick).
 	ScheduleEvery float64
+	// Faults, when non-nil, is a fault-injection script whose event times
+	// are scheduled on the session's engine: fail-stops, transient outages,
+	// and regional blackouts fire mid-run, after any same-time duty-cycle
+	// tick and before any same-time filter iteration.
+	Faults *wsn.FaultSchedule
 }
 
 // IterationEvent is delivered to the session observer after every filter
@@ -40,6 +45,7 @@ type IterationEvent struct {
 	Truth       mathx.Vec2
 	ErrorToPrev float64 // estimate error vs previous-iteration truth; <0 if none
 	Awake       int
+	Failed      int // nodes currently failed (fault injection)
 }
 
 // Session is an event-driven tracking run.
@@ -98,6 +104,17 @@ func (s *Session) schedule() {
 		tt := t
 		_ = s.engine.At(tt, func() { s.schd.Apply(tt) })
 	}
+	// Fault-injection events; queued after the duty ticks so an equal-time
+	// fault overrides the duty cycle's state assignment until the next tick.
+	if s.cfg.Faults != nil {
+		for _, ft := range s.cfg.Faults.Times() {
+			if ft < 0 || ft > horizon {
+				continue
+			}
+			ft := ft
+			_ = s.engine.At(ft, func() { s.cfg.Faults.ApplyUntil(s.sc.Net, ft) })
+		}
+	}
 	// Filter iterations; scheduled after the same-time duty tick (the
 	// engine is FIFO for equal timestamps, and these are queued later).
 	for k := 0; k < s.sc.Iterations(); k++ {
@@ -123,6 +140,11 @@ func (s *Session) iterate(k int, now float64) {
 		K: k, Time: now, Result: res, Truth: s.sc.Truth(k),
 		ErrorToPrev: -1, Awake: s.schd.AwakeCount(),
 	}
+	for _, nd := range s.sc.Net.Nodes {
+		if nd.State == wsn.Failed {
+			ev.Failed++
+		}
+	}
 	if res.EstimateValid && k >= 1 {
 		ev.ErrorToPrev = res.Estimate.Dist(s.sc.Truth(k - 1))
 	}
@@ -138,6 +160,9 @@ func (s *Session) Run() []IterationEvent {
 
 // Network exposes the session's network (for cost inspection).
 func (s *Session) Network() *wsn.Network { return s.sc.Net }
+
+// Tracker exposes the session's tracker (for resilience accounting).
+func (s *Session) Tracker() *core.Tracker { return s.tr }
 
 // RMSE returns the session's estimation RMSE.
 func (s *Session) RMSE() float64 {

@@ -1,0 +1,98 @@
+package wsn
+
+import "fmt"
+
+// Gilbert–Elliott bursty links. Each directed link evolves through a
+// two-state Markov chain over loss epochs: in the Good state deliveries
+// succeed, in the Bad state they all fail. Sojourns in Bad are geometric
+// with the configured mean, so losses arrive in bursts of whole filter
+// iterations — the pattern fading radios actually produce, and the hard
+// case for an algorithm whose retransmissions only buy time diversity
+// within one iteration.
+//
+// The chain is a deterministic function of (link, epoch, seed): the state
+// at epoch 0 is drawn from the stationary distribution and every transition
+// draw is a hash of (link, epoch, seed). Query order therefore cannot
+// change outcomes; a per-link memo only caches the most recent (epoch,
+// state) pair so advancing to the next epoch costs O(1) per link.
+
+// burstChain holds the Gilbert–Elliott parameters and per-link memo.
+type burstChain struct {
+	pGB  float64 // P(Good -> Bad) per epoch
+	pBG  float64 // P(Bad -> Good) per epoch
+	piB  float64 // stationary Bad probability == long-run loss rate
+	seed uint64
+
+	memo map[uint64]linkMemo
+}
+
+// linkMemo caches the chain state of one link at its last queried epoch.
+type linkMemo struct {
+	epoch uint64
+	bad   bool
+}
+
+// SetBurstLoss enables Gilbert–Elliott bursty loss with the given long-run
+// loss rate and mean burst length (mean number of consecutive Bad epochs,
+// >= 1). A rate of 0 disables loss. It panics for rates outside [0, 1),
+// for mean burst lengths below 1, and for combinations whose Good-to-Bad
+// transition probability would exceed 1 (rate/(1-rate) must be <= the mean
+// burst length).
+func (nw *Network) SetBurstLoss(rate, meanBurstLen float64, seed uint64) {
+	if rate < 0 || rate >= 1 {
+		panic("wsn: loss rate outside [0, 1)")
+	}
+	if rate == 0 {
+		nw.lossRate = 0
+		nw.burst = nil
+		nw.lossMode = lossNone
+		return
+	}
+	if meanBurstLen < 1 {
+		panic("wsn: mean burst length below 1 epoch")
+	}
+	pBG := 1 / meanBurstLen
+	pGB := rate * pBG / (1 - rate)
+	if pGB > 1 {
+		panic(fmt.Sprintf("wsn: burst length %v too short for loss rate %v", meanBurstLen, rate))
+	}
+	nw.lossRate = rate
+	nw.lossSeed = seed
+	nw.burst = &burstChain{
+		pGB: pGB, pBG: pBG, piB: rate, seed: seed,
+		memo: make(map[uint64]linkMemo),
+	}
+	nw.lossMode = lossBurst
+}
+
+// BurstMeanLen returns the configured mean burst length in epochs, or 0
+// when bursty loss is not enabled.
+func (nw *Network) BurstMeanLen() float64 {
+	if nw.burst == nil {
+		return 0
+	}
+	return 1 / nw.burst.pBG
+}
+
+// reset discards all cached link states so the chain replays from epoch 0.
+func (b *burstChain) reset() { b.memo = make(map[uint64]linkMemo) }
+
+// bad reports whether the (from, to) link is in the Bad state at epoch.
+func (b *burstChain) bad(from, to NodeID, epoch uint64) bool {
+	key := uint64(from)<<32 | uint64(uint32(to))
+	state := hashUniform(mix64(key)^b.seed) < b.piB // stationary draw at epoch 0
+	start := uint64(0)
+	if m, ok := b.memo[key]; ok && m.epoch <= epoch {
+		state, start = m.bad, m.epoch
+	}
+	for e := start + 1; e <= epoch; e++ {
+		u := hashUniform(linkHash(e, from, to, b.seed))
+		if state {
+			state = u >= b.pBG
+		} else {
+			state = u < b.pGB
+		}
+	}
+	b.memo[key] = linkMemo{epoch: epoch, bad: state}
+	return state
+}

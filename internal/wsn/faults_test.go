@@ -1,0 +1,185 @@
+package wsn
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func countState(nw *Network, s NodeState) int {
+	n := 0
+	for _, nd := range nw.Nodes {
+		if nd.State == s {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFailStopAppliesAtScheduledTime(t *testing.T) {
+	nw := testNetwork(t, 5, 70)
+	fs := NewFaultSchedule()
+	victims := RandomNodes(nw, 0.2, mathx.NewRNG(1))
+	fs.FailStopAt(10, victims)
+
+	if down, _ := fs.ApplyUntil(nw, 9.9); down != 0 {
+		t.Fatalf("failed %d nodes before the scheduled time", down)
+	}
+	down, _ := fs.ApplyUntil(nw, 10)
+	if down != len(victims) {
+		t.Fatalf("failed %d nodes, want %d", down, len(victims))
+	}
+	if got := countState(nw, Failed); got != len(victims) {
+		t.Fatalf("%d nodes Failed, want %d", got, len(victims))
+	}
+	// Fail-stop is permanent: replaying further times changes nothing.
+	fs.ApplyUntil(nw, 1000)
+	if got := countState(nw, Failed); got != len(victims) {
+		t.Fatal("fail-stop set changed after further replay")
+	}
+}
+
+func TestTransientOutageRestores(t *testing.T) {
+	nw := testNetwork(t, 5, 71)
+	fs := NewFaultSchedule()
+	nodes := []NodeID{1, 2, 3}
+	fs.OutageAt(5, 10, nodes)
+
+	fs.ApplyUntil(nw, 5)
+	for _, id := range nodes {
+		if nw.Node(id).State != Failed {
+			t.Fatalf("node %d not down during outage", id)
+		}
+	}
+	if fs.DownCount() != 3 {
+		t.Fatalf("DownCount = %d, want 3", fs.DownCount())
+	}
+	_, restored := fs.ApplyUntil(nw, 15)
+	if restored != 3 {
+		t.Fatalf("restored %d nodes, want 3", restored)
+	}
+	for _, id := range nodes {
+		if nw.Node(id).State != Awake {
+			t.Fatalf("node %d not restored after outage", id)
+		}
+	}
+	if fs.DownCount() != 0 {
+		t.Fatalf("DownCount = %d after outage end", fs.DownCount())
+	}
+}
+
+func TestFailStopOverridesOutageEnd(t *testing.T) {
+	nw := testNetwork(t, 5, 72)
+	fs := NewFaultSchedule()
+	fs.OutageAt(0, 10, []NodeID{4})
+	fs.FailStopAt(5, []NodeID{4})
+	fs.ApplyUntil(nw, 20)
+	if nw.Node(4).State != Failed {
+		t.Fatal("outage end revived a fail-stopped node")
+	}
+}
+
+func TestOverlappingOutagesNest(t *testing.T) {
+	nw := testNetwork(t, 5, 73)
+	fs := NewFaultSchedule()
+	fs.OutageAt(0, 10, []NodeID{6})
+	fs.OutageAt(5, 10, []NodeID{6})
+	fs.ApplyUntil(nw, 10) // first ends, second still open
+	if nw.Node(6).State != Failed {
+		t.Fatal("node revived while a second outage was still open")
+	}
+	fs.ApplyUntil(nw, 15)
+	if nw.Node(6).State != Awake {
+		t.Fatal("node not restored after the last outage ended")
+	}
+}
+
+func TestRegionalBlackout(t *testing.T) {
+	nw := testNetwork(t, 5, 74)
+	center := nw.Center()
+	region := nw.NodesWithin(center, 40)
+	if len(region) == 0 {
+		t.Skip("no nodes in region")
+	}
+	fs := NewFaultSchedule()
+	fs.RegionalBlackout(nw, center, 40, 2, 6)
+	fs.ApplyUntil(nw, 2)
+	for _, id := range region {
+		if nw.Node(id).State != Failed {
+			t.Fatalf("regional node %d not down", id)
+		}
+	}
+	if got := countState(nw, Failed); got != len(region) {
+		t.Fatalf("%d nodes down, want exactly the %d regional nodes", got, len(region))
+	}
+	fs.ApplyUntil(nw, 8)
+	if got := countState(nw, Failed); got != 0 {
+		t.Fatalf("%d nodes still down after blackout end", got)
+	}
+}
+
+func TestFaultScheduleRewindReplays(t *testing.T) {
+	nw := testNetwork(t, 5, 75)
+	fs := NewFaultSchedule()
+	fs.FailStopAt(3, RandomNodes(nw, 0.1, mathx.NewRNG(2)))
+	fs.OutageAt(1, 4, []NodeID{0, 1})
+	fs.ApplyUntil(nw, 100)
+	want := countState(nw, Failed)
+
+	nw.ResetStates()
+	fs.Rewind()
+	if countState(nw, Failed) != 0 {
+		t.Fatal("ResetStates left failed nodes")
+	}
+	fs.ApplyUntil(nw, 100)
+	if got := countState(nw, Failed); got != want {
+		t.Fatalf("replay failed %d nodes, first run failed %d", got, want)
+	}
+}
+
+func TestFaultTimesAndOrdering(t *testing.T) {
+	fs := NewFaultSchedule()
+	fs.FailStopAt(7, []NodeID{1})
+	fs.OutageAt(2, 3, []NodeID{2})
+	fs.FailStopAt(2, []NodeID{3})
+	times := fs.Times()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("Times not strictly ascending: %v", times)
+		}
+	}
+	if len(times) != 3 { // 2 (start + failstop), 5 (end), 7 (failstop)
+		t.Fatalf("Times = %v, want 3 distinct times", times)
+	}
+}
+
+func TestRandomNodesDeterministicAndSized(t *testing.T) {
+	nw := testNetwork(t, 5, 76)
+	a := RandomNodes(nw, 0.25, mathx.NewRNG(9))
+	b := RandomNodes(nw, 0.25, mathx.NewRNG(9))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic victim set")
+		}
+	}
+	wantLen := int(0.25*float64(nw.Len()) + 0.999999)
+	if len(a) != wantLen {
+		t.Fatalf("picked %d nodes, want %d", len(a), wantLen)
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatal("duplicate victim")
+		}
+		seen[id] = true
+	}
+	if got := RandomNodes(nw, 0, mathx.NewRNG(9)); got != nil {
+		t.Fatal("fraction 0 picked nodes")
+	}
+	if got := RandomNodes(nw, 1, mathx.NewRNG(9)); len(got) != nw.Len() {
+		t.Fatal("fraction 1 did not pick all nodes")
+	}
+}

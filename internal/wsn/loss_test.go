@@ -101,3 +101,135 @@ func TestExpectedDeliveries(t *testing.T) {
 		t.Fatalf("ExpectedDeliveries = %v", got)
 	}
 }
+
+func TestResetStatesResetsLossEpoch(t *testing.T) {
+	// Regression: repeated runs on a shared deployment must see identical
+	// loss draws; before the fix ResetStates left lossEpoch advanced.
+	record := func(nw *Network) []bool {
+		var out []bool
+		for e := 0; e < 20; e++ {
+			for i := 0; i < 30; i++ {
+				out = append(out, nw.Delivers(NodeID(i), NodeID((i+7)%50)))
+			}
+			nw.NextEpoch()
+		}
+		return out
+	}
+	for _, burst := range []bool{false, true} {
+		nw := testNetwork(t, 5, 57)
+		if burst {
+			nw.SetBurstLoss(0.4, 3, 9)
+		} else {
+			nw.SetLossRate(0.4, 9)
+		}
+		first := record(nw)
+		nw.ResetStates()
+		second := record(nw)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("burst=%v: draw %d differs after ResetStates", burst, i)
+			}
+		}
+	}
+}
+
+func TestDeliversAttemptIndependentUnderIID(t *testing.T) {
+	nw := testNetwork(t, 5, 58)
+	nw.SetLossRate(0.5, 11)
+	// Attempt 0 must equal Delivers; later attempts must sometimes differ.
+	differs := false
+	for i := 0; i < 200; i++ {
+		from, to := NodeID(i%50), NodeID((i+19)%50)
+		if nw.DeliversAttempt(from, to, 0) != nw.Delivers(from, to) {
+			t.Fatal("attempt 0 differs from Delivers")
+		}
+		if nw.DeliversAttempt(from, to, 1) != nw.Delivers(from, to) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("retransmission draws identical to the original in 200 links")
+	}
+}
+
+func TestBurstLossValidation(t *testing.T) {
+	nw := testNetwork(t, 5, 59)
+	for _, c := range []struct{ rate, l float64 }{
+		{-0.1, 3}, {1.0, 3}, {0.3, 0.5}, {0.9, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("burst loss (%v, %v) accepted", c.rate, c.l)
+				}
+			}()
+			nw.SetBurstLoss(c.rate, c.l, 1)
+		}()
+	}
+	nw.SetBurstLoss(0, 3, 1) // rate 0 disables
+	if nw.LossRate() != 0 || nw.BurstMeanLen() != 0 {
+		t.Fatal("zero-rate burst loss not disabled")
+	}
+}
+
+func TestBurstLossStationaryRateAndBurstiness(t *testing.T) {
+	nw := testNetwork(t, 5, 60)
+	const rate, meanLen = 0.3, 4.0
+	nw.SetBurstLoss(rate, meanLen, 21)
+	const epochs = 4000
+	links := [][2]NodeID{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}}
+	bad := 0
+	bursts, burstLenSum := 0, 0
+	inBurst := make([]int, len(links))
+	for e := 0; e < epochs; e++ {
+		for li, lk := range links {
+			if !nw.Delivers(lk[0], lk[1]) {
+				bad++
+				inBurst[li]++
+			} else if inBurst[li] > 0 {
+				bursts++
+				burstLenSum += inBurst[li]
+				inBurst[li] = 0
+			}
+		}
+		nw.NextEpoch()
+	}
+	got := float64(bad) / float64(epochs*len(links))
+	if math.Abs(got-rate) > 0.03 {
+		t.Fatalf("stationary loss rate %v, want ~%v", got, rate)
+	}
+	meanBurst := float64(burstLenSum) / float64(bursts)
+	if math.Abs(meanBurst-meanLen) > 0.7 {
+		t.Fatalf("mean burst length %v, want ~%v", meanBurst, meanLen)
+	}
+}
+
+func TestBurstLossQueryOrderIndependent(t *testing.T) {
+	// The chain state must not depend on when a link is first queried.
+	a := testNetwork(t, 5, 61)
+	b := testNetwork(t, 5, 61)
+	a.SetBurstLoss(0.4, 3, 5)
+	b.SetBurstLoss(0.4, 3, 5)
+	// a: query link (1,2) every epoch; b: only at the last epoch.
+	var last bool
+	for e := 0; e < 50; e++ {
+		last = a.Delivers(1, 2)
+		a.NextEpoch()
+		b.NextEpoch()
+	}
+	// rewind one epoch difference: query b at epoch 49 too
+	b.ResetLossEpoch()
+	for e := 0; e < 49; e++ {
+		b.NextEpoch()
+	}
+	if b.Delivers(1, 2) != last {
+		t.Fatal("burst state depends on query history")
+	}
+	// Attempts cannot ride out a burst: all attempts agree in burst mode.
+	for e := 0; e < 50; e++ {
+		if a.DeliversAttempt(3, 4, 0) != a.DeliversAttempt(3, 4, 2) {
+			t.Fatal("burst verdict varies across attempts")
+		}
+		a.NextEpoch()
+	}
+}

@@ -73,10 +73,12 @@ type Network struct {
 	// scratch buffer reused by queries that immediately copy out.
 	scratch []NodeID
 
-	// packet-loss model (see loss.go)
+	// packet-loss model (see loss.go and burst.go)
+	lossMode  lossMode
 	lossRate  float64
 	lossSeed  uint64
 	lossEpoch uint64
+	burst     *burstChain
 }
 
 // NewNetwork deploys cfg.nodeCount() nodes uniformly at random over the
@@ -237,11 +239,13 @@ func (nw *Network) ApplyDrift(sigma float64, rng *mathx.RNG) {
 	nw.grid = NewGrid(nw.Cfg.Width, nw.Cfg.Height, cell, positions)
 }
 
-// ResetStates marks every node Awake and clears energy accounting; used
-// between repeated runs on a shared deployment.
+// ResetStates marks every node Awake, clears energy accounting, and rewinds
+// the packet-loss process to epoch 0; used between repeated runs on a shared
+// deployment, which must all see identical loss draws.
 func (nw *Network) ResetStates() {
 	for _, nd := range nw.Nodes {
 		nd.State = Awake
 		nd.EnergyUsed = 0
 	}
+	nw.ResetLossEpoch()
 }
