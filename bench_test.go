@@ -13,13 +13,16 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/mathx"
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wsn"
@@ -155,6 +158,53 @@ func BenchmarkAlgoRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFleetSweep measures the Fig. 5/6 sweep cells through the fleet
+// execution runtime at increasing worker counts. workers=1 is the legacy
+// serial path; on an N-core machine the higher worker counts should approach
+// N× the serial jobs/sec, with bit-identical results (the cells are
+// embarrassingly parallel and share no state).
+func BenchmarkFleetSweep(b *testing.B) {
+	densities := []float64{5, 10}
+	seeds := experiments.Seeds(2)
+	algos := experiments.AllAlgos()
+	cells := len(densities) * len(seeds) * len(algos)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e := experiments.Exec{Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Sweep(densities, seeds, algos); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(cells*b.N)/secs, "jobs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetMonteCarlo runs CDPF trials whose seeds are derived with
+// fleet.Seeds — the Split-based per-job derivation the runtime's determinism
+// contract rests on — through fleet.Map directly.
+func BenchmarkFleetMonteCarlo(b *testing.B) {
+	trials := fleet.Seeds(benchSeed, 8)
+	for i := 0; i < b.N; i++ {
+		results, err := fleet.Map(context.Background(), fleet.Config{}, trials,
+			func(_ context.Context, seed uint64) (metrics.RunResult, error) {
+				return experiments.RunOnce(scenario.Default(10, seed), experiments.AlgoCDPF)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(trials) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(trials)*b.N)/secs, "jobs/sec")
 	}
 }
 

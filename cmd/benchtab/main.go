@@ -2,52 +2,166 @@
 // evaluation section (Table I, Figs. 4–6) plus the extension studies, as
 // aligned text tables on stdout and optional CSV files.
 //
+// The sweep cells (density × seed × algorithm grid points) execute on the
+// internal/fleet runtime: -parallel N fans them out over N workers with
+// bit-identical output at any worker count; -parallel 1 runs the legacy
+// serial path.
+//
 // Usage:
 //
 //	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience]
 //	         [-seeds N] [-density D] [-csv DIR]
+//	         [-parallel N] [-progress] [-benchjson FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/report"
 )
 
 func main() {
-	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience")
-		seeds   = flag.Int("seeds", 10, "number of random seeds per configuration (paper: 10)")
-		density = flag.Float64("density", 20, "node density (nodes per 100 m²) for single-density experiments")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		chart   = flag.Bool("chart", false, "render Fig. 5/6 sweeps as ASCII charts too")
-	)
+	var o options
+	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience")
+	flag.IntVar(&o.seeds, "seeds", 10, "number of random seeds per configuration (paper: 10)")
+	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²) for single-density experiments")
+	flag.StringVar(&o.csvDir, "csv", "", "also write each table as CSV into this directory")
+	flag.BoolVar(&o.chart, "chart", false, "render Fig. 5/6 sweeps as ASCII charts too")
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "fleet workers for sweep cells (1 = legacy serial path)")
+	flag.BoolVar(&o.progress, "progress", false, "print fleet progress (jobs done, jobs/sec, ETA) to stderr")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "write a machine-readable throughput record (workers, jobs/sec, wall-clock) to this JSON file")
 	flag.Parse()
 
-	if err := run(*exp, *seeds, *density, *csvDir, *chart); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seeds int, density float64, csvDir string, chart bool) error {
+// options carries the parsed command line.
+type options struct {
+	exp       string
+	seeds     int
+	density   float64
+	csvDir    string
+	chart     bool
+	parallel  int
+	progress  bool
+	benchJSON string
+}
+
+// jobCounter counts fleet job completions (for the -benchjson record) and
+// forwards snapshots to an optional inner observer.
+type jobCounter struct {
+	n     int64
+	inner fleet.Observer
+}
+
+// JobDone implements fleet.Observer.
+func (c *jobCounter) JobDone(s fleet.Snapshot) {
+	atomic.AddInt64(&c.n, 1)
+	if c.inner != nil {
+		c.inner.JobDone(s)
+	}
+}
+
+// benchRecord is the schema of one -benchjson entry. The output file is a
+// JSON array that each invocation appends to, so the performance trajectory
+// of the suite gets recorded across runs.
+type benchRecord struct {
+	Experiment  string  `json:"experiment"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"numcpu"`
+	Seeds       int     `json:"seeds"`
+	Jobs        int64   `json:"jobs"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+}
+
+func run(o options) error {
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", o.parallel)
+	}
+	counter := &jobCounter{}
+	if o.progress {
+		counter.inner = fleet.NewProgress(os.Stderr, time.Second)
+	}
+	exec := experiments.Exec{Workers: o.parallel, Observer: counter}
+	start := time.Now()
+
+	if err := runExperiments(o, exec); err != nil {
+		return err
+	}
+
+	if o.benchJSON != "" {
+		elapsed := time.Since(start)
+		jobs := atomic.LoadInt64(&counter.n)
+		rec := benchRecord{
+			Experiment:  o.exp,
+			Workers:     o.parallel,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Seeds:       o.seeds,
+			Jobs:        jobs,
+			WallClockMS: float64(elapsed.Microseconds()) / 1000,
+			JobsPerSec:  float64(jobs) / elapsed.Seconds(),
+		}
+		if err := writeBenchJSON(o.benchJSON, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBenchJSON appends the throughput record to the JSON array at path
+// (creating the file if absent), preserving earlier records so the file
+// accumulates the suite's performance trajectory.
+func writeBenchJSON(path string, rec benchRecord) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	var records []benchRecord
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &records); err != nil {
+			return fmt.Errorf("benchjson %s exists but is not a record array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runExperiments(o options, exec experiments.Exec) error {
 	emit := func(name string, t *report.Table) error {
 		if err := t.Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()
-		if csvDir == "" {
+		if o.csvDir == "" {
 			return nil
 		}
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		if err := os.MkdirAll(o.csvDir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		f, err := os.Create(filepath.Join(o.csvDir, name+".csv"))
 		if err != nil {
 			return err
 		}
@@ -55,12 +169,13 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 		return t.WriteCSV(f)
 	}
 
-	seedList := experiments.Seeds(seeds)
+	exp, density, chart := o.exp, o.density, o.chart
+	seedList := experiments.Seeds(o.seeds)
 
 	wantsSweep := exp == "all" || exp == "fig5" || exp == "fig6"
 	var aggs []metrics.Aggregate
 	if wantsSweep {
-		results, err := experiments.Sweep(experiments.PaperDensities(), seedList, experiments.AllAlgos())
+		results, err := exec.Sweep(experiments.PaperDensities(), seedList, experiments.AllAlgos())
 		if err != nil {
 			return err
 		}
@@ -75,7 +190,7 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 		if err := emit("table1", t); err != nil {
 			return err
 		}
-		tv, err := experiments.Table1Empirical(density, seedList)
+		tv, err := exec.Table1Empirical(density, seedList)
 		if err != nil {
 			return err
 		}
@@ -163,7 +278,7 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 		}
 	}
 	if exp == "all" || exp == "multitarget" {
-		t, err := experiments.MultiTargetExperiment(density, []int{1, 2, 3}, seedList)
+		t, err := exec.MultiTargetExperiment(density, []int{1, 2, 3}, seedList)
 		if err != nil {
 			return err
 		}
@@ -217,7 +332,7 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 		}
 	}
 	if exp == "all" || exp == "resilience" {
-		results, err := experiments.ResilienceLossSweep(density, experiments.ResilienceLossRates(),
+		results, err := exec.ResilienceLossSweep(density, experiments.ResilienceLossRates(),
 			experiments.ResilienceFailFrac, experiments.ResilienceBurstLen, seedList)
 		if err != nil {
 			return err
@@ -246,7 +361,7 @@ func run(exp string, seeds int, density float64, csvDir string, chart bool) erro
 		if chart {
 			fmt.Println(experiments.ResilienceChart(lossAggs, "loss %"))
 		}
-		failResults, err := experiments.ResilienceFailSweep(density, experiments.ResilienceFailFracs(),
+		failResults, err := exec.ResilienceFailSweep(density, experiments.ResilienceFailFracs(),
 			experiments.ResilienceLossRate, experiments.ResilienceBurstLen, seedList)
 		if err != nil {
 			return err

@@ -1,21 +1,35 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// opts builds the default test options (single seed, serial).
+func opts(exp string, seeds int, density float64, csvDir string) options {
+	return options{exp: exp, seeds: seeds, density: density, csvDir: csvDir, parallel: 1}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 1, 20, "", false); err == nil {
+	if err := run(opts("nope", 1, 20, "")); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveParallel(t *testing.T) {
+	o := opts("fig4", 1, 20, "")
+	o.parallel = -3
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "-parallel") {
+		t.Fatalf("err = %v, want -parallel validation error", err)
 	}
 }
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig4", 1, 20, dir, false); err != nil {
+	if err := run(opts("fig4", 1, 20, dir)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
@@ -34,8 +48,78 @@ func TestRunFig4WithCSV(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Cheap single-seed smoke over every single-density experiment.
 	for _, exp := range []string{"table1", "duty", "latency", "aggregation", "resampler"} {
-		if err := run(exp, 1, 10, "", false); err != nil {
+		if err := run(opts(exp, 1, 10, "")); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
+	}
+}
+
+func TestRunParallelMatchesSerialCSV(t *testing.T) {
+	// The determinism contract at the CLI layer: the CSV a parallel run
+	// writes must be byte-identical to the serial run's.
+	render := func(parallel int) []byte {
+		dir := t.TempDir()
+		o := opts("table1", 2, 10, dir)
+		o.parallel = parallel
+		if err := run(o); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "table1_validation.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := render(1)
+	if par := render(4); string(par) != string(serial) {
+		t.Fatalf("parallel CSV diverged from serial:\n%s\nvs\n%s", serial, par)
+	}
+}
+
+func TestRunWritesBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("table1", 1, 10, "")
+	o.parallel = 4
+	o.benchJSON = filepath.Join(dir, "sub", "BENCH_fleet.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Experiment != "table1" || rec.Workers != 4 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// table1 submits probe cells plus one run per (algorithm, seed).
+	if rec.Jobs < 8 {
+		t.Fatalf("jobs = %d, want >= 8", rec.Jobs)
+	}
+	if rec.WallClockMS <= 0 || rec.JobsPerSec <= 0 {
+		t.Fatalf("throughput not recorded: %+v", rec)
+	}
+
+	// A second invocation must append, not overwrite.
+	o.parallel = 1
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(o.benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Workers != 1 {
+		t.Fatalf("append failed: %+v", recs)
 	}
 }

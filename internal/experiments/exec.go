@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// Exec carries the execution policy for the experiment sweeps: how many
+// fleet workers run the independent (density, seed, algorithm) cells, and an
+// optional progress observer. The zero value — and Workers == 1 — selects
+// the legacy serial path (plain in-order loop, no goroutines). Any worker
+// count produces bit-identical results: every cell is a pure function of its
+// parameters, and the fleet delivers results in submission order.
+type Exec struct {
+	// Workers is the fleet worker count; <= 1 runs serially.
+	Workers int
+	// Observer, when non-nil, receives per-job progress snapshots.
+	Observer fleet.Observer
+}
+
+// Serial is the legacy single-goroutine execution policy. The package-level
+// sweep functions delegate to it.
+var Serial = Exec{Workers: 1}
+
+// config builds the fleet configuration for a batch of total cells.
+func (e Exec) config(total int) fleet.Config {
+	w := e.Workers
+	if w < 1 {
+		w = 1
+	}
+	return fleet.Config{Workers: w, Total: total, Observer: e.Observer}
+}
+
+// runCells executes one cell batch under the execution policy, preserving
+// cell order in the output.
+func runCells[J, T any](e Exec, cells []J, run func(J) (T, error)) ([]T, error) {
+	return fleet.Map(context.Background(), e.config(len(cells)), cells,
+		func(_ context.Context, c J) (T, error) { return run(c) })
+}
+
+// sweepCell carries the replay metadata every sweep grid point submits to
+// the fleet: a human-readable cell label and the scenario seed.
+type sweepCell struct {
+	label string
+	seed  uint64
+}
+
+// FleetLabel implements fleet.Described.
+func (c sweepCell) FleetLabel() string { return c.label }
+
+// FleetSeed implements fleet.Described.
+func (c sweepCell) FleetSeed() uint64 { return c.seed }
+
+// runCell is one (density, algorithm, seed) cell of the Fig. 5/6 sweep.
+type runCell struct {
+	sweepCell
+	density float64
+	algo    Algo
+}
+
+// Sweep runs every (density, seed, algo) combination across the fleet and
+// returns the flat result list in the serial enumeration order
+// (density-major, algo, then seed), suitable for metrics.Summarize.
+func (e Exec) Sweep(densities []float64, seeds []uint64, algos []Algo) ([]metrics.RunResult, error) {
+	var cells []runCell
+	for _, d := range densities {
+		for _, algo := range algos {
+			for _, seed := range seeds {
+				cells = append(cells, runCell{
+					sweepCell: sweepCell{label: fmt.Sprintf("%s/d%g/s%d", algo, d, seed), seed: seed},
+					density:   d,
+					algo:      algo,
+				})
+			}
+		}
+	}
+	return runCells(e, cells, func(c runCell) (metrics.RunResult, error) {
+		r, err := RunOnce(scenario.Default(c.density, c.seed), c.algo)
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("experiments: %s at density %g seed %d: %w",
+				c.algo, c.density, c.seed, err)
+		}
+		return r, nil
+	})
+}

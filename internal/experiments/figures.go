@@ -241,23 +241,54 @@ func Table1(density float64, seed uint64) (*report.Table, Table1Measured, error)
 // its full particle budget while CDPF combines to one per node) and reports
 // the simulated mean bytes per iteration next to it. The analytical CPF/DPF
 // rows use H_max and are therefore upper bounds; the simulator routes over
-// actual per-node hop counts.
-func Table1Empirical(density float64, seeds []uint64) (*report.Table, error) {
+// actual per-node hop counts. Both the N_s probes and the simulated rows
+// average over all seeds; the probe runs and the per-algorithm runs fan out
+// across the execution policy.
+func (e Exec) Table1Empirical(density float64, seeds []uint64) (*report.Table, error) {
 	_, meas, err := Table1(density, seeds[0])
 	if err != nil {
 		return nil, err
 	}
 
-	// Per-algorithm N_s: CDPF holders from the Table1 run; CDPF-NE holders
-	// and SDPF's particle budget from their own probe runs.
-	neNs, err := meanHolders(density, seeds[0], true)
+	// Per-algorithm N_s, each probe averaged over every seed (matching the
+	// seed-averaged simulated rows): CDPF and CDPF-NE holder counts, and
+	// SDPF's particle budget.
+	type probeCell struct {
+		sweepCell
+		kind Algo
+	}
+	probeKinds := []Algo{AlgoCDPF, AlgoCDPFNE, AlgoSDPF}
+	var probes []probeCell
+	for _, kind := range probeKinds {
+		for _, seed := range seeds {
+			probes = append(probes, probeCell{
+				sweepCell: sweepCell{label: fmt.Sprintf("table1-probe/%s/s%d", kind, seed), seed: seed},
+				kind:      kind,
+			})
+		}
+	}
+	probeVals, err := runCells(e, probes, func(c probeCell) (int, error) {
+		switch c.kind {
+		case AlgoCDPF:
+			return meanHolders(density, c.seed, false)
+		case AlgoCDPFNE:
+			return meanHolders(density, c.seed, true)
+		default:
+			return sdpfBudget(density, c.seed)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	sdpfNs, err := sdpfBudget(density, seeds[0])
-	if err != nil {
-		return nil, err
+	probeMean := func(group int) int {
+		var sum float64
+		for _, v := range probeVals[group*len(seeds) : (group+1)*len(seeds)] {
+			sum += float64(v)
+		}
+		return int(math.Round(sum / float64(len(seeds))))
 	}
+	cdpfNs, neNs, sdpfNs := probeMean(0), probeMean(1), probeMean(2)
+
 	perAlgo := func(ns int) costmodel.Params {
 		p := meas.Params
 		p.Ns = ns
@@ -267,21 +298,36 @@ func Table1Empirical(density float64, seeds []uint64) (*report.Table, error) {
 		AlgoCPF:    meas.Params.CPF(),
 		AlgoDPF:    meas.Params.DPF(),
 		AlgoSDPF:   perAlgo(sdpfNs).SDPF(),
-		AlgoCDPF:   meas.Params.CDPF(),
+		AlgoCDPF:   perAlgo(cdpfNs).CDPF(),
 		AlgoCDPFNE: perAlgo(neNs).CDPFNE(),
 	}
+
+	// The simulated rows: one run per (algorithm, seed), seed-averaged.
+	var runs []runCell
+	for _, algo := range AllAlgosExtended() {
+		for _, seed := range seeds {
+			runs = append(runs, runCell{
+				sweepCell: sweepCell{label: fmt.Sprintf("table1/%s/d%g/s%d", algo, density, seed), seed: seed},
+				density:   density,
+				algo:      algo,
+			})
+		}
+	}
+	results, err := runCells(e, runs, func(c runCell) (metrics.RunResult, error) {
+		return RunOnce(scenario.Default(c.density, c.seed), c.algo)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := report.NewTable(
 		fmt.Sprintf("Table I validation — analytical vs simulated bytes/iteration (density %g; Ns: sdpf=%d, cdpf=%d, cdpf-ne=%d; CPF/DPF rows use Hmax=%d, an upper bound)",
-			density, sdpfNs, meas.Params.Ns, neNs, meas.Params.Hmax),
+			density, sdpfNs, cdpfNs, neNs, meas.Params.Hmax),
 		"method", "analytical", "simulated", "ratio")
-	for _, algo := range AllAlgosExtended() {
+	for i, algo := range AllAlgosExtended() {
 		var total float64
 		var iters float64
-		for _, seed := range seeds {
-			r, err := RunOnce(scenario.Default(density, seed), algo)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range results[i*len(seeds) : (i+1)*len(seeds)] {
 			total += float64(r.Bytes())
 			iters += float64(r.Iterations)
 		}
@@ -290,6 +336,11 @@ func Table1Empirical(density float64, seeds []uint64) (*report.Table, error) {
 		t.AddRow(string(algo), analytical[algo], simulated, ratio)
 	}
 	return t, nil
+}
+
+// Table1Empirical is the serial form of Exec.Table1Empirical.
+func Table1Empirical(density float64, seeds []uint64) (*report.Table, error) {
+	return Serial.Table1Empirical(density, seeds)
 }
 
 // meanHolders measures the mean particle-holder count of a CDPF(-NE) run.

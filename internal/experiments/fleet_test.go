@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// TestFleetSweepDeterminism pins the fleet determinism contract on the
+// Fig. 5/6 sweep: the rendered tables must be byte-identical at worker
+// counts 1 (legacy serial path), 4, and 13 (a non-divisor of the cell
+// count), so parallel execution can never change a published number.
+func TestFleetSweepDeterminism(t *testing.T) {
+	densities := []float64{5, 10}
+	seeds := Seeds(2)
+	render := func(workers int) string {
+		results, err := Exec{Workers: workers}.Sweep(densities, seeds, AllAlgos())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		aggs := metrics.Summarize(results)
+		return Fig5Table(aggs).String() + "\n" + Fig6Table(aggs).String()
+	}
+	serial := render(1)
+	for _, w := range []int{4, 13} {
+		if got := render(w); got != serial {
+			t.Fatalf("workers=%d table output diverged from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+// TestFleetResilienceDeterminism extends the contract to the resilience
+// grid, whose cells build fault schedules and loss processes of their own.
+func TestFleetResilienceDeterminism(t *testing.T) {
+	run := func(workers int) []metrics.RunResult {
+		results, err := Exec{Workers: workers}.ResilienceLossSweep(
+			20, []float64{0, 0.4}, 0.2, ResilienceBurstLen, Seeds(1))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return results
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Algo != p.Algo || s.RMSE() != p.RMSE() || s.Bytes() != p.Bytes() ||
+			s.LossEpisodes != p.LossEpisodes || s.LockedFrac != p.LockedFrac {
+			t.Fatalf("cell %d (%s) diverged: %+v vs %+v", i, s.Algo, s, p)
+		}
+	}
+}
+
+// TestFleetTable1EmpiricalDeterminism covers the probe + run pipeline of the
+// Table I validation.
+func TestFleetTable1EmpiricalDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		tbl, err := Exec{Workers: workers}.Table1Empirical(10, Seeds(2))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatalf("Table1Empirical diverged:\n%s\nvs\n%s", serial, got)
+	}
+}
+
+// TestFleetMultiTargetDeterminism covers the multi-target cell fan-out.
+func TestFleetMultiTargetDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		tbl, err := Exec{Workers: workers}.MultiTargetExperiment(20, []int{1, 2}, Seeds(2))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.String()
+	}
+	serial := render(1)
+	if got := render(3); got != serial {
+		t.Fatalf("multi-target table diverged:\n%s\nvs\n%s", serial, got)
+	}
+}
+
+// TestExecObserverSeesEveryCell checks the progress plumbing end to end: the
+// observer must see one snapshot per cell, with totals filled in.
+func TestExecObserverSeesEveryCell(t *testing.T) {
+	var snaps []fleet.Snapshot
+	e := Exec{Workers: 2, Observer: fleet.ObserverFunc(func(s fleet.Snapshot) {
+		snaps = append(snaps, s)
+	})}
+	results, err := e.Sweep([]float64{5}, Seeds(2), []Algo{AlgoCDPF, AlgoCDPFNE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("observer saw %d snapshots, want 4", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != 4 || last.Total != 4 || last.Errors != 0 {
+		t.Fatalf("final snapshot = %+v", last)
+	}
+}

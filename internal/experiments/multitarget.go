@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -17,26 +19,49 @@ import (
 // per-track CDPF fleet. Reported per target count: mean per-target error
 // (each true target matched to its nearest live track), the mean live-track
 // count while all targets are in the field, and the fleet's total bytes.
-func MultiTargetExperiment(density float64, targetCounts []int, seeds []uint64) (*report.Table, error) {
+// The (target count, seed) cells fan out across the execution policy.
+func (e Exec) MultiTargetExperiment(density float64, targetCounts []int, seeds []uint64) (*report.Table, error) {
+	type mtCell struct {
+		sweepCell
+		n int
+	}
+	type mtOut struct{ rmse, tracks, bytes float64 }
+	var cells []mtCell
+	for _, n := range targetCounts {
+		for _, seed := range seeds {
+			cells = append(cells, mtCell{
+				sweepCell: sweepCell{label: fmt.Sprintf("multitarget/n%d/s%d", n, seed), seed: seed},
+				n:         n,
+			})
+		}
+	}
+	outs, err := runCells(e, cells, func(c mtCell) (mtOut, error) {
+		rmse, tracks, bytes, err := multiRun(density, c.n, c.seed)
+		return mtOut{rmse, tracks, bytes}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		"Extension — multi-target tracking (per-track CDPF fleet, density 20)",
 		"targets", "per_target_rmse_m", "mean_live_tracks", "bytes")
-	for _, n := range targetCounts {
+	for i, n := range targetCounts {
 		var rmses, trackCounts, bts []float64
-		for _, seed := range seeds {
-			rmse, tracks, bytes, err := multiRun(density, n, seed)
-			if err != nil {
-				return nil, err
+		for _, o := range outs[i*len(seeds) : (i+1)*len(seeds)] {
+			if !math.IsNaN(o.rmse) {
+				rmses = append(rmses, o.rmse)
 			}
-			if !math.IsNaN(rmse) {
-				rmses = append(rmses, rmse)
-			}
-			trackCounts = append(trackCounts, tracks)
-			bts = append(bts, bytes)
+			trackCounts = append(trackCounts, o.tracks)
+			bts = append(bts, o.bytes)
 		}
 		t.AddRow(n, mathx.Mean(rmses), mathx.Mean(trackCounts), mathx.Mean(bts))
 	}
 	return t, nil
+}
+
+// MultiTargetExperiment is the serial form of Exec.MultiTargetExperiment.
+func MultiTargetExperiment(density float64, targetCounts []int, seeds []uint64) (*report.Table, error) {
+	return Serial.MultiTargetExperiment(density, targetCounts, seeds)
 }
 
 // multiRun runs one multi-target scenario: n targets on horizontal lanes
@@ -98,6 +123,8 @@ func multiRun(density float64, n int, seed uint64) (rmse, meanTracks, bytes floa
 }
 
 // multiObserve returns each in-range node's bearing to its nearest target.
+// Observations are emitted in node-ID order: map iteration order would leak
+// into the measurement-noise stream and make runs nondeterministic.
 func multiObserve(nw *wsn.Network, sensor statex.BearingSensor, targets []mathx.Vec2, rng *mathx.RNG) []core.Observation {
 	nearest := map[wsn.NodeID]mathx.Vec2{}
 	for _, tg := range targets {
@@ -107,9 +134,14 @@ func multiObserve(nw *wsn.Network, sensor statex.BearingSensor, targets []mathx.
 			}
 		}
 	}
-	obs := make([]core.Observation, 0, len(nearest))
-	for id, tg := range nearest {
-		obs = append(obs, core.Observation{Node: id, Bearing: sensor.Measure(nw.Node(id).Pos, tg, rng)})
+	ids := make([]wsn.NodeID, 0, len(nearest))
+	for id := range nearest {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	obs := make([]core.Observation, 0, len(ids))
+	for _, id := range ids {
+		obs = append(obs, core.Observation{Node: id, Bearing: sensor.Measure(nw.Node(id).Pos, nearest[id], rng)})
 	}
 	return obs
 }

@@ -142,54 +142,87 @@ func runResilient(sc *scenario.Scenario, algo Algo, faults *wsn.FaultSchedule) (
 	return res, nil
 }
 
+// resilienceCell is one (axis value, algorithm, seed) grid point of a
+// resilience sweep. Loss rate, burst length, and failed fraction fully
+// determine the fault environment, so the cell is a pure function of its
+// fields and can run on any fleet worker.
+type resilienceCell struct {
+	sweepCell
+	density  float64
+	algo     Algo
+	rate     float64
+	burstLen float64
+	failFrac float64
+	// axisValue is stored in the result's Density field for grouping
+	// (loss % or fail %).
+	axisValue float64
+}
+
+// resilienceSweep executes one resilience cell grid under the policy.
+func (e Exec) resilienceSweep(cells []resilienceCell) ([]metrics.RunResult, error) {
+	return runCells(e, cells, func(c resilienceCell) (metrics.RunResult, error) {
+		sc, err := scenario.Build(scenario.Default(c.density, c.seed))
+		if err != nil {
+			return metrics.RunResult{}, err
+		}
+		setLoss(sc, c.rate, c.burstLen)
+		r, err := runResilient(sc, c.algo, resilienceFaults(sc, c.failFrac))
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("experiments: %s seed %d: %w", c.label, c.seed, err)
+		}
+		r.Density = c.axisValue
+		return r, nil
+	})
+}
+
 // ResilienceLossSweep runs all four algorithms across the loss-rate grid
 // under bursty loss with failFrac of the nodes fail-stopping mid-run. The
 // Density field of the results stores the loss percentage for grouping.
-func ResilienceLossSweep(density float64, rates []float64, failFrac, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
-	var out []metrics.RunResult
+func (e Exec) ResilienceLossSweep(density float64, rates []float64, failFrac, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var cells []resilienceCell
 	for _, rate := range rates {
 		for _, algo := range AllAlgos() {
 			for _, seed := range seeds {
-				sc, err := scenario.Build(scenario.Default(density, seed))
-				if err != nil {
-					return nil, err
-				}
-				setLoss(sc, rate, burstLen)
-				r, err := runResilient(sc, algo, resilienceFaults(sc, failFrac))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: resilience %s at loss %g seed %d: %w", algo, rate, seed, err)
-				}
-				r.Density = 100 * rate
-				out = append(out, r)
+				cells = append(cells, resilienceCell{
+					sweepCell: sweepCell{label: fmt.Sprintf("resilience/%s/loss%g/s%d", algo, rate, seed), seed: seed},
+					density:   density, algo: algo,
+					rate: rate, burstLen: burstLen, failFrac: failFrac,
+					axisValue: 100 * rate,
+				})
 			}
 		}
 	}
-	return out, nil
+	return e.resilienceSweep(cells)
+}
+
+// ResilienceLossSweep is the serial form of Exec.ResilienceLossSweep.
+func ResilienceLossSweep(density float64, rates []float64, failFrac, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	return Serial.ResilienceLossSweep(density, rates, failFrac, burstLen, seeds)
 }
 
 // ResilienceFailSweep runs all four algorithms across the failed-fraction
 // grid at a fixed bursty loss rate. The Density field of the results stores
 // the failed percentage for grouping.
-func ResilienceFailSweep(density float64, fracs []float64, lossRate, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
-	var out []metrics.RunResult
+func (e Exec) ResilienceFailSweep(density float64, fracs []float64, lossRate, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	var cells []resilienceCell
 	for _, frac := range fracs {
 		for _, algo := range AllAlgos() {
 			for _, seed := range seeds {
-				sc, err := scenario.Build(scenario.Default(density, seed))
-				if err != nil {
-					return nil, err
-				}
-				setLoss(sc, lossRate, burstLen)
-				r, err := runResilient(sc, algo, resilienceFaults(sc, frac))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: resilience %s at failfrac %g seed %d: %w", algo, frac, seed, err)
-				}
-				r.Density = 100 * frac
-				out = append(out, r)
+				cells = append(cells, resilienceCell{
+					sweepCell: sweepCell{label: fmt.Sprintf("resilience/%s/failfrac%g/s%d", algo, frac, seed), seed: seed},
+					density:   density, algo: algo,
+					rate: lossRate, burstLen: burstLen, failFrac: frac,
+					axisValue: 100 * frac,
+				})
 			}
 		}
 	}
-	return out, nil
+	return e.resilienceSweep(cells)
+}
+
+// ResilienceFailSweep is the serial form of Exec.ResilienceFailSweep.
+func ResilienceFailSweep(density float64, fracs []float64, lossRate, burstLen float64, seeds []uint64) ([]metrics.RunResult, error) {
+	return Serial.ResilienceFailSweep(density, fracs, lossRate, burstLen, seeds)
 }
 
 // ResilienceTables renders one resilience sweep as three tables: RMSE,

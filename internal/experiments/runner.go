@@ -131,21 +131,10 @@ func Seeds(n int) []uint64 {
 }
 
 // Sweep runs every (density, seed, algo) combination and returns the flat
-// result list, suitable for metrics.Summarize.
+// result list, suitable for metrics.Summarize. It is the serial form of
+// Exec.Sweep; pass an Exec with Workers > 1 to fan the cells out.
 func Sweep(densities []float64, seeds []uint64, algos []Algo) ([]metrics.RunResult, error) {
-	var out []metrics.RunResult
-	for _, d := range densities {
-		for _, algo := range algos {
-			for _, seed := range seeds {
-				r, err := RunOnce(scenario.Default(d, seed), algo)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s at density %g seed %d: %w", algo, d, seed, err)
-				}
-				out = append(out, r)
-			}
-		}
-	}
-	return out, nil
+	return Serial.Sweep(densities, seeds, algos)
 }
 
 // PaperDensities returns the evaluation's density grid (5..40 per 100 m²).

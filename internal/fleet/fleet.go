@@ -1,0 +1,285 @@
+// Package fleet is the repository's parallel execution runtime for Monte
+// Carlo sweeps: a worker pool that runs independent simulation jobs across
+// GOMAXPROCS goroutines while keeping every result bit-identical to the
+// serial path.
+//
+// The determinism contract has three legs:
+//
+//  1. Jobs are pure functions of their parameters. Nothing in the pool hands
+//     a job shared mutable state, and per-job randomness must come from the
+//     job's own seed (use Seed / Seeds, which derive collision-free streams
+//     via mathx.RNG.Split) — never from a generator consumed in completion
+//     order.
+//  2. Results are delivered to the sink in submission order, regardless of
+//     the order workers finish, via a reorder buffer.
+//  3. Workers <= 1 selects the legacy serial path: jobs run inline on the
+//     submitting goroutine, with no channels or goroutines involved, so the
+//     parallel scheduler can be bypassed entirely without changing a single
+//     output byte.
+//
+// The pool additionally provides context cancellation with prompt drain
+// (queued jobs complete as canceled results, in order), panic isolation (a
+// worker panic becomes a per-job *PanicError carrying the job's label and
+// seed for replay), a bounded job queue whose Submit blocks for
+// backpressure, and a pluggable progress observer (see Observer).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Config tunes a Pool.
+type Config struct {
+	// Workers is the number of worker goroutines. Values <= 0 select
+	// runtime.GOMAXPROCS(0); the value 1 selects the inline serial path.
+	Workers int
+	// Queue is the bounded job-queue depth; Submit blocks when the queue is
+	// full (backpressure). Values <= 0 select 2×Workers.
+	Queue int
+	// Total, when positive, is the expected job count, enabling ETA
+	// computation in progress snapshots.
+	Total int
+	// Observer, when non-nil, receives a Snapshot after every completed job
+	// (in submission order, from a single goroutine).
+	Observer Observer
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// queue resolves the effective queue depth.
+func (c Config) queue() int {
+	if c.Queue <= 0 {
+		return 2 * c.workers()
+	}
+	return c.Queue
+}
+
+// Result is one job's outcome, tagged with its submission index and the
+// replay metadata it was submitted with.
+type Result struct {
+	Index int
+	Label string
+	Seed  uint64
+	Value interface{}
+	Err   error
+}
+
+// Sink consumes results in submission order. Consume is called from a single
+// goroutine (the collector), so implementations need no locking of their own.
+type Sink interface {
+	Consume(Result)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Result)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(r Result) { f(r) }
+
+// PanicError is the error a job that panicked resolves to. It carries the
+// job's label and seed so the failing cell can be replayed serially.
+type PanicError struct {
+	Label string
+	Seed  uint64
+	Value interface{}
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fleet: job %q (seed %d) panicked: %v", e.Label, e.Seed, e.Value)
+}
+
+// job is one queued unit of work.
+type job struct {
+	index int
+	label string
+	seed  uint64
+	run   func(ctx context.Context) (interface{}, error)
+}
+
+// Pool executes independent jobs across a fixed set of workers and delivers
+// their results to the sink in submission order. Submit and Wait must be
+// called from a single goroutine.
+type Pool struct {
+	ctx  context.Context
+	cfg  Config
+	sink Sink
+
+	serial bool
+	next   int // next submission index
+
+	jobs    chan job
+	results chan Result
+	workers sync.WaitGroup
+	done    chan struct{} // collector finished
+
+	start time.Time
+
+	mu       sync.Mutex
+	firstErr Result // lowest-index failed result (deterministic error reporting)
+	hasErr   bool
+	complete int
+	errs     int
+}
+
+// New creates a pool. The context cancels outstanding work: after ctx is
+// done, queued jobs resolve to ctx.Err() without running (prompt drain) and
+// Submit fails fast.
+func New(ctx context.Context, cfg Config, sink Sink) *Pool {
+	if sink == nil {
+		sink = SinkFunc(func(Result) {})
+	}
+	p := &Pool{
+		ctx:    ctx,
+		cfg:    cfg,
+		sink:   sink,
+		serial: cfg.workers() == 1,
+		start:  time.Now(),
+		done:   make(chan struct{}),
+	}
+	if p.serial {
+		close(p.done)
+		return p
+	}
+	w := cfg.workers()
+	p.jobs = make(chan job, cfg.queue())
+	p.results = make(chan Result, w)
+	p.workers.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	go p.collect()
+	return p
+}
+
+// Submit enqueues one job. label and seed are replay metadata surfaced on
+// errors and results; run receives the pool context for cooperative
+// cancellation. Submit blocks while the bounded queue is full and returns
+// the context error once the pool is canceled.
+func (p *Pool) Submit(label string, seed uint64, run func(ctx context.Context) (interface{}, error)) error {
+	j := job{index: p.next, label: label, seed: seed, run: run}
+	p.next++
+	if p.serial {
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+		p.deliver(p.execute(j))
+		return nil
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	case <-p.ctx.Done():
+		return p.ctx.Err()
+	}
+}
+
+// Wait closes the queue, waits for every submitted job to resolve, and
+// returns the error of the lowest-index failed job (wrapped with its label
+// and seed), or nil. The pool cannot be reused afterwards.
+func (p *Pool) Wait() error {
+	if !p.serial {
+		close(p.jobs)
+		p.workers.Wait()
+		close(p.results)
+		<-p.done
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.hasErr {
+		return nil
+	}
+	f := p.firstErr
+	if _, ok := f.Err.(*PanicError); ok {
+		return f.Err // already carries label and seed
+	}
+	return fmt.Errorf("fleet: job %q (seed %d): %w", f.Label, f.Seed, f.Err)
+}
+
+// worker drains the queue. After cancellation it keeps draining but resolves
+// the remaining jobs to the context error without running them, so the
+// collector still sees every submitted index.
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	for j := range p.jobs {
+		if err := p.ctx.Err(); err != nil {
+			p.results <- Result{Index: j.index, Label: j.label, Seed: j.seed, Err: err}
+			continue
+		}
+		p.results <- p.execute(j)
+	}
+}
+
+// execute runs one job with panic isolation.
+func (p *Pool) execute(j job) (res Result) {
+	res = Result{Index: j.index, Label: j.label, Seed: j.seed}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Err = &PanicError{Label: j.label, Seed: j.seed, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = j.run(p.ctx)
+	return res
+}
+
+// moreCausal reports whether a should replace b as the error Wait surfaces:
+// a genuine job failure outranks cancellation fallout, and among peers the
+// lower submission index wins (deterministic error reporting).
+func moreCausal(a, b Result) bool {
+	ac, bc := errors.Is(a.Err, context.Canceled), errors.Is(b.Err, context.Canceled)
+	if ac != bc {
+		return bc
+	}
+	return a.Index < b.Index
+}
+
+// collect restores submission order: results arriving out of order are
+// buffered until every lower index has been delivered.
+func (p *Pool) collect() {
+	defer close(p.done)
+	pending := map[int]Result{}
+	next := 0
+	for r := range p.results {
+		pending[r.Index] = r
+		for {
+			d, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			p.deliver(d)
+		}
+	}
+}
+
+// deliver hands one in-order result to the sink and the observer.
+func (p *Pool) deliver(r Result) {
+	p.mu.Lock()
+	p.complete++
+	if r.Err != nil {
+		p.errs++
+		if !p.hasErr || moreCausal(r, p.firstErr) {
+			p.firstErr, p.hasErr = r, true
+		}
+	}
+	snap := p.snapshotLocked()
+	p.mu.Unlock()
+	p.sink.Consume(r)
+	if p.cfg.Observer != nil {
+		p.cfg.Observer.JobDone(snap)
+	}
+}

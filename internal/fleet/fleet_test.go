@@ -1,0 +1,301 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 13} {
+		jobs := make([]int, 100)
+		for i := range jobs {
+			jobs[i] = i
+		}
+		out, err := Map(context.Background(), Config{Workers: workers}, jobs,
+			func(_ context.Context, j int) (int, error) { return j * j, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerialExactly(t *testing.T) {
+	run := func(workers int) []uint64 {
+		jobs := Seeds(42, 64)
+		out, err := Map(context.Background(), Config{Workers: workers}, jobs,
+			func(_ context.Context, seed uint64) (uint64, error) {
+				// A deterministic function of the job seed alone.
+				return seed*0x9E3779B97F4A7C15 ^ seed>>7, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{4, 13} {
+		got := run(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d diverged from serial at job %d", w, i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Config{Workers: 4}, jobs,
+		func(_ context.Context, j int) (int, error) {
+			if j == 3 || j == 6 {
+				return 0, fmt.Errorf("job %d: %w", j, boom)
+			}
+			return j, nil
+		})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("expected lowest-index failure to win, got %v", err)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	type cell struct{ i int }
+	jobs := []cell{{0}, {1}, {2}, {3}}
+	p := New(context.Background(), Config{Workers: 2}, nil)
+	for _, j := range jobs {
+		j := j
+		if err := p.Submit(fmt.Sprintf("cell-%d", j.i), uint64(100+j.i),
+			func(context.Context) (interface{}, error) {
+				if j.i == 2 {
+					panic("kaboom")
+				}
+				return j.i, nil
+			}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := p.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Label != "cell-2" || pe.Seed != 102 {
+		t.Fatalf("replay metadata = %q/%d, want cell-2/102", pe.Label, pe.Seed)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload = %v (stack %d bytes)", pe.Value, len(pe.Stack))
+	}
+}
+
+func TestDescribedMetadataOnResults(t *testing.T) {
+	var labels []string
+	var seeds []uint64
+	sink := SinkFunc(func(r Result) {
+		labels = append(labels, r.Label)
+		seeds = append(seeds, r.Seed)
+	})
+	p := New(context.Background(), Config{Workers: 1}, sink)
+	for i := 0; i < 3; i++ {
+		i := i
+		if err := p.Submit(fmt.Sprintf("j%d", i), uint64(i)*7,
+			func(context.Context) (interface{}, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || labels[1] != "j1" || seeds[2] != 14 {
+		t.Fatalf("sink saw labels %v seeds %v", labels, seeds)
+	}
+}
+
+func TestBackpressureBoundsQueue(t *testing.T) {
+	release := make(chan struct{})
+	var inFlight, peak int64
+	p := New(context.Background(), Config{Workers: 2, Queue: 2}, nil)
+	submitted := make(chan int, 64)
+	go func() {
+		for i := 0; i < 16; i++ {
+			i := i
+			_ = p.Submit("", 0, func(context.Context) (interface{}, error) {
+				n := atomic.AddInt64(&inFlight, 1)
+				for {
+					old := atomic.LoadInt64(&peak)
+					if n <= old || atomic.CompareAndSwapInt64(&peak, old, n) {
+						break
+					}
+				}
+				<-release
+				atomic.AddInt64(&inFlight, -1)
+				return nil, nil
+			})
+			submitted <- i
+		}
+		close(submitted)
+	}()
+	// With 2 workers and a queue of 2, at most 4 jobs can be admitted while
+	// the workers are blocked; the 5th Submit must be blocked by backpressure.
+	time.Sleep(50 * time.Millisecond)
+	admitted := len(submitted)
+	if admitted > 5 { // 4 admitted + 1 possibly sitting in the select
+		t.Fatalf("backpressure failed: %d submits returned with workers blocked", admitted)
+	}
+	close(release)
+	for range submitted {
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Fatalf("more jobs ran concurrently than workers: %d", peak)
+	}
+}
+
+func TestCancellationDrainsWithoutGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran int64
+	sinkSeen := 0
+	var mu sync.Mutex
+	p := New(ctx, Config{Workers: 4, Queue: 4}, SinkFunc(func(Result) {
+		mu.Lock()
+		sinkSeen++
+		mu.Unlock()
+	}))
+	// Submit from a separate goroutine: with all workers blocked the bounded
+	// queue fills and Submit itself blocks until cancellation unblocks it.
+	submittedCh := make(chan int, 1)
+	go func() {
+		submitted := 0
+		for i := 0; i < 32; i++ {
+			err := p.Submit("", 0, func(ctx context.Context) (interface{}, error) {
+				atomic.AddInt64(&ran, 1)
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-ctx.Done() // cooperative job: block until canceled
+				return nil, ctx.Err()
+			})
+			if err != nil {
+				break
+			}
+			submitted++
+		}
+		submittedCh <- submitted
+	}()
+	<-started
+	cancel()
+	submitted := <-submittedCh
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// Every submitted job must have been resolved (run or drained-canceled).
+	mu.Lock()
+	seen := sinkSeen
+	mu.Unlock()
+	if seen != submitted {
+		t.Fatalf("sink saw %d results for %d submitted jobs", seen, submitted)
+	}
+	if atomic.LoadInt64(&ran) > 8 { // 4 workers + small race window
+		t.Fatalf("canceled pool still ran %d jobs", ran)
+	}
+	// No goroutine leak: the pool's workers and collector must all exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	a := Seeds(31, 100)
+	b := Seeds(31, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seed derivation is not deterministic")
+		}
+		if a[i] != Seed(31, i) {
+			t.Fatal("Seeds and Seed disagree")
+		}
+	}
+	// Distinct indices and distinct roots must give distinct seeds.
+	seen := map[uint64]bool{}
+	for _, s := range append(Seeds(31, 100), Seeds(32, 100)...) {
+		if seen[s] {
+			t.Fatalf("seed collision: %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestProgressSnapshots(t *testing.T) {
+	var snaps []Snapshot
+	cfg := Config{Workers: 1, Total: 5, Observer: ObserverFunc(func(s Snapshot) {
+		snaps = append(snaps, s)
+	})}
+	jobs := []int{0, 1, 2, 3, 4}
+	if _, err := Map(context.Background(), cfg, jobs,
+		func(_ context.Context, j int) (int, error) { return j, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("observer called %d times", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Completed != i+1 || s.Total != 5 {
+			t.Fatalf("snapshot %d = %+v", i, s)
+		}
+	}
+	last := snaps[4]
+	if last.JobsPerSec <= 0 || last.ETA != 0 {
+		t.Fatalf("final snapshot = %+v", last)
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var sb strings.Builder
+	pr := NewProgress(&sb, time.Hour) // only the final line may print
+	for i := 1; i <= 3; i++ {
+		pr.JobDone(Snapshot{Completed: i, Total: 3, JobsPerSec: 2, ETA: time.Duration(3-i) * time.Second})
+	}
+	out := sb.String()
+	if !strings.Contains(out, "3/3 jobs (100%)") || !strings.Contains(out, "jobs/s") {
+		t.Fatalf("progress output = %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("rate limiting failed: %q", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).workers() != runtime.GOMAXPROCS(0) {
+		t.Fatal("default workers != GOMAXPROCS")
+	}
+	if (Config{Workers: 3}).queue() != 6 {
+		t.Fatal("default queue != 2x workers")
+	}
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import "context"
+
+// Described lets a job value carry replay metadata into results and errors.
+// Map attaches the label and seed of jobs implementing it to their Result,
+// so a failing cell can be identified and replayed serially.
+type Described interface {
+	FleetLabel() string
+	FleetSeed() uint64
+}
+
+// Map executes run over every job and returns the values in job order,
+// regardless of worker count. It is the batch entry point the experiment
+// sweeps use: build the cell list exactly as the serial nested loops would
+// enumerate it, then Map it.
+//
+// The first failing job (by submission index) aborts the batch: its error is
+// returned, the context handed to in-flight jobs is canceled, and queued
+// jobs drain without running.
+func Map[J, T any](ctx context.Context, cfg Config, jobs []J, run func(ctx context.Context, j J) (T, error)) ([]T, error) {
+	if cfg.Total == 0 {
+		cfg.Total = len(jobs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, len(jobs))
+	sink := SinkFunc(func(r Result) {
+		if r.Err != nil {
+			cancel() // prompt drain: stop scheduling once any job fails
+			return
+		}
+		out[r.Index] = r.Value.(T)
+	})
+	p := New(ctx, cfg, sink)
+	for _, j := range jobs {
+		j := j
+		label, seed := "", uint64(0)
+		if d, ok := any(j).(Described); ok {
+			label, seed = d.FleetLabel(), d.FleetSeed()
+		}
+		err := p.Submit(label, seed, func(ctx context.Context) (interface{}, error) {
+			return run(ctx, j)
+		})
+		if err != nil {
+			break // canceled; Wait surfaces the causing job error
+		}
+	}
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

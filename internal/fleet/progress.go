@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Snapshot is the pool's running progress view, handed to the Observer after
+// every completed job.
+type Snapshot struct {
+	// Completed is the number of jobs delivered so far; Errors of those
+	// resolved to an error.
+	Completed int
+	Errors    int
+	// Total is Config.Total (0 when the job count was not declared).
+	Total int
+	// Elapsed is the wall-clock time since the pool was created.
+	Elapsed time.Duration
+	// JobsPerSec is the mean completion throughput so far.
+	JobsPerSec float64
+	// ETA extrapolates the remaining wall-clock time from the mean
+	// throughput; it is negative when Total is unknown or nothing has
+	// completed yet.
+	ETA time.Duration
+}
+
+// Observer receives progress snapshots. JobDone is called from a single
+// goroutine, once per completed job, in submission order.
+type Observer interface {
+	JobDone(Snapshot)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Snapshot)
+
+// JobDone implements Observer.
+func (f ObserverFunc) JobDone(s Snapshot) { f(s) }
+
+// snapshotLocked builds the current snapshot; the caller holds p.mu.
+func (p *Pool) snapshotLocked() Snapshot {
+	s := Snapshot{
+		Completed: p.complete,
+		Errors:    p.errs,
+		Total:     p.cfg.Total,
+		Elapsed:   time.Since(p.start),
+		ETA:       -1,
+	}
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.JobsPerSec = float64(s.Completed) / secs
+	}
+	if s.Total > 0 && s.Completed > 0 && s.JobsPerSec > 0 {
+		remaining := float64(s.Total - s.Completed)
+		s.ETA = time.Duration(remaining / s.JobsPerSec * float64(time.Second))
+	}
+	return s
+}
+
+// Progress is an Observer that renders throughput lines ("done/total,
+// jobs/sec, ETA") to a writer, rate-limited to one line per interval plus a
+// final line when the last job lands.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewProgress returns a progress printer. An interval <= 0 defaults to one
+// second.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Progress{w: w, interval: interval, last: time.Now()}
+}
+
+// JobDone implements Observer.
+func (p *Progress) JobDone(s Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	final := s.Total > 0 && s.Completed == s.Total
+	if !final && time.Since(p.last) < p.interval {
+		return
+	}
+	p.last = time.Now()
+	fmt.Fprint(p.w, "fleet: ", formatSnapshot(s), "\n")
+}
+
+// formatSnapshot renders one progress line.
+func formatSnapshot(s Snapshot) string {
+	var frac string
+	if s.Total > 0 {
+		frac = fmt.Sprintf("%d/%d jobs (%.0f%%)", s.Completed, s.Total,
+			100*float64(s.Completed)/float64(s.Total))
+	} else {
+		frac = fmt.Sprintf("%d jobs", s.Completed)
+	}
+	line := fmt.Sprintf("%s, %.1f jobs/s", frac, s.JobsPerSec)
+	if s.ETA >= 0 {
+		line += fmt.Sprintf(", ETA %s", s.ETA.Round(time.Second))
+	}
+	if s.Errors > 0 {
+		line += fmt.Sprintf(", %d errors", s.Errors)
+	}
+	return line
+}
