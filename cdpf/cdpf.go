@@ -33,6 +33,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sensorfault"
 	"repro/internal/sim"
 	"repro/internal/statex"
 	"repro/internal/wsn"
@@ -342,6 +343,30 @@ func NewFaultSchedule() *FaultSchedule { return wsn.NewFaultSchedule() }
 // of the network's nodes.
 func RandomFaultNodes(nw *Network, frac float64, rng *RNG) []NodeID {
 	return wsn.RandomNodes(nw, frac, rng)
+}
+
+// Sensor faults.
+type (
+	// SensorFaultScript is a replayable, time-windowed sensor corruption
+	// schedule (stuck-at, drift, noise inflation, outliers, Byzantine).
+	SensorFaultScript = sensorfault.Script
+	// SensorFaultPlan is the fraction-based generator compiled by
+	// scenario building: a fraction of the deployment exhibits one fault
+	// kind over a time window.
+	SensorFaultPlan = sensorfault.Plan
+	// SensorFaultKind identifies one corruption model.
+	SensorFaultKind = sensorfault.Kind
+)
+
+// NewSensorFaultScript creates an empty corruption schedule whose draws
+// derive from seed.
+func NewSensorFaultScript(seed uint64) *SensorFaultScript { return sensorfault.NewScript(seed) }
+
+// HardenedSensingTrackerConfig returns the evaluation configuration with
+// the Byzantine-tolerant sensing defenses enabled: innovation gating, a
+// Student-t likelihood, and online node quarantine.
+func HardenedSensingTrackerConfig(useNE bool) TrackerConfig {
+	return core.HardenedSensingConfig(useNE)
 }
 
 // In-network aggregation by gossip.

@@ -227,3 +227,33 @@ func TestPublicAPIResilience(t *testing.T) {
 		t.Fatal("compensation never fired under 30% bursty loss")
 	}
 }
+
+func TestPublicAPISensorFaultDefenses(t *testing.T) {
+	p := cdpf.DefaultScenarioParams(20, 42)
+	p.SensorFault = cdpf.SensorFaultPlan{Fraction: 0.2} // zero Kind = stuck-at
+	sc, err := cdpf.NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SensorFaults == nil || len(sc.SensorFaults.FaultyNodes()) == 0 {
+		t.Fatal("enabled plan compiled no fault script")
+	}
+	tr, err := cdpf.NewTracker(sc.Net, cdpf.HardenedSensingTrackerConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	estimates := 0
+	for k := 0; k < sc.Iterations(); k++ {
+		if tr.Step(sc.Observations(k), rng).EstimateValid {
+			estimates++
+		}
+	}
+	if estimates < 5 {
+		t.Fatalf("estimates = %d under sensor faults", estimates)
+	}
+	q := tr.Quarantine()
+	if q.Evictions == 0 {
+		t.Fatal("quarantine never evicted with 20% stuck sensors")
+	}
+}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience]
+//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience|sensorfault]
 //	         [-seeds N] [-density D] [-csv DIR]
 //	         [-parallel N] [-progress] [-benchjson FILE]
 package main
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience")
+	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience, sensorfault")
 	flag.IntVar(&o.seeds, "seeds", 10, "number of random seeds per configuration (paper: 10)")
 	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²) for single-density experiments")
 	flag.StringVar(&o.csvDir, "csv", "", "also write each table as CSV into this directory")
@@ -92,6 +92,12 @@ type benchRecord struct {
 func run(o options) error {
 	if o.parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", o.parallel)
+	}
+	if o.seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)
+	}
+	if o.density <= 0 {
+		return fmt.Errorf("-density must be positive, got %v", o.density)
 	}
 	counter := &jobCounter{}
 	if o.progress {
@@ -381,10 +387,37 @@ func runExperiments(o options, exec experiments.Exec) error {
 			}
 		}
 	}
+	if exp == "all" || exp == "sensorfault" {
+		results, err := exec.SensorFaultSweep(density, experiments.SensorFaultKinds(),
+			experiments.SensorFaultFracs(), seedList)
+		if err != nil {
+			return err
+		}
+		sfAggs := metrics.Summarize(results)
+		rmse, cov := experiments.SensorFaultTables(sfAggs)
+		named := []struct {
+			name string
+			t    *report.Table
+		}{
+			{"sensorfault_rmse", rmse},
+			{"sensorfault_coverage", cov},
+			{"sensorfault_quarantine", experiments.SensorFaultQuarantineTable(sfAggs)},
+		}
+		for _, nt := range named {
+			if err := emit(nt.name, nt.t); err != nil {
+				return err
+			}
+		}
+		for _, h := range experiments.SensorFaultHeadlines(sfAggs) {
+			fmt.Printf("Sensor-fault headline %s @ %.0f%% faulty: clean RMSE %.2f m, undefended %.2f m, defended %.2f m\n",
+				h.Kind, h.FaultyPct, h.CleanRMSE, h.UndefendedRMSE, h.DefendedRMSE)
+		}
+		fmt.Println()
+	}
 	switch exp {
 	case "all", "table1", "fig4", "fig5", "fig6", "failure", "sleep", "loss", "duty",
 		"ablation", "multitarget", "mobility", "radius", "resampler", "aggregation", "latency",
-		"resilience":
+		"resilience", "sensorfault":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

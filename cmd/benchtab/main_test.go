@@ -27,6 +27,47 @@ func TestRunRejectsNonPositiveParallel(t *testing.T) {
 	}
 }
 
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"zero seeds", opts("fig4", 0, 20, ""), "-seeds"},
+		{"negative seeds", opts("fig4", -2, 20, ""), "-seeds"},
+		{"zero density", opts("fig4", 1, 0, ""), "-density"},
+		{"negative density", opts("fig4", 1, -5, ""), "-density"},
+	}
+	for _, c := range cases {
+		err := run(c.o)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not name %s", c.name, err, c.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Fatalf("%s: error %q is not one line", c.name, err)
+		}
+	}
+}
+
+func TestRunSensorFaultWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(opts("sensorfault", 1, 10, dir)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sensorfault_rmse.csv", "sensorfault_coverage.csv", "sensorfault_quarantine.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Fatalf("%s has no data rows:\n%s", name, data)
+		}
+	}
+}
+
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
 	if err := run(opts("fig4", 1, 20, dir)); err != nil {

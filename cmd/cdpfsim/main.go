@@ -6,7 +6,8 @@
 //
 //	cdpfsim [-algo cdpf|cdpf-ne|cpf|sdpf] [-density D] [-seed S]
 //	        [-steps N] [-fail F] [-sleep F] [-loss P] [-burst L]
-//	        [-failfrac F] [-v]
+//	        [-failfrac F] [-sfault stuck|drift|noise|outlier|byzantine]
+//	        [-sfaultfrac F] [-sfaultmag M] [-defend] [-v]
 package main
 
 import (
@@ -20,47 +21,107 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/sensorfault"
 	"repro/internal/trace"
 	"repro/internal/wsn"
 )
 
 func main() {
-	var (
-		algoName = flag.String("algo", "cdpf", "algorithm: cdpf, cdpf-ne, cpf, dpf, sdpf, ekf")
-		density  = flag.Float64("density", 20, "node density (nodes per 100 m²)")
-		seed     = flag.Uint64("seed", 31, "master random seed")
-		steps    = flag.Int("steps", 10, "filter iterations (paper: 10 = 50 s at Δt 5 s)")
-		failFrac = flag.Float64("fail", 0, "fraction of nodes failed at deployment")
-		sleepFr  = flag.Float64("sleep", 0, "fraction of nodes in unanticipated sleep")
-		loss     = flag.Float64("loss", 0, "link packet-loss rate in [0,1)")
-		burst    = flag.Float64("burst", 1, "mean loss-burst length in filter iterations; >1 selects Gilbert–Elliott bursty loss")
-		failMid  = flag.Float64("failfrac", 0, "fraction of nodes fail-stopped mid-run (fault injection)")
-		verbose  = flag.Bool("v", false, "print a per-iteration trace")
-		traceOut = flag.String("trace", "", "write a per-iteration CSV trace to this file")
-	)
+	var o options
+	flag.StringVar(&o.algo, "algo", "cdpf", "algorithm: cdpf, cdpf-ne, cpf, dpf, sdpf, ekf")
+	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²)")
+	flag.Uint64Var(&o.seed, "seed", 31, "master random seed")
+	flag.IntVar(&o.steps, "steps", 10, "filter iterations (paper: 10 = 50 s at Δt 5 s)")
+	flag.Float64Var(&o.failFrac, "fail", 0, "fraction of nodes failed at deployment")
+	flag.Float64Var(&o.sleepFr, "sleep", 0, "fraction of nodes in unanticipated sleep")
+	flag.Float64Var(&o.loss, "loss", 0, "link packet-loss rate in [0,1)")
+	flag.Float64Var(&o.burst, "burst", 1, "mean loss-burst length in filter iterations; >1 selects Gilbert–Elliott bursty loss")
+	flag.Float64Var(&o.failMid, "failfrac", 0, "fraction of nodes fail-stopped mid-run (fault injection)")
+	flag.StringVar(&o.sfKind, "sfault", "stuck", "sensor-fault kind: stuck, drift, noise, outlier, byzantine")
+	flag.Float64Var(&o.sfFrac, "sfaultfrac", 0, "fraction of nodes with faulty sensors in [0,1]; 0 disables sensor faults")
+	flag.Float64Var(&o.sfMag, "sfaultmag", 0, "sensor-fault magnitude (drift rad/s, noise stddev rad, outlier probability); 0 = kind default")
+	flag.BoolVar(&o.defend, "defend", false, "enable the Byzantine-tolerant sensing defenses (cdpf/cdpf-ne only): innovation gating, Student-t likelihood, node quarantine")
+	flag.BoolVar(&o.verbose, "v", false, "print a per-iteration trace")
+	flag.StringVar(&o.traceOut, "trace", "", "write a per-iteration CSV trace to this file")
 	flag.Parse()
 
-	if err := run(*algoName, *density, *seed, *steps, *failFrac, *sleepFr, *loss, *burst, *failMid, *verbose, *traceOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cdpfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName string, density float64, seed uint64, steps int, failFrac, sleepFr, loss, burst, failMid float64, verbose bool, traceOut string) error {
+// options carries the parsed command line.
+type options struct {
+	algo     string
+	density  float64
+	seed     uint64
+	steps    int
+	failFrac float64
+	sleepFr  float64
+	loss     float64
+	burst    float64
+	failMid  float64
+	sfKind   string
+	sfFrac   float64
+	sfMag    float64
+	defend   bool
+	verbose  bool
+	traceOut string
+}
+
+// validate rejects out-of-range fault and loss parameters with a one-line
+// error before any scenario is built.
+func (o options) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"-fail", o.failFrac}, {"-sleep", o.sleepFr},
+		{"-failfrac", o.failMid}, {"-sfaultfrac", o.sfFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%s %v outside [0, 1]", f.name, f.v)
+		}
+	}
+	if o.loss < 0 || o.loss >= 1 {
+		return fmt.Errorf("-loss %v outside [0, 1)", o.loss)
+	}
+	if o.loss > 0 && o.burst > 1 && o.loss/(1-o.loss) > o.burst {
+		return fmt.Errorf("-loss %v unreachable with -burst %v (needs loss/(1-loss) <= burst)", o.loss, o.burst)
+	}
+	if o.sfMag < 0 {
+		return fmt.Errorf("-sfaultmag %v negative", o.sfMag)
+	}
+	if _, err := sensorfault.ParseKind(o.sfKind); err != nil {
+		return fmt.Errorf("-sfault: %w", err)
+	}
+	return nil
+}
+
+func run(o options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	var algo experiments.Algo
-	if algoName == "ekf" {
+	if o.algo == "ekf" {
 		algo = "ekf"
 	} else {
 		var err error
-		algo, err = experiments.ParseAlgo(algoName)
+		algo, err = experiments.ParseAlgo(o.algo)
 		if err != nil {
 			return err
 		}
 	}
-	p := scenario.Default(density, seed)
-	p.Steps = steps
-	p.FailFraction = failFrac
-	p.SleepFraction = sleepFr
+	if o.defend && algo != experiments.AlgoCDPF && algo != experiments.AlgoCDPFNE {
+		return fmt.Errorf("-defend only applies to cdpf and cdpf-ne, not %s", algo)
+	}
+	sfKind, _ := sensorfault.ParseKind(o.sfKind)
+	p := scenario.Default(o.density, o.seed)
+	p.Steps = o.steps
+	p.FailFraction = o.failFrac
+	p.SleepFraction = o.sleepFr
+	p.SensorFault = sensorfault.Plan{Kind: sfKind, Fraction: o.sfFrac, Magnitude: o.sfMag}
 	sc, err := scenario.Build(p)
 	if err != nil {
 		return err
@@ -68,34 +129,29 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 	fmt.Printf("field %gx%g m, %d nodes (density %.1f/100m²), rs=%g m, rc=%g m, %d filter iterations\n",
 		sc.Net.Cfg.Width, sc.Net.Cfg.Height, sc.Net.Len(), sc.Net.Density(),
 		sc.Net.Cfg.SensingRadius, sc.Net.Cfg.CommRadius, sc.Iterations())
+	if sc.SensorFaults != nil {
+		fmt.Printf("sensor faults: %d of %d nodes %s\n",
+			len(sc.SensorFaults.FaultyNodes()), sc.Net.Len(), sfKind)
+	}
 
 	// Fault injection: link loss and a mid-run fail-stop schedule.
-	if loss < 0 || loss >= 1 {
-		return fmt.Errorf("-loss %v outside [0, 1)", loss)
-	}
-	if failMid < 0 || failMid > 1 {
-		return fmt.Errorf("-failfrac %v outside [0, 1]", failMid)
-	}
-	if loss > 0 && burst > 1 && loss/(1-loss) > burst {
-		return fmt.Errorf("-loss %v unreachable with -burst %v (needs loss/(1-loss) <= burst)", loss, burst)
-	}
-	if loss > 0 {
-		if burst > 1 {
-			sc.Net.SetBurstLoss(loss, burst, seed^0xfa117)
-			fmt.Printf("link loss: %.0f%% bursty (mean burst %.1f iterations)\n", 100*loss, burst)
+	if o.loss > 0 {
+		if o.burst > 1 {
+			sc.Net.SetBurstLoss(o.loss, o.burst, o.seed^0xfa117)
+			fmt.Printf("link loss: %.0f%% bursty (mean burst %.1f iterations)\n", 100*o.loss, o.burst)
 		} else {
-			sc.Net.SetLossRate(loss, seed^0xfa117)
-			fmt.Printf("link loss: %.0f%% iid\n", 100*loss)
+			sc.Net.SetLossRate(o.loss, o.seed^0xfa117)
+			fmt.Printf("link loss: %.0f%% iid\n", 100*o.loss)
 		}
 	}
 	faults := wsn.NewFaultSchedule()
-	if failMid > 0 {
+	if o.failMid > 0 {
 		mid := sc.Filter.Times[sc.Iterations()/2]
-		victims := wsn.RandomNodes(sc.Net, failMid, sc.RNG(70))
+		victims := wsn.RandomNodes(sc.Net, o.failMid, sc.RNG(70))
 		faults.FailStopAt(mid, victims)
 		fmt.Printf("fault injection: %d nodes fail-stop at t=%g s\n", len(victims), mid)
 	}
-	hardened := loss > 0 || failMid > 0
+	hardened := o.loss > 0 || o.failMid > 0
 
 	var errs []float64
 	var resilTr *core.Tracker
@@ -106,6 +162,14 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 		cfg := core.DefaultConfig(algo == experiments.AlgoCDPFNE)
 		if hardened {
 			cfg = core.ResilientConfig(algo == experiments.AlgoCDPFNE)
+		}
+		if o.defend {
+			sensing := core.HardenedSensingConfig(algo == experiments.AlgoCDPFNE)
+			cfg.GateSigma = sensing.GateSigma
+			cfg.Sensor.TailNu = sensing.Sensor.TailNu
+			cfg.Quarantine = sensing.Quarantine
+			fmt.Printf("sensing defenses: gate %gσ, Student-t ν=%g, quarantine on\n",
+				cfg.GateSigma, cfg.Sensor.TailNu)
 		}
 		tr, err := core.NewTracker(sc.Net, cfg)
 		if err != nil {
@@ -159,7 +223,7 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 		}
 	}
 
-	rec := trace.New(string(algo), density, seed)
+	rec := trace.New(string(algo), o.density, o.seed)
 	valid := make([]bool, 0, sc.Iterations())
 	for k := 0; k < sc.Iterations(); k++ {
 		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
@@ -178,18 +242,18 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 			e := est.Dist(sc.Truth(estFor))
 			errs = append(errs, e)
 			r.HaveEst, r.EstForK, r.EstX, r.EstY, r.Err = true, estFor, est.X, est.Y, e
-			if verbose {
+			if o.verbose {
 				fmt.Printf("k=%2d truth=%v est[k=%d]=%v err=%.2f m, %d msgs / %d B this iteration\n",
 					k, sc.Truth(k), estFor, est, e, d.TotalMsgs(), d.TotalBytes())
 			}
-		} else if verbose {
+		} else if o.verbose {
 			fmt.Printf("k=%2d truth=%v (no estimate), %d msgs / %d B\n",
 				k, sc.Truth(k), d.TotalMsgs(), d.TotalBytes())
 		}
 		rec.Add(r)
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
@@ -197,7 +261,7 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 		if err := rec.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d iterations)\n", traceOut, rec.Len())
+		fmt.Printf("trace written to %s (%d iterations)\n", o.traceOut, rec.Len())
 	}
 
 	fmt.Printf("\n%s: %d estimates, RMSE %.2f m, max error %.2f m\n",
@@ -217,6 +281,11 @@ func run(algoName string, density float64, seed uint64, steps int, failFrac, sle
 			fmt.Printf("degradation: %d rebroadcasts (%d saved a particle), %d compensated totals, %d failed nodes at end\n",
 				rs.Rebroadcasts, rs.RebroadcastSaves, rs.Compensated, faults.DownCount())
 		}
+	}
+	if o.defend && resilTr != nil {
+		q := resilTr.Quarantine()
+		fmt.Printf("quarantine: %d evictions, %d readmissions, %d nodes quarantined at end, %d gated likelihood terms\n",
+			q.Evictions, q.Readmissions, len(q.Quarantined), q.Gated)
 	}
 	return nil
 }

@@ -7,26 +7,30 @@ import (
 	"testing"
 )
 
+// opts builds the default test options (cdpf, density 10, 10 steps).
+func opts(algo string) options {
+	return options{algo: algo, density: 10, seed: 31, steps: 10, burst: 1, sfKind: "stuck"}
+}
+
 func TestRunRejectsUnknownAlgo(t *testing.T) {
-	if err := run("nope", 20, 1, 10, 0, 0, 0, 1, 0, false, ""); err == nil {
+	if err := run(opts("nope")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestRunEveryAlgo(t *testing.T) {
 	for _, algo := range []string{"cdpf", "cdpf-ne", "cpf", "dpf", "sdpf", "ekf"} {
-		if err := run(algo, 10, 31, 10, 0, 0, 0, 1, 0, false, ""); err != nil {
+		if err := run(opts(algo)); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
 }
 
 func TestRunWithFaultInjection(t *testing.T) {
-	if err := run("cdpf", 10, 31, 10, 0.2, 0.1, 0, 1, 0, false, ""); err != nil {
+	o := opts("cdpf")
+	o.failFrac, o.sleepFr = 0.2, 0.1
+	if err := run(o); err != nil {
 		t.Fatal(err)
-	}
-	if err := run("cdpf", 10, 31, 10, 2, 0, 0, 1, 0, false, ""); err == nil {
-		t.Fatal("failure fraction above 1 accepted")
 	}
 }
 
@@ -34,19 +38,44 @@ func TestRunWithLossAndFailStops(t *testing.T) {
 	// Bursty loss plus mid-run fail-stops must run to completion for both
 	// the hardened CDPF path and a baseline.
 	for _, algo := range []string{"cdpf", "sdpf"} {
-		if err := run(algo, 10, 31, 10, 0, 0, 0.4, 3, 0.2, false, ""); err != nil {
+		o := opts(algo)
+		o.loss, o.burst, o.failMid = 0.4, 3, 0.2
+		if err := run(o); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
 	// iid loss (burst <= 1) exercises the other loss branch.
-	if err := run("cdpf", 10, 31, 10, 0, 0, 0.3, 1, 0, false, ""); err != nil {
+	o := opts("cdpf")
+	o.loss = 0.3
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSensorFaults(t *testing.T) {
+	// Every fault kind must run to completion undefended and defended.
+	for _, kind := range []string{"stuck", "drift", "noise", "outlier", "byzantine"} {
+		for _, defend := range []bool{false, true} {
+			o := opts("cdpf")
+			o.sfKind, o.sfFrac, o.defend = kind, 0.2, defend
+			if err := run(o); err != nil {
+				t.Fatalf("%s defend=%v: %v", kind, defend, err)
+			}
+		}
+	}
+	// Baselines consume the same corrupted observations.
+	o := opts("sdpf")
+	o.sfFrac = 0.2
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("cdpf", 10, 31, 10, 0, 0, 0, 1, 0, false, path); err != nil {
+	o := opts("cdpf")
+	o.traceOut = path
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -59,14 +88,38 @@ func TestRunWritesTrace(t *testing.T) {
 	}
 }
 
-func TestRunRejectsInvalidFaultFlags(t *testing.T) {
-	if err := run("cdpf", 10, 31, 10, 0, 0, 1.5, 1, 0, false, ""); err == nil {
-		t.Fatal("loss rate above 1 accepted")
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"fail above 1", func(o *options) { o.failFrac = 2 }, "-fail"},
+		{"fail negative", func(o *options) { o.failFrac = -0.1 }, "-fail"},
+		{"sleep above 1", func(o *options) { o.sleepFr = 1.5 }, "-sleep"},
+		{"loss at 1", func(o *options) { o.loss = 1 }, "-loss"},
+		{"loss above 1", func(o *options) { o.loss = 1.5 }, "-loss"},
+		{"loss negative", func(o *options) { o.loss = -0.2 }, "-loss"},
+		{"failfrac above 1", func(o *options) { o.failMid = 1.2 }, "-failfrac"},
+		{"unreachable loss/burst", func(o *options) { o.loss, o.burst = 0.8, 3 }, "-burst"},
+		{"sfaultfrac above 1", func(o *options) { o.sfFrac = 1.01 }, "-sfaultfrac"},
+		{"sfaultfrac negative", func(o *options) { o.sfFrac = -0.3 }, "-sfaultfrac"},
+		{"sfaultmag negative", func(o *options) { o.sfMag = -1 }, "-sfaultmag"},
+		{"unknown sfault kind", func(o *options) { o.sfKind = "wobbly" }, "-sfault"},
+		{"defend on baseline", func(o *options) { o.algo, o.defend = "sdpf", true }, "-defend"},
 	}
-	if err := run("cdpf", 10, 31, 10, 0, 0, 0, 1, 1.2, false, ""); err == nil {
-		t.Fatal("failfrac above 1 accepted")
-	}
-	if err := run("cdpf", 10, 31, 10, 0, 0, 0.8, 3, 0, false, ""); err == nil {
-		t.Fatal("unreachable loss/burst combination accepted")
+	for _, c := range cases {
+		o := opts("cdpf")
+		c.mut(&o)
+		err := run(o)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not name %s", c.name, err, c.want)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Fatalf("%s: error %q is not one line", c.name, err)
+		}
 	}
 }

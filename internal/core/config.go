@@ -110,6 +110,38 @@ type Config struct {
 	// ratio of in-range broadcasters to successfully decoded ones. Without
 	// packet loss the two counts are equal and behavior is unchanged.
 	CompensateLoss bool
+
+	// Byzantine-tolerant sensing defenses (DESIGN.md §9). The communication
+	// knobs above harden the filter against nodes that go silent; these
+	// harden the likelihood step against sensors that keep talking but
+	// report wrong bearings (stuck, drifting, or lying — see
+	// internal/sensorfault). All default off, leaving the paper behavior
+	// bit-identical. A third defense layer rides on Sensor.TailNu: a
+	// positive value switches the likelihood to a heavy-tailed Student-t so
+	// a single wild bearing costs O(log) instead of O(residual²).
+
+	// GateSigma, when positive, innovation-gates shared measurements in the
+	// likelihood step: under the Gaussian noise model, a heard measurement
+	// whose bearing residual at the holder's position exceeds GateSigma
+	// times the effective noise scale is clamped to that boundary before the
+	// log density is evaluated, capping how hard a single wild bearing can
+	// push any holder's weight. Under a Student-t model (TailNu > 0) the
+	// tail is itself a soft gate, so out-of-gate residuals are only counted
+	// (QuarantineStats.Gated), not clamped. Gated terms never drop the
+	// particle (the holder still "heard" the broadcast). 0 disables.
+	GateSigma float64
+	// Quarantine enables the online per-node reputation tracker: each
+	// measurement-sharing node is scored every iteration by cross-node
+	// residual consensus against the shared predicted position, persistent
+	// deviants are quarantined (their measurements ignored by every
+	// receiver), and recovered sensors are readmitted. Only meaningful for
+	// the CDPF likelihood path (CDPF-NE shares no measurements).
+	Quarantine bool
+	// QuarantineDevSigma is the normalized-residual threshold beyond which
+	// a sharer's reading counts as deviant for reputation scoring (the
+	// reading must also exceed twice the cohort's median residual). 0
+	// defaults to 3.
+	QuarantineDevSigma float64
 }
 
 // DefaultConfig returns the evaluation configuration of Section VI.
@@ -201,6 +233,21 @@ func (c Config) withDefaults(nw *wsn.Network) (Config, error) {
 	if c.RebroadcastBackoff < 1 {
 		return c, fmt.Errorf("core: RebroadcastBackoff %v must be >= 1", c.RebroadcastBackoff)
 	}
+	if c.Sensor.TailNu < 0 {
+		return c, fmt.Errorf("core: Sensor.TailNu %v negative (0 selects the Gaussian model)", c.Sensor.TailNu)
+	}
+	if c.GateSigma < 0 {
+		return c, fmt.Errorf("core: GateSigma %v negative (0 disables gating)", c.GateSigma)
+	}
+	if c.GateSigma > 0 && c.GateSigma < 1 {
+		return c, fmt.Errorf("core: GateSigma %v below 1 would gate typical in-model residuals", c.GateSigma)
+	}
+	if c.QuarantineDevSigma == 0 {
+		c.QuarantineDevSigma = 3
+	}
+	if c.QuarantineDevSigma < 0 {
+		return c, fmt.Errorf("core: QuarantineDevSigma %v negative", c.QuarantineDevSigma)
+	}
 	return c, nil
 }
 
@@ -210,5 +257,17 @@ func ResilientConfig(useNE bool) Config {
 	c := DefaultConfig(useNE)
 	c.Rebroadcasts = 2
 	c.CompensateLoss = true
+	return c
+}
+
+// HardenedSensingConfig returns DefaultConfig with the Byzantine-tolerant
+// sensing defenses enabled — the configuration the sensorfault benchmark's
+// defended rows run: innovation gating at 4σ, a Student-t likelihood with 4
+// degrees of freedom, and online node quarantine.
+func HardenedSensingConfig(useNE bool) Config {
+	c := DefaultConfig(useNE)
+	c.GateSigma = 4
+	c.Sensor.TailNu = 4
+	c.Quarantine = true
 	return c
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mathx"
+	"repro/internal/statex"
 	"repro/internal/wsn"
 )
 
@@ -66,6 +67,11 @@ type Tracker struct {
 	iter    int  // Step invocations so far
 	lostAt  int  // iteration the current loss episode began; -1 when locked
 	everEst bool // an estimate has been produced at least once
+
+	// sensing defenses (see quarantine.go); quar is nil unless
+	// Config.Quarantine is set, gated counts innovation-gated terms.
+	quar  *reputation
+	gated int
 }
 
 // ResilienceStats counts the tracker's degradation events across a run:
@@ -98,13 +104,17 @@ func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tracker{
+	t := &Tracker{
 		nw:         nw,
 		cfg:        c,
 		parts:      make(map[wsn.NodeID]*nodeParticle),
 		recContrib: make(map[wsn.NodeID]*recAccum),
 		lostAt:     -1,
-	}, nil
+	}
+	if c.Quarantine {
+		t.quar = newReputation(c.QuarantineDevSigma)
+	}
+	return t, nil
 }
 
 // Resilience returns the degradation counters accumulated so far.
@@ -463,12 +473,103 @@ func (t *Tracker) overheardTotal(id wsn.NodeID, bcasts []bcast) float64 {
 	return total
 }
 
+// effSigma returns the bearing-noise scale used when evaluating a
+// measurement taken at `from` against candidate position `cand`: the sensor
+// noise inflated by the node-quantization term QuantSigma/d (the particle is
+// pinned to a node position, so it carries positional uncertainty of about
+// half the internode spacing).
+func (t *Tracker) effSigma(from, cand mathx.Vec2) float64 {
+	sigma := t.cfg.Sensor.SigmaN
+	if t.cfg.QuantSigma > 0 {
+		d := from.Dist(cand)
+		if d < 1 {
+			d = 1
+		}
+		q := t.cfg.QuantSigma / d
+		sigma = math.Sqrt(sigma*sigma + q*q)
+	}
+	return sigma
+}
+
+// bearingLL returns the log likelihood of observing bearing z from `from`
+// when the target is at `cand`, under the configured noise model (Gaussian,
+// or Student-t when Sensor.TailNu is positive) at the effective sigma.
+//
+// With innovation gating enabled, a Gaussian-model residual beyond GateSigma
+// effective sigmas is clamped to the gate boundary before evaluation, so a
+// wild measurement contributes at most the boundary log density. Clamping
+// (rather than skipping the term) keeps the per-term density monotone in the
+// residual: a candidate position inconsistent with every measurement still
+// scores strictly below one consistent with some — skipping would hand it a
+// free zero while honest near-misses paid their negative log densities.
+//
+// Under the Student-t model the clamp is deliberately NOT applied: the
+// heavy tail is itself a soft gate (log density falls only logarithmically,
+// so a lying sensor's influence is already bounded), and hard-clamping on
+// top of it would *raise* far-out residuals to the boundary density,
+// flattening the very discrimination the tail preserves. Out-of-gate terms
+// still increment the Gated diagnostic counter.
+func (t *Tracker) bearingLL(from mathx.Vec2, z float64, cand mathx.Vec2) float64 {
+	sigma := t.effSigma(from, cand)
+	resid := mathx.AngleDiff(z, cand.Sub(from).Angle())
+	if gate := t.cfg.GateSigma; gate > 0 && math.Abs(resid) > gate*sigma {
+		t.gated++
+		if t.cfg.Sensor.TailNu <= 0 {
+			resid = gate * sigma
+		}
+	}
+	if t.cfg.Sensor.TailNu > 0 {
+		return mathx.StudentTLogPDF(resid, 0, sigma, t.cfg.Sensor.TailNu)
+	}
+	return mathx.GaussianLogPDF(resid, 0, sigma)
+}
+
+// scoreSharers runs one round of the quarantine reputation update. The
+// consensus reference is the least-squares triangulation of the cohort's own
+// bearings — every participant can compute it from the measurement broadcasts
+// it already overhears, and unlike the predicted target position it carries
+// no prediction error: honest bearings all pass near the true target, so an
+// honest node's residual against the fix reflects only measurement noise and
+// node quantization, while a lying sensor's bearing line misses the fix by
+// construction. Each node's absolute bearing residual against the fix,
+// normalized by its effective sigma, feeds the reputation state machine
+// (whose median test additionally guards the rounds where faulty bearings
+// dragged the fix itself off target).
+func (t *Tracker) scoreSharers(sharers []wsn.NodeID, obsByNode map[wsn.NodeID]float64) {
+	if t.quar == nil || len(sharers) < quarMinCohort {
+		return
+	}
+	ms := make([]statex.Measurement, len(sharers))
+	for i, id := range sharers {
+		ms[i] = statex.Measurement{From: t.nw.Node(id).Pos, Bearing: obsByNode[id]}
+	}
+	fix, ok := statex.TriangulateBearings(ms)
+	if !ok {
+		return
+	}
+	norms := make([]float64, len(sharers))
+	for i, id := range sharers {
+		pos := t.nw.Node(id).Pos
+		sigma := t.effSigma(pos, fix)
+		resid := mathx.AngleDiff(obsByNode[id], fix.Sub(pos).Angle())
+		norms[i] = math.Abs(resid) / sigma
+	}
+	t.quar.observe(sharers, norms)
+}
+
 // assignLikelihood implements steps 5–6 of CDPF: particle-holding nodes that
 // detected the target broadcast their measurements (size Dm); every holder
 // computes the joint likelihood of the measurements it heard at its own
 // position and multiplies it into its weight. Holders that hear no
 // measurement while measurements exist drop their particles (the
 // "zero or almost zero density" rule of Section III-B).
+//
+// With the sensing defenses enabled (DESIGN.md §9) three filters sit between
+// a shared measurement and a holder's weight: quarantined nodes' broadcasts
+// are ignored by every receiver (they still transmit — a lying sensor does
+// not know it is distrusted, so the bytes are still charged), the innovation
+// gate clamps individual wildly-inconsistent terms to its boundary, and the
+// heavy-tailed noise model bounds the damage of whatever slips through.
 func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 	if len(t.parts) == 0 && len(obs) == 0 {
 		return
@@ -494,24 +595,23 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 		// recovery logic in Step). Weights persist.
 		return
 	}
-	commR := t.nw.Cfg.CommRadius
-	// Joint log-likelihood per holder over the measurements it heard. The
-	// bearing noise is inflated by the node-quantization term QuantSigma/d:
-	// the particle is pinned to a node position, so it carries positional
-	// uncertainty of about half the internode spacing.
-	bearingLL := func(from mathx.Vec2, z float64, cand mathx.Vec2) float64 {
-		sigma := t.cfg.Sensor.SigmaN
-		if t.cfg.QuantSigma > 0 {
-			d := from.Dist(cand)
-			if d < 1 {
-				d = 1
+	// Reputation round, then drop quarantined sharers from the usable set.
+	t.scoreSharers(sharers, obsByNode)
+	if t.quar != nil {
+		usable := sharers[:0]
+		for _, id := range sharers {
+			if !t.quar.isQuarantined(id) {
+				usable = append(usable, id)
 			}
-			q := t.cfg.QuantSigma / d
-			sigma = math.Sqrt(sigma*sigma + q*q)
 		}
-		pred := cand.Sub(from).Angle()
-		return mathx.GaussianLogPDF(mathx.AngleDiff(z, pred), 0, sigma)
+		sharers = usable
+		if len(sharers) == 0 {
+			// Every sharer is quarantined: treat as an information-free
+			// iteration rather than trusting known-bad measurements.
+			return
+		}
 	}
+	commR := t.nw.Cfg.CommRadius
 	holders := t.Holders()
 	logls := make([]float64, len(holders))
 	heardAny := make([]bool, len(holders))
@@ -523,8 +623,8 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 			if sid != id && (t.nw.Node(sid).Pos.Dist(pos) > commR || !t.nw.Delivers(sid, id)) {
 				continue
 			}
-			ll += bearingLL(t.nw.Node(sid).Pos, obsByNode[sid], pos)
 			heard = true
+			ll += t.bearingLL(t.nw.Node(sid).Pos, obsByNode[sid], pos)
 		}
 		logls[i], heardAny[i] = ll, heard
 	}

@@ -24,6 +24,27 @@ func GaussianLogPDF(x, mean, stddev float64) float64 {
 	return -0.5*d*d - math.Log(stddev) - 0.5*math.Log(2*math.Pi)
 }
 
+// StudentTLogPDF returns the log density of a Student-t distribution with nu
+// degrees of freedom, location mean, and scale at x. As nu grows the
+// distribution approaches N(mean, scale²); small nu puts far more mass in the
+// tails, which is what makes it the standard robust replacement for the
+// Gaussian in likelihood models facing outliers: a wildly wrong measurement
+// costs O(log) instead of O(residual²), so one bad sensor cannot annihilate a
+// particle's weight.
+func StudentTLogPDF(x, mean, scale, nu float64) float64 {
+	if scale <= 0 {
+		panic("mathx: StudentTLogPDF non-positive scale")
+	}
+	if nu <= 0 {
+		panic("mathx: StudentTLogPDF non-positive degrees of freedom")
+	}
+	lgNum, _ := math.Lgamma((nu + 1) / 2)
+	lgDen, _ := math.Lgamma(nu / 2)
+	d := (x - mean) / scale
+	return lgNum - lgDen - 0.5*math.Log(nu*math.Pi) - math.Log(scale) -
+		(nu+1)/2*math.Log1p(d*d/nu)
+}
+
 // MVN is a multivariate normal distribution with a precomputed Cholesky
 // factor, used to draw correlated process-noise vectors.
 type MVN struct {

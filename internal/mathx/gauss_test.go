@@ -69,6 +69,69 @@ func TestGaussianPDFPanicsOnBadSigma(t *testing.T) {
 	GaussianPDF(0, 0, 0)
 }
 
+func TestStudentTLogPDFIntegratesToOne(t *testing.T) {
+	// Trapezoidal integral over a wide span; nu=3 tails decay slowly, so the
+	// span must be large and the tolerance looser than the Gaussian test's.
+	for _, nu := range []float64{1, 3, 8} {
+		const n = 400000
+		lo, hi := -2000.0, 2000.0
+		h := (hi - lo) / n
+		sum := 0.0
+		for i := 0; i <= n; i++ {
+			x := lo + float64(i)*h
+			w := 1.0
+			if i == 0 || i == n {
+				w = 0.5
+			}
+			sum += w * math.Exp(StudentTLogPDF(x, 0, 1, nu))
+		}
+		if math.Abs(sum*h-1) > 2e-3 {
+			t.Fatalf("nu=%v: integral = %v", nu, sum*h)
+		}
+	}
+}
+
+func TestStudentTLogPDFApproachesGaussian(t *testing.T) {
+	// With many degrees of freedom the t density converges to the Gaussian.
+	for _, x := range []float64{-2, -0.3, 0, 0.7, 1.9} {
+		tLP := StudentTLogPDF(x, 0.5, 1.2, 1e6)
+		gLP := GaussianLogPDF(x, 0.5, 1.2)
+		if math.Abs(tLP-gLP) > 1e-4 {
+			t.Fatalf("x=%v: t(nu=1e6)=%v vs gaussian=%v", x, tLP, gLP)
+		}
+	}
+}
+
+func TestStudentTLogPDFHeavierTails(t *testing.T) {
+	// The whole point: far-tail log density must dominate the Gaussian's.
+	for _, x := range []float64{5, 10, 50} {
+		if StudentTLogPDF(x, 0, 1, 4) <= GaussianLogPDF(x, 0, 1) {
+			t.Fatalf("x=%v: t tail not heavier than gaussian", x)
+		}
+	}
+	// And it must stay finite arbitrarily far out.
+	lp := StudentTLogPDF(1e12, 0, 1, 4)
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("far-tail t logpdf = %v", lp)
+	}
+}
+
+func TestStudentTLogPDFPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero scale": func() { StudentTLogPDF(0, 0, 0, 3) },
+		"zero nu":    func() { StudentTLogPDF(0, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestMVNSampleMoments(t *testing.T) {
 	mean := []float64{1, -2}
 	cov := MatFromRows([]float64{2, 0.8}, []float64{0.8, 1})

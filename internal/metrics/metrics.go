@@ -37,6 +37,22 @@ type RunResult struct {
 	LossEpisodes   int
 	ReacquireIters []float64
 	LockedFrac     float64
+
+	// Sensing-defense accounting (sensor-fault experiments; zero-valued for
+	// runs that did not record it). QuarantineTracked marks runs whose
+	// tracker ran the quarantine defense, so aggregation can tell "no
+	// defense" from "defense saw nothing". Precision is the fraction of
+	// ever-quarantined nodes that really were faulty (NaN when none were
+	// quarantined); Recall is the fraction of scoreable faulty nodes (faulty
+	// nodes that produced at least one measurement) the defense ever
+	// quarantined (NaN when there were none). GatedTerms counts
+	// innovation-gated likelihood terms and QuarantineEvictions the state
+	// machine's evictions.
+	QuarantineTracked   bool
+	QuarantinePrecision float64
+	QuarantineRecall    float64
+	GatedTerms          int
+	QuarantineEvictions int
 }
 
 // RMSE returns the root-mean-squared estimation error of the run
@@ -121,6 +137,13 @@ type Aggregate struct {
 	MeanEpisodes  float64
 	MeanReacquire float64
 	MeanLocked    float64
+
+	// Sensing-defense aggregates over runs with QuarantineTracked set (NaN
+	// when no run tracked, or when every tracked run's value was NaN).
+	MeanQuarPrecision float64
+	MeanQuarRecall    float64
+	MeanGated         float64
+	MeanEvictions     float64
 }
 
 // Summarize groups results by (Algo, Density) and averages each group. The
@@ -144,6 +167,7 @@ func Summarize(results []RunResult) []Aggregate {
 		rs := groups[k]
 		var rmses, bytes, msgs, covs, energies []float64
 		var episodes, reacquires, lockeds []float64
+		var precisions, recalls, gateds, evictions []float64
 		for _, r := range rs {
 			if rm := r.RMSE(); !math.IsNaN(rm) {
 				rmses = append(rmses, rm)
@@ -156,6 +180,16 @@ func Summarize(results []RunResult) []Aggregate {
 			reacquires = append(reacquires, r.ReacquireIters...)
 			if !math.IsNaN(r.LockedFrac) {
 				lockeds = append(lockeds, r.LockedFrac)
+			}
+			if r.QuarantineTracked {
+				if !math.IsNaN(r.QuarantinePrecision) {
+					precisions = append(precisions, r.QuarantinePrecision)
+				}
+				if !math.IsNaN(r.QuarantineRecall) {
+					recalls = append(recalls, r.QuarantineRecall)
+				}
+				gateds = append(gateds, float64(r.GatedTerms))
+				evictions = append(evictions, float64(r.QuarantineEvictions))
 			}
 		}
 		agg := Aggregate{
@@ -186,9 +220,21 @@ func Summarize(results []RunResult) []Aggregate {
 		} else {
 			agg.MeanLocked = math.NaN()
 		}
+		agg.MeanQuarPrecision = meanOrNaN(precisions)
+		agg.MeanQuarRecall = meanOrNaN(recalls)
+		agg.MeanGated = meanOrNaN(gateds)
+		agg.MeanEvictions = meanOrNaN(evictions)
 		out = append(out, agg)
 	}
 	return out
+}
+
+// meanOrNaN returns the mean of xs, or NaN for an empty slice.
+func meanOrNaN(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return mathx.Mean(xs)
 }
 
 // String renders a one-line summary.

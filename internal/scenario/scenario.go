@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/sensorfault"
 	"repro/internal/statex"
 	"repro/internal/wsn"
 )
@@ -31,6 +32,13 @@ type Params struct {
 	// SleepFraction puts this fraction of nodes into an *unanticipated*
 	// random sleep for the whole run (they neither sense nor relay).
 	SleepFraction float64
+
+	// SensorFault corrupts the measurements of a node fraction (stuck,
+	// drifting, noisy, outlier-prone, or Byzantine bearings — see
+	// internal/sensorfault). Unlike FailFraction, the afflicted nodes keep
+	// sensing and transmitting: they report wrong bearings, which every
+	// filter consumes identically. The zero value disables injection.
+	SensorFault sensorfault.Plan
 }
 
 // Default returns the paper's evaluation parameters for a density and seed.
@@ -55,6 +63,10 @@ type Scenario struct {
 	Fine   *statex.Trajectory // ground truth at the target's 1 s motion step
 	Filter *statex.Trajectory // subsampled at the filter period
 	Sensor statex.BearingSensor
+	// SensorFaults is the compiled measurement-corruption script (nil when
+	// P.SensorFault is disabled). Observations applies it; experiment code
+	// reads it for the ground-truth victim set when scoring quarantine.
+	SensorFaults *sensorfault.Script
 
 	noiseRNG *mathx.RNG
 }
@@ -101,13 +113,27 @@ func Build(p Params) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sensor-fault compilation consumes master stream 5 — but only when the
+	// plan is enabled, so fault-free scenarios draw exactly the seed
+	// evaluation's RNG sequence and stay bit-identical.
+	var sf *sensorfault.Script
+	if err := p.SensorFault.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SensorFault.Enabled() {
+		sf, err = p.SensorFault.Compile(nw.Len(), p.Seed^0x5fa017, master.Split(5))
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Scenario{
-		P:        p,
-		Net:      nw,
-		Fine:     fine,
-		Filter:   fine.Subsample(stride),
-		Sensor:   statex.BearingSensor{SigmaN: p.SigmaN},
-		noiseRNG: noiseRNG,
+		P:            p,
+		Net:          nw,
+		Fine:         fine,
+		Filter:       fine.Subsample(stride),
+		Sensor:       statex.BearingSensor{SigmaN: p.SigmaN},
+		SensorFaults: sf,
+		noiseRNG:     noiseRNG,
 	}, nil
 }
 
@@ -138,13 +164,19 @@ func (s *Scenario) CrossedNodes(k int) []wsn.NodeID {
 
 // Observations returns the bearing observations of the detecting nodes at
 // iteration k, with fresh measurement noise from the scenario's noise
-// stream.
+// stream. When a sensor-fault script is attached, each clean bearing is then
+// corrupted through it — after the noise draw, so attaching a script never
+// perturbs the clean measurements of unaffected nodes, and every filter
+// running on the scenario sees the same corrupted values.
 func (s *Scenario) Observations(k int) []core.Observation {
 	truth := s.Truth(k)
 	det := s.DetectingNodes(k)
 	obs := make([]core.Observation, 0, len(det))
 	for _, id := range det {
 		z := s.Sensor.Measure(s.Net.Node(id).Pos, truth, s.noiseRNG)
+		if s.SensorFaults != nil {
+			z, _ = s.SensorFaults.Corrupt(id, s.Filter.Times[k], z)
+		}
 		obs = append(obs, core.Observation{Node: id, Bearing: z})
 	}
 	return obs

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/mathx"
+	"repro/internal/sensorfault"
 	"repro/internal/wsn"
 )
 
@@ -239,5 +240,90 @@ func TestRNGKeysIndependent(t *testing.T) {
 		if c.Uint64() != d.Uint64() {
 			t.Fatal("RNG key not deterministic")
 		}
+	}
+}
+
+func TestSensorFaultInjection(t *testing.T) {
+	clean, err := Build(Default(10, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default(10, 17)
+	p.SensorFault = sensorfault.Plan{Kind: sensorfault.Byzantine, Fraction: 0.3}
+	faulty, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.SensorFaults == nil {
+		t.Fatal("enabled plan compiled to nil script")
+	}
+	victims := make(map[wsn.NodeID]bool)
+	for _, id := range faulty.SensorFaults.FaultyNodes() {
+		victims[id] = true
+	}
+	wantVictims := int(0.3*float64(clean.Net.Len()) + 0.999999)
+	if len(victims) != wantVictims {
+		t.Fatalf("victims = %d, want %d", len(victims), wantVictims)
+	}
+	// The two scenarios share deployment, trajectory, and noise streams, so
+	// observations differ exactly on victim nodes and nowhere else.
+	changed := 0
+	for k := 0; k < clean.Iterations(); k++ {
+		oc, of := clean.Observations(k), faulty.Observations(k)
+		if len(oc) != len(of) {
+			t.Fatalf("k=%d: observation counts differ", k)
+		}
+		for i := range oc {
+			if oc[i].Node != of[i].Node {
+				t.Fatalf("k=%d: observer sets differ", k)
+			}
+			if oc[i].Bearing != of[i].Bearing {
+				if !victims[oc[i].Node] {
+					t.Fatalf("k=%d: non-victim node %d corrupted", k, oc[i].Node)
+				}
+				changed++
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no measurement was corrupted")
+	}
+}
+
+func TestSensorFaultDisabledIsBitIdentical(t *testing.T) {
+	// A zero Plan must not consume any randomness: the scenario is the seed
+	// evaluation's, bit for bit.
+	a, err := Build(Default(10, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default(10, 18)
+	p.SensorFault = sensorfault.Plan{} // explicit zero value
+	b, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SensorFaults != nil {
+		t.Fatal("disabled plan compiled a script")
+	}
+	for k := 0; k < a.Iterations(); k++ {
+		oa, ob := a.Observations(k), b.Observations(k)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("k=%d: observations differ with a disabled plan", k)
+			}
+		}
+	}
+}
+
+func TestSensorFaultPlanValidatedInBuild(t *testing.T) {
+	p := Default(10, 19)
+	p.SensorFault = sensorfault.Plan{Kind: sensorfault.Stuck, Fraction: 1.5}
+	if _, err := Build(p); err == nil {
+		t.Fatal("fraction above 1 accepted")
+	}
+	p.SensorFault = sensorfault.Plan{Kind: sensorfault.Noise, Fraction: 0.1, Magnitude: -1}
+	if _, err := Build(p); err == nil {
+		t.Fatal("negative magnitude accepted")
 	}
 }

@@ -1,0 +1,344 @@
+// Package sensorfault injects deterministic sensing faults into the bearing
+// measurement path. PR 1's wsn.FaultSchedule covers *communication* faults
+// (nodes going dark); this package covers the complementary class the paper's
+// future-work item 1 leaves open: sensors that keep talking but report wrong
+// bearings. A Script is a set of per-node fault windows — stuck-at readings,
+// additive calibration drift, noise-variance inflation, transient outliers,
+// and Byzantine (uniform-random) lies — replayed against clean measurements
+// as simulated time advances.
+//
+// Corruption is a pure function of (script seed, window, node, time): no
+// internal cursor, no draw-order coupling with the scenario's noise streams.
+// The same script therefore corrupts identically whether a run executes
+// serially or fans out across fleet workers, and attaching a script never
+// perturbs the clean-run RNG sequence (defenses-off golden outputs stay
+// byte-identical).
+package sensorfault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// Kind classifies one sensor-fault behavior.
+type Kind uint8
+
+const (
+	// Stuck freezes the sensor at one bearing for the whole window (a seized
+	// gimbal or latched ADC). The stuck value is drawn once per (window,
+	// node) unless the window's Param pins it explicitly.
+	Stuck Kind = iota
+	// Drift adds a calibration bias that grows linearly with time inside the
+	// window at Param rad/s (a miscalibrated or thermally drifting compass).
+	Drift
+	// Noise adds zero-mean Gaussian noise with stddev Param rad on top of
+	// the sensor's own noise (variance inflation from a degraded front end).
+	Noise
+	// Outlier replaces each reading, independently with probability Param,
+	// by a uniform random bearing (transient glitches).
+	Outlier
+	// Byzantine replaces every reading by a uniform random bearing (a lying
+	// or fully compromised sensor).
+	Byzantine
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Stuck:
+		return "stuck"
+	case Drift:
+		return "drift"
+	case Noise:
+		return "noise"
+	case Outlier:
+		return "outlier"
+	case Byzantine:
+		return "byzantine"
+	}
+	return "unknown"
+}
+
+// ParseKind resolves a fault-kind name (CLI spelling).
+func ParseKind(name string) (Kind, error) {
+	for _, k := range []Kind{Stuck, Drift, Noise, Outlier, Byzantine} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sensorfault: unknown fault kind %q (want stuck, drift, noise, outlier, byzantine)", name)
+}
+
+// Window is one scheduled fault: the listed nodes exhibit Kind over
+// [Start, End). Param is kind-specific (see the Kind constants); kinds that
+// need no parameter ignore it.
+type Window struct {
+	Start, End float64
+	Kind       Kind
+	Nodes      []wsn.NodeID
+	Param      float64
+}
+
+// contains reports whether the window is active at time t.
+func (w Window) contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// Script is a replayable set of sensor-fault windows sharing one corruption
+// seed.
+type Script struct {
+	seed    uint64
+	windows []Window
+}
+
+// NewScript returns an empty script whose corruption draws derive from seed.
+func NewScript(seed uint64) *Script { return &Script{seed: seed} }
+
+// AddWindow appends a raw window (e.g. from a deserialized script); call
+// Validate before replaying externally sourced windows.
+func (s *Script) AddWindow(w Window) { s.windows = append(s.windows, w) }
+
+// StuckAt schedules a stuck-at fault over [start, end). A per-node stuck
+// bearing is drawn deterministically from the script seed.
+func (s *Script) StuckAt(start, end float64, nodes []wsn.NodeID) {
+	s.AddWindow(Window{Start: start, End: end, Kind: Stuck, Nodes: nodes})
+}
+
+// DriftAt schedules a calibration drift of ratePerSec rad/s over [start, end).
+func (s *Script) DriftAt(start, end float64, nodes []wsn.NodeID, ratePerSec float64) {
+	s.AddWindow(Window{Start: start, End: end, Kind: Drift, Nodes: nodes, Param: ratePerSec})
+}
+
+// NoiseAt schedules additive measurement noise of stddev extraSigma rad over
+// [start, end).
+func (s *Script) NoiseAt(start, end float64, nodes []wsn.NodeID, extraSigma float64) {
+	s.AddWindow(Window{Start: start, End: end, Kind: Noise, Nodes: nodes, Param: extraSigma})
+}
+
+// OutliersAt schedules transient outliers: each reading in [start, end) is
+// independently replaced by a uniform bearing with probability prob.
+func (s *Script) OutliersAt(start, end float64, nodes []wsn.NodeID, prob float64) {
+	s.AddWindow(Window{Start: start, End: end, Kind: Outlier, Nodes: nodes, Param: prob})
+}
+
+// ByzantineAt schedules uniformly lying sensors over [start, end).
+func (s *Script) ByzantineAt(start, end float64, nodes []wsn.NodeID) {
+	s.AddWindow(Window{Start: start, End: end, Kind: Byzantine, Nodes: nodes})
+}
+
+// Len returns the number of scheduled windows.
+func (s *Script) Len() int { return len(s.windows) }
+
+// Validate checks every window for structural defects: reversed or
+// non-finite time bounds, empty node lists, unknown kinds, and out-of-range
+// parameters (negative noise scales, outlier probabilities outside (0, 1]).
+func (s *Script) Validate() error {
+	for i, w := range s.windows {
+		if math.IsNaN(w.Start) || math.IsNaN(w.End) || w.End <= w.Start {
+			return fmt.Errorf("sensorfault: window %d has empty time span [%v, %v)", i, w.Start, w.End)
+		}
+		if len(w.Nodes) == 0 {
+			return fmt.Errorf("sensorfault: window %d (%s at t=%v) has no nodes", i, w.Kind, w.Start)
+		}
+		switch w.Kind {
+		case Stuck, Drift, Byzantine:
+			// Param free-form (stuck pin, drift rate; byzantine ignores it).
+		case Noise:
+			if w.Param <= 0 {
+				return fmt.Errorf("sensorfault: window %d noise stddev %v must be positive", i, w.Param)
+			}
+		case Outlier:
+			if w.Param <= 0 || w.Param > 1 {
+				return fmt.Errorf("sensorfault: window %d outlier probability %v outside (0, 1]", i, w.Param)
+			}
+		default:
+			return fmt.Errorf("sensorfault: window %d has unknown kind %d", i, w.Kind)
+		}
+	}
+	return nil
+}
+
+// perNode derives the stream for draws fixed over a whole (window, node)
+// pair — e.g. the stuck bearing.
+func (s *Script) perNode(win int, id wsn.NodeID) *mathx.RNG {
+	key := uint64(win+1)*0x9E3779B97F4A7C15 ^ uint64(id+1)*0xBF58476D1CE4E5B9
+	return mathx.NewRNG(s.seed ^ key)
+}
+
+// perReading derives the stream for draws made fresh at every reading.
+func (s *Script) perReading(win int, id wsn.NodeID, t float64) *mathx.RNG {
+	key := uint64(win+1)*0x9E3779B97F4A7C15 ^ uint64(id+1)*0xBF58476D1CE4E5B9 ^
+		math.Float64bits(t)*0x94D049BB133111EB
+	return mathx.NewRNG(s.seed ^ key)
+}
+
+// Corrupt maps node id's clean bearing at time t through every active fault
+// window covering it (in insertion order) and reports whether any applied.
+// The returned bearing is wrapped into (-pi, pi].
+func (s *Script) Corrupt(id wsn.NodeID, t, clean float64) (float64, bool) {
+	z := clean
+	hit := false
+	for i, w := range s.windows {
+		if !w.contains(t) || !hasNode(w.Nodes, id) {
+			continue
+		}
+		hit = true
+		switch w.Kind {
+		case Stuck:
+			if w.Param != 0 {
+				z = w.Param
+			} else {
+				z = s.perNode(i, id).Uniform(-math.Pi, math.Pi)
+			}
+		case Drift:
+			z += w.Param * (t - w.Start)
+		case Noise:
+			z += s.perReading(i, id, t).Normal(0, w.Param)
+		case Outlier:
+			rng := s.perReading(i, id, t)
+			if rng.Float64() < w.Param {
+				z = rng.Uniform(-math.Pi, math.Pi)
+			}
+		case Byzantine:
+			z = s.perReading(i, id, t).Uniform(-math.Pi, math.Pi)
+		}
+	}
+	if !hit {
+		return clean, false
+	}
+	return mathx.WrapAngle(z), true
+}
+
+// FaultyAt reports whether node id is inside any fault window at time t.
+func (s *Script) FaultyAt(id wsn.NodeID, t float64) bool {
+	for _, w := range s.windows {
+		if w.contains(t) && hasNode(w.Nodes, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultyNodes returns the sorted set of nodes covered by any window — the
+// ground-truth victim set for quarantine precision/recall accounting.
+func (s *Script) FaultyNodes() []wsn.NodeID {
+	seen := map[wsn.NodeID]bool{}
+	for _, w := range s.windows {
+		for _, id := range w.Nodes {
+			seen[id] = true
+		}
+	}
+	out := make([]wsn.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func hasNode(nodes []wsn.NodeID, id wsn.NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan is the fraction-based generator the experiments and CLIs use: Fraction
+// of the deployment exhibits Kind over [Start, End). The zero value means "no
+// sensor faults".
+type Plan struct {
+	Kind Kind
+	// Fraction of nodes made faulty, in [0, 1]; 0 disables the plan.
+	Fraction float64
+	// Magnitude is the kind-specific parameter (drift rad/s, noise stddev
+	// rad, outlier probability); 0 selects the kind's default.
+	Magnitude float64
+	// Start and End bound the fault window in seconds; End <= Start means
+	// the fault persists for the whole run.
+	Start, End float64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return p.Fraction > 0 }
+
+// Default kind magnitudes used when Plan.Magnitude is zero.
+const (
+	DefaultDriftRate   = 0.02 // rad/s calibration drift
+	DefaultNoiseSigma  = 0.3  // rad additive noise stddev
+	DefaultOutlierProb = 0.3  // per-reading outlier probability
+)
+
+// Validate checks the plan's ranges without compiling it.
+func (p Plan) Validate() error {
+	if p.Fraction < 0 || p.Fraction > 1 {
+		return fmt.Errorf("sensorfault: plan fraction %v outside [0, 1]", p.Fraction)
+	}
+	if p.Magnitude < 0 {
+		return fmt.Errorf("sensorfault: plan magnitude %v negative", p.Magnitude)
+	}
+	if p.Kind == Outlier && p.Magnitude > 1 {
+		return fmt.Errorf("sensorfault: outlier probability %v outside [0, 1]", p.Magnitude)
+	}
+	return nil
+}
+
+// Compile draws ceil(Fraction·n) victim nodes from rng and returns the
+// one-window script realizing the plan, seeded for corruption with seed.
+// A disabled plan compiles to nil.
+func (p Plan) Compile(n int, seed uint64, rng *mathx.RNG) (*Script, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() || n == 0 {
+		return nil, nil
+	}
+	k := int(p.Fraction*float64(n) + 0.999999)
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	victims := make([]wsn.NodeID, k)
+	for i := 0; i < k; i++ {
+		victims[i] = wsn.NodeID(perm[i])
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+
+	start, end := p.Start, p.End
+	if end <= start {
+		end = math.Inf(1)
+	}
+	mag := p.Magnitude
+	if mag == 0 {
+		switch p.Kind {
+		case Drift:
+			mag = DefaultDriftRate
+		case Noise:
+			mag = DefaultNoiseSigma
+		case Outlier:
+			mag = DefaultOutlierProb
+		}
+	}
+	s := NewScript(seed)
+	switch p.Kind {
+	case Stuck:
+		s.StuckAt(start, end, victims)
+	case Drift:
+		s.DriftAt(start, end, victims, mag)
+	case Noise:
+		s.NoiseAt(start, end, victims, mag)
+	case Outlier:
+		s.OutliersAt(start, end, victims, mag)
+	case Byzantine:
+		s.ByzantineAt(start, end, victims)
+	default:
+		return nil, fmt.Errorf("sensorfault: plan has unknown kind %d", p.Kind)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,207 @@
+package sensorfault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+func nodes(ids ...wsn.NodeID) []wsn.NodeID { return ids }
+
+func TestCorruptIsPureFunction(t *testing.T) {
+	// Corruption must depend only on (seed, window, node, time): calling in
+	// any order, any number of times, yields identical readings.
+	s := NewScript(99)
+	s.ByzantineAt(0, 100, nodes(1, 2, 3))
+	s.NoiseAt(10, 50, nodes(2), 0.4)
+
+	type key struct {
+		id wsn.NodeID
+		t  float64
+	}
+	first := map[key]float64{}
+	for _, id := range nodes(1, 2, 3) {
+		for _, tm := range []float64{0, 5, 10, 25, 99} {
+			z, ok := s.Corrupt(id, tm, 0.5)
+			if !ok {
+				t.Fatalf("node %d at t=%v not corrupted", id, tm)
+			}
+			first[key{id, tm}] = z
+		}
+	}
+	// Replay in reverse order against a freshly built identical script.
+	s2 := NewScript(99)
+	s2.ByzantineAt(0, 100, nodes(1, 2, 3))
+	s2.NoiseAt(10, 50, nodes(2), 0.4)
+	for _, id := range nodes(3, 2, 1) {
+		for _, tm := range []float64{99, 25, 10, 5, 0} {
+			z, _ := s2.Corrupt(id, tm, 0.5)
+			if z != first[key{id, tm}] {
+				t.Fatalf("node %d t=%v: %v vs %v (order-dependent corruption)", id, tm, z, first[key{id, tm}])
+			}
+		}
+	}
+}
+
+func TestStuckHoldsOneBearingPerNode(t *testing.T) {
+	s := NewScript(7)
+	s.StuckAt(0, math.Inf(1), nodes(4, 5))
+	z4a, _ := s.Corrupt(4, 0, 1.0)
+	z4b, _ := s.Corrupt(4, 30, -2.0) // different time, different clean reading
+	if z4a != z4b {
+		t.Fatalf("stuck sensor moved: %v vs %v", z4a, z4b)
+	}
+	z5, _ := s.Corrupt(5, 0, 1.0)
+	if z4a == z5 {
+		t.Fatalf("distinct nodes stuck at the same bearing %v", z4a)
+	}
+	// Pinned stuck value.
+	p := NewScript(7)
+	p.AddWindow(Window{Start: 0, End: 10, Kind: Stuck, Nodes: nodes(1), Param: 1.25})
+	if z, _ := p.Corrupt(1, 3, 0); z != 1.25 {
+		t.Fatalf("pinned stuck value = %v", z)
+	}
+}
+
+func TestDriftGrowsLinearly(t *testing.T) {
+	s := NewScript(1)
+	s.DriftAt(10, 100, nodes(0), 0.05)
+	z20, _ := s.Corrupt(0, 20, 0.3)
+	z40, _ := s.Corrupt(0, 40, 0.3)
+	if math.Abs(z20-(0.3+0.05*10)) > 1e-12 {
+		t.Fatalf("drift at t=20: %v", z20)
+	}
+	if math.Abs(z40-(0.3+0.05*30)) > 1e-12 {
+		t.Fatalf("drift at t=40: %v", z40)
+	}
+	if _, ok := s.Corrupt(0, 5, 0.3); ok {
+		t.Fatal("drift applied before its window")
+	}
+	if _, ok := s.Corrupt(0, 100, 0.3); ok {
+		t.Fatal("drift applied at End (window is half-open)")
+	}
+}
+
+func TestCorruptOutputsWrapped(t *testing.T) {
+	s := NewScript(3)
+	s.DriftAt(0, math.Inf(1), nodes(0), 1) // enormous drift
+	for _, tm := range []float64{0, 10, 100, 1000} {
+		z, _ := s.Corrupt(0, tm, 3.0)
+		if z <= -math.Pi || z > math.Pi || math.IsNaN(z) {
+			t.Fatalf("t=%v: corrupted bearing %v outside (-pi, pi]", tm, z)
+		}
+	}
+}
+
+func TestUntouchedNodesPassThrough(t *testing.T) {
+	s := NewScript(5)
+	s.ByzantineAt(0, 100, nodes(1))
+	if z, ok := s.Corrupt(2, 50, 0.7); ok || z != 0.7 {
+		t.Fatalf("clean node corrupted: %v %v", z, ok)
+	}
+	if s.FaultyAt(2, 50) || !s.FaultyAt(1, 50) || s.FaultyAt(1, 100) {
+		t.Fatal("FaultyAt wrong")
+	}
+}
+
+func TestValidateRejectsMalformedWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Window
+	}{
+		{"empty span", Window{Start: 5, End: 5, Kind: Stuck, Nodes: nodes(1)}},
+		{"reversed span", Window{Start: 10, End: 5, Kind: Stuck, Nodes: nodes(1)}},
+		{"NaN start", Window{Start: math.NaN(), End: 5, Kind: Stuck, Nodes: nodes(1)}},
+		{"no nodes", Window{Start: 0, End: 5, Kind: Stuck}},
+		{"negative noise", Window{Start: 0, End: 5, Kind: Noise, Nodes: nodes(1), Param: -0.1}},
+		{"zero noise", Window{Start: 0, End: 5, Kind: Noise, Nodes: nodes(1)}},
+		{"outlier prob > 1", Window{Start: 0, End: 5, Kind: Outlier, Nodes: nodes(1), Param: 1.5}},
+		{"unknown kind", Window{Start: 0, End: 5, Kind: Kind(42), Nodes: nodes(1)}},
+	}
+	for _, c := range cases {
+		s := NewScript(0)
+		s.AddWindow(c.w)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	ok := NewScript(0)
+	ok.StuckAt(0, 10, nodes(1))
+	ok.OutliersAt(5, 20, nodes(2, 3), 0.25)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+}
+
+func TestFaultyNodesSortedUnion(t *testing.T) {
+	s := NewScript(0)
+	s.StuckAt(0, 10, nodes(9, 2))
+	s.DriftAt(5, 20, nodes(2, 4), 0.01)
+	got := s.FaultyNodes()
+	want := nodes(2, 4, 9)
+	if len(got) != len(want) {
+		t.Fatalf("FaultyNodes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FaultyNodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanCompile(t *testing.T) {
+	p := Plan{Kind: Stuck, Fraction: 0.2}
+	s, err := p.Compile(100, 42, mathx.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("windows = %d", s.Len())
+	}
+	if got := len(s.FaultyNodes()); got != 20 {
+		t.Fatalf("victims = %d, want 20", got)
+	}
+	// Same inputs, same victims.
+	s2, _ := p.Compile(100, 42, mathx.NewRNG(7))
+	a, b := s.FaultyNodes(), s2.FaultyNodes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("victim selection not deterministic")
+		}
+	}
+	// Disabled plan compiles to nil.
+	if s, err := (Plan{}).Compile(100, 1, mathx.NewRNG(1)); err != nil || s != nil {
+		t.Fatalf("disabled plan: %v %v", s, err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Kind: Stuck, Fraction: -0.1},
+		{Kind: Stuck, Fraction: 1.5},
+		{Kind: Noise, Fraction: 0.2, Magnitude: -1},
+		{Kind: Outlier, Fraction: 0.2, Magnitude: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+		if _, err := p.Compile(10, 1, mathx.NewRNG(1)); err == nil {
+			t.Errorf("plan %d compiled: %+v", i, p)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Stuck, Drift, Noise, Outlier, Byzantine} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("gremlin"); err == nil {
+		t.Fatal("unknown kind parsed")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sensorfault"
 	"repro/internal/wsn"
 )
 
@@ -32,8 +33,14 @@ type Config struct {
 	// Faults, when non-nil, is a fault-injection script whose event times
 	// are scheduled on the session's engine: fail-stops, transient outages,
 	// and regional blackouts fire mid-run, after any same-time duty-cycle
-	// tick and before any same-time filter iteration.
+	// tick and before any same-time filter iteration. The script is
+	// validated before any event is queued.
 	Faults *wsn.FaultSchedule
+	// SensorFaults, when non-nil, is an externally authored measurement
+	// corruption script attached to the scenario (replacing whatever
+	// Scenario.SensorFault would have compiled). Unlike Faults, these nodes
+	// stay up — they just report wrong bearings.
+	SensorFaults *sensorfault.Script
 }
 
 // IterationEvent is delivered to the session observer after every filter
@@ -63,9 +70,22 @@ type Session struct {
 
 // NewSession builds the scenario and schedules all events.
 func NewSession(cfg Config) (*Session, error) {
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.SensorFaults != nil {
+		if err := cfg.SensorFaults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	sc, err := scenario.Build(cfg.Scenario)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SensorFaults != nil {
+		sc.SensorFaults = cfg.SensorFaults
 	}
 	tr, err := core.NewTracker(sc.Net, cfg.Tracker)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/scenario"
+	"repro/internal/sensorfault"
 	"repro/internal/wsn"
 )
 
@@ -196,6 +197,67 @@ func TestSessionFaultsDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i].Result != b[i].Result || a[i].Failed != b[i].Failed {
 			t.Fatalf("event %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSessionRejectsInvalidFaultSchedule(t *testing.T) {
+	fs := wsn.NewFaultSchedule()
+	fs.AddEvent(wsn.FaultEvent{Time: 2, Kind: wsn.OutageEnd, Nodes: []wsn.NodeID{1}})
+	_, err := NewSession(Config{
+		Scenario: scenario.Default(10, 1),
+		Tracker:  core.DefaultConfig(false),
+		Faults:   fs,
+	})
+	if err == nil {
+		t.Fatal("malformed fault schedule accepted")
+	}
+}
+
+func TestSessionRejectsInvalidSensorFaultScript(t *testing.T) {
+	s := sensorfault.NewScript(1)
+	s.AddWindow(sensorfault.Window{Start: 5, End: 2, Kind: sensorfault.Stuck, Nodes: []wsn.NodeID{1}})
+	_, err := NewSession(Config{
+		Scenario:     scenario.Default(10, 1),
+		Tracker:      core.DefaultConfig(false),
+		SensorFaults: s,
+	})
+	if err == nil {
+		t.Fatal("malformed sensor-fault script accepted")
+	}
+}
+
+func TestSessionSensorFaultsViaPlanAndScript(t *testing.T) {
+	// A session built from a scenario plan and one built from the equivalent
+	// pre-compiled script see the same corrupted world.
+	p := scenario.Default(10, 23)
+	p.SensorFault = sensorfault.Plan{Kind: sensorfault.Stuck, Fraction: 0.2}
+	sPlan, err := NewSession(Config{Scenario: p, Tracker: core.DefaultConfig(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evPlan := sPlan.Run()
+
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sScript, err := NewSession(Config{
+		Scenario:     scenario.Default(10, 23),
+		Tracker:      core.DefaultConfig(false),
+		SensorFaults: sc.SensorFaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evScript := sScript.Run()
+	if len(evPlan) != len(evScript) {
+		t.Fatalf("event counts differ: %d vs %d", len(evPlan), len(evScript))
+	}
+	for i := range evPlan {
+		if evPlan[i].Result.Estimate != evScript[i].Result.Estimate ||
+			evPlan[i].Result.EstimateValid != evScript[i].Result.EstimateValid {
+			t.Fatalf("event %d differs between plan and script sessions", i)
 		}
 	}
 }

@@ -16,6 +16,13 @@ import (
 // node at the origin.
 type BearingSensor struct {
 	SigmaN float64 // measurement noise standard deviation (rad)
+	// TailNu, when positive, evaluates likelihoods under a Student-t density
+	// with TailNu degrees of freedom and scale SigmaN instead of the
+	// Gaussian — the heavy-tailed robust variant for fields with faulty or
+	// Byzantine sensors, where a wildly wrong bearing must cost O(log)
+	// rather than O(residual²) so it cannot single-handedly zero a weight.
+	// 0 (the default) keeps the paper's Gaussian model; negative is invalid.
+	TailNu float64
 }
 
 // Measure returns a noisy bearing from the node at `from` to the target.
@@ -36,8 +43,14 @@ func (s BearingSensor) LogLikelihood(from mathx.Vec2, z float64, candidate mathx
 	if s.SigmaN <= 0 {
 		panic("statex: BearingSensor.SigmaN must be positive")
 	}
+	if s.TailNu < 0 {
+		panic("statex: BearingSensor.TailNu must be non-negative")
+	}
 	pred := candidate.Sub(from).Angle()
 	resid := mathx.AngleDiff(z, pred)
+	if s.TailNu > 0 {
+		return mathx.StudentTLogPDF(resid, 0, s.SigmaN, s.TailNu)
+	}
 	return mathx.GaussianLogPDF(resid, 0, s.SigmaN)
 }
 

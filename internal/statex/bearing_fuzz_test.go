@@ -1,0 +1,115 @@
+package statex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// finiteLL asserts the likelihood contract shared by both noise models: a
+// finite log density for every finite bearing at every candidate distinct
+// from the observer.
+func finiteLL(t *testing.T, s BearingSensor, from mathx.Vec2, z float64, cand mathx.Vec2) {
+	t.Helper()
+	ll := s.LogLikelihood(from, z, cand)
+	if math.IsNaN(ll) || math.IsInf(ll, 0) {
+		t.Fatalf("sensor %+v: LogLikelihood(from=%v, z=%v, cand=%v) = %v",
+			s, from, z, cand, ll)
+	}
+}
+
+func TestLogLikelihoodFiniteProperty(t *testing.T) {
+	// Property over both noise models: any finite bearing (wrapped or not,
+	// including values far outside (-pi, pi]) at any candidate away from the
+	// observer yields a finite log likelihood.
+	sensors := []BearingSensor{
+		{SigmaN: 0.05},             // paper's Gaussian
+		{SigmaN: 0.05, TailNu: 4},  // heavy-tailed default
+		{SigmaN: 0.5, TailNu: 1},   // Cauchy corner
+		{SigmaN: 1e-4, TailNu: 30}, // tiny noise, near-Gaussian t
+	}
+	f := func(zRaw, cx, cy float64) bool {
+		z := math.Mod(zRaw, 1e6) // keep finite but allow far outside the wrap range
+		cand := mathx.V2(math.Mod(cx, 500), math.Mod(cy, 500))
+		from := mathx.V2(1, -2)
+		if cand == from {
+			return true
+		}
+		for _, s := range sensors {
+			finiteLL(t, s, from, z, cand)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLikelihoodWrapSeam(t *testing.T) {
+	// Wrap-around bearings near ±pi: a measurement of +pi and -pi denote the
+	// same direction, so the two log likelihoods must agree for both models.
+	from := mathx.V2(0, 0)
+	cand := mathx.V2(-10, 1e-9) // bearing ~ pi
+	for _, s := range []BearingSensor{{SigmaN: 0.1}, {SigmaN: 0.1, TailNu: 4}} {
+		a := s.LogLikelihood(from, math.Pi, cand)
+		b := s.LogLikelihood(from, math.Nextafter(-math.Pi, 0), cand)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("sensor %+v: seam mismatch %v vs %v", s, a, b)
+		}
+		finiteLL(t, s, from, math.Pi, cand)
+		finiteLL(t, s, from, -math.Pi, cand)
+	}
+}
+
+func TestHeavyTailDominatesOnOutliers(t *testing.T) {
+	// A bearing opposite the candidate direction (residual pi) must be far
+	// less punishing under the t model — the property the defense relies on.
+	from := mathx.V2(0, 0)
+	cand := mathx.V2(10, 0)
+	g := BearingSensor{SigmaN: 0.05}
+	h := BearingSensor{SigmaN: 0.05, TailNu: 4}
+	zOpposite := math.Pi // candidate bearing is 0
+	if h.LogLikelihood(from, zOpposite, cand) <= g.LogLikelihood(from, zOpposite, cand) {
+		t.Fatal("t model not heavier-tailed than gaussian at residual pi")
+	}
+	// At zero residual both models should broadly agree on magnitude.
+	gl := g.LogLikelihood(from, 0, cand)
+	hl := h.LogLikelihood(from, 0, cand)
+	if math.Abs(gl-hl) > 0.5 {
+		t.Fatalf("peak log densities too far apart: gaussian %v vs t %v", gl, hl)
+	}
+}
+
+func TestLogLikelihoodRejectsNegativeNu(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative TailNu accepted")
+		}
+	}()
+	BearingSensor{SigmaN: 0.1, TailNu: -1}.LogLikelihood(mathx.V2(0, 0), 0, mathx.V2(1, 0))
+}
+
+func FuzzBearingLogLikelihood(f *testing.F) {
+	f.Add(0.0, 10.0, 0.0, 0.0)
+	f.Add(math.Pi, -10.0, 0.001, 4.0)
+	f.Add(-math.Pi, 3.0, -7.0, 1.0)
+	f.Add(2*math.Pi, 0.5, 0.5, 0.0)
+	f.Add(1e5, -200.0, 300.0, 8.0)
+	f.Fuzz(func(t *testing.T, z, cx, cy, nu float64) {
+		if math.IsNaN(z) || math.Abs(z) > 1e9 ||
+			math.IsNaN(cx) || math.IsNaN(cy) || math.Abs(cx) > 1e6 || math.Abs(cy) > 1e6 {
+			t.Skip()
+		}
+		if math.IsNaN(nu) || nu < 0 || nu > 1e6 {
+			t.Skip()
+		}
+		from := mathx.V2(0, 0)
+		cand := mathx.V2(cx, cy)
+		if cand == from {
+			t.Skip() // undefined bearing from a zero offset
+		}
+		finiteLL(t, BearingSensor{SigmaN: 0.05, TailNu: nu}, from, z, cand)
+	})
+}

@@ -1,0 +1,41 @@
+package statex
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// TriangulateBearings returns the least-squares intersection of the
+// measurements' bearing lines: the point x minimizing the sum of squared
+// perpendicular distances to the line through each sensor along its measured
+// bearing. For a bearing θ from p the perpendicular direction is
+// n = (-sin θ, cos θ), and the normal equations are the 2×2 system
+//
+//	(Σ nᵢnᵢᵀ) x = Σ nᵢnᵢᵀ pᵢ.
+//
+// ok is false when the system is degenerate — fewer than two measurements,
+// or all bearing lines (anti)parallel, which leaves the intersection
+// unconstrained along the common direction.
+func TriangulateBearings(ms []Measurement) (fix mathx.Vec2, ok bool) {
+	if len(ms) < 2 {
+		return mathx.Vec2{}, false
+	}
+	var a11, a12, a22, b1, b2 float64
+	for _, m := range ms {
+		nx, ny := -math.Sin(m.Bearing), math.Cos(m.Bearing)
+		a11 += nx * nx
+		a12 += nx * ny
+		a22 += ny * ny
+		d := nx*m.From.X + ny*m.From.Y
+		b1 += nx * d
+		b2 += ny * d
+	}
+	det := a11*a22 - a12*a12
+	// The determinant is 0 exactly when every line shares one direction;
+	// near-zero means a sliver-conditioned system whose solution explodes.
+	if det < 1e-9*float64(len(ms)*len(ms)) {
+		return mathx.Vec2{}, false
+	}
+	return mathx.V2((a22*b1-a12*b2)/det, (a11*b2-a12*b1)/det), true
+}

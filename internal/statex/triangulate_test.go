@@ -1,0 +1,44 @@
+package statex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestTriangulateBearingsExact(t *testing.T) {
+	// Noise-free bearings from three corners must intersect at the target.
+	target := mathx.V2(120, 80)
+	froms := []mathx.Vec2{mathx.V2(0, 0), mathx.V2(200, 0), mathx.V2(0, 200)}
+	ms := make([]Measurement, len(froms))
+	for i, f := range froms {
+		ms[i] = Measurement{From: f, Bearing: target.Sub(f).Angle()}
+	}
+	fix, ok := TriangulateBearings(ms)
+	if !ok {
+		t.Fatal("well-conditioned system reported degenerate")
+	}
+	if fix.Dist(target) > 1e-9 {
+		t.Fatalf("fix %v, want %v", fix, target)
+	}
+}
+
+func TestTriangulateBearingsDegenerate(t *testing.T) {
+	// Fewer than two measurements, and parallel or anti-parallel bearing
+	// lines, leave the intersection unconstrained.
+	if _, ok := TriangulateBearings(nil); ok {
+		t.Fatal("empty input reported ok")
+	}
+	if _, ok := TriangulateBearings([]Measurement{{From: mathx.V2(0, 0), Bearing: 1}}); ok {
+		t.Fatal("single measurement reported ok")
+	}
+	parallel := []Measurement{
+		{From: mathx.V2(0, 0), Bearing: math.Pi / 4},
+		{From: mathx.V2(10, 0), Bearing: math.Pi / 4},
+		{From: mathx.V2(20, 0), Bearing: math.Pi/4 - math.Pi}, // anti-parallel
+	}
+	if fix, ok := TriangulateBearings(parallel); ok {
+		t.Fatalf("parallel lines reported ok (fix %v)", fix)
+	}
+}

@@ -2,6 +2,7 @@ package wsn
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/mathx"
@@ -106,6 +107,48 @@ func (fs *FaultSchedule) OutageAt(start, duration float64, nodes []NodeID) {
 // power event taking a whole neighborhood down at once.
 func (fs *FaultSchedule) RegionalBlackout(nw *Network, center mathx.Vec2, radius, start, duration float64) {
 	fs.OutageAt(start, duration, nw.NodesWithin(center, radius))
+}
+
+// AddEvent inserts a raw event — the escape hatch for externally authored
+// scripts (the builder methods above cover the common shapes). The event is
+// checked by the next Validate call, not here.
+func (fs *FaultSchedule) AddEvent(ev FaultEvent) { fs.add(ev) }
+
+// Validate rejects malformed scripts before replay: NaN/Inf or negative
+// event times, events with no nodes, unknown kinds, and OutageEnd events
+// that no earlier OutageStart on the same node can match (an end with
+// nothing to end indicates a mis-assembled script). The builder methods
+// cannot produce these, but externally assembled schedules can.
+func (fs *FaultSchedule) Validate() error {
+	open := make(map[NodeID]int)
+	for i, ev := range fs.events {
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return fmt.Errorf("wsn: fault event %d has non-finite time %v", i, ev.Time)
+		}
+		if ev.Time < 0 {
+			return fmt.Errorf("wsn: fault event %d has negative time %v", i, ev.Time)
+		}
+		if len(ev.Nodes) == 0 {
+			return fmt.Errorf("wsn: fault event %d (%v at t=%v) has no nodes", i, ev.Kind, ev.Time)
+		}
+		switch ev.Kind {
+		case FailStop:
+		case OutageStart:
+			for _, id := range ev.Nodes {
+				open[id]++
+			}
+		case OutageEnd:
+			for _, id := range ev.Nodes {
+				if open[id] == 0 {
+					return fmt.Errorf("wsn: fault event %d ends an outage node %d never entered", i, id)
+				}
+				open[id]--
+			}
+		default:
+			return fmt.Errorf("wsn: fault event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
 }
 
 // Len returns the number of scheduled events.

@@ -1,6 +1,7 @@
 package wsn
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/mathx"
@@ -181,5 +182,51 @@ func TestRandomNodesDeterministicAndSized(t *testing.T) {
 	}
 	if got := RandomNodes(nw, 1, mathx.NewRNG(9)); len(got) != nw.Len() {
 		t.Fatal("fraction 1 did not pick all nodes")
+	}
+}
+
+func TestFaultScheduleValidate(t *testing.T) {
+	ok := NewFaultSchedule()
+	ok.FailStopAt(3, []NodeID{1, 2})
+	ok.OutageAt(5, 4, []NodeID{3})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		ev   FaultEvent
+	}{
+		{"nan time", FaultEvent{Time: math.NaN(), Kind: FailStop, Nodes: []NodeID{1}}},
+		{"inf time", FaultEvent{Time: math.Inf(1), Kind: FailStop, Nodes: []NodeID{1}}},
+		{"negative time", FaultEvent{Time: -1, Kind: FailStop, Nodes: []NodeID{1}}},
+		{"no nodes", FaultEvent{Time: 2, Kind: FailStop}},
+		{"unknown kind", FaultEvent{Time: 2, Kind: FaultKind(99), Nodes: []NodeID{1}}},
+		{"unmatched end", FaultEvent{Time: 2, Kind: OutageEnd, Nodes: []NodeID{1}}},
+	}
+	for _, c := range cases {
+		fs := NewFaultSchedule()
+		fs.AddEvent(c.ev)
+		if err := fs.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFaultScheduleValidateMatchesOutagePairs(t *testing.T) {
+	// An end preceded by a start on the same node is fine even when assembled
+	// from raw events.
+	fs := NewFaultSchedule()
+	fs.AddEvent(FaultEvent{Time: 1, Kind: OutageStart, Nodes: []NodeID{7}})
+	fs.AddEvent(FaultEvent{Time: 4, Kind: OutageEnd, Nodes: []NodeID{7}})
+	if err := fs.Validate(); err != nil {
+		t.Fatalf("matched pair rejected: %v", err)
+	}
+	// But ending a different node is not.
+	fs2 := NewFaultSchedule()
+	fs2.AddEvent(FaultEvent{Time: 1, Kind: OutageStart, Nodes: []NodeID{7}})
+	fs2.AddEvent(FaultEvent{Time: 4, Kind: OutageEnd, Nodes: []NodeID{8}})
+	if err := fs2.Validate(); err == nil {
+		t.Fatal("mismatched outage pair accepted")
 	}
 }
