@@ -34,6 +34,7 @@ const benchSeed = 31
 // BenchmarkTable1CostModel regenerates Table I: it measures N, N_s, and
 // H_max from a CDPF run at density 20 and evaluates the closed forms.
 func BenchmarkTable1CostModel(b *testing.B) {
+	b.ReportAllocs()
 	var lastCDPF int
 	for i := 0; i < b.N; i++ {
 		_, meas, err := experiments.Table1(20, benchSeed)
@@ -48,6 +49,7 @@ func BenchmarkTable1CostModel(b *testing.B) {
 // BenchmarkFig4Trajectory regenerates the Fig. 4 estimation example and
 // reports the example-track mean error.
 func BenchmarkFig4Trajectory(b *testing.B) {
+	b.ReportAllocs()
 	var meanErr float64
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig4(20, benchSeed)
@@ -70,9 +72,11 @@ func BenchmarkFig4Trajectory(b *testing.B) {
 // BenchmarkFig5CommCost regenerates the Fig. 5 series: total communication
 // bytes per run, per algorithm, per density.
 func BenchmarkFig5CommCost(b *testing.B) {
+	b.ReportAllocs()
 	for _, algo := range experiments.AllAlgos() {
 		for _, d := range []float64{5, 20, 40} {
 			b.Run(fmt.Sprintf("%s/d%g", algo, d), func(b *testing.B) {
+				b.ReportAllocs()
 				var bytes int64
 				for i := 0; i < b.N; i++ {
 					r, err := experiments.RunOnce(scenario.Default(d, benchSeed), algo)
@@ -90,9 +94,11 @@ func BenchmarkFig5CommCost(b *testing.B) {
 // BenchmarkFig6RMSE regenerates the Fig. 6 series: RMSE per algorithm per
 // density.
 func BenchmarkFig6RMSE(b *testing.B) {
+	b.ReportAllocs()
 	for _, algo := range experiments.AllAlgos() {
 		for _, d := range []float64{5, 20, 40} {
 			b.Run(fmt.Sprintf("%s/d%g", algo, d), func(b *testing.B) {
+				b.ReportAllocs()
 				var rmse float64
 				for i := 0; i < b.N; i++ {
 					r, err := experiments.RunOnce(scenario.Default(d, benchSeed), algo)
@@ -110,6 +116,7 @@ func BenchmarkFig6RMSE(b *testing.B) {
 // BenchmarkFailureTolerance regenerates the future-work extension: CDPF
 // under 30% random node failures.
 func BenchmarkFailureTolerance(b *testing.B) {
+	b.ReportAllocs()
 	var rmse float64
 	for i := 0; i < b.N; i++ {
 		p := scenario.Default(20, benchSeed)
@@ -125,6 +132,7 @@ func BenchmarkFailureTolerance(b *testing.B) {
 
 // BenchmarkDesignAblation regenerates the design-choice ablation.
 func BenchmarkDesignAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows int
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.DesignAblation(20, experiments.Seeds(1))
@@ -139,6 +147,7 @@ func BenchmarkDesignAblation(b *testing.B) {
 // BenchmarkScenarioBuild measures the simulator's setup cost (deployment +
 // spatial index + trajectory) at the paper's largest density.
 func BenchmarkScenarioBuild(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := scenario.Build(scenario.Default(40, benchSeed)); err != nil {
 			b.Fatal(err)
@@ -150,8 +159,10 @@ func BenchmarkScenarioBuild(b *testing.B) {
 // iterations) for each algorithm at density 20, the simulator's end-to-end
 // performance number.
 func BenchmarkAlgoRun(b *testing.B) {
+	b.ReportAllocs()
 	for _, algo := range experiments.AllAlgos() {
 		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.RunOnce(scenario.Default(20, benchSeed), algo); err != nil {
 					b.Fatal(err)
@@ -167,12 +178,14 @@ func BenchmarkAlgoRun(b *testing.B) {
 // N× the serial jobs/sec, with bit-identical results (the cells are
 // embarrassingly parallel and share no state).
 func BenchmarkFleetSweep(b *testing.B) {
+	b.ReportAllocs()
 	densities := []float64{5, 10}
 	seeds := experiments.Seeds(2)
 	algos := experiments.AllAlgos()
 	cells := len(densities) * len(seeds) * len(algos)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			e := experiments.Exec{Workers: w}
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Sweep(densities, seeds, algos); err != nil {
@@ -190,6 +203,7 @@ func BenchmarkFleetSweep(b *testing.B) {
 // fleet.Seeds — the Split-based per-job derivation the runtime's determinism
 // contract rests on — through fleet.Map directly.
 func BenchmarkFleetMonteCarlo(b *testing.B) {
+	b.ReportAllocs()
 	trials := fleet.Seeds(benchSeed, 8)
 	for i := 0; i < b.N; i++ {
 		results, err := fleet.Map(context.Background(), fleet.Config{}, trials,
@@ -211,6 +225,7 @@ func BenchmarkFleetMonteCarlo(b *testing.B) {
 // BenchmarkRNGThroughput covers the numerics substrate end to end: sampling
 // the process noise path used by every propagation.
 func BenchmarkRNGThroughput(b *testing.B) {
+	b.ReportAllocs()
 	rng := mathx.NewRNG(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -222,6 +237,7 @@ func BenchmarkRNGThroughput(b *testing.B) {
 // BenchmarkGossipAggregation prices the in-network alternative to CDPF's
 // overhearing: randomized pairwise averaging over a 30-node holder cluster.
 func BenchmarkGossipAggregation(b *testing.B) {
+	b.ReportAllocs()
 	nw, err := wsn.NewNetwork(wsn.DefaultConfig(20), mathx.NewRNG(1))
 	if err != nil {
 		b.Fatal(err)
@@ -249,6 +265,7 @@ func BenchmarkGossipAggregation(b *testing.B) {
 
 // BenchmarkMultiTargetFleet runs the two-target fleet end to end.
 func BenchmarkMultiTargetFleet(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.MultiTargetExperiment(20, []int{2}, []uint64{benchSeed}); err != nil {
 			b.Fatal(err)
@@ -258,6 +275,7 @@ func BenchmarkMultiTargetFleet(b *testing.B) {
 
 // BenchmarkEventDrivenSession measures the DES-driven duty-cycled session.
 func BenchmarkEventDrivenSession(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := sim.NewSession(sim.Config{
 			Scenario:  scenario.Default(20, benchSeed),
@@ -268,5 +286,64 @@ func BenchmarkEventDrivenSession(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.Run()
+	}
+}
+
+// BenchmarkTrackerStep isolates one warmed CDPF iteration: scenario build and
+// tracker warm-up run outside the timed loop, so ns/op and allocs/op price
+// exactly the per-iteration hot path the scratch arena targets (steady-state
+// allocs/op should be 0).
+func BenchmarkTrackerStep(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := scenario.Build(scenario.Default(20, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sc.RNG(1)
+	obs := make([][]core.Observation, sc.Iterations())
+	for k := range obs {
+		obs[k] = sc.Observations(k)
+	}
+	// Warm-up: one full pass grows every scratch buffer to its high-water mark.
+	for k := range obs {
+		tr.Step(obs[k], rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(obs[i%len(obs)], rng)
+	}
+}
+
+// BenchmarkActiveNodesQuery prices one buffer-reusing spatial query at
+// density 20 (steady-state allocs/op should be 0).
+func BenchmarkActiveNodesQuery(b *testing.B) {
+	b.ReportAllocs()
+	nw, err := wsn.NewNetwork(wsn.DefaultConfig(20), mathx.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := nw.AppendActiveNodesWithin(nil, mathx.V2(100, 100), 20) // warm the buffer
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = nw.AppendActiveNodesWithin(buf[:0], mathx.V2(100, 100), 20)
+		n = len(buf)
+	}
+	b.ReportMetric(float64(n), "nodes_per_query")
+}
+
+// BenchmarkBatchNormal prices one batch of propagation noise draws through
+// the buffer-filling Gaussian API (allocs/op should be 0).
+func BenchmarkBatchNormal(b *testing.B) {
+	b.ReportAllocs()
+	rng := mathx.NewRNG(1)
+	buf := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.NormalFill(buf, 0, 0.05)
 	}
 }

@@ -1,0 +1,246 @@
+// Command benchdiff is the hot-path regression gate: it parses `go test
+// -bench` text output and compares it against the checked-in baseline
+// (results/BENCH_hotpath.json), exiting non-zero on regressions.
+//
+// Gating rules:
+//
+//   - allocs/op is machine-independent, so ANY increase over the baseline
+//     fails.
+//   - B/op is machine-independent too, but garbage-collector and map-growth
+//     details make it mildly version-sensitive; increases beyond 5% warn.
+//   - ns/op and jobs/sec depend on the hardware. They are enforced (at
+//     -ns-tol, default 20%) only when the baseline's recorded CPU string
+//     matches the bench output's; on different hardware they demote to
+//     warnings so CI runners with other CPUs still gate the allocation
+//     budgets without flaking on wall-clock noise.
+//
+// With -count > 1 bench runs, the best line per benchmark is used (min
+// ns/op, B/op, allocs/op; max jobs/sec).
+//
+// Usage:
+//
+//	go test -run NONE -bench 'AlgoRun|FleetSweep' -benchmem . | tee bench.txt
+//	go run ./cmd/benchdiff -bench bench.txt
+//	go run ./cmd/benchdiff -bench bench.txt -update   # refresh the baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "-", "bench output file to check ('-' = stdin)")
+		basePath  = flag.String("baseline", "results/BENCH_hotpath.json", "baseline JSON file")
+		nsTol     = flag.Float64("ns-tol", 0.20, "allowed fractional ns/op (and jobs/sec) regression on matching hardware")
+		update    = flag.Bool("update", false, "rewrite the baseline section from the bench output instead of gating")
+	)
+	flag.Parse()
+
+	if err := run(*benchPath, *basePath, *nsTol, *update, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// measurement is one benchmark's recorded numbers. JobsPerSec is 0 for
+// benchmarks that do not report the metric.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	JobsPerSec  float64 `json:"jobs_per_sec,omitempty"`
+}
+
+// baseline is the schema of results/BENCH_hotpath.json. PrePR preserves the
+// numbers measured immediately before the allocation-free hot path landed
+// (the historical reference for the optimisation's effect); Baseline is what
+// the gate enforces and what -update rewrites.
+type baseline struct {
+	Schema   string                 `json:"schema"`
+	Recorded string                 `json:"recorded"`
+	CPU      string                 `json:"cpu"`
+	Note     string                 `json:"note,omitempty"`
+	PrePR    map[string]measurement `json:"pre_pr,omitempty"`
+	Baseline map[string]measurement `json:"baseline"`
+}
+
+// benchLine matches one `go test -bench` result line; the -\d+ suffix is the
+// GOMAXPROCS decoration, stripped so names stay machine-independent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts per-benchmark measurements and the host CPU string
+// from `go test -bench` text output. Repeated lines (from -count) keep the
+// best value per metric.
+func parseBench(r io.Reader) (map[string]measurement, string, error) {
+	out := make(map[string]measurement)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		cur, seen := out[name]
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < cur.NsPerOp {
+					cur.NsPerOp = v
+				}
+			case "B/op":
+				if !seen || v < cur.BytesPerOp {
+					cur.BytesPerOp = v
+				}
+			case "allocs/op":
+				if !seen || v < cur.AllocsPerOp {
+					cur.AllocsPerOp = v
+				}
+			case "jobs/sec":
+				if v > cur.JobsPerSec {
+					cur.JobsPerSec = v
+				}
+			}
+		}
+		out[name] = cur
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	if len(out) == 0 {
+		return nil, "", fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, cpu, nil
+}
+
+// compare gates cur against base. Returned fails break the build; warns are
+// informational (wrong hardware, missing benchmarks, byte drift).
+func compare(cur, base map[string]measurement, sameCPU bool, nsTol float64) (fails, warns []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	// Deterministic report order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	hw := func(msg string) {
+		if sameCPU {
+			fails = append(fails, msg)
+		} else {
+			warns = append(warns, msg+" (different CPU than baseline; not gated)")
+		}
+	}
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			warns = append(warns, fmt.Sprintf("%s: in baseline but not in bench output", name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f > baseline %.0f",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+		if b.BytesPerOp > 0 && c.BytesPerOp > b.BytesPerOp*1.05 {
+			warns = append(warns, fmt.Sprintf("%s: B/op %.0f exceeds baseline %.0f by >5%%",
+				name, c.BytesPerOp, b.BytesPerOp))
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			hw(fmt.Sprintf("%s: ns/op %.0f > baseline %.0f +%.0f%%",
+				name, c.NsPerOp, b.NsPerOp, 100*nsTol))
+		}
+		if b.JobsPerSec > 0 && c.JobsPerSec > 0 && c.JobsPerSec < b.JobsPerSec*(1-nsTol) {
+			hw(fmt.Sprintf("%s: jobs/sec %.1f < baseline %.1f -%.0f%%",
+				name, c.JobsPerSec, b.JobsPerSec, 100*nsTol))
+		}
+	}
+	return fails, warns
+}
+
+func run(benchPath, basePath string, nsTol float64, update bool, w io.Writer) error {
+	var in io.Reader = os.Stdin
+	if benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, cpu, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	var base baseline
+	data, err := os.ReadFile(basePath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", basePath, err)
+		}
+	case os.IsNotExist(err) && update:
+		base = baseline{Schema: "bench-hotpath/v1"}
+	default:
+		return err
+	}
+
+	if update {
+		if base.Baseline == nil {
+			base.Baseline = make(map[string]measurement)
+		}
+		for name, m := range cur {
+			base.Baseline[name] = m
+		}
+		base.CPU = cpu
+		base.Recorded = time.Now().Format("2006-01-02")
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(basePath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchdiff: baseline %s updated (%d benchmarks)\n", basePath, len(cur))
+		return nil
+	}
+
+	sameCPU := cpu != "" && cpu == base.CPU
+	fails, warns := compare(cur, base.Baseline, sameCPU, nsTol)
+	for _, msg := range warns {
+		fmt.Fprintln(w, "WARN:", msg)
+	}
+	for _, msg := range fails {
+		fmt.Fprintln(w, "FAIL:", msg)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d hot-path regression(s) against %s", len(fails), basePath)
+	}
+	fmt.Fprintf(w, "benchdiff: %d benchmarks within budget (%d warnings)\n", len(base.Baseline), len(warns))
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAlgoRun/cdpf-8         	      20	   5300000 ns/op	 1478681 B/op	     578 allocs/op
+BenchmarkAlgoRun/cdpf-8         	      20	   5100000 ns/op	 1478681 B/op	     578 allocs/op
+BenchmarkFleetSweep/workers=4-8 	       3	  89385206 ns/op	       179.0 jobs/sec	12225525 B/op	   21480 allocs/op
+BenchmarkTrackerStep-8          	    3000	    381920 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, cpu, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	cdpf, ok := got["BenchmarkAlgoRun/cdpf"]
+	if !ok {
+		t.Fatalf("missing BenchmarkAlgoRun/cdpf in %v", got)
+	}
+	// Repeated lines keep the best ns/op.
+	if cdpf.NsPerOp != 5100000 || cdpf.AllocsPerOp != 578 || cdpf.BytesPerOp != 1478681 {
+		t.Fatalf("cdpf = %+v", cdpf)
+	}
+	fs := got["BenchmarkFleetSweep/workers=4"]
+	if fs.JobsPerSec != 179.0 || fs.AllocsPerOp != 21480 {
+		t.Fatalf("fleet = %+v", fs)
+	}
+	if ts := got["BenchmarkTrackerStep"]; ts.AllocsPerOp != 0 || ts.NsPerOp != 381920 {
+		t.Fatalf("trackerstep = %+v", ts)
+	}
+}
+
+func TestCompareAllocRegressionAlwaysFails(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5000000, BytesPerOp: 1478681, AllocsPerOp: 578},
+	}
+	cur := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5000000, BytesPerOp: 1478681, AllocsPerOp: 579},
+	}
+	for _, sameCPU := range []bool{true, false} {
+		fails, _ := compare(cur, base, sameCPU, 0.20)
+		if len(fails) != 1 {
+			t.Fatalf("sameCPU=%v: fails = %v, want exactly 1 (allocs gate is machine-independent)",
+				sameCPU, fails)
+		}
+	}
+}
+
+func TestCompareNsGateDependsOnCPU(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5000000, BytesPerOp: 1478681, AllocsPerOp: 578},
+	}
+	cur := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 6100000, BytesPerOp: 1478681, AllocsPerOp: 578},
+	}
+	fails, warns := compare(cur, base, true, 0.20)
+	if len(fails) != 1 {
+		t.Fatalf("matching CPU: fails = %v, want the +22%% ns/op regression gated", fails)
+	}
+	fails, warns = compare(cur, base, false, 0.20)
+	if len(fails) != 0 || len(warns) != 1 {
+		t.Fatalf("different CPU: fails = %v warns = %v, want ns demoted to a warning", fails, warns)
+	}
+}
+
+func TestCompareJobsPerSecRegression(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkFleetSweep/workers=4": {NsPerOp: 9e7, BytesPerOp: 1.2e7, AllocsPerOp: 21480, JobsPerSec: 180},
+	}
+	cur := map[string]measurement{
+		"BenchmarkFleetSweep/workers=4": {NsPerOp: 9e7, BytesPerOp: 1.2e7, AllocsPerOp: 21480, JobsPerSec: 120},
+	}
+	fails, _ := compare(cur, base, true, 0.20)
+	if len(fails) != 1 {
+		t.Fatalf("fails = %v, want the -33%% jobs/sec regression gated", fails)
+	}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5000000, BytesPerOp: 1478681, AllocsPerOp: 578},
+		"BenchmarkTrackerStep":  {NsPerOp: 380000, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	cur := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5400000, BytesPerOp: 1478681, AllocsPerOp: 540},
+		"BenchmarkTrackerStep":  {NsPerOp: 400000, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	fails, warns := compare(cur, base, true, 0.20)
+	if len(fails) != 0 || len(warns) != 0 {
+		t.Fatalf("fails = %v warns = %v, want clean pass", fails, warns)
+	}
+}
+
+func TestCompareMissingBenchmarkWarns(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkAlgoRun/cdpf": {NsPerOp: 5000000, AllocsPerOp: 578},
+	}
+	fails, warns := compare(map[string]measurement{}, base, true, 0.20)
+	if len(fails) != 0 || len(warns) != 1 {
+		t.Fatalf("fails = %v warns = %v, want a single not-run warning", fails, warns)
+	}
+}

@@ -12,6 +12,7 @@
 //	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience|sensorfault]
 //	         [-seeds N] [-density D] [-csv DIR]
 //	         [-parallel N] [-progress] [-benchjson FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -40,10 +42,22 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "fleet workers for sweep cells (1 = legacy serial path)")
 	flag.BoolVar(&o.progress, "progress", false, "print fleet progress (jobs done, jobs/sec, ETA) to stderr")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "write a machine-readable throughput record (workers, jobs/sec, wall-clock) to this JSON file")
+	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.StringVar(&o.prof.Trace, "trace", "", "write a runtime execution trace of the run to this file")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	stopProf, err := prof.Start(o.prof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	runErr := run(o)
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", runErr)
 		os.Exit(1)
 	}
 }
@@ -58,6 +72,7 @@ type options struct {
 	parallel  int
 	progress  bool
 	benchJSON string
+	prof      prof.Flags
 }
 
 // jobCounter counts fleet job completions (for the -benchjson record) and

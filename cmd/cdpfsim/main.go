@@ -8,6 +8,10 @@
 //	        [-steps N] [-fail F] [-sleep F] [-loss P] [-burst L]
 //	        [-failfrac F] [-sfault stuck|drift|noise|outlier|byzantine]
 //	        [-sfaultfrac F] [-sfaultmag M] [-defend] [-v]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
+//
+// (-trace writes the per-iteration CSV trace; the runtime execution trace is
+// -exectrace.)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/sensorfault"
 	"repro/internal/trace"
@@ -43,10 +48,22 @@ func main() {
 	flag.BoolVar(&o.defend, "defend", false, "enable the Byzantine-tolerant sensing defenses (cdpf/cdpf-ne only): innovation gating, Student-t likelihood, node quarantine")
 	flag.BoolVar(&o.verbose, "v", false, "print a per-iteration trace")
 	flag.StringVar(&o.traceOut, "trace", "", "write a per-iteration CSV trace to this file")
+	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.StringVar(&o.prof.Trace, "exectrace", "", "write a runtime execution trace to this file (-trace is the CSV trace)")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	stopProf, err := prof.Start(o.prof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdpfsim:", err)
+		os.Exit(1)
+	}
+	runErr := run(o)
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "cdpfsim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -68,6 +85,7 @@ type options struct {
 	defend   bool
 	verbose  bool
 	traceOut string
+	prof     prof.Flags
 }
 
 // validate rejects out-of-range fault and loss parameters with a one-line

@@ -66,21 +66,33 @@ func (a PredictedArea) DivisionRatios(positions []mathx.Vec2) []float64 {
 	if len(positions) == 0 {
 		return nil
 	}
-	ratios := make([]float64, len(positions))
-	total := 0.0
-	for i, p := range positions {
-		ratios[i] = a.Probability(p)
-		total += ratios[i]
+	return a.AppendDivisionRatios(make([]float64, 0, len(positions)), positions)
+}
+
+// AppendDivisionRatios is DivisionRatios appending into dst: it computes the
+// same normalized fractions but allocates only when dst lacks capacity, so
+// the per-broadcast division on the tracker's hot path reuses one buffer.
+func (a PredictedArea) AppendDivisionRatios(dst []float64, positions []mathx.Vec2) []float64 {
+	if len(positions) == 0 {
+		return dst
 	}
+	start := len(dst)
+	total := 0.0
+	for _, p := range positions {
+		r := a.Probability(p)
+		dst = append(dst, r)
+		total += r
+	}
+	ratios := dst[start:]
 	if total <= 0 {
 		u := 1.0 / float64(len(ratios))
 		for i := range ratios {
 			ratios[i] = u
 		}
-		return ratios
+		return dst
 	}
 	for i := range ratios {
 		ratios[i] /= total
 	}
-	return ratios
+	return dst
 }

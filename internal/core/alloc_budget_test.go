@@ -1,0 +1,52 @@
+// Budget tests for the tracker's hot-path memory discipline (DESIGN.md §10):
+// a warmed tracker iteration must not allocate. The external test package
+// breaks the scenario → core import cycle.
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// TestTrackerStepAllocFree pins the tentpole budget: once one full pass has
+// grown every scratch buffer to its high-water mark, a CDPF iteration runs
+// entirely out of the particle store and scratch arena. The budget is an
+// average below one allocation per Step rather than exactly zero because the
+// resilience bookkeeping may legitimately append to its episode log when the
+// track lock flaps.
+func TestTrackerStepAllocFree(t *testing.T) {
+	for _, useNE := range []bool{false, true} {
+		name := "cdpf"
+		if useNE {
+			name = "cdpf-ne"
+		}
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.Build(scenario.Default(20, 31))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := core.NewTracker(sc.Net, core.DefaultConfig(useNE))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sc.RNG(1)
+			obs := make([][]core.Observation, sc.Iterations())
+			for k := range obs {
+				obs[k] = sc.Observations(k)
+			}
+			// Warm-up: one full pass grows every buffer.
+			for k := range obs {
+				tr.Step(obs[k], rng)
+			}
+			i := 0
+			if n := testing.AllocsPerRun(100, func() {
+				tr.Step(obs[i%len(obs)], rng)
+				i++
+			}); n >= 1 {
+				t.Fatalf("warmed tracker Step allocates %.2f times per iteration, want < 1", n)
+			}
+		})
+	}
+}

@@ -30,26 +30,42 @@ type Contributions struct {
 
 // EstimateContributions computes Definition 2 for all awake nodes inside the
 // estimation area centered at pred with the given radius. It returns nil
-// when the area contains no awake node.
+// when the area contains no awake node. Hot loops should prefer
+// EstimateContributionsInto with a reused Contributions value.
 func EstimateContributions(nw *wsn.Network, pred mathx.Vec2, radius float64) *Contributions {
-	ids := nw.ActiveNodesWithin(pred, radius)
-	if len(ids) == 0 {
+	cs := &Contributions{}
+	if !EstimateContributionsInto(nw, pred, radius, cs) {
 		return nil
 	}
-	c := make([]float64, len(ids))
+	return cs
+}
+
+// EstimateContributionsInto is EstimateContributions writing into cs, reusing
+// its Nodes and C slices; it reports whether the area contains any awake node
+// (cs is meaningful only when true). Query order, contribution values, and
+// the normalizing summation order are identical to EstimateContributions, so
+// the two are interchangeable without perturbing results.
+func EstimateContributionsInto(nw *wsn.Network, pred mathx.Vec2, radius float64, cs *Contributions) bool {
+	cs.Nodes = nw.AppendActiveNodesWithin(cs.Nodes[:0], pred, radius)
+	if len(cs.Nodes) == 0 {
+		return false
+	}
+	cs.C = cs.C[:0]
 	d := 0.0
-	for i, id := range ids {
+	for _, id := range cs.Nodes {
 		dist := nw.Node(id).Pos.Dist(pred)
 		if dist < minContributionDist {
 			dist = minContributionDist
 		}
-		c[i] = 1 / dist
-		d += c[i]
+		ci := 1 / dist
+		cs.C = append(cs.C, ci)
+		d += ci
 	}
-	for i := range c {
-		c[i] /= d
+	for i := range cs.C {
+		cs.C[i] /= d
 	}
-	return &Contributions{Area: pred, Nodes: ids, C: c}
+	cs.Area = pred
+	return true
 }
 
 // Of returns the contribution of the given node, or 0 when the node is not

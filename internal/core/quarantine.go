@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/wsn"
@@ -69,6 +70,10 @@ type reputation struct {
 	ever        map[wsn.NodeID]bool
 	scored      map[wsn.NodeID]bool
 
+	// medScratch buffers the cohort-median sort so observe allocates only
+	// while the cohort high-water mark grows.
+	medScratch []float64
+
 	evictions    int
 	readmissions int
 }
@@ -96,7 +101,8 @@ func (r *reputation) observe(ids []wsn.NodeID, normResid []float64) {
 	if len(ids) < quarMinCohort {
 		return
 	}
-	med := median(normResid)
+	r.medScratch = append(r.medScratch[:0], normResid...)
+	med := medianInPlace(r.medScratch)
 	for i, id := range ids {
 		r.scored[id] = true
 		s, known := r.score[id]
@@ -142,12 +148,18 @@ func sortedIDs(set map[wsn.NodeID]bool) []wsn.NodeID {
 // median returns the median of xs (mean of the middle pair for even lengths)
 // without mutating the input. It returns 0 for an empty slice.
 func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
+	return medianInPlace(s)
+}
+
+// medianInPlace is median sorting its argument in place; hot callers pass a
+// reused scratch copy to avoid the defensive allocation.
+func medianInPlace(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	slices.Sort(s)
 	n := len(s)
 	if n%2 == 1 {
 		return s[n/2]

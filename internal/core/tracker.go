@@ -2,20 +2,13 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/mathx"
 	"repro/internal/statex"
 	"repro/internal/wsn"
 )
-
-// nodeParticle is the (combined) particle maintained on one sensor node: its
-// position is the host node's position; velocity and weight travel with it.
-type nodeParticle struct {
-	vel mathx.Vec2
-	w   float64
-}
 
 // Observation is one node's bearing measurement at the current iteration.
 type Observation struct {
@@ -48,10 +41,12 @@ type Tracker struct {
 	nw  *wsn.Network
 	cfg Config
 
-	parts map[wsn.NodeID]*nodeParticle
+	// parts is the dense node-indexed particle store; scr is the reusable
+	// per-iteration scratch arena (see arena.go). Together they make a
+	// steady-state Step allocation-free.
+	parts *particleStore
+	scr   scratch
 
-	// contribution accumulators reused across iterations
-	recContrib map[wsn.NodeID]*recAccum
 	// lastBcasts holds the current iteration's propagation broadcasts, used
 	// by the particle-creation rule ("a node that does not receive any
 	// propagated particles detects the target").
@@ -89,13 +84,6 @@ type ResilienceStats struct {
 	Reacquires       []int // iterations-to-reacquire per ended episode
 }
 
-// recAccum accumulates a recorder's incoming particle contributions during
-// one propagation phase.
-type recAccum struct {
-	w    float64    // Σ ratio·w_i/W_j
-	velW mathx.Vec2 // weight-weighted velocity accumulator
-}
-
 // NewTracker validates the configuration and returns a tracker with no
 // particles (the initialization step runs on the first detections passed to
 // Step).
@@ -105,11 +93,11 @@ func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
 		return nil, err
 	}
 	t := &Tracker{
-		nw:         nw,
-		cfg:        c,
-		parts:      make(map[wsn.NodeID]*nodeParticle),
-		recContrib: make(map[wsn.NodeID]*recAccum),
-		lostAt:     -1,
+		nw:     nw,
+		cfg:    c,
+		parts:  newParticleStore(nw.Len()),
+		scr:    newScratch(nw.Len()),
+		lostAt: -1,
 	}
 	if c.Quarantine {
 		t.quar = newReputation(c.QuarantineDevSigma)
@@ -121,22 +109,15 @@ func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
 func (t *Tracker) Resilience() ResilienceStats { return t.resil }
 
 // Holders returns the IDs of nodes currently maintaining a particle, sorted
-// for determinism.
+// for determinism. The slice is freshly allocated; the tracker's internal
+// phases iterate the store's reused sorted list instead.
 func (t *Tracker) Holders() []wsn.NodeID {
-	ids := make([]wsn.NodeID, 0, len(t.parts))
-	for id := range t.parts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return slices.Clone(t.parts.sorted())
 }
 
 // Weight returns the current weight of the particle on node id (0 if none).
 func (t *Tracker) Weight(id wsn.NodeID) float64 {
-	if p, ok := t.parts[id]; ok {
-		return p.w
-	}
-	return 0
+	return t.parts.weight(id)
 }
 
 // Step runs one full CDPF iteration given the bearings observed by the
@@ -157,7 +138,7 @@ func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
 
 	// ---- 1+2+3+4: prediction, overhearing aggregation, correction ----
 	t.lastBcasts = t.lastBcasts[:0]
-	if len(t.parts) > 0 {
+	if t.parts.len() > 0 {
 		t.propagate(&res)
 	}
 
@@ -173,10 +154,10 @@ func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
 	// off the target; drop the cloud so
 	// the creation step re-initializes on the detectors (the paper's
 	// initialization procedure).
-	if len(obs) > 0 && len(t.parts) > 0 {
+	if len(obs) > 0 && t.parts.len() > 0 {
 		overlap := false
 		for _, o := range obs {
-			if _, ok := t.parts[o.Node]; ok {
+			if t.parts.has(o.Node) {
 				overlap = true
 				break
 			}
@@ -186,8 +167,8 @@ func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
 		} else {
 			t.missedIters++
 			if t.missedIters >= 1 {
-				res.Dropped += len(t.parts)
-				clear(t.parts)
+				res.Dropped += t.parts.len()
+				t.parts.clear()
 				// Grace period: the freshly re-initialized cloud gets one
 				// iteration to re-acquire before another reinit can fire,
 				// preventing reinit storms (each wave costs a broadcast
@@ -205,7 +186,7 @@ func (t *Tracker) Step(obs []Observation, rng *mathx.RNG) StepResult {
 	// ---- new particles on detecting nodes that heard no propagation ----
 	t.createFresh(obs, &res)
 
-	res.Holders = len(t.parts)
+	res.Holders = t.parts.len()
 	t.accountLock(res.EstimateValid)
 	_ = rng // reserved for stochastic extensions (e.g. randomized recording)
 	return res
@@ -234,21 +215,25 @@ func (t *Tracker) accountLock(estimateValid bool) {
 // pruneLowWeight removes particles whose normalized weight is below
 // DropFraction divided by the particle count, returning the number dropped.
 func (t *Tracker) pruneLowWeight() int {
-	if len(t.parts) == 0 {
+	if t.parts.len() == 0 {
 		return 0
 	}
+	ids := t.parts.sorted()
 	total := 0.0
-	for _, p := range t.parts {
-		total += p.w
+	for _, id := range ids {
+		total += t.parts.w[id]
 	}
 	if total <= 0 {
 		return 0
 	}
-	threshold := t.cfg.DropFraction / float64(len(t.parts))
+	threshold := t.cfg.DropFraction / float64(len(ids))
 	dropped := 0
-	for id, p := range t.parts {
-		if p.w/total < threshold {
-			delete(t.parts, id)
+	// Descending index scan so swap-with-last removal only disturbs slots
+	// already visited; no snapshot copy needed.
+	for i := len(ids) - 1; i >= 0; i-- {
+		id := ids[i]
+		if t.parts.w[id]/total < threshold {
+			t.parts.remove(id)
 			dropped++
 		}
 	}
@@ -279,7 +264,7 @@ type bcast struct {
 
 // propagate implements the prediction + correction phases.
 func (t *Tracker) propagate(res *StepResult) {
-	holders := t.Holders()
+	holders := t.parts.sorted()
 	sizes := t.cfg.Sizes
 
 	// Broadcast every holder's combined particle (Dp) and weight (Dw) in a
@@ -289,17 +274,17 @@ func (t *Tracker) propagate(res *StepResult) {
 	var totalW float64
 	var sumPos, sumVel mathx.Vec2
 	for _, id := range holders {
-		p := t.parts[id]
+		w, vel := t.parts.w[id], t.parts.vel[id]
 		pos := t.nw.Node(id).Pos
 		t.nw.BroadcastQuiet(id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
-		center := pos.Add(p.vel.Scale(t.cfg.Dt))
+		center := pos.Add(vel.Scale(t.cfg.Dt))
 		bcasts = append(bcasts, bcast{
-			id: id, pos: pos, vel: p.vel, w: p.w,
+			id: id, pos: pos, vel: vel, w: w,
 			area: cluster.PredictedArea{Center: center, Radius: t.cfg.PredictRadius},
 		})
-		totalW += p.w
-		sumPos = sumPos.Add(pos.Scale(p.w))
-		sumVel = sumVel.Add(p.vel.Scale(p.w))
+		totalW += w
+		sumPos = sumPos.Add(pos.Scale(w))
+		sumVel = sumVel.Add(vel.Scale(w))
 	}
 	t.lastBcasts = bcasts
 
@@ -330,7 +315,8 @@ func (t *Tracker) propagate(res *StepResult) {
 	// the threshold.
 	maxRecordDist := t.cfg.PredictRadius * (1 - t.cfg.RecordThreshold)
 
-	clear(t.recContrib)
+	t.scr.accEpoch++
+	t.scr.touched = t.scr.touched[:0]
 	for _, b := range bcasts {
 		recorders := t.selectRecorders(b, maxRecordDist, 0)
 		// Bounded re-broadcast with backoff: a holder whose propagation drew
@@ -353,11 +339,13 @@ func (t *Tracker) propagate(res *StepResult) {
 			continue
 		}
 		// Division ratios over the selected recorders (rules of §III-B).
-		positions := make([]mathx.Vec2, len(recorders))
-		for i, id := range recorders {
-			positions[i] = t.nw.Node(id).Pos
+		t.scr.positions = t.scr.positions[:0]
+		for _, id := range recorders {
+			t.scr.positions = append(t.scr.positions, t.nw.Node(id).Pos)
 		}
-		ratios := b.area.DivisionRatios(positions)
+		positions := t.scr.positions
+		t.scr.ratios = b.area.AppendDivisionRatios(t.scr.ratios[:0], positions)
+		ratios := t.scr.ratios
 		// Per-recorder overheard total: the sum of broadcast weights this
 		// recorder could physically hear (all broadcasters within one hop).
 		for i, id := range recorders {
@@ -365,54 +353,57 @@ func (t *Tracker) propagate(res *StepResult) {
 			if wj <= 0 {
 				continue
 			}
-			acc := t.recContrib[id]
-			if acc == nil {
-				acc = &recAccum{}
-				t.recContrib[id] = acc
+			if t.scr.accStamp[id] != t.scr.accEpoch {
+				t.scr.accStamp[id] = t.scr.accEpoch
+				t.scr.accW[id] = 0
+				t.scr.accVel[id] = mathx.Vec2{}
+				t.scr.touched = append(t.scr.touched, id)
 			}
 			share := ratios[i] * b.w / wj
-			acc.w += share
+			t.scr.accW[id] += share
 			// The recorded particle's velocity blends the realized
 			// displacement from the source host to the recorder with the
 			// source particle's own velocity, damping the quantization
 			// noise the node-hop injects into the velocity estimate.
 			hop := positions[i].Sub(b.pos).Scale(1 / t.cfg.Dt)
 			vel := hop.Lerp(b.vel, t.cfg.VelSmoothing)
-			acc.velW = acc.velW.Add(vel.Scale(share))
+			t.scr.accVel[id] = t.scr.accVel[id].Add(vel.Scale(share))
 		}
 	}
 
 	// Install the recorded particles (combining happens implicitly: one
-	// accumulator per node).
-	clear(t.parts)
-	for id, acc := range t.recContrib {
-		if acc.w <= 0 {
+	// accumulator per node). Install order is ascending ID.
+	t.parts.clear()
+	slices.Sort(t.scr.touched)
+	for _, id := range t.scr.touched {
+		w := t.scr.accW[id]
+		if w <= 0 {
 			continue
 		}
-		t.parts[id] = &nodeParticle{vel: acc.velW.Scale(1 / acc.w), w: acc.w}
+		t.parts.add(id, t.scr.accVel[id].Scale(1/w), w)
 	}
 
 	// Resampling analog: drop particles with negligible normalized weight,
 	// and enforce the controllable population bound of Section III-A.
-	if len(t.parts) > 0 {
+	if t.parts.len() > 0 {
 		res.Dropped += t.pruneLowWeight()
-		if len(t.parts) > t.cfg.MaxHolders {
-			type hw struct {
-				id wsn.NodeID
-				w  float64
+		if t.parts.len() > t.cfg.MaxHolders {
+			all := t.scr.byWeight[:0]
+			for _, id := range t.parts.sorted() {
+				all = append(all, holderWeight{id: id, w: t.parts.w[id]})
 			}
-			all := make([]hw, 0, len(t.parts))
-			for id, p := range t.parts {
-				all = append(all, hw{id, p.w})
-			}
-			sort.Slice(all, func(i, j int) bool {
-				if all[i].w != all[j].w {
-					return all[i].w > all[j].w
+			slices.SortFunc(all, func(a, b holderWeight) int {
+				switch {
+				case a.w > b.w:
+					return -1
+				case a.w < b.w:
+					return 1
 				}
-				return all[i].id < all[j].id
+				return int(a.id) - int(b.id)
 			})
+			t.scr.byWeight = all
 			for _, h := range all[t.cfg.MaxHolders:] {
-				delete(t.parts, h.id)
+				t.parts.remove(h.id)
 				res.Dropped++
 			}
 		}
@@ -422,10 +413,12 @@ func (t *Tracker) propagate(res *StepResult) {
 // selectRecorders returns the awake nodes within maxDist of the broadcast's
 // predicted-area center that physically received the attempt-th transmission
 // of the broadcast: within the communication radius of the sender (or the
-// sender itself). The returned slice aliases a fresh candidate query.
+// sender itself). The returned slice aliases the scratch candidate buffer and
+// is invalidated by the next selectRecorders call.
 func (t *Tracker) selectRecorders(b bcast, maxDist float64, attempt int) []wsn.NodeID {
 	commR := t.nw.Cfg.CommRadius
-	cand := t.nw.ActiveNodesWithin(b.area.Center, maxDist)
+	t.scr.cand = t.nw.AppendActiveNodesWithin(t.scr.cand[:0], b.area.Center, maxDist)
+	cand := t.scr.cand
 	recorders := cand[:0]
 	for _, id := range cand {
 		if id == b.id || (t.nw.Node(id).Pos.Dist(b.pos) <= commR && t.nw.DeliversAttempt(b.id, id, attempt)) {
@@ -535,25 +528,29 @@ func (t *Tracker) bearingLL(from mathx.Vec2, z float64, cand mathx.Vec2) float64
 // normalized by its effective sigma, feeds the reputation state machine
 // (whose median test additionally guards the rounds where faulty bearings
 // dragged the fix itself off target).
-func (t *Tracker) scoreSharers(sharers []wsn.NodeID, obsByNode map[wsn.NodeID]float64) {
+func (t *Tracker) scoreSharers(sharers []wsn.NodeID) {
 	if t.quar == nil || len(sharers) < quarMinCohort {
 		return
 	}
-	ms := make([]statex.Measurement, len(sharers))
-	for i, id := range sharers {
-		ms[i] = statex.Measurement{From: t.nw.Node(id).Pos, Bearing: obsByNode[id]}
+	ms := t.scr.ms[:0]
+	for _, id := range sharers {
+		b, _ := t.hasObs(id)
+		ms = append(ms, statex.Measurement{From: t.nw.Node(id).Pos, Bearing: b})
 	}
+	t.scr.ms = ms
 	fix, ok := statex.TriangulateBearings(ms)
 	if !ok {
 		return
 	}
-	norms := make([]float64, len(sharers))
-	for i, id := range sharers {
+	norms := t.scr.norms[:0]
+	for _, id := range sharers {
 		pos := t.nw.Node(id).Pos
 		sigma := t.effSigma(pos, fix)
-		resid := mathx.AngleDiff(obsByNode[id], fix.Sub(pos).Angle())
-		norms[i] = math.Abs(resid) / sigma
+		b, _ := t.hasObs(id)
+		resid := mathx.AngleDiff(b, fix.Sub(pos).Angle())
+		norms = append(norms, math.Abs(resid)/sigma)
 	}
+	t.scr.norms = norms
 	t.quar.observe(sharers, norms)
 }
 
@@ -571,21 +568,19 @@ func (t *Tracker) scoreSharers(sharers []wsn.NodeID, obsByNode map[wsn.NodeID]fl
 // gate clamps individual wildly-inconsistent terms to its boundary, and the
 // heavy-tailed noise model bounds the damage of whatever slips through.
 func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
-	if len(t.parts) == 0 && len(obs) == 0 {
+	if t.parts.len() == 0 && len(obs) == 0 {
 		return
 	}
-	obsByNode := make(map[wsn.NodeID]float64, len(obs))
-	for _, o := range obs {
-		obsByNode[o.Node] = o.Bearing
-	}
+	t.indexObs(obs)
 	// Sharers: holders with a measurement (the N_n measurement-sharing
 	// nodes of Section II-B).
-	var sharers []wsn.NodeID
-	for _, id := range t.Holders() {
-		if _, ok := obsByNode[id]; ok {
+	sharers := t.scr.sharers[:0]
+	for _, id := range t.parts.sorted() {
+		if _, ok := t.hasObs(id); ok {
 			sharers = append(sharers, id)
 		}
 	}
+	t.scr.sharers = sharers
 	for _, id := range sharers {
 		t.nw.BroadcastQuiet(id, wsn.MsgMeasurement, t.cfg.Sizes.Dm)
 	}
@@ -596,7 +591,7 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 		return
 	}
 	// Reputation round, then drop quarantined sharers from the usable set.
-	t.scoreSharers(sharers, obsByNode)
+	t.scoreSharers(sharers)
 	if t.quar != nil {
 		usable := sharers[:0]
 		for _, id := range sharers {
@@ -612,10 +607,10 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 		}
 	}
 	commR := t.nw.Cfg.CommRadius
-	holders := t.Holders()
-	logls := make([]float64, len(holders))
-	heardAny := make([]bool, len(holders))
-	for i, id := range holders {
+	holders := t.snapshotHolders()
+	logls := t.scr.logls[:0]
+	heardAny := t.scr.heard[:0]
+	for _, id := range holders {
 		pos := t.nw.Node(id).Pos
 		ll := 0.0
 		heard := false
@@ -624,10 +619,13 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 				continue
 			}
 			heard = true
-			ll += t.bearingLL(t.nw.Node(sid).Pos, obsByNode[sid], pos)
+			b, _ := t.hasObs(sid)
+			ll += t.bearingLL(t.nw.Node(sid).Pos, b, pos)
 		}
-		logls[i], heardAny[i] = ll, heard
+		logls = append(logls, ll)
+		heardAny = append(heardAny, heard)
 	}
+	t.scr.logls, t.scr.heard = logls, heardAny
 	// Common rescaling by the maximum log-likelihood. This is a uniform
 	// scale factor (normalization happens next iteration via overhearing),
 	// applied here only to keep weights within floating-point range.
@@ -638,19 +636,20 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 		}
 	}
 	for i, id := range holders {
-		p := t.parts[id]
 		if !heardAny[i] {
 			// Measurements exist but none audible here: treat as zero
 			// density and drop.
-			delete(t.parts, id)
+			t.parts.remove(id)
 			res.Dropped++
 			continue
 		}
-		p.w *= math.Exp(logls[i] - maxLL)
-		if p.w <= 0 || math.IsNaN(p.w) {
-			delete(t.parts, id)
+		w := t.parts.w[id] * math.Exp(logls[i]-maxLL)
+		if w <= 0 || math.IsNaN(w) {
+			t.parts.remove(id)
 			res.Dropped++
+			continue
 		}
+		t.parts.w[id] = w
 	}
 }
 
@@ -666,35 +665,37 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 // radius of the holder, which is strong evidence for the holder-position
 // hypothesis and costs zero communication.
 func (t *Tracker) assignNE(obs []Observation, res *StepResult) {
-	if len(t.parts) == 0 {
+	if t.parts.len() == 0 {
 		return
 	}
 	if !res.PredictedValid {
 		return // no prediction yet (first iteration): weights persist
 	}
-	cs := EstimateContributions(t.nw, res.Predicted, t.cfg.PredictRadius)
-	if cs == nil {
+	if !EstimateContributionsInto(t.nw, res.Predicted, t.cfg.PredictRadius, &t.scr.contrib) {
 		return
 	}
-	contrib := make(map[wsn.NodeID]float64, len(cs.Nodes))
+	cs := &t.scr.contrib
+	t.scr.contribEpoch++
 	for i, id := range cs.Nodes {
-		contrib[id] = cs.C[i]
+		t.scr.contribStamp[id] = t.scr.contribEpoch
+		t.scr.contribVal[id] = cs.C[i]
 	}
-	detected := make(map[wsn.NodeID]bool, len(obs))
-	for _, o := range obs {
-		detected[o.Node] = true
-	}
-	for id, p := range t.parts {
-		c := contrib[id]
+	t.indexObs(obs)
+	for _, id := range t.snapshotHolders() {
+		c := 0.0
+		if t.scr.contribStamp[id] == t.scr.contribEpoch {
+			c = t.scr.contribVal[id]
+		}
 		if c <= 0 {
-			delete(t.parts, id)
+			t.parts.remove(id)
 			res.Dropped++
 			continue
 		}
-		p.w *= c
-		if detected[id] {
-			p.w *= t.cfg.NEDetectBoost
+		w := t.parts.w[id] * c
+		if _, detected := t.hasObs(id); detected {
+			w *= t.cfg.NEDetectBoost
 		}
+		t.parts.w[id] = w
 	}
 }
 
@@ -713,17 +714,17 @@ func (t *Tracker) createFresh(obs []Observation, res *StepResult) {
 	if len(obs) == 0 {
 		return
 	}
-	reinit := len(t.parts) == 0 // track lost (or first iteration)
+	reinit := t.parts.len() == 0 // track lost (or first iteration)
 	base := t.cfg.InitWeight
 	if !reinit {
 		total := 0.0
-		for _, p := range t.parts {
-			total += p.w
+		for _, id := range t.parts.sorted() {
+			total += t.parts.w[id]
 		}
-		base = total / float64(len(t.parts))
+		base = total / float64(t.parts.len())
 	}
 	for _, o := range obs {
-		if _, ok := t.parts[o.Node]; ok {
+		if t.parts.has(o.Node) {
 			continue
 		}
 		if !t.nw.Node(o.Node).Active() {
@@ -736,7 +737,7 @@ func (t *Tracker) createFresh(obs []Observation, res *StepResult) {
 		if res.EstimateValid {
 			vel = t.nw.Node(o.Node).Pos.Sub(res.Estimate).Scale(1 / t.cfg.Dt)
 		}
-		t.parts[o.Node] = &nodeParticle{vel: vel, w: base}
+		t.parts.add(o.Node, vel, base)
 		res.Created++
 	}
 }

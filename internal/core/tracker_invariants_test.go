@@ -91,8 +91,8 @@ func TestNEWeightsFollowContributions(t *testing.T) {
 		t.Skip("estimation area too sparse")
 	}
 	a, b := cs.Nodes[0], cs.Nodes[1]
-	tr.parts[a] = &nodeParticle{w: 0.5}
-	tr.parts[b] = &nodeParticle{w: 0.5}
+	tr.parts.add(a, mathx.Vec2{}, 0.5)
+	tr.parts.add(b, mathx.Vec2{}, 0.5)
 	res := StepResult{Predicted: pred, PredictedValid: true}
 	tr.assignNE(nil, &res)
 	wa, wb := tr.Weight(a), tr.Weight(b)
@@ -111,8 +111,8 @@ func TestNEDropsHoldersOutsideArea(t *testing.T) {
 	pred := mathx.V2(100, 100)
 	inside := nw.NearestNode(pred)
 	outside := nw.NearestNode(mathx.V2(30, 30))
-	tr.parts[inside] = &nodeParticle{w: 0.5}
-	tr.parts[outside] = &nodeParticle{w: 0.5}
+	tr.parts.add(inside, mathx.Vec2{}, 0.5)
+	tr.parts.add(outside, mathx.Vec2{}, 0.5)
 	res := StepResult{Predicted: pred, PredictedValid: true}
 	tr.assignNE(nil, &res)
 	if tr.Weight(outside) != 0 {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// TestHotPathResultsByteIdentical is the tentpole guard of the hot-path
+// memory work: the allocation-lean tracker, the buffer-reusing network
+// queries, and the batched Gaussian draws must leave every published number
+// untouched. It re-runs the Fig. 5/6 sweep at densities 5/20/40 with the full
+// ten-seed grid — serially and through the parallel fleet runtime — renders
+// the tables to CSV, and requires every produced row to match the checked-in
+// results/fig5.csv and results/fig6.csv byte for byte.
+func TestHotPathResultsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ten-seed sweep; skipped with -short")
+	}
+	densities := []float64{5, 20, 40}
+	seeds := Seeds(10)
+
+	type figCase struct {
+		file  string
+		table func([]metrics.Aggregate) *report.Table
+	}
+	figs := []figCase{
+		{"fig5", Fig5Table},
+		{"fig6", Fig6Table},
+	}
+	golden := make(map[string]map[string]string) // file -> density cell -> row
+	for _, fc := range figs {
+		data, err := os.ReadFile("../../results/" + fc.file + ".csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make(map[string]string)
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n")[1:] {
+			cell, _, _ := strings.Cut(line, ",")
+			rows[cell] = line
+		}
+		golden[fc.file] = rows
+	}
+
+	for _, workers := range []int{1, 4} {
+		exec := Exec{Workers: workers}
+		results, err := exec.Sweep(densities, seeds, AllAlgos())
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs := metrics.Summarize(results)
+		for _, fc := range figs {
+			var buf strings.Builder
+			if err := fc.table(aggs).WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			for _, line := range lines[1:] {
+				cell, _, _ := strings.Cut(line, ",")
+				want, ok := golden[fc.file][cell]
+				if !ok {
+					t.Fatalf("%s (workers=%d): density %s missing from checked-in CSV", fc.file, workers, cell)
+				}
+				if line != want {
+					t.Errorf("%s (workers=%d) density %s row drifted:\n got %q\nwant %q",
+						fc.file, workers, cell, line, want)
+				}
+			}
+		}
+	}
+}

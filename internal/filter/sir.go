@@ -39,6 +39,9 @@ type SIRConfig struct {
 type SIR struct {
 	cfg SIRConfig
 	set *Set
+	// logw is the per-step log-weight buffer, reused across Steps
+	// (SetLogWeights copies, so reuse is safe).
+	logw []float64
 }
 
 // NewSIR validates cfg and returns an uninitialized filter; call Init before
@@ -98,7 +101,10 @@ func (f *SIR) Step(propose Proposal, loglik LogLikelihood, rng *mathx.RNG) state
 		f.set.P[i].State = propose(f.set.P[i].State, rng)
 	}
 	// 2) Update: w_k ∝ w_{k-1} * p(z_k | x_k), done in log space.
-	logw := make([]float64, f.set.Len())
+	if cap(f.logw) < f.set.Len() {
+		f.logw = make([]float64, f.set.Len())
+	}
+	logw := f.logw[:f.set.Len()]
 	for i := range f.set.P {
 		prior := f.set.P[i].W
 		if prior <= 0 {

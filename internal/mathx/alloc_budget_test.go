@@ -1,0 +1,45 @@
+package mathx
+
+import "testing"
+
+// The batched sampling APIs exist so hot propagation paths can draw noise
+// without allocating; these budgets pin that contract (see DESIGN.md §10 and
+// results/BENCH_hotpath.json).
+
+func TestNormalFillAllocFree(t *testing.T) {
+	rng := NewRNG(1)
+	buf := make([]float64, 1024)
+	if n := testing.AllocsPerRun(100, func() {
+		rng.NormalFill(buf, 0, 0.05)
+	}); n != 0 {
+		t.Fatalf("NormalFill allocates %.1f times per batch, want 0", n)
+	}
+}
+
+func TestNormFloat64FillAllocFree(t *testing.T) {
+	rng := NewRNG(1)
+	buf := make([]float64, 256)
+	if n := testing.AllocsPerRun(100, func() {
+		rng.NormFloat64Fill(buf)
+	}); n != 0 {
+		t.Fatalf("NormFloat64Fill allocates %.1f times per batch, want 0", n)
+	}
+}
+
+func TestMVNSampleIntoAllocFree(t *testing.T) {
+	cov := NewMat(2, 2)
+	cov.Set(0, 0, 0.5)
+	cov.Set(1, 1, 0.5)
+	mvn, err := NewMVN([]float64{0, 0}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(2)
+	dst := make([]float64, 2)
+	z := make([]float64, 2)
+	if n := testing.AllocsPerRun(100, func() {
+		mvn.SampleInto(dst, z, rng)
+	}); n != 0 {
+		t.Fatalf("SampleInto allocates %.1f times per draw, want 0", n)
+	}
+}

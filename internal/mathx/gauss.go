@@ -71,22 +71,31 @@ func NewMVN(mean []float64, cov *Mat) (*MVN, error) {
 // Dim returns the dimensionality of the distribution.
 func (d *MVN) Dim() int { return len(d.Mean) }
 
-// Sample draws one vector from the distribution using rng.
+// Sample draws one vector from the distribution using rng. The result is
+// freshly allocated; hot loops should prefer SampleInto with reused buffers.
 func (d *MVN) Sample(rng *RNG) []float64 {
+	out := make([]float64, d.Dim())
+	d.SampleInto(out, make([]float64, d.Dim()), rng)
+	return out
+}
+
+// SampleInto draws one vector from the distribution into dst, using z as the
+// standard-normal scratch buffer. Both slices must have length Dim. The
+// generator is consumed exactly as Sample consumes it, so batched callers
+// stay on the same random stream.
+func (d *MVN) SampleInto(dst, z []float64, rng *RNG) {
 	n := d.Dim()
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = rng.NormFloat64()
+	if len(dst) != n || len(z) != n {
+		panic("mathx: MVN SampleInto buffer length mismatch")
 	}
-	out := make([]float64, n)
+	rng.NormFloat64Fill(z)
 	for i := 0; i < n; i++ {
 		s := d.Mean[i]
 		for j := 0; j <= i; j++ {
 			s += d.chol.At(i, j) * z[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // LogSumExp returns log(Σ exp(x_i)) computed stably. It is the standard tool

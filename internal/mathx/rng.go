@@ -136,6 +136,26 @@ func (r *RNG) Normal(mean, stddev float64) float64 {
 	return mean + stddev*r.NormFloat64()
 }
 
+// NormFloat64Fill fills dst with independent standard normal variates,
+// consuming the generator exactly as len(dst) sequential NormFloat64 calls
+// would — batched and one-at-a-time sampling produce identical streams, so
+// callers can batch propagation draws without perturbing reproducibility.
+func (r *RNG) NormFloat64Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = r.NormFloat64()
+	}
+}
+
+// NormalFill fills dst with independent N(mean, stddev²) variates, with the
+// same stream-compatibility guarantee as NormFloat64Fill. Use it with a
+// reused buffer to amortize per-draw call overhead on hot propagation paths
+// without allocating.
+func (r *RNG) NormalFill(dst []float64, mean, stddev float64) {
+	for i := range dst {
+		dst[i] = mean + stddev*r.NormFloat64()
+	}
+}
+
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

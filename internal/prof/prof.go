@@ -1,0 +1,86 @@
+// Package prof wires the standard Go profilers into the repository's
+// command-line tools: CPU profiles and execution traces bracket the run,
+// and a heap profile is captured at shutdown. The flags exist so hot-path
+// regressions surfaced by the bench gate (results/BENCH_hotpath.json) can be
+// diagnosed directly on the binaries that matter:
+//
+//	benchtab -exp fig5 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profiling output paths a command exposes; empty paths
+// disable the corresponding profile.
+type Flags struct {
+	CPUProfile string // pprof CPU profile
+	MemProfile string // pprof heap profile, written at Stop
+	Trace      string // runtime execution trace
+}
+
+// enabled reports whether any profile was requested.
+func (f Flags) enabled() bool {
+	return f.CPUProfile != "" || f.MemProfile != "" || f.Trace != ""
+}
+
+// Start begins the requested profiles and returns a stop function that
+// flushes and closes them (capturing the heap profile last). The stop
+// function must run before process exit or the profiles are truncated; it is
+// cheap and safe to call when nothing was requested.
+func Start(f Flags) (stop func() error, err error) {
+	if !f.enabled() {
+		return func() error { return nil }, nil
+	}
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		if cpuF, err = os.Create(f.CPUProfile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		if traceF, err = os.Create(f.Trace); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: start execution trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.MemProfile == "" {
+			return nil
+		}
+		memF, err := os.Create(f.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer memF.Close()
+		runtime.GC() // materialize the retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(memF); err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,58 @@
+package wsn
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// The Append* query variants exist so the tracker's hot path can run spatial
+// queries against reused buffers; these budgets pin the zero-allocation
+// steady state (see DESIGN.md §10 and results/BENCH_hotpath.json).
+
+func TestAppendQueriesAllocFree(t *testing.T) {
+	nw, err := NewNetwork(DefaultConfig(20), mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mathx.V2(100, 100)
+	segs := [][2]mathx.Vec2{{mathx.V2(90, 90), mathx.V2(110, 110)}}
+
+	// Warm every buffer to its high-water mark before measuring.
+	active := nw.AppendActiveNodesWithin(nil, p, 20)
+	all := nw.AppendNodesWithin(nil, p, 20)
+	nbrs := nw.AppendNeighbors(nil, active[0])
+	det := nw.AppendDetectingNodes(nil, segs)
+
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"AppendActiveNodesWithin", func() { active = nw.AppendActiveNodesWithin(active[:0], p, 20) }},
+		{"AppendNodesWithin", func() { all = nw.AppendNodesWithin(all[:0], p, 20) }},
+		{"AppendNeighbors", func() { nbrs = nw.AppendNeighbors(nbrs[:0], active[0]) }},
+		{"AppendDetectingNodes", func() { det = nw.AppendDetectingNodes(det[:0], segs) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(100, c.run); n != 0 {
+			t.Errorf("%s allocates %.1f times per query, want 0", c.name, n)
+		}
+	}
+}
+
+// TestApplyDriftSteadyStateAllocs pins the batched-drift path: after the
+// first call grows the draw buffer, repositioning the whole network reuses it
+// and the grid rebuild reuses its buckets.
+func TestApplyDriftSteadyStateAllocs(t *testing.T) {
+	nw, err := NewNetwork(DefaultConfig(10), mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(2)
+	nw.ApplyDrift(0.1, rng) // grow driftScratch
+	if n := testing.AllocsPerRun(20, func() {
+		nw.ApplyDrift(0.1, rng)
+	}); n != 0 {
+		t.Errorf("ApplyDrift allocates %.1f times per call in steady state, want 0", n)
+	}
+}

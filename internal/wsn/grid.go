@@ -45,6 +45,24 @@ func NewGrid(width, height, cell float64, positions []mathx.Vec2) *Grid {
 	return g
 }
 
+// Rebuild re-indexes the grid over the given positions, reusing the existing
+// bucket storage. Positions must have the same length as the slice the grid
+// was built with; insertion order (ascending ID per bucket) matches NewGrid,
+// so a rebuilt grid answers queries in the same candidate order.
+func (g *Grid) Rebuild(positions []mathx.Vec2) {
+	if len(positions) != len(g.positions) {
+		panic("wsn: grid rebuild with mismatched position count")
+	}
+	for i := range g.buckets {
+		g.buckets[i] = g.buckets[i][:0]
+	}
+	g.positions = positions
+	for id, p := range positions {
+		idx := g.bucketIndex(p)
+		g.buckets[idx] = append(g.buckets[idx], NodeID(id))
+	}
+}
+
 func (g *Grid) bucketIndex(p mathx.Vec2) int {
 	cx := int(math.Floor((p.X - g.minX) / g.cell))
 	cy := int(math.Floor((p.Y - g.minY) / g.cell))

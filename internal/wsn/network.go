@@ -72,6 +72,15 @@ type Network struct {
 
 	// scratch buffer reused by queries that immediately copy out.
 	scratch []NodeID
+	// positions mirrors Nodes[i].Pos; the spatial grid indexes this slice,
+	// and ApplyDrift updates it in place instead of reallocating.
+	positions []mathx.Vec2
+	// mark/markEpoch implement an O(1)-reset visited set for queries that
+	// must deduplicate across several grid probes (DetectingNodes).
+	mark      []uint32
+	markEpoch uint32
+	// driftScratch buffers the batched Gaussian drift draws of ApplyDrift.
+	driftScratch []float64
 
 	// packet-loss model (see loss.go and burst.go)
 	lossMode  lossMode
@@ -88,11 +97,16 @@ func NewNetwork(cfg Config, rng *mathx.RNG) (*Network, error) {
 		return nil, err
 	}
 	n := cfg.nodeCount()
+	// One contiguous backing array for all nodes: a per-node &Node{} would
+	// cost n allocations and dominate the allocation profile of every
+	// scenario build (16k nodes at density 40).
+	backing := make([]Node, n)
 	nodes := make([]*Node, n)
 	positions := make([]mathx.Vec2, n)
 	for i := 0; i < n; i++ {
 		p := mathx.V2(rng.Uniform(0, cfg.Width), rng.Uniform(0, cfg.Height))
-		nodes[i] = &Node{ID: NodeID(i), Pos: p, State: Awake}
+		backing[i] = Node{ID: NodeID(i), Pos: p, State: Awake}
+		nodes[i] = &backing[i]
 		positions[i] = p
 	}
 	// Cell size near the communication radius keeps per-query candidate
@@ -102,10 +116,12 @@ func NewNetwork(cfg Config, rng *mathx.RNG) (*Network, error) {
 		cell = cfg.Width
 	}
 	return &Network{
-		Cfg:   cfg,
-		Nodes: nodes,
-		grid:  NewGrid(cfg.Width, cfg.Height, cell, positions),
-		Stats: NewCommStats(),
+		Cfg:       cfg,
+		Nodes:     nodes,
+		grid:      NewGrid(cfg.Width, cfg.Height, cell, positions),
+		Stats:     NewCommStats(),
+		positions: positions,
+		mark:      make([]uint32, n),
 	}, nil
 }
 
@@ -121,19 +137,40 @@ func (nw *Network) Density() float64 {
 }
 
 // NodesWithin returns the IDs of all nodes (any state) within distance r of
-// p. The returned slice is freshly allocated.
+// p. The returned slice is freshly allocated; hot paths should prefer
+// AppendNodesWithin with a reused buffer.
 func (nw *Network) NodesWithin(p mathx.Vec2, r float64) []NodeID {
-	nw.scratch = nw.grid.Within(p, r, nw.scratch[:0])
+	nw.scratch = nw.AppendNodesWithin(nw.scratch[:0], p, r)
 	out := make([]NodeID, len(nw.scratch))
 	copy(out, nw.scratch)
 	return out
 }
 
+// AppendNodesWithin appends the IDs of all nodes (any state) within distance
+// r of p to dst and returns the extended slice. It allocates only when dst
+// lacks capacity, so callers that reuse their buffer query allocation-free.
+func (nw *Network) AppendNodesWithin(dst []NodeID, p mathx.Vec2, r float64) []NodeID {
+	return nw.grid.Within(p, r, dst)
+}
+
 // ActiveNodesWithin returns the IDs of awake nodes within distance r of p.
+// The returned slice is freshly allocated; hot paths should prefer
+// AppendActiveNodesWithin with a reused buffer.
 func (nw *Network) ActiveNodesWithin(p mathx.Vec2, r float64) []NodeID {
-	nw.scratch = nw.grid.Within(p, r, nw.scratch[:0])
-	out := make([]NodeID, 0, len(nw.scratch))
-	for _, id := range nw.scratch {
+	nw.scratch = nw.AppendActiveNodesWithin(nw.scratch[:0], p, r)
+	out := make([]NodeID, len(nw.scratch))
+	copy(out, nw.scratch)
+	return out
+}
+
+// AppendActiveNodesWithin appends the IDs of awake nodes within distance r of
+// p to dst and returns the extended slice, in the same (grid bucket) order as
+// ActiveNodesWithin. It allocates only when dst lacks capacity.
+func (nw *Network) AppendActiveNodesWithin(dst []NodeID, p mathx.Vec2, r float64) []NodeID {
+	start := len(dst)
+	dst = nw.grid.Within(p, r, dst)
+	out := dst[:start]
+	for _, id := range dst[start:] {
 		if nw.Nodes[id].Active() {
 			out = append(out, id)
 		}
@@ -142,12 +179,23 @@ func (nw *Network) ActiveNodesWithin(p mathx.Vec2, r float64) []NodeID {
 }
 
 // Neighbors returns the awake one-hop neighbors of node id (nodes within the
-// communication radius, excluding id itself).
+// communication radius, excluding id itself). The returned slice is freshly
+// allocated; hot paths should prefer AppendNeighbors with a reused buffer.
 func (nw *Network) Neighbors(id NodeID) []NodeID {
+	nw.scratch = nw.AppendNeighbors(nw.scratch[:0], id)
+	out := make([]NodeID, len(nw.scratch))
+	copy(out, nw.scratch)
+	return out
+}
+
+// AppendNeighbors appends the awake one-hop neighbors of node id to dst and
+// returns the extended slice. It allocates only when dst lacks capacity.
+func (nw *Network) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
 	self := nw.Nodes[id]
-	nw.scratch = nw.grid.Within(self.Pos, nw.Cfg.CommRadius, nw.scratch[:0])
-	out := make([]NodeID, 0, len(nw.scratch))
-	for _, nid := range nw.scratch {
+	start := len(dst)
+	dst = nw.grid.Within(self.Pos, nw.Cfg.CommRadius, dst)
+	out := dst[:start]
+	for _, nid := range dst[start:] {
 		if nid != id && nw.Nodes[nid].CanReceive() {
 			out = append(out, nid)
 		}
@@ -159,22 +207,26 @@ func (nw *Network) Neighbors(id NodeID) []NodeID {
 // any of the target's motion segments during one filter step — the instant
 // detection model (Section II-C2).
 func (nw *Network) DetectingNodes(segs [][2]mathx.Vec2) []NodeID {
-	seen := make(map[NodeID]struct{})
-	var out []NodeID
+	return nw.AppendDetectingNodes(nil, segs)
+}
+
+// AppendDetectingNodes is DetectingNodes appending into dst. Deduplication
+// across segments uses the network's epoch-stamped visited set instead of a
+// per-call map, so a reused dst makes the query allocation-free.
+func (nw *Network) AppendDetectingNodes(dst []NodeID, segs [][2]mathx.Vec2) []NodeID {
+	nw.markEpoch++
+	epoch := nw.markEpoch
 	for _, seg := range segs {
 		nw.scratch = nw.grid.WithinSegment(seg[0], seg[1], nw.Cfg.SensingRadius, nw.scratch[:0])
 		for _, id := range nw.scratch {
-			if !nw.Nodes[id].Active() {
+			if !nw.Nodes[id].Active() || nw.mark[id] == epoch {
 				continue
 			}
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			seen[id] = struct{}{}
-			out = append(out, id)
+			nw.mark[id] = epoch
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // NearestNode returns the ID of the node closest to p (any state), searching
@@ -224,19 +276,22 @@ func (nw *Network) ApplyDrift(sigma float64, rng *mathx.RNG) {
 	if sigma <= 0 {
 		return
 	}
-	positions := make([]mathx.Vec2, len(nw.Nodes))
+	// Batch the 2n Gaussian steps in one fill (same draw order as the
+	// historical per-node x, y pairs, so trajectories are bit-identical) and
+	// update the shared position slice in place.
+	if cap(nw.driftScratch) < 2*len(nw.Nodes) {
+		nw.driftScratch = make([]float64, 2*len(nw.Nodes))
+	}
+	steps := nw.driftScratch[:2*len(nw.Nodes)]
+	rng.NormalFill(steps, 0, sigma)
 	for i, nd := range nw.Nodes {
-		p := nd.Pos.Add(mathx.V2(rng.Normal(0, sigma), rng.Normal(0, sigma)))
+		p := nd.Pos.Add(mathx.V2(steps[2*i], steps[2*i+1]))
 		p.X = mathx.Clamp(p.X, 0, nw.Cfg.Width)
 		p.Y = mathx.Clamp(p.Y, 0, nw.Cfg.Height)
 		nd.Pos = p
-		positions[i] = p
+		nw.positions[i] = p
 	}
-	cell := nw.Cfg.CommRadius
-	if cell > nw.Cfg.Width {
-		cell = nw.Cfg.Width
-	}
-	nw.grid = NewGrid(nw.Cfg.Width, nw.Cfg.Height, cell, positions)
+	nw.grid.Rebuild(nw.positions)
 }
 
 // ResetStates marks every node Awake, clears energy accounting, and rewinds
