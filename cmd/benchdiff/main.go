@@ -17,6 +17,9 @@
 // With -count > 1 bench runs, the best line per benchmark is used (min
 // ns/op, B/op, allocs/op; max jobs/sec).
 //
+// The same gate applies to any baseline in the benchfmt schema, e.g.
+// results/BENCH_serve.json written by cmd/cdpfload (-baseline selects it).
+//
 // Usage:
 //
 //	go test -run NONE -bench 'AlgoRun|FleetSweep' -benchmem . | tee bench.txt
@@ -25,112 +28,45 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/version"
 )
+
+// measurement and baseline are the shared interchange types; see
+// internal/benchfmt for the schema.
+type (
+	measurement = benchfmt.Measurement
+	baseline    = benchfmt.Baseline
+)
+
+func parseBench(r io.Reader) (map[string]measurement, string, error) {
+	return benchfmt.ParseBench(r)
+}
 
 func main() {
 	var (
-		benchPath = flag.String("bench", "-", "bench output file to check ('-' = stdin)")
-		basePath  = flag.String("baseline", "results/BENCH_hotpath.json", "baseline JSON file")
-		nsTol     = flag.Float64("ns-tol", 0.20, "allowed fractional ns/op (and jobs/sec) regression on matching hardware")
-		update    = flag.Bool("update", false, "rewrite the baseline section from the bench output instead of gating")
+		benchPath   = flag.String("bench", "-", "bench output file to check ('-' = stdin)")
+		basePath    = flag.String("baseline", "results/BENCH_hotpath.json", "baseline JSON file")
+		nsTol       = flag.Float64("ns-tol", 0.20, "allowed fractional ns/op (and jobs/sec) regression on matching hardware")
+		update      = flag.Bool("update", false, "rewrite the baseline section from the bench output instead of gating")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("benchdiff", version.String())
+		return
+	}
 
 	if err := run(*benchPath, *basePath, *nsTol, *update, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-}
-
-// measurement is one benchmark's recorded numbers. JobsPerSec is 0 for
-// benchmarks that do not report the metric.
-type measurement struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	JobsPerSec  float64 `json:"jobs_per_sec,omitempty"`
-}
-
-// baseline is the schema of results/BENCH_hotpath.json. PrePR preserves the
-// numbers measured immediately before the allocation-free hot path landed
-// (the historical reference for the optimisation's effect); Baseline is what
-// the gate enforces and what -update rewrites.
-type baseline struct {
-	Schema   string                 `json:"schema"`
-	Recorded string                 `json:"recorded"`
-	CPU      string                 `json:"cpu"`
-	Note     string                 `json:"note,omitempty"`
-	PrePR    map[string]measurement `json:"pre_pr,omitempty"`
-	Baseline map[string]measurement `json:"baseline"`
-}
-
-// benchLine matches one `go test -bench` result line; the -\d+ suffix is the
-// GOMAXPROCS decoration, stripped so names stay machine-independent.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
-
-// parseBench extracts per-benchmark measurements and the host CPU string
-// from `go test -bench` text output. Repeated lines (from -count) keep the
-// best value per metric.
-func parseBench(r io.Reader) (map[string]measurement, string, error) {
-	out := make(map[string]measurement)
-	cpu := ""
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
-			cpu = strings.TrimSpace(rest)
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		name := m[1]
-		cur, seen := out[name]
-		fields := strings.Fields(m[2])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				if !seen || v < cur.NsPerOp {
-					cur.NsPerOp = v
-				}
-			case "B/op":
-				if !seen || v < cur.BytesPerOp {
-					cur.BytesPerOp = v
-				}
-			case "allocs/op":
-				if !seen || v < cur.AllocsPerOp {
-					cur.AllocsPerOp = v
-				}
-			case "jobs/sec":
-				if v > cur.JobsPerSec {
-					cur.JobsPerSec = v
-				}
-			}
-		}
-		out[name] = cur
-	}
-	if err := sc.Err(); err != nil {
-		return nil, "", err
-	}
-	if len(out) == 0 {
-		return nil, "", fmt.Errorf("no benchmark lines found in input")
-	}
-	return out, cpu, nil
 }
 
 // compare gates cur against base. Returned fails break the build; warns are
@@ -197,17 +133,12 @@ func run(benchPath, basePath string, nsTol float64, update bool, w io.Writer) er
 		return err
 	}
 
-	var base baseline
-	data, err := os.ReadFile(basePath)
-	switch {
-	case err == nil:
-		if err := json.Unmarshal(data, &base); err != nil {
-			return fmt.Errorf("baseline %s: %w", basePath, err)
+	base, err := benchfmt.ReadBaseline(basePath)
+	if err != nil {
+		if !(os.IsNotExist(err) && update) {
+			return err
 		}
-	case os.IsNotExist(err) && update:
 		base = baseline{Schema: "bench-hotpath/v1"}
-	default:
-		return err
 	}
 
 	if update {
@@ -219,11 +150,7 @@ func run(benchPath, basePath string, nsTol float64, update bool, w io.Writer) er
 		}
 		base.CPU = cpu
 		base.Recorded = time.Now().Format("2006-01-02")
-		out, err := json.MarshalIndent(base, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(basePath, append(out, '\n'), 0o644); err != nil {
+		if err := base.Write(basePath); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "benchdiff: baseline %s updated (%d benchmarks)\n", basePath, len(cur))

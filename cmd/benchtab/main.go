@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -30,10 +33,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 func main() {
 	var o options
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience, sensorfault")
 	flag.IntVar(&o.seeds, "seeds", 10, "number of random seeds per configuration (paper: 10)")
 	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²) for single-density experiments")
@@ -46,13 +51,22 @@ func main() {
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.StringVar(&o.prof.Trace, "trace", "", "write a runtime execution trace of the run to this file")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("benchtab", version.String())
+		return
+	}
+
+	// Ctrl-C / SIGTERM cancels the fleet cleanly: queued sweep cells drain
+	// without running and the run returns the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stopProf, err := prof.Start(o.prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
-	runErr := run(o)
+	runErr := run(ctx, o)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -104,7 +118,7 @@ type benchRecord struct {
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	if o.parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", o.parallel)
 	}
@@ -118,7 +132,7 @@ func run(o options) error {
 	if o.progress {
 		counter.inner = fleet.NewProgress(os.Stderr, time.Second)
 	}
-	exec := experiments.Exec{Workers: o.parallel, Observer: counter}
+	exec := experiments.Exec{Workers: o.parallel, Observer: counter, Ctx: ctx}
 	start := time.Now()
 
 	if err := runExperiments(o, exec); err != nil {
@@ -182,12 +196,24 @@ func runExperiments(o options, exec experiments.Exec) error {
 		if err := os.MkdirAll(o.csvDir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(o.csvDir, name+".csv"))
+		// Write-then-rename so an interrupted run never leaves a truncated
+		// CSV behind under the published name.
+		final := filepath.Join(o.csvDir, name+".csv")
+		tmp := final + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return t.WriteCSV(f)
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, final)
 	}
 
 	exp, density, chart := o.exp, o.density, o.chart

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ func opts(exp string, seeds int, density float64, csvDir string) options {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(opts("nope", 1, 20, "")); err == nil {
+	if err := run(context.Background(), opts("nope", 1, 20, "")); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -22,7 +23,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunRejectsNonPositiveParallel(t *testing.T) {
 	o := opts("fig4", 1, 20, "")
 	o.parallel = -3
-	if err := run(o); err == nil || !strings.Contains(err.Error(), "-parallel") {
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "-parallel") {
 		t.Fatalf("err = %v, want -parallel validation error", err)
 	}
 }
@@ -39,7 +40,7 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"negative density", opts("fig4", 1, -5, ""), "-density"},
 	}
 	for _, c := range cases {
-		err := run(c.o)
+		err := run(context.Background(), c.o)
 		if err == nil {
 			t.Fatalf("%s: accepted", c.name)
 		}
@@ -54,7 +55,7 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 
 func TestRunSensorFaultWritesCSVs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(opts("sensorfault", 1, 10, dir)); err != nil {
+	if err := run(context.Background(), opts("sensorfault", 1, 10, dir)); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"sensorfault_rmse.csv", "sensorfault_coverage.csv", "sensorfault_quarantine.csv"} {
@@ -70,7 +71,7 @@ func TestRunSensorFaultWritesCSVs(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(opts("fig4", 1, 20, dir)); err != nil {
+	if err := run(context.Background(), opts("fig4", 1, 20, dir)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
@@ -86,10 +87,24 @@ func TestRunFig4WithCSV(t *testing.T) {
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	// A pre-cancelled context (the moral equivalent of Ctrl-C before the
+	// sweep starts) must abort the fleet and surface the context error
+	// instead of running the cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := opts("table1", 2, 10, "")
+	o.parallel = 4
+	err := run(ctx, o)
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestRunSingleExperiments(t *testing.T) {
 	// Cheap single-seed smoke over every single-density experiment.
 	for _, exp := range []string{"table1", "duty", "latency", "aggregation", "resampler"} {
-		if err := run(opts(exp, 1, 10, "")); err != nil {
+		if err := run(context.Background(), opts(exp, 1, 10, "")); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -102,7 +117,7 @@ func TestRunParallelMatchesSerialCSV(t *testing.T) {
 		dir := t.TempDir()
 		o := opts("table1", 2, 10, dir)
 		o.parallel = parallel
-		if err := run(o); err != nil {
+		if err := run(context.Background(), o); err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, "table1_validation.csv"))
@@ -122,7 +137,7 @@ func TestRunWritesBenchJSON(t *testing.T) {
 	o := opts("table1", 1, 10, "")
 	o.parallel = 4
 	o.benchJSON = filepath.Join(dir, "sub", "BENCH_fleet.json")
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(o.benchJSON)
@@ -150,7 +165,7 @@ func TestRunWritesBenchJSON(t *testing.T) {
 
 	// A second invocation must append, not overwrite.
 	o.parallel = 1
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(o.benchJSON)

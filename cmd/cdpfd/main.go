@@ -1,0 +1,100 @@
+// Command cdpfd is the online tracking daemon: it hosts concurrent CDPF
+// sessions over HTTP, ingesting measurement batches and streaming estimates
+// back as Server-Sent Events (see internal/serve for the API and the
+// determinism contract with the offline sim).
+//
+// Usage:
+//
+//	cdpfd [-addr HOST:PORT] [-shards N] [-shard-queue N] [-max-sessions N]
+//	      [-addr-file FILE] [-drain-timeout D] [-version]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: admission stops (503),
+// every queued iteration is stepped, estimate streams are closed, and the
+// process exits 0. -addr-file writes the bound address (useful with -addr
+// :0 for tests and CI smoke jobs).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
+		shards       = flag.Int("shards", runtime.GOMAXPROCS(0), "session shard (worker goroutine) count")
+		shardQueue   = flag.Int("shard-queue", 256, "bounded work-queue depth per shard (503 when full)")
+		maxSessions  = flag.Int("max-sessions", 4096, "live session limit")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connection drain after the queues empty")
+		showVersion  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("cdpfd", version.String())
+		return
+	}
+	if err := run(*addr, *shards, *shardQueue, *maxSessions, *addrFile, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdpfd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, shardQueue, maxSessions int, addrFile string, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	met := serve.NewMetrics(nil)
+	mgr := serve.NewManager(serve.ManagerConfig{
+		Shards: shards, ShardQueue: shardQueue, MaxSessions: maxSessions, Metrics: met,
+	})
+	met.SetQueueDepthFunc(mgr.QueueDepth)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+	}
+	log.Printf("cdpfd %s listening on %s (%d shards, queue %d/shard, max %d sessions)",
+		version.String(), bound, shards, shardQueue, maxSessions)
+
+	srv := &http.Server{Handler: serve.NewServer(mgr, met)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("cdpfd: signal received, draining (%d iterations queued)", mgr.QueueDepth())
+	mgr.Drain() // finish queued work, close streams, reject new admissions
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("cdpfd: drained %d steps total, exiting", met.Steps())
+	return nil
+}

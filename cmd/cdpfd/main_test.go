@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon on an ephemeral port,
+// confirms it serves /healthz and /metrics, then delivers SIGTERM to the test
+// process and requires run() to drain and return nil — the graceful-shutdown
+// contract the CI smoke job also asserts from the outside.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "cdpfd.addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 2, 16, 64, addrFile, 10*time.Second)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address file")
+		}
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data[:len(data)-1]) // trailing newline
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,410 @@
+// Command cdpfload is the load generator for cdpfd: it drives N concurrent
+// tracking sessions against a running daemon, feeding each one the exact
+// measurement stream its offline twin would consume (serve.Observations) and
+// reading the estimates back over SSE. Each session verifies the served
+// records against a local offline run (-verify, on by default), so a load
+// run is also an end-to-end determinism check.
+//
+// Per-step latency is measured from batch admission (POST accepted) to the
+// estimate event arriving, summarised as p50/p90/p99/max plus steps/sec, and
+// emitted in `go test -bench` text form so cmd/benchdiff can gate it.
+// -benchjson additionally writes a benchdiff baseline file
+// (results/BENCH_serve.json in CI).
+//
+// Usage:
+//
+//	cdpfload [-addr HOST:PORT] [-sessions N] [-steps N] [-density D]
+//	         [-seed S] [-window W] [-use-ne] [-verify=false]
+//	         [-benchjson FILE] [-note TEXT] [-version]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/version"
+)
+
+type options struct {
+	addr      string
+	sessions  int
+	steps     int
+	density   float64
+	seed      uint64
+	window    int
+	useNE     bool
+	verify    bool
+	benchJSON string
+	note      string
+	stepWait  time.Duration
+}
+
+func main() {
+	var (
+		o           options
+		seed        = flag.Uint64("seed", 1, "root seed; per-session seeds derive from it (fleet.Seeds)")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8723", "cdpfd address (host:port or http:// URL)")
+	flag.IntVar(&o.sessions, "sessions", 8, "concurrent tracking sessions")
+	flag.IntVar(&o.steps, "steps", 10, "filter iterations per session (scenario Steps)")
+	flag.Float64Var(&o.density, "density", 10, "node density (nodes per 100 m^2)")
+	flag.IntVar(&o.window, "window", 1, "batches in flight per session (1 = strict lockstep)")
+	flag.BoolVar(&o.useNE, "use-ne", false, "run the CDPF-NE variant")
+	flag.BoolVar(&o.verify, "verify", true, "check served records against a local offline run")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "also write a benchdiff baseline JSON file")
+	flag.StringVar(&o.note, "note", "", "note stored in the -benchjson baseline")
+	flag.DurationVar(&o.stepWait, "step-wait", 30*time.Second, "timeout waiting for any single estimate event")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("cdpfload", version.String())
+		return
+	}
+	o.seed = *seed
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdpfload:", err)
+		os.Exit(1)
+	}
+}
+
+// sessionResult is what one driven session reports back.
+type sessionResult struct {
+	latencies []time.Duration
+	records   []trace.Record
+}
+
+func run(ctx context.Context, o options, out io.Writer) error {
+	base := o.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if o.sessions <= 0 || o.steps <= 0 {
+		return fmt.Errorf("need positive -sessions and -steps")
+	}
+	if o.window <= 0 {
+		o.window = 1
+	}
+
+	seeds := fleet.Seeds(o.seed, o.sessions)
+	client := &http.Client{} // no global timeout: SSE streams live for the whole run
+	results := make([]sessionResult, o.sessions)
+	errs := make([]error, o.sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.sessions; i++ {
+		spec := serve.SessionSpec{
+			ID:       fmt.Sprintf("load-%d-%03d", o.seed, i),
+			Scenario: scenario.Default(o.density, seeds[i]),
+			UseNE:    o.useNE,
+		}
+		spec.Scenario.Steps = o.steps
+		wg.Add(1)
+		go func(i int, spec serve.SessionSpec) {
+			defer wg.Done()
+			results[i], errs[i] = driveSession(ctx, client, base, spec, o)
+		}(i, spec)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+
+	var lats []time.Duration
+	for _, r := range results {
+		lats = append(lats, r.latencies...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	steps := len(lats)
+	if steps == 0 {
+		return fmt.Errorf("no steps completed")
+	}
+	q := func(p float64) time.Duration {
+		i := int(p*float64(steps)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= steps {
+			i = steps - 1
+		}
+		return lats[i]
+	}
+	throughput := float64(steps) / wall.Seconds()
+
+	fmt.Fprintf(out, "cdpfload: %d sessions x %d iterations against %s (window %d, verify %v)\n",
+		o.sessions, o.steps+1, base, o.window, o.verify)
+	fmt.Fprintf(out, "wall %v  steps %d  throughput %.1f steps/sec\n", wall.Round(time.Millisecond), steps, throughput)
+	fmt.Fprintf(out, "step latency p50 %v  p90 %v  p99 %v  max %v\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[steps-1].Round(time.Microsecond))
+
+	// Bench-format block: parseable by cmd/benchdiff (the cpu: line scopes
+	// the wall-clock gates to matching hardware).
+	if cpu := benchfmt.HostCPU(); cpu != "" {
+		fmt.Fprintf(out, "cpu: %s\n", cpu)
+	}
+	fmt.Fprintf(out, "BenchmarkServeStepLatencyP50 \t%d\t%d ns/op\n", steps, q(0.50).Nanoseconds())
+	fmt.Fprintf(out, "BenchmarkServeStepLatencyP99 \t%d\t%d ns/op\n", steps, q(0.99).Nanoseconds())
+	fmt.Fprintf(out, "BenchmarkServeThroughput \t%d\t%d ns/op\t%.2f jobs/sec\n",
+		steps, wall.Nanoseconds()/int64(steps), throughput)
+
+	if o.benchJSON != "" {
+		b := benchfmt.Baseline{
+			Schema:   "bench-serve/v1",
+			Recorded: time.Now().Format("2006-01-02"),
+			CPU:      benchfmt.HostCPU(),
+			Note:     o.note,
+			Baseline: map[string]benchfmt.Measurement{
+				"BenchmarkServeStepLatencyP50": {NsPerOp: float64(q(0.50).Nanoseconds())},
+				"BenchmarkServeStepLatencyP99": {NsPerOp: float64(q(0.99).Nanoseconds())},
+				"BenchmarkServeThroughput": {
+					NsPerOp:    float64(wall.Nanoseconds() / int64(steps)),
+					JobsPerSec: throughput,
+				},
+			},
+		}
+		if err := b.Write(o.benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cdpfload: baseline written to %s\n", o.benchJSON)
+	}
+	return nil
+}
+
+// driveSession runs one session end to end: create, subscribe, feed every
+// batch in lockstep (up to `window` in flight), measure admission-to-estimate
+// latency per iteration, and optionally verify the streamed records against
+// the offline twin.
+func driveSession(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, o options) (sessionResult, error) {
+	var res sessionResult
+	batches, err := serve.Observations(spec)
+	if err != nil {
+		return res, err
+	}
+
+	info, err := createSession(ctx, client, base, spec)
+	if err != nil {
+		return res, err
+	}
+	if info.Iterations != len(batches) {
+		return res, fmt.Errorf("server reports %d iterations, expected %d", info.Iterations, len(batches))
+	}
+
+	// Subscribe before feeding anything so no event can be missed.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		base+"/v1/sessions/"+spec.ID+"/estimates", nil)
+	if err != nil {
+		return res, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	events := make(chan trace.Record, len(batches))
+	readErr := make(chan error, 1)
+	go readEvents(resp.Body, events, readErr)
+
+	admit := make([]time.Time, len(batches))
+	res.latencies = make([]time.Duration, 0, len(batches))
+	res.records = make([]trace.Record, 0, len(batches))
+	posted, received := 0, 0
+	for received < len(batches) {
+		for posted < len(batches) && posted-received < o.window {
+			if err := postBatch(ctx, client, base, spec.ID, batches[posted]); err != nil {
+				return res, err
+			}
+			admit[posted] = time.Now()
+			posted++
+		}
+		select {
+		case rec, ok := <-events:
+			if !ok {
+				return res, fmt.Errorf("estimate stream ended after %d of %d events", received, len(batches))
+			}
+			if rec.K < 0 || rec.K >= len(batches) || admit[rec.K].IsZero() {
+				return res, fmt.Errorf("estimate for unexpected iteration %d", rec.K)
+			}
+			res.latencies = append(res.latencies, time.Since(admit[rec.K]))
+			res.records = append(res.records, rec)
+			received++
+		case err := <-readErr:
+			return res, fmt.Errorf("estimate stream: %w", err)
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-time.After(o.stepWait):
+			return res, fmt.Errorf("timed out waiting for estimate %d", received)
+		}
+	}
+
+	if o.verify {
+		if err := verifyAgainstOffline(spec, res.records); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// createSession POSTs the spec and returns the created SessionInfo.
+func createSession(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec) (serve.SessionInfo, error) {
+	var info serve.SessionInfo
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return info, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return info, fmt.Errorf("create: %s", readErrBody(resp))
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// postBatch submits one iteration batch, retrying on backpressure (429 when
+// the session queue budget is spent, 503 when a shard queue is full) — the
+// load generator's contract is to apply pressure, observe shedding, and keep
+// going, not to fail the run.
+func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch) error {
+	body, err := json.Marshal(serve.IngestRequest{Batches: []serve.Batch{b}})
+	if err != nil {
+		return err
+	}
+	backoff := 2 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/sessions/"+id+"/measurements", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		status, msg := resp.StatusCode, ""
+		if status != http.StatusAccepted {
+			msg = readErrBody(resp)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch status {
+		case http.StatusAccepted:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return fmt.Errorf("ingest k=%d: %s", b.K, msg)
+		}
+	}
+}
+
+// readErrBody extracts the JSON error envelope (or a fallback) from a non-2xx
+// response.
+func readErrBody(resp *http.Response) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return fmt.Sprintf("HTTP %d: %s", resp.StatusCode, eb.Error)
+	}
+	return fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// readEvents parses the SSE stream, forwarding each "estimate" record and
+// closing the channel on the terminal "done" event.
+func readEvents(r io.Reader, ch chan<- trace.Record, errCh chan<- error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			switch event {
+			case "estimate":
+				var rec trace.Record
+				if err := json.Unmarshal([]byte(data), &rec); err != nil {
+					errCh <- fmt.Errorf("bad estimate event: %w", err)
+					return
+				}
+				ch <- rec
+			case "done":
+				close(ch)
+				return
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errCh <- err
+		return
+	}
+	errCh <- io.ErrUnexpectedEOF
+}
+
+// verifyAgainstOffline recomputes the session offline and requires the served
+// records to match exactly — the wire hop must not perturb a single bit.
+func verifyAgainstOffline(spec serve.SessionSpec, got []trace.Record) error {
+	ref, err := serve.OfflineTrace(spec)
+	if err != nil {
+		return fmt.Errorf("offline twin: %w", err)
+	}
+	if len(got) != len(ref.Records) {
+		return fmt.Errorf("verify: served %d records, offline %d", len(got), len(ref.Records))
+	}
+	for i, want := range ref.Records {
+		if got[i] != want {
+			return fmt.Errorf("verify: record %d diverges from offline run:\nserved  %+v\noffline %+v", i, got[i], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/serve"
+)
+
+// startDaemon boots an in-process cdpfd stack (manager + HTTP server) the way
+// cmd/cdpfd wires it.
+func startDaemon(t *testing.T) (*httptest.Server, *serve.Manager) {
+	t.Helper()
+	met := serve.NewMetrics(nil)
+	mgr := serve.NewManager(serve.ManagerConfig{Shards: 2, Metrics: met})
+	met.SetQueueDepthFunc(mgr.QueueDepth)
+	ts := httptest.NewServer(serve.NewServer(mgr, met))
+	t.Cleanup(func() { ts.Close(); mgr.Drain() })
+	return ts, mgr
+}
+
+func TestRunDrivesSessionsAndWritesBaseline(t *testing.T) {
+	ts, _ := startDaemon(t)
+	benchPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	o := options{
+		addr:      ts.URL,
+		sessions:  3,
+		steps:     5,
+		density:   10,
+		seed:      7,
+		window:    2,
+		verify:    true, // every served record must match the offline twin
+		benchJSON: benchPath,
+		note:      "test run",
+		stepWait:  30 * time.Second,
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), o, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3 sessions x 6 iterations",
+		"BenchmarkServeStepLatencyP50",
+		"BenchmarkServeStepLatencyP99",
+		"BenchmarkServeThroughput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The bench block must be parseable by the same parser benchdiff uses.
+	ms, _, err := benchfmt.ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("bench text unparseable: %v", err)
+	}
+	if ms["BenchmarkServeThroughput"].JobsPerSec <= 0 {
+		t.Errorf("throughput not reported: %+v", ms)
+	}
+
+	b, err := benchfmt.ReadBaseline(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != "bench-serve/v1" || len(b.Baseline) != 3 || b.Note != "test run" {
+		t.Errorf("unexpected baseline: %+v", b)
+	}
+}
+
+func TestRunStrictLockstepWindowOne(t *testing.T) {
+	ts, _ := startDaemon(t)
+	o := options{
+		addr: ts.URL, sessions: 1, steps: 3, density: 10, seed: 3,
+		window: 1, verify: true, stepWait: 30 * time.Second,
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), o, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+}
+
+func TestRunReportsServerErrors(t *testing.T) {
+	o := options{
+		addr:     "127.0.0.1:1", // nothing listens on the reserved port
+		sessions: 1, steps: 2, density: 10, seed: 1, window: 1,
+		stepWait: time.Second,
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), o, &buf); err == nil {
+		t.Fatal("want error against dead server")
+	}
+}

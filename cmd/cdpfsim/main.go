@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -28,11 +31,13 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sensorfault"
 	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/wsn"
 )
 
 func main() {
 	var o options
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.StringVar(&o.algo, "algo", "cdpf", "algorithm: cdpf, cdpf-ne, cpf, dpf, sdpf, ekf")
 	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²)")
 	flag.Uint64Var(&o.seed, "seed", 31, "master random seed")
@@ -52,13 +57,22 @@ func main() {
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.StringVar(&o.prof.Trace, "exectrace", "", "write a runtime execution trace to this file (-trace is the CSV trace)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("cdpfsim", version.String())
+		return
+	}
+
+	// Ctrl-C / SIGTERM stops the iteration loop at the next step boundary;
+	// the -trace file is only renamed into place when a run completes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stopProf, err := prof.Start(o.prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdpfsim:", err)
 		os.Exit(1)
 	}
-	runErr := run(o)
+	runErr := run(ctx, o)
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -117,7 +131,7 @@ func (o options) validate() error {
 	return nil
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -244,6 +258,9 @@ func run(o options) error {
 	rec := trace.New(string(algo), o.density, o.seed)
 	valid := make([]bool, 0, sc.Iterations())
 	for k := 0; k < sc.Iterations(); k++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted at iteration %d: %w", k, err)
+		}
 		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
 		before := sc.Net.Stats.Snapshot()
 		detectors := len(sc.DetectingNodes(k))
@@ -271,12 +288,23 @@ func run(o options) error {
 		rec.Add(r)
 	}
 	if o.traceOut != "" {
-		f, err := os.Create(o.traceOut)
+		// Write-then-rename so an interrupted run never leaves a truncated
+		// trace behind under the requested name.
+		tmp := o.traceOut + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, o.traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s (%d iterations)\n", o.traceOut, rec.Len())

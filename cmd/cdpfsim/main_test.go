@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,14 +14,14 @@ func opts(algo string) options {
 }
 
 func TestRunRejectsUnknownAlgo(t *testing.T) {
-	if err := run(opts("nope")); err == nil {
+	if err := run(context.Background(), opts("nope")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestRunEveryAlgo(t *testing.T) {
 	for _, algo := range []string{"cdpf", "cdpf-ne", "cpf", "dpf", "sdpf", "ekf"} {
-		if err := run(opts(algo)); err != nil {
+		if err := run(context.Background(), opts(algo)); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
@@ -29,7 +30,7 @@ func TestRunEveryAlgo(t *testing.T) {
 func TestRunWithFaultInjection(t *testing.T) {
 	o := opts("cdpf")
 	o.failFrac, o.sleepFr = 0.2, 0.1
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -40,14 +41,14 @@ func TestRunWithLossAndFailStops(t *testing.T) {
 	for _, algo := range []string{"cdpf", "sdpf"} {
 		o := opts(algo)
 		o.loss, o.burst, o.failMid = 0.4, 3, 0.2
-		if err := run(o); err != nil {
+		if err := run(context.Background(), o); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
 	// iid loss (burst <= 1) exercises the other loss branch.
 	o := opts("cdpf")
 	o.loss = 0.3
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,7 +59,7 @@ func TestRunWithSensorFaults(t *testing.T) {
 		for _, defend := range []bool{false, true} {
 			o := opts("cdpf")
 			o.sfKind, o.sfFrac, o.defend = kind, 0.2, defend
-			if err := run(o); err != nil {
+			if err := run(context.Background(), o); err != nil {
 				t.Fatalf("%s defend=%v: %v", kind, defend, err)
 			}
 		}
@@ -66,7 +67,7 @@ func TestRunWithSensorFaults(t *testing.T) {
 	// Baselines consume the same corrupted observations.
 	o := opts("sdpf")
 	o.sfFrac = 0.2
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +76,7 @@ func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	o := opts("cdpf")
 	o.traceOut = path
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -111,7 +112,7 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 	for _, c := range cases {
 		o := opts("cdpf")
 		c.mut(&o)
-		err := run(o)
+		err := run(context.Background(), o)
 		if err == nil {
 			t.Fatalf("%s: accepted", c.name)
 		}

@@ -15,19 +15,25 @@ import (
 	"sort"
 
 	"repro/internal/mathx"
+	"repro/internal/version"
 	"repro/internal/wsn"
 )
 
 func main() {
 	var (
-		density = flag.Float64("density", 20, "node density (nodes per 100 m²)")
-		width   = flag.Float64("width", 200, "field width (m)")
-		height  = flag.Float64("height", 200, "field height (m)")
-		rs      = flag.Float64("rs", 10, "sensing radius (m)")
-		rc      = flag.Float64("rc", 30, "communication radius (m)")
-		seed    = flag.Uint64("seed", 1, "deployment seed")
+		density     = flag.Float64("density", 20, "node density (nodes per 100 m²)")
+		width       = flag.Float64("width", 200, "field width (m)")
+		height      = flag.Float64("height", 200, "field height (m)")
+		rs          = flag.Float64("rs", 10, "sensing radius (m)")
+		rc          = flag.Float64("rc", 30, "communication radius (m)")
+		seed        = flag.Uint64("seed", 1, "deployment seed")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("netinfo", version.String())
+		return
+	}
 
 	cfg := wsn.Config{
 		Width: *width, Height: *height,

@@ -15,15 +15,21 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		density = flag.Float64("density", 20, "node density (nodes per 100 m²)")
-		seed    = flag.Uint64("seed", 31, "master random seed")
-		csvPath = flag.String("csv", "", "write the series as CSV to this file")
+		density     = flag.Float64("density", 20, "node density (nodes per 100 m²)")
+		seed        = flag.Uint64("seed", 31, "master random seed")
+		csvPath     = flag.String("csv", "", "write the series as CSV to this file")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("trackplot", version.String())
+		return
+	}
 
 	points, err := experiments.Fig4(*density, *seed)
 	if err != nil {

@@ -1,0 +1,138 @@
+// Package benchfmt holds the benchmark interchange formats shared by the
+// performance gate (cmd/benchdiff) and the tools that produce gateable
+// artifacts (go test -bench text, cmd/cdpfload): the per-benchmark
+// measurement record, the checked-in baseline JSON schema, and the `go test
+// -bench` text parser. Keeping them in one package means a baseline written
+// by one tool is always readable by the gate.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's recorded numbers. JobsPerSec is 0 for
+// benchmarks that do not report the metric.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	JobsPerSec  float64 `json:"jobs_per_sec,omitempty"`
+}
+
+// Baseline is the schema of the checked-in results/BENCH_*.json gate files.
+// PrePR preserves historical reference numbers (what a metric looked like
+// before an optimisation landed); Baseline is what the gate enforces and
+// what refresh runs rewrite.
+type Baseline struct {
+	Schema   string                 `json:"schema"`
+	Recorded string                 `json:"recorded"`
+	CPU      string                 `json:"cpu"`
+	Note     string                 `json:"note,omitempty"`
+	PrePR    map[string]Measurement `json:"pre_pr,omitempty"`
+	Baseline map[string]Measurement `json:"baseline"`
+}
+
+// ReadBaseline loads a baseline JSON file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Write stores the baseline as indented JSON.
+func (b Baseline) Write(path string) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// benchLine matches one `go test -bench` result line; the -\d+ suffix is the
+// GOMAXPROCS decoration, stripped so names stay machine-independent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// ParseBench extracts per-benchmark measurements and the host CPU string
+// from `go test -bench` text output. Repeated lines (from -count) keep the
+// best value per metric (min ns/op, B/op, allocs/op; max jobs/sec).
+func ParseBench(r io.Reader) (map[string]Measurement, string, error) {
+	out := make(map[string]Measurement)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		cur, seen := out[name]
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < cur.NsPerOp {
+					cur.NsPerOp = v
+				}
+			case "B/op":
+				if !seen || v < cur.BytesPerOp {
+					cur.BytesPerOp = v
+				}
+			case "allocs/op":
+				if !seen || v < cur.AllocsPerOp {
+					cur.AllocsPerOp = v
+				}
+			case "jobs/sec":
+				if v > cur.JobsPerSec {
+					cur.JobsPerSec = v
+				}
+			}
+		}
+		out[name] = cur
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	if len(out) == 0 {
+		return nil, "", fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, cpu, nil
+}
+
+// HostCPU returns the host's CPU model string the way `go test` reports it
+// in its "cpu:" line, or "" when unavailable. Baselines recorded with the
+// same string hard-gate wall-clock metrics; different strings demote them to
+// warnings (see cmd/benchdiff).
+func HostCPU() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

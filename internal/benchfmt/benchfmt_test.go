@@ -1,0 +1,61 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchKeepsBestAndCPU(t *testing.T) {
+	in := `goos: linux
+cpu: Fake CPU @ 2.10GHz
+BenchmarkX-8   100   2000 ns/op   128 B/op   3 allocs/op
+BenchmarkX-8   120   1500 ns/op   120 B/op   4 allocs/op
+BenchmarkY     10    50 ns/op 0 B/op 0 allocs/op 123.5 jobs/sec
+PASS
+`
+	got, cpu, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Fake CPU @ 2.10GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	want := map[string]Measurement{
+		"BenchmarkX": {NsPerOp: 1500, BytesPerOp: 120, AllocsPerOp: 3},
+		"BenchmarkY": {NsPerOp: 50, JobsPerSec: 123.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, _, err := ParseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	b := Baseline{
+		Schema:   "bench-serve/v1",
+		Recorded: "2026-08-06",
+		CPU:      "Fake CPU",
+		Baseline: map[string]Measurement{
+			"BenchmarkServeStepLatencyP50": {NsPerOp: 1234},
+			"BenchmarkServeThroughput":     {JobsPerSec: 88.25},
+		},
+	}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip: got %+v want %+v", got, b)
+	}
+}

@@ -20,6 +20,10 @@ type Exec struct {
 	Workers int
 	// Observer, when non-nil, receives per-job progress snapshots.
 	Observer fleet.Observer
+	// Ctx, when non-nil, cancels in-flight sweeps: pending cells stop being
+	// submitted and the sweep returns the context's error. nil means
+	// context.Background() (run to completion).
+	Ctx context.Context
 }
 
 // Serial is the legacy single-goroutine execution policy. The package-level
@@ -38,7 +42,11 @@ func (e Exec) config(total int) fleet.Config {
 // runCells executes one cell batch under the execution policy, preserving
 // cell order in the output.
 func runCells[J, T any](e Exec, cells []J, run func(J) (T, error)) ([]T, error) {
-	return fleet.Map(context.Background(), e.config(len(cells)), cells,
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return fleet.Map(ctx, e.config(len(cells)), cells,
 		func(_ context.Context, c J) (T, error) { return run(c) })
 }
 

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ManagerConfig tunes the session manager.
+type ManagerConfig struct {
+	// Shards is the worker-goroutine count; every session is owned by
+	// exactly one shard, chosen by hashing the session ID, so a session's
+	// iterations execute strictly in order on one goroutine. <= 0 defaults
+	// to 4.
+	Shards int
+	// ShardQueue is each shard's bounded work-queue depth; admission sheds
+	// load with 503 when the owning shard's queue is full. <= 0 defaults to
+	// 256.
+	ShardQueue int
+	// MaxSessions bounds live (unfinished) sessions; creation beyond it is
+	// rejected. <= 0 defaults to 4096.
+	MaxSessions int
+	// Metrics, when non-nil, receives instrumentation.
+	Metrics *Metrics
+
+	// stepGate, when non-nil, is received from before every step — a
+	// test-only hook that lets the overload tests stall the shard workers
+	// deterministically (close the channel to release them).
+	stepGate chan struct{}
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 256
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	return c
+}
+
+// workItem is one queued filter iteration: a session, its batch, and the
+// admission timestamp (the step-latency histogram measures queue-to-stepped
+// time, so queueing delay under load is visible, not hidden).
+type workItem struct {
+	s        *session
+	b        Batch
+	admitted time.Time
+}
+
+// AdmitError is a rejected admission, carrying the HTTP-ish status the
+// transport should surface: 429 when the caller overran its per-session
+// budget, 503 when the shard or the whole server is saturated or draining,
+// 409 on sequencing errors, 404/410 for unknown or finished sessions.
+type AdmitError struct {
+	Status int
+	Reason string // metrics label
+	Msg    string
+}
+
+func (e *AdmitError) Error() string { return e.Msg }
+
+func admitErr(status int, reason, format string, args ...interface{}) *AdmitError {
+	return &AdmitError{Status: status, Reason: reason, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Manager owns the sharded session table. All admission decisions (create,
+// ingest) happen under mu; stepping happens on the shard goroutines.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	// finished retains the records (only — scenario and tracker state is
+	// released) of up to finishedHistory completed sessions, so a client
+	// that fed a whole run before subscribing can still read it back.
+	finished      map[string]*finishedSession
+	finishedOrder []*finishedSession
+	nextID        int
+	draining      bool
+
+	shards []chan workItem
+	wg     sync.WaitGroup
+
+	drainCh chan struct{} // closed when draining starts (SSE handlers watch it)
+}
+
+// NewManager starts the shard goroutines.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		sessions: make(map[string]*session),
+		finished: make(map[string]*finishedSession),
+		shards:   make([]chan workItem, cfg.Shards),
+		drainCh:  make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = make(chan workItem, cfg.ShardQueue)
+		m.wg.Add(1)
+		go m.runShard(m.shards[i])
+	}
+	return m
+}
+
+// runShard steps queued iterations in FIFO order. Per-shard FIFO implies
+// per-session FIFO, which together with admission-time sequencing gives
+// every session strictly ordered, exactly-once iterations.
+func (m *Manager) runShard(ch chan workItem) {
+	defer m.wg.Done()
+	for {
+		// The test gate sits before the queue read so a stalled worker holds
+		// nothing: queue lengths observed by admission stay deterministic.
+		if m.cfg.stepGate != nil {
+			<-m.cfg.stepGate
+		}
+		it, ok := <-ch
+		if !ok {
+			return
+		}
+		it.s.step(it.b)
+		m.cfg.Metrics.stepDone(time.Since(it.admitted))
+		m.mu.Lock()
+		it.s.queued--
+		done := it.s.done
+		if done {
+			delete(m.sessions, it.s.id)
+			m.retainFinished(it.s)
+		}
+		m.mu.Unlock()
+		if done {
+			m.cfg.Metrics.sessionCompleted()
+		}
+	}
+}
+
+// finishedHistory bounds the completed-session record cache.
+const finishedHistory = 128
+
+// finishedSession is a completed run's remnant: identity plus records. The
+// scenario and tracker (the memory-heavy state) are gone with the session.
+type finishedSession struct {
+	id         string
+	shard      int
+	iterations int
+	records    []trace.Record
+}
+
+// retainFinished archives a completed session, evicting the oldest beyond
+// finishedHistory. Caller holds m.mu.
+func (m *Manager) retainFinished(s *session) {
+	s.mu.Lock()
+	recs := s.records
+	s.mu.Unlock()
+	f := &finishedSession{
+		id: s.id, shard: s.shard, iterations: s.iterations(), records: recs,
+	}
+	m.finished[s.id] = f
+	m.finishedOrder = append(m.finishedOrder, f)
+	for len(m.finishedOrder) > finishedHistory {
+		old := m.finishedOrder[0]
+		m.finishedOrder = m.finishedOrder[1:]
+		// Delete by identity: a reused ID may already point at a newer run.
+		if m.finished[old.id] == old {
+			delete(m.finished, old.id)
+		}
+	}
+}
+
+// shardFor hashes a session ID onto a shard index.
+func (m *Manager) shardFor(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(m.shards)))
+}
+
+// Create validates the spec, builds the session, and registers it.
+func (m *Manager) Create(spec SessionSpec) (*session, error) {
+	spec = spec.normalize()
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, admitErr(503, "draining", "server is draining")
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, admitErr(503, "max_sessions", "session limit %d reached", m.cfg.MaxSessions)
+	}
+	id := spec.ID
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("s-%d", m.nextID)
+	}
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return nil, admitErr(409, "duplicate_id", "session %q already exists", id)
+	}
+	// A new session supersedes a finished run's archived records under the
+	// same ID (the stale order entry is skipped at eviction time).
+	delete(m.finished, id)
+	// Reserve the ID while the scenario builds outside the lock (deployment
+	// of a dense field is milliseconds of work).
+	m.sessions[id] = nil
+	m.mu.Unlock()
+
+	s, err := newSession(id, m.shardFor(id), spec)
+
+	m.mu.Lock()
+	if err != nil || m.draining {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		if err == nil {
+			err = admitErr(503, "draining", "server is draining")
+		}
+		return nil, err
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.cfg.Metrics.sessionCreated()
+	return s, nil
+}
+
+// Get returns a live session.
+func (m *Manager) Get(id string) (*session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok && s != nil
+}
+
+// Info snapshots a session's status under the admission lock.
+func (m *Manager) Info(id string) (SessionInfo, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		if f, ok := m.finished[id]; ok {
+			m.mu.Unlock()
+			rec := trace.Recorder{Records: f.records}
+			return SessionInfo{
+				ID: f.id, Shard: f.shard, Iterations: f.iterations,
+				NextK: f.iterations, Stepped: len(f.records), Done: true,
+				RMSE: finiteOrZero(rec.RMSE()),
+			}, true
+		}
+		m.mu.Unlock()
+		return SessionInfo{}, false
+	}
+	queued, nextK := s.queued, s.nextK
+	m.mu.Unlock()
+	return s.info(queued, nextK), true
+}
+
+// Ingest admits req's batches to the session's shard queue. Batches must be
+// consecutive starting at the session's next unfed iteration; the whole
+// request is validated before any batch is enqueued, so a rejected request
+// admits nothing. Backpressure is two-level: the per-session budget rejects
+// with 429 (this caller is ahead of its own session's stepping), the shard
+// queue with 503 (the server is saturated).
+func (m *Manager) Ingest(id string, req IngestRequest) (IngestResponse, error) {
+	if len(req.Batches) == 0 {
+		return IngestResponse{}, admitErr(400, "empty", "no batches in request")
+	}
+
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		m.mu.Unlock()
+		return IngestResponse{}, admitErr(404, "no_session", "no live session %q", id)
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return IngestResponse{}, admitErr(503, "draining", "server is draining")
+	}
+	for i, b := range req.Batches {
+		if want := s.nextK + i; b.K != want {
+			m.mu.Unlock()
+			return IngestResponse{}, admitErr(409, "out_of_order",
+				"batch %d has k=%d, session %q expects k=%d", i, b.K, id, want)
+		}
+	}
+	if last := s.nextK + len(req.Batches); last > s.iterations() {
+		m.mu.Unlock()
+		return IngestResponse{}, admitErr(409, "past_end",
+			"session %q has %d iterations, batches reach k=%d", id, s.iterations(), last-1)
+	}
+	if s.queued+len(req.Batches) > s.spec.Queue {
+		m.mu.Unlock()
+		m.cfg.Metrics.reject("session_queue")
+		return IngestResponse{}, admitErr(429, "session_queue",
+			"session %q queue full (%d queued, budget %d)", id, s.queued, s.spec.Queue)
+	}
+	ch := m.shards[s.shard]
+	if len(ch)+len(req.Batches) > cap(ch) {
+		m.mu.Unlock()
+		m.cfg.Metrics.reject("shard_queue")
+		return IngestResponse{}, admitErr(503, "shard_queue",
+			"shard %d queue full (%d of %d)", s.shard, len(ch), cap(ch))
+	}
+	// Admission succeeds as a unit: reserve the budget and advance the
+	// expected sequence, then enqueue. The sends cannot block — capacity was
+	// checked under mu, and mu is the only admission path to this shard.
+	now := time.Now()
+	s.queued += len(req.Batches)
+	s.nextK += len(req.Batches)
+	nextK := s.nextK
+	for _, b := range req.Batches {
+		ch <- workItem{s: s, b: b, admitted: now}
+	}
+	m.mu.Unlock()
+	return IngestResponse{Accepted: len(req.Batches), NextK: nextK}, nil
+}
+
+// Subscribe attaches to a session's estimate stream. The returned snapshot
+// holds the records published so far; ch (nil when the session already
+// completed) delivers the rest and is closed at completion or drain.
+func (m *Manager) Subscribe(id string) ([]trace.Record, <-chan trace.Record, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		f, fok := m.finished[id]
+		m.mu.Unlock()
+		if fok {
+			return f.records, nil, nil
+		}
+		return nil, nil, admitErr(404, "no_session", "no session %q", id)
+	}
+	m.mu.Unlock()
+	snap, ch := s.subscribe()
+	return snap, ch, nil
+}
+
+// Unsubscribe detaches a live stream whose client went away.
+func (m *Manager) Unsubscribe(id string, ch <-chan trace.Record) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if ok && s != nil {
+		s.unsubscribe(ch)
+	}
+}
+
+// QueueDepth sums the admitted-but-unstepped batches across shards.
+func (m *Manager) QueueDepth() int {
+	depth := 0
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		if s != nil {
+			depth += s.queued
+		}
+	}
+	m.mu.Unlock()
+	return depth
+}
+
+// Draining returns a channel closed when drain begins; long-lived streams
+// select on it to terminate promptly.
+func (m *Manager) Draining() <-chan struct{} { return m.drainCh }
+
+// Drain stops admission, lets the shards finish every queued iteration,
+// and closes all subscriber streams. It is idempotent and safe to call once
+// concurrently with admissions (they are rejected with 503 from the first
+// moment).
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	close(m.drainCh)
+	// No new work can be admitted now; closing the shard queues lets the
+	// workers drain what was already accepted and exit.
+	for _, ch := range m.shards {
+		close(ch)
+	}
+	m.wg.Wait()
+	// Terminate streams of sessions that never finished.
+	m.mu.Lock()
+	var left []*session
+	for _, s := range m.sessions {
+		if s != nil {
+			left = append(left, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range left {
+		s.closeSubs()
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's instrumentation, exported in Prometheus text
+// format from /metrics. Everything is stdlib: counters and gauges are
+// atomics, the latency histogram uses fixed exponential buckets under a
+// mutex. A nil *Metrics is valid and records nothing, so library code can
+// instrument unconditionally.
+type Metrics struct {
+	sessionsCreated   atomic.Int64
+	sessionsCompleted atomic.Int64
+	sessionsLive      atomic.Int64
+	stepsTotal        atomic.Int64
+
+	mu       sync.Mutex
+	rejected map[string]int64 // reason -> count
+	lat      histogram
+
+	// queueDepth is read live at scrape time.
+	queueDepth func() int
+}
+
+// NewMetrics returns an empty registry. queueDepth, when non-nil, is sampled
+// at scrape time for the cdpfd_queue_depth gauge.
+func NewMetrics(queueDepth func() int) *Metrics {
+	m := &Metrics{rejected: make(map[string]int64), queueDepth: queueDepth}
+	m.lat = newHistogram()
+	return m
+}
+
+// SetQueueDepthFunc installs the queue-depth sampler after construction —
+// the registry is built before the manager it observes (the manager wants
+// the registry in its config), so the gauge closure arrives late. Call it
+// before serving traffic.
+func (m *Metrics) SetQueueDepthFunc(f func() int) {
+	if m != nil {
+		m.queueDepth = f
+	}
+}
+
+func (m *Metrics) sessionCreated() {
+	if m == nil {
+		return
+	}
+	m.sessionsCreated.Add(1)
+	m.sessionsLive.Add(1)
+}
+
+func (m *Metrics) sessionCompleted() {
+	if m == nil {
+		return
+	}
+	m.sessionsCompleted.Add(1)
+	m.sessionsLive.Add(-1)
+}
+
+func (m *Metrics) stepDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stepsTotal.Add(1)
+	m.mu.Lock()
+	m.lat.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject(reason string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// Steps returns the number of filter iterations stepped so far.
+func (m *Metrics) Steps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.stepsTotal.Load()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	depth := 0
+	if m.queueDepth != nil {
+		depth = m.queueDepth()
+	}
+	m.mu.Lock()
+	reasons := make([]string, 0, len(m.rejected))
+	for r := range m.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	rejected := make([]string, 0, len(reasons))
+	for _, r := range reasons {
+		rejected = append(rejected,
+			fmt.Sprintf("cdpfd_rejected_total{reason=%q} %d", r, m.rejected[r]))
+	}
+	lat := m.lat // histogram is a value type: copy under the lock
+	m.mu.Unlock()
+
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP cdpfd_sessions_created_total Tracking sessions created.\n")
+	p("# TYPE cdpfd_sessions_created_total counter\n")
+	p("cdpfd_sessions_created_total %d\n", m.sessionsCreated.Load())
+	p("# HELP cdpfd_sessions_completed_total Sessions that stepped every iteration.\n")
+	p("# TYPE cdpfd_sessions_completed_total counter\n")
+	p("cdpfd_sessions_completed_total %d\n", m.sessionsCompleted.Load())
+	p("# HELP cdpfd_sessions_live Sessions currently hosted.\n")
+	p("# TYPE cdpfd_sessions_live gauge\n")
+	p("cdpfd_sessions_live %d\n", m.sessionsLive.Load())
+	p("# HELP cdpfd_steps_total Filter iterations stepped.\n")
+	p("# TYPE cdpfd_steps_total counter\n")
+	p("cdpfd_steps_total %d\n", m.stepsTotal.Load())
+	p("# HELP cdpfd_queue_depth Batches admitted but not yet stepped, all shards.\n")
+	p("# TYPE cdpfd_queue_depth gauge\n")
+	p("cdpfd_queue_depth %d\n", depth)
+	p("# HELP cdpfd_rejected_total Requests shed by admission control.\n")
+	p("# TYPE cdpfd_rejected_total counter\n")
+	for _, line := range rejected {
+		p("%s\n", line)
+	}
+	p("# HELP cdpfd_step_latency_seconds Queue-to-stepped latency per filter iteration.\n")
+	p("# TYPE cdpfd_step_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += lat.counts[i]
+		p("cdpfd_step_latency_seconds_bucket{le=%q} %d\n", formatUpperBound(ub), cum)
+	}
+	cum += lat.counts[len(latencyBuckets)]
+	p("cdpfd_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("cdpfd_step_latency_seconds_sum %g\n", lat.sum)
+	p("cdpfd_step_latency_seconds_count %d\n", cum)
+	return err
+}
+
+// latencyBuckets are the histogram upper bounds in seconds: 100 µs to ~52 s
+// in powers of two, wide enough for queueing delay under overload.
+var latencyBuckets = func() []float64 {
+	b := make([]float64, 20)
+	ub := 100e-6
+	for i := range b {
+		b[i] = ub
+		ub *= 2
+	}
+	return b
+}()
+
+// histogram is a fixed-bucket latency histogram (value semantics so it can
+// be copied out under the registry lock).
+type histogram struct {
+	counts [21]int64 // len(latencyBuckets)+1, last bucket is +Inf
+	sum    float64
+}
+
+func newHistogram() histogram { return histogram{} }
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBuckets)]++
+}
+
+// quantile returns the q-quantile (0..1) estimated from the bucket counts —
+// used by tests and the load generator's summary, not the exposition.
+func (h *histogram) quantile(q float64) float64 {
+	var total int64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// formatUpperBound renders a bucket bound the way Prometheus clients do
+// (shortest float form).
+func formatUpperBound(ub float64) string {
+	return fmt.Sprintf("%g", ub)
+}

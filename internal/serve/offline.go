@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// OfflineTrace runs a spec's session entirely offline — the loop cdpfsim
+// executes, observations drawn from the scenario's own noise stream — and
+// returns the canonical trace. It is the reference side of the service's
+// determinism contract: a served session fed Observations(spec) produces
+// records byte-identical to OfflineTrace(spec), because both sides step the
+// same tracker code through the same stepTracker path with the same RNG
+// stream (sc.RNG(1)).
+func OfflineTrace(spec SessionSpec) (*trace.Recorder, error) {
+	spec = spec.normalize()
+	sc, err := scenario.Build(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTracker(sc.Net, *spec.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	rng := sc.RNG(1)
+	rec := trace.New("cdpf", spec.Scenario.Density, spec.Scenario.Seed)
+	if spec.Tracker.UseNE {
+		rec.Algo = "cdpf-ne"
+	}
+	for k := 0; k < sc.Iterations(); k++ {
+		rec.Add(stepTracker(sc, tr, rng, k, sc.Observations(k)))
+	}
+	return rec, nil
+}
+
+// Observations generates the full measurement feed a spec's scenario
+// produces — what a client tracking real sensors would read from the field.
+// cmd/cdpfload and the equivalence tests use it to drive served sessions
+// with exactly the observations the offline run consumes.
+func Observations(spec SessionSpec) ([]Batch, error) {
+	spec = spec.normalize()
+	sc, err := scenario.Build(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	batches := make([]Batch, sc.Iterations())
+	for k := 0; k < sc.Iterations(); k++ {
+		obs := sc.Observations(k)
+		b := Batch{K: k, Obs: make([]Measurement, len(obs))}
+		for i, o := range obs {
+			b.Obs[i] = Measurement{Node: int(o.Node), Bearing: o.Bearing}
+		}
+		batches[k] = b
+	}
+	return batches, nil
+}

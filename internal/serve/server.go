@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server is the HTTP transport over a Manager. Routes (Go 1.22 pattern
+// syntax):
+//
+//	POST /v1/sessions                     create a session (SessionSpec)
+//	GET  /v1/sessions/{id}                session status (SessionInfo)
+//	POST /v1/sessions/{id}/measurements   ingest iteration batches
+//	GET  /v1/sessions/{id}/estimates      SSE estimate stream
+//	GET  /healthz                         200 while serving, 503 draining
+//	GET  /metrics                         Prometheus text format
+type Server struct {
+	mgr *Manager
+	met *Metrics
+	mux *http.ServeMux
+}
+
+// NewServer wires a manager and its metrics into an HTTP handler.
+func NewServer(mgr *Manager, met *Metrics) *Server {
+	s := &Server{mgr: mgr, met: met, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/measurements", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates", s.handleEstimates)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an error to its admission status (500 otherwise).
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *AdmitError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.Status, errf("%s", ae.Msg))
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errf("%s", err.Error()))
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errf("bad session spec: %v", err))
+		return
+	}
+	sess, err := s.mgr.Create(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, _ := s.mgr.Info(sess.id)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.mgr.Info(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errf("no session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errf("bad ingest request: %v", err))
+		return
+	}
+	resp, err := s.mgr.Ingest(id, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleEstimates streams a session's records as Server-Sent Events: one
+// "estimate" event per iteration (data: the trace record as JSON), then one
+// "done" event and EOF. The handler terminates on client disconnect, session
+// completion, or manager drain.
+func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ch, err := s.mgr.Subscribe(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		if ch != nil {
+			s.mgr.Unsubscribe(id, ch)
+		}
+		writeJSON(w, http.StatusInternalServerError, errf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers immediately: an SSE client blocks on them before the
+	// first event arrives, which may be well after subscription.
+	fl.Flush()
+
+	send := func(event string, v interface{}) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	n := 0
+	for _, rec := range snap {
+		if !send("estimate", rec) {
+			if ch != nil {
+				s.mgr.Unsubscribe(id, ch)
+			}
+			return
+		}
+		n++
+	}
+	for ch != nil {
+		select {
+		case rec, ok := <-ch:
+			if !ok {
+				ch = nil
+				break
+			}
+			if !send("estimate", rec) {
+				s.mgr.Unsubscribe(id, ch)
+				return
+			}
+			n++
+		case <-r.Context().Done():
+			s.mgr.Unsubscribe(id, ch)
+			return
+		case <-s.mgr.Draining():
+			// The drain closes subscriber channels; fall through to read
+			// whatever was already delivered, then the closed channel ends
+			// the loop.
+			for rec := range ch {
+				if !send("estimate", rec) {
+					return
+				}
+				n++
+			}
+			ch = nil
+		}
+	}
+	send("done", map[string]int{"estimates": n})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.mgr.Draining():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.met.WritePrometheus(w)
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/wsn"
+)
+
+// session is one live tracking run: a scenario (network deployment, ground
+// truth, filter timeline), a tracker, and the RNG stream the offline run
+// would consume. All mutable state is owned by the session's shard
+// goroutine; the mutex only guards the record history and subscriber list,
+// which the HTTP handlers read concurrently.
+type session struct {
+	id    string
+	shard int
+	spec  SessionSpec
+
+	sc  *scenario.Scenario
+	tr  *core.Tracker
+	rng *mathx.RNG
+
+	// queued counts admitted-but-unstepped batches against spec.Queue; the
+	// HTTP handler increments it under the manager's admission lock and the
+	// shard goroutine decrements it after stepping.
+	queued int
+
+	// nextK is the next iteration the session expects to be fed. Admission
+	// (not stepping) advances it, so a multi-batch request is validated as a
+	// consecutive run and a concurrent feeder sees a coherent sequence.
+	nextK int
+
+	mu      sync.Mutex
+	records []trace.Record
+	stepped int
+	subs    []chan trace.Record
+	done    bool
+}
+
+// newSession builds the scenario and tracker for a normalized spec. The
+// tracker RNG is sc.RNG(1) — the exact stream cdpfsim and OfflineTrace use —
+// so a served session and its offline twin consume identical randomness.
+func newSession(id string, shard int, spec SessionSpec) (*session, error) {
+	sc, err := scenario.Build(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTracker(sc.Net, *spec.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		id: id, shard: shard, spec: spec,
+		sc: sc, tr: tr, rng: sc.RNG(1),
+	}, nil
+}
+
+// iterations is the total filter iteration count (Steps+1, including t=0).
+func (s *session) iterations() int { return s.sc.Iterations() }
+
+// step runs one filter iteration on the shard goroutine and returns the
+// record it published. It must be called with consecutive k starting at 0;
+// the manager's admission logic guarantees that ordering.
+func (s *session) step(b Batch) trace.Record {
+	obs := make([]core.Observation, len(b.Obs))
+	for i, m := range b.Obs {
+		obs[i] = core.Observation{Node: wsn.NodeID(m.Node), Bearing: m.Bearing}
+	}
+	rec := stepTracker(s.sc, s.tr, s.rng, b.K, obs)
+
+	s.mu.Lock()
+	s.records = append(s.records, rec)
+	s.stepped++
+	done := s.stepped >= s.iterations()
+	s.done = done
+	// Copy under the lock: unsubscribe compacts s.subs in place.
+	subs := append([]chan trace.Record(nil), s.subs...)
+	s.mu.Unlock()
+
+	for _, ch := range subs {
+		// Subscriber channels are sized for the whole run at subscribe time,
+		// so this never blocks the shard goroutine.
+		ch <- rec
+	}
+	if done {
+		s.mu.Lock()
+		subs, s.subs = s.subs, nil
+		s.mu.Unlock()
+		for _, ch := range subs {
+			close(ch)
+		}
+	}
+	return rec
+}
+
+// subscribe returns the records published so far plus a channel for the
+// rest. The channel is buffered for every remaining iteration and is closed
+// when the session completes; a nil channel means the session already
+// finished and the snapshot is the complete run.
+func (s *session) subscribe() ([]trace.Record, <-chan trace.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := make([]trace.Record, len(s.records))
+	copy(snap, s.records)
+	if s.done {
+		return snap, nil
+	}
+	ch := make(chan trace.Record, s.iterations()-len(s.records))
+	s.subs = append(s.subs, ch)
+	return snap, ch
+}
+
+// unsubscribe removes a live subscription (client went away mid-stream).
+func (s *session) unsubscribe(ch <-chan trace.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.subs {
+		if c == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// closeSubs terminates all live subscriptions (manager drain).
+func (s *session) closeSubs() {
+	s.mu.Lock()
+	subs := s.subs
+	s.subs = nil
+	s.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// info snapshots the session for the status endpoint. queued/nextK are read
+// under the manager's admission lock by the caller and passed in.
+func (s *session) info(queued, nextK int) SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := trace.Recorder{Records: s.records}
+	return SessionInfo{
+		ID:         s.id,
+		Shard:      s.shard,
+		Iterations: s.iterations(),
+		NextK:      nextK,
+		Stepped:    s.stepped,
+		Done:       s.done,
+		Queue:      s.spec.Queue,
+		Queued:     queued,
+		Nodes:      s.sc.Net.Len(),
+		RMSE:       finiteOrZero(rec.RMSE()),
+	}
+}
+
+// finiteOrZero maps the no-estimates-yet NaN RMSE to 0, keeping SessionInfo
+// JSON-encodable (encoding/json rejects NaN).
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// stepTracker is the one shared per-iteration code path of the served and
+// offline runs: step the tracker on iteration k's observations and build the
+// canonical trace record (truth, estimate-for-previous-iteration, detector
+// count, communication deltas). Byte-identity between cdpfd streams and
+// offline traces holds because both sides run exactly this function.
+func stepTracker(sc *scenario.Scenario, tr *core.Tracker, rng *mathx.RNG, k int, obs []core.Observation) trace.Record {
+	before := sc.Net.Stats.Snapshot()
+	res := tr.Step(obs, rng)
+	d := sc.Net.Stats.Diff(before)
+	rec := trace.Record{
+		K: k, Time: sc.Filter.Times[k],
+		TruthX: sc.Truth(k).X, TruthY: sc.Truth(k).Y,
+		Detectors: len(sc.DetectingNodes(k)), Holders: res.Holders,
+		MsgsDelta: d.TotalMsgs(), BytesDelta: d.TotalBytes(),
+	}
+	if res.EstimateValid && k >= 1 {
+		rec.HaveEst, rec.EstForK = true, k-1
+		rec.EstX, rec.EstY = res.Estimate.X, res.Estimate.Y
+		rec.Err = res.Estimate.Dist(sc.Truth(k - 1))
+	}
+	return rec
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// encoding/json rejects NaN and ±Inf float64 values outright, but traces can
+// legitimately carry them (an estimate error against a lost track, a
+// divergent filter). Record therefore marshals its float fields through
+// jsonFloat, which encodes non-finite values as the strings "NaN", "+Inf"
+// and "-Inf" and decodes them back. Finite values keep the exact default
+// encoding, so the wire bytes of a healthy trace are unchanged.
+
+// jsonFloat is a float64 whose JSON form survives non-finite values.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		case "+Inf", "Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("trace: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// recordWire mirrors Record field for field with jsonFloat floats; it is the
+// single wire shape both directions share.
+type recordWire struct {
+	K          int       `json:"k"`
+	Time       jsonFloat `json:"t"`
+	TruthX     jsonFloat `json:"truth_x"`
+	TruthY     jsonFloat `json:"truth_y"`
+	HaveEst    bool      `json:"have_est"`
+	EstForK    int       `json:"est_for_k"`
+	EstX       jsonFloat `json:"est_x"`
+	EstY       jsonFloat `json:"est_y"`
+	Err        jsonFloat `json:"err_m"`
+	Detectors  int       `json:"detectors"`
+	Holders    int       `json:"holders"`
+	MsgsDelta  int64     `json:"msgs"`
+	BytesDelta int64     `json:"bytes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recordWire{
+		K: r.K, Time: jsonFloat(r.Time),
+		TruthX: jsonFloat(r.TruthX), TruthY: jsonFloat(r.TruthY),
+		HaveEst: r.HaveEst, EstForK: r.EstForK,
+		EstX: jsonFloat(r.EstX), EstY: jsonFloat(r.EstY), Err: jsonFloat(r.Err),
+		Detectors: r.Detectors, Holders: r.Holders,
+		MsgsDelta: r.MsgsDelta, BytesDelta: r.BytesDelta,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Record) UnmarshalJSON(b []byte) error {
+	var w recordWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Record{
+		K: w.K, Time: float64(w.Time),
+		TruthX: float64(w.TruthX), TruthY: float64(w.TruthY),
+		HaveEst: w.HaveEst, EstForK: w.EstForK,
+		EstX: float64(w.EstX), EstY: float64(w.EstY), Err: float64(w.Err),
+		Detectors: w.Detectors, Holders: w.Holders,
+		MsgsDelta: w.MsgsDelta, BytesDelta: w.BytesDelta,
+	}
+	return nil
+}

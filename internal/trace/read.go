@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the exact header WriteCSV emits; ReadCSV rejects anything
+// else so silent column drift between writer and reader is impossible.
+const csvHeader = "k,t,truth_x,truth_y,have_est,est_for_k,est_x,est_y,err_m,detectors,holders,msgs,bytes"
+
+// ReadCSV parses a trace written by WriteCSV. The CSV encoding rounds floats
+// (%.3f / %.4f), so a read trace is a faithful decode of the file, not of the
+// original records — write→read→write is a fixpoint, write→read is not
+// bit-exact. Non-finite error fields survive (fmt prints NaN/+Inf/-Inf and
+// strconv parses them back).
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty CSV input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != csvHeader {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	var recs []Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 13 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 13", len(recs)+1, len(f))
+		}
+		var rec Record
+		var have int
+		var err error
+		for _, p := range []struct {
+			dst interface{}
+			s   string
+		}{
+			{&rec.K, f[0]}, {&rec.Time, f[1]}, {&rec.TruthX, f[2]}, {&rec.TruthY, f[3]},
+			{&have, f[4]}, {&rec.EstForK, f[5]}, {&rec.EstX, f[6]}, {&rec.EstY, f[7]},
+			{&rec.Err, f[8]}, {&rec.Detectors, f[9]}, {&rec.Holders, f[10]},
+			{&rec.MsgsDelta, f[11]}, {&rec.BytesDelta, f[12]},
+		} {
+			switch dst := p.dst.(type) {
+			case *int:
+				*dst, err = strconv.Atoi(p.s)
+			case *int64:
+				*dst, err = strconv.ParseInt(p.s, 10, 64)
+			case *float64:
+				*dst, err = strconv.ParseFloat(p.s, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d: bad field %q: %w", len(recs)+1, p.s, err)
+			}
+		}
+		rec.HaveEst = have != 0
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadJSONL parses a trace written by WriteJSONL: the metadata line followed
+// by one record per line. Unlike CSV, the JSONL encoding is lossless — a
+// read recorder reproduces the original records exactly, including
+// non-finite error fields (see Record.MarshalJSON).
+func ReadJSONL(r io.Reader) (*Recorder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty JSONL input")
+	}
+	var meta struct {
+		Algo    string  `json:"algo"`
+		Density float64 `json:"density"`
+		Seed    uint64  `json:"seed"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return nil, fmt.Errorf("trace: bad JSONL metadata line: %w", err)
+	}
+	rec := New(meta.Algo, meta.Density, meta.Seed)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("trace: bad JSONL record %d: %w", rec.Len()+1, err)
+		}
+		rec.Add(r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

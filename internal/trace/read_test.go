@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// nonFinite builds a recorder exercising the awkward corners: the
+// HaveEst=false first iteration and NaN/±Inf error fields.
+func nonFinite() *Recorder {
+	r := New("cdpf-ne", 12.5, 99)
+	r.Add(Record{K: 0, Time: 0, TruthX: 1.25, TruthY: 100, Detectors: 3, Holders: -1})
+	r.Add(Record{
+		K: 1, Time: 5, TruthX: 2.5, TruthY: 99,
+		HaveEst: true, EstForK: 0, EstX: 1, EstY: 98, Err: math.NaN(),
+		Detectors: 4, Holders: 2, MsgsDelta: 10, BytesDelta: 100,
+	})
+	r.Add(Record{
+		K: 2, Time: 10, TruthX: 5, TruthY: 97,
+		HaveEst: true, EstForK: 1, EstX: math.Inf(1), EstY: math.Inf(-1), Err: math.Inf(1),
+		Detectors: 5, Holders: 1, MsgsDelta: 20, BytesDelta: 200,
+	})
+	return r
+}
+
+// sameRecord compares records treating NaN as equal to NaN.
+func sameRecord(a, b Record) bool {
+	feq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.K == b.K && feq(a.Time, b.Time) &&
+		feq(a.TruthX, b.TruthX) && feq(a.TruthY, b.TruthY) &&
+		a.HaveEst == b.HaveEst && a.EstForK == b.EstForK &&
+		feq(a.EstX, b.EstX) && feq(a.EstY, b.EstY) && feq(a.Err, b.Err) &&
+		a.Detectors == b.Detectors && a.Holders == b.Holders &&
+		a.MsgsDelta == b.MsgsDelta && a.BytesDelta == b.BytesDelta
+}
+
+func TestCSVRoundTripIsFixpoint(t *testing.T) {
+	// CSV rounds floats, so the contract is write→read→write stability, not
+	// bit-exactness against the original records.
+	for _, rec := range []*Recorder{sample(), nonFinite()} {
+		var first strings.Builder
+		if err := rec.WriteCSV(&first); err != nil {
+			t.Fatal(err)
+		}
+		records, err := ReadCSV(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(records) != rec.Len() {
+			t.Fatalf("read %d records, wrote %d", len(records), rec.Len())
+		}
+		if records[0].HaveEst {
+			t.Fatal("first iteration read back with HaveEst=true")
+		}
+		again := &Recorder{Records: records}
+		var second strings.Builder
+		if err := again.WriteCSV(&second); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("CSV round trip not a fixpoint:\n%s\nvs\n%s", first.String(), second.String())
+		}
+	}
+}
+
+func TestJSONLRoundTripExact(t *testing.T) {
+	orig := nonFinite()
+	var b strings.Builder
+	if err := orig.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algo != orig.Algo || got.Density != orig.Density || got.Seed != orig.Seed {
+		t.Fatalf("meta diverged: %+v vs %+v", got, orig)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("read %d records, wrote %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Records {
+		if !sameRecord(got.Records[i], orig.Records[i]) {
+			t.Fatalf("record %d diverged:\n%+v\nvs\n%+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestRecordJSONNonFiniteForms(t *testing.T) {
+	data, err := json.Marshal(Record{K: 1, Err: math.NaN(), EstX: math.Inf(1), EstY: math.Inf(-1)})
+	if err != nil {
+		t.Fatalf("marshal with non-finite fields: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"err_m":"NaN"`, `"est_x":"+Inf"`, `"est_y":"-Inf"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshal missing %s: %s", want, s)
+		}
+	}
+	// Finite values must keep the plain numeric encoding (the wire bytes of
+	// a healthy trace are unchanged by the custom marshaller).
+	data, err = json.Marshal(Record{K: 2, Time: 5, Err: 3.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"err_m":3.25`) {
+		t.Errorf("finite field not numeric: %s", data)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(`{"k":3,"err_m":"bogus"}`), &rec); err == nil {
+		t.Fatal("accepted invalid float string")
+	}
+}
+
+func TestReadCSVRejectsMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n1,2\n",
+		csvHeader + "\n1,2,3\n",
+		csvHeader + "\nx,0.0,0.0,0.0,0,0,0.0,0.0,0.0,0,0,0,0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestReadJSONLRejectsMalformedInput(t *testing.T) {
+	for i, in := range []string{"", "not json\n", `{"algo":"x"}` + "\nnot json\n"} {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed JSONL accepted", i)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package version renders build attribution for every cmd/ binary: the main
+// module version and the VCS revision baked in by the go toolchain
+// (runtime/debug.ReadBuildInfo), so a deployed cdpfd instance or a checked-in
+// bench artifact can be traced back to a commit.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line version description, e.g.
+// "(devel) rev 47fd0c0b... (modified) go1.22.1". Binaries built without
+// module/VCS metadata (e.g. straight `go test` binaries) degrade to whatever
+// is available.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (no build info)"
+	}
+	parts := []string{}
+	if v := bi.Main.Version; v != "" {
+		parts = append(parts, v)
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = " (modified)"
+			}
+		}
+	}
+	if rev != "" {
+		parts = append(parts, fmt.Sprintf("rev %s%s", rev, modified))
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	if len(parts) == 0 {
+		return "unknown"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,20 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringIsNonEmptyOneLine(t *testing.T) {
+	s := String()
+	if s == "" {
+		t.Fatal("empty version string")
+	}
+	if strings.ContainsAny(s, "\n\r") {
+		t.Fatalf("version string spans lines: %q", s)
+	}
+	// Test binaries always carry at least the Go version.
+	if !strings.Contains(s, "go1") && !strings.Contains(s, "unknown") {
+		t.Fatalf("unexpected version string %q", s)
+	}
+}
