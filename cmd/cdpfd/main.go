@@ -6,12 +6,20 @@
 // Usage:
 //
 //	cdpfd [-addr HOST:PORT] [-shards N] [-shard-queue N] [-max-sessions N]
-//	      [-addr-file FILE] [-drain-timeout D] [-version]
+//	      [-addr-file FILE] [-drain-timeout D] [-data-dir DIR]
+//	      [-fsync always|interval|none] [-snapshot-every N] [-version]
+//
+// With -data-dir, sessions are durable: every admitted batch is written to a
+// write-ahead log before it is stepped, session state is snapshotted
+// periodically, and on startup the daemon replays what a crashed or killed
+// predecessor left behind — recovered sessions resume bit-identically (see
+// internal/durable). While recovery runs, the port is bound but /v1/ serves
+// 503 and /healthz reports "recovering".
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: admission stops (503),
-// every queued iteration is stepped, estimate streams are closed, and the
-// process exits 0. -addr-file writes the bound address (useful with -addr
-// :0 for tests and CI smoke jobs).
+// every queued iteration is stepped, estimate streams are closed, live
+// sessions are snapshotted, and the process exits 0. -addr-file writes the
+// bound address (useful with -addr :0 for tests and CI smoke jobs).
 package main
 
 import (
@@ -27,61 +35,115 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/serve"
 	"repro/internal/version"
 )
 
+// config carries every run parameter (the flag surface, parsed).
+type config struct {
+	addr          string
+	shards        int
+	shardQueue    int
+	maxSessions   int
+	addrFile      string
+	drainTimeout  time.Duration
+	dataDir       string
+	fsync         string
+	snapshotEvery int
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
-		shards       = flag.Int("shards", runtime.GOMAXPROCS(0), "session shard (worker goroutine) count")
-		shardQueue   = flag.Int("shard-queue", 256, "bounded work-queue depth per shard (503 when full)")
-		maxSessions  = flag.Int("max-sessions", 4096, "live session limit")
-		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connection drain after the queues empty")
-		showVersion  = flag.Bool("version", false, "print version and exit")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
+	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "session shard (worker goroutine) count")
+	flag.IntVar(&cfg.shardQueue, "shard-queue", 256, "bounded work-queue depth per shard (503 when full)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 4096, "live session limit")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "maximum time to wait for connection drain after the queues empty")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory (WAL + snapshots); empty disables durability")
+	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL sync policy: always, interval, or none")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 32, "snapshot each session every N steps")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("cdpfd", version.String())
 		return
 	}
-	if err := run(*addr, *shards, *shardQueue, *maxSessions, *addrFile, *drainTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cdpfd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, shardQueue, maxSessions int, addrFile string, drainTimeout time.Duration) error {
+func run(cfg config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	met := serve.NewMetrics(nil)
+
+	// Open the durability directory before anything serves: torn WAL tails
+	// are truncated here, and the returned recovery is replayed below.
+	var store *durable.Store
+	var recovery *durable.Recovery
+	if cfg.dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		store, recovery, err = durable.Open(durable.Options{Dir: cfg.dataDir, Fsync: policy})
+		if err != nil {
+			return fmt.Errorf("opening durability dir: %w", err)
+		}
+		defer store.Close()
+		met.SetDurability(store.Counters())
+	}
+
 	mgr := serve.NewManager(serve.ManagerConfig{
-		Shards: shards, ShardQueue: shardQueue, MaxSessions: maxSessions, Metrics: met,
+		Shards: cfg.shards, ShardQueue: cfg.shardQueue, MaxSessions: cfg.maxSessions,
+		Metrics: met, Store: store, SnapshotEvery: cfg.snapshotEvery,
 	})
 	met.SetQueueDepthFunc(mgr.QueueDepth)
 
-	ln, err := net.Listen("tcp", addr)
+	handler := serve.NewServer(mgr, met)
+	// Bind before recovering, gate the API while sessions rebuild: a
+	// restarting daemon is observable (healthz "recovering") instead of
+	// connection-refused, and clients' retry loops simply wait it out.
+	if store != nil {
+		handler.SetRecovering(true)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if addrFile != "" {
-		tmp := addrFile + ".tmp"
+	if cfg.addrFile != "" {
+		tmp := cfg.addrFile + ".tmp"
 		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
 			return err
 		}
-		if err := os.Rename(tmp, addrFile); err != nil {
+		if err := os.Rename(tmp, cfg.addrFile); err != nil {
 			return err
 		}
 	}
 	log.Printf("cdpfd %s listening on %s (%d shards, queue %d/shard, max %d sessions)",
-		version.String(), bound, shards, shardQueue, maxSessions)
+		version.String(), bound, cfg.shards, cfg.shardQueue, cfg.maxSessions)
 
-	srv := &http.Server{Handler: serve.NewServer(mgr, met)}
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+
+	if store != nil {
+		t0 := time.Now()
+		if err := mgr.Restore(recovery); err != nil {
+			return fmt.Errorf("recovering sessions: %w", err)
+		}
+		c := store.Counters()
+		log.Printf("cdpfd: recovered %d sessions (%d WAL batches replayed, %d torn tails truncated) in %v",
+			c.RecoveredSessions.Load(), c.ReplayedBatches.Load(), c.TruncatedTails.Load(),
+			time.Since(t0).Round(time.Millisecond))
+		handler.SetRecovering(false)
+	}
 
 	select {
 	case err := <-errCh:
@@ -89,11 +151,16 @@ func run(addr string, shards, shardQueue, maxSessions int, addrFile string, drai
 	case <-ctx.Done():
 	}
 	log.Printf("cdpfd: signal received, draining (%d iterations queued)", mgr.QueueDepth())
-	mgr.Drain() // finish queued work, close streams, reject new admissions
-	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	mgr.Drain() // finish queued work, snapshot live sessions, close streams
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing durability store: %w", err)
+		}
 	}
 	log.Printf("cdpfd: drained %d steps total, exiting", met.Steps())
 	return nil

@@ -18,7 +18,10 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	addrFile := filepath.Join(t.TempDir(), "cdpfd.addr")
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 2, 16, 64, addrFile, 10*time.Second)
+		done <- run(config{
+			addr: "127.0.0.1:0", shards: 2, shardQueue: 16, maxSessions: 64,
+			addrFile: addrFile, drainTimeout: 10 * time.Second,
+		})
 	}()
 
 	var addr string

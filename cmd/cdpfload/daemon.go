@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// daemonCtl owns a cdpfd process the load generator launched itself: it
+// boots the daemon on an ephemeral port, resolves the bound address through
+// an addr-file, and can kill -9 and relaunch it mid-load (the crash-recovery
+// drill -restart-after drives). The base URL changes across restarts — the
+// drive loops re-read it through baseURL on every attempt.
+type daemonCtl struct {
+	argv     []string
+	addrFile string
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	base     string
+	restarts int
+	err      error // first restart failure; load run fails at the end
+}
+
+func newDaemonCtl(command string, dir string) (*daemonCtl, error) {
+	argv := strings.Fields(command)
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("-daemon command is empty")
+	}
+	return &daemonCtl{argv: argv, addrFile: filepath.Join(dir, "cdpfd.addr")}, nil
+}
+
+// start boots the daemon and blocks until /healthz reports "ready" (which
+// includes waiting out crash recovery on a restart).
+func (d *daemonCtl) start(ctx context.Context) error {
+	os.Remove(d.addrFile)
+	argv := append(append([]string(nil), d.argv...),
+		"-addr", "127.0.0.1:0", "-addr-file", d.addrFile)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting daemon: %w", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if ctx.Err() != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("daemon never became ready")
+		}
+		if base, ok := readyBase(d.addrFile); ok {
+			d.mu.Lock()
+			d.cmd, d.base = cmd, base
+			d.mu.Unlock()
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// readyBase resolves the addr-file and confirms /healthz says "ready".
+func readyBase(addrFile string) (string, bool) {
+	data, err := os.ReadFile(addrFile)
+	if err != nil || len(data) == 0 {
+		return "", false
+	}
+	base := "http://" + strings.TrimSpace(string(data))
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "", false
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ready" {
+		return "", false
+	}
+	return base, true
+}
+
+// baseURL is the daemon's current address; it changes across restarts.
+func (d *daemonCtl) baseURL() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base
+}
+
+// killRestart SIGKILLs the daemon — a real crash, no drain, no snapshots —
+// and boots a replacement on the same data directory.
+func (d *daemonCtl) killRestart(ctx context.Context) {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.restarts++
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		d.setErr(fmt.Errorf("restart requested but no daemon is running"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, "cdpfload: kill -9 on the daemon, restarting")
+	cmd.Process.Kill()
+	cmd.Wait()
+	if err := d.start(ctx); err != nil {
+		d.setErr(fmt.Errorf("restarting daemon: %w", err))
+	}
+}
+
+func (d *daemonCtl) setErr(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// failed reports the first restart error, if any.
+func (d *daemonCtl) failed() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// restartCount reports how many kill+restart cycles ran.
+func (d *daemonCtl) restartCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.restarts
+}
+
+// awaitReady blocks until the (possibly restarted) daemon answers healthz
+// "ready" at its current address — the drive loops call it before resuming
+// after a transient failure.
+func (d *daemonCtl) awaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := d.failed(); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not ready within %v", timeout)
+		}
+		if _, ok := readyBase(d.addrFile); ok {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// restartTrigger fires one kill+restart of the managed daemon once the fleet
+// has observed -restart-after estimate events. Only first-time records count
+// (replays after the restart must not re-arm anything). Nil-safe: a nil
+// trigger means -restart-after is off.
+type restartTrigger struct {
+	ctx       context.Context
+	ctl       *daemonCtl
+	threshold int64
+	count     atomic.Int64
+	fired     atomic.Bool
+}
+
+func (r *restartTrigger) onEvent() {
+	if r == nil {
+		return
+	}
+	if r.count.Add(1) >= r.threshold && r.fired.CompareAndSwap(false, true) {
+		go r.ctl.killRestart(r.ctx)
+	}
+}
+
+// stop shuts the daemon down gracefully (SIGTERM, wait).
+func (d *daemonCtl) stop() error {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("daemon did not exit on SIGTERM")
+	}
+}

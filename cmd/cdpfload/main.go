@@ -11,10 +11,20 @@
 // -benchjson additionally writes a benchdiff baseline file
 // (results/BENCH_serve.json in CI).
 //
+// With -daemon "CMD ARGS...", cdpfload manages the daemon itself: it appends
+// -addr 127.0.0.1:0 -addr-file and waits for /healthz to report "ready".
+// -restart-after N then SIGKILLs and restarts the managed daemon after N
+// estimate events have been observed, mid-load: sessions ride out the crash
+// (postBatch already retries 503s, the drive loop resumes from the server's
+// recovered NextK) and every record that spans the restart is still verified
+// byte-for-byte against the offline twin — an end-to-end crash-recovery
+// check under concurrent load.
+//
 // Usage:
 //
 //	cdpfload [-addr HOST:PORT] [-sessions N] [-steps N] [-density D]
 //	         [-seed S] [-window W] [-use-ne] [-verify=false]
+//	         [-daemon "CMD ARGS..."] [-restart-after N]
 //	         [-benchjson FILE] [-note TEXT] [-version]
 package main
 
@@ -23,6 +33,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,17 +55,19 @@ import (
 )
 
 type options struct {
-	addr      string
-	sessions  int
-	steps     int
-	density   float64
-	seed      uint64
-	window    int
-	useNE     bool
-	verify    bool
-	benchJSON string
-	note      string
-	stepWait  time.Duration
+	addr         string
+	sessions     int
+	steps        int
+	density      float64
+	seed         uint64
+	window       int
+	useNE        bool
+	verify       bool
+	benchJSON    string
+	note         string
+	stepWait     time.Duration
+	daemon       string
+	restartAfter int
 }
 
 func main() {
@@ -73,6 +86,8 @@ func main() {
 	flag.StringVar(&o.benchJSON, "benchjson", "", "also write a benchdiff baseline JSON file")
 	flag.StringVar(&o.note, "note", "", "note stored in the -benchjson baseline")
 	flag.DurationVar(&o.stepWait, "step-wait", 30*time.Second, "timeout waiting for any single estimate event")
+	flag.StringVar(&o.daemon, "daemon", "", "launch this cdpfd command (space-separated) instead of targeting -addr")
+	flag.IntVar(&o.restartAfter, "restart-after", 0, "SIGKILL and restart the managed daemon after N estimate events (requires -daemon)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("cdpfload", version.String())
@@ -95,16 +110,47 @@ type sessionResult struct {
 }
 
 func run(ctx context.Context, o options, out io.Writer) error {
-	base := o.addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimRight(base, "/")
 	if o.sessions <= 0 || o.steps <= 0 {
 		return fmt.Errorf("need positive -sessions and -steps")
 	}
 	if o.window <= 0 {
 		o.window = 1
+	}
+	if o.restartAfter > 0 && o.daemon == "" {
+		return fmt.Errorf("-restart-after requires -daemon (cdpfload must own the process it kills)")
+	}
+
+	base := o.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	baseFn := func() string { return base }
+
+	var ctl *daemonCtl
+	if o.daemon != "" {
+		dir, err := os.MkdirTemp("", "cdpfload-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if ctl, err = newDaemonCtl(o.daemon, dir); err != nil {
+			return err
+		}
+		if err := ctl.start(ctx); err != nil {
+			return err
+		}
+		defer ctl.stop()
+		baseFn = ctl.baseURL
+	}
+
+	var trig *restartTrigger
+	if o.restartAfter > 0 {
+		total := o.sessions * (o.steps + 1)
+		if o.restartAfter >= total {
+			return fmt.Errorf("-restart-after %d must be below the run's %d total estimate events", o.restartAfter, total)
+		}
+		trig = &restartTrigger{ctx: ctx, ctl: ctl, threshold: int64(o.restartAfter)}
 	}
 
 	seeds := fleet.Seeds(o.seed, o.sessions)
@@ -123,15 +169,23 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		wg.Add(1)
 		go func(i int, spec serve.SessionSpec) {
 			defer wg.Done()
-			results[i], errs[i] = driveSession(ctx, client, base, spec, o)
+			results[i], errs[i] = driveSession(ctx, client, baseFn, spec, o, ctl, trig)
 		}(i, spec)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if ctl != nil {
+		if err := ctl.failed(); err != nil {
+			return err
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("session %d: %w", i, err)
 		}
+	}
+	if trig != nil && !trig.fired.Load() {
+		return fmt.Errorf("-restart-after %d never fired (%d events observed)", o.restartAfter, trig.count.Load())
 	}
 
 	var lats []time.Duration
@@ -156,7 +210,10 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	throughput := float64(steps) / wall.Seconds()
 
 	fmt.Fprintf(out, "cdpfload: %d sessions x %d iterations against %s (window %d, verify %v)\n",
-		o.sessions, o.steps+1, base, o.window, o.verify)
+		o.sessions, o.steps+1, baseFn(), o.window, o.verify)
+	if ctl != nil {
+		fmt.Fprintf(out, "cdpfload: managed daemon killed and restarted %d time(s) mid-load\n", ctl.restartCount())
+	}
 	fmt.Fprintf(out, "wall %v  steps %d  throughput %.1f steps/sec\n", wall.Round(time.Millisecond), steps, throughput)
 	fmt.Fprintf(out, "step latency p50 %v  p90 %v  p99 %v  max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
@@ -195,77 +252,67 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	return nil
 }
 
+// transientError marks a failure worth retrying when cdpfload manages the
+// daemon: connection refused across a restart, 503 while recovering, a broken
+// SSE stream. Everything else is permanent and fails the session.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+// driveState is the part of a session drive that survives daemon restarts:
+// which records arrived (by iteration), when each batch was first admitted,
+// and the latencies measured at first receipt. Re-delivered records after a
+// resubscribe are checked for equality against what we already hold — a
+// recovered daemon re-serving a different record is a determinism failure.
+type driveState struct {
+	admit     []time.Time
+	got       map[int]trace.Record
+	latencies []time.Duration
+}
+
 // driveSession runs one session end to end: create, subscribe, feed every
 // batch in lockstep (up to `window` in flight), measure admission-to-estimate
 // latency per iteration, and optionally verify the streamed records against
-// the offline twin.
-func driveSession(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, o options) (sessionResult, error) {
+// the offline twin. When cdpfload manages the daemon (ctl != nil) the drive
+// is resumable: a transient failure — typically the -restart-after kill —
+// waits for the daemon to recover and resumes from the server's NextK.
+func driveSession(ctx context.Context, client *http.Client, baseFn func() string, spec serve.SessionSpec, o options, ctl *daemonCtl, trig *restartTrigger) (sessionResult, error) {
 	var res sessionResult
 	batches, err := serve.Observations(spec)
 	if err != nil {
 		return res, err
 	}
+	n := len(batches)
+	st := &driveState{admit: make([]time.Time, n), got: make(map[int]trace.Record, n)}
 
-	info, err := createSession(ctx, client, base, spec)
-	if err != nil {
-		return res, err
+	maxAttempts := 1
+	if ctl != nil {
+		maxAttempts = 8
 	}
-	if info.Iterations != len(batches) {
-		return res, fmt.Errorf("server reports %d iterations, expected %d", info.Iterations, len(batches))
-	}
-
-	// Subscribe before feeding anything so no event can be missed.
-	sctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
-		base+"/v1/sessions/"+spec.ID+"/estimates", nil)
-	if err != nil {
-		return res, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return res, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return res, fmt.Errorf("subscribe: HTTP %d", resp.StatusCode)
-	}
-	events := make(chan trace.Record, len(batches))
-	readErr := make(chan error, 1)
-	go readEvents(resp.Body, events, readErr)
-
-	admit := make([]time.Time, len(batches))
-	res.latencies = make([]time.Duration, 0, len(batches))
-	res.records = make([]trace.Record, 0, len(batches))
-	posted, received := 0, 0
-	for received < len(batches) {
-		for posted < len(batches) && posted-received < o.window {
-			if err := postBatch(ctx, client, base, spec.ID, batches[posted]); err != nil {
-				return res, err
-			}
-			admit[posted] = time.Now()
-			posted++
+	for attempt := 1; ; attempt++ {
+		err := driveAttempt(ctx, client, baseFn(), spec, batches, o, st, trig)
+		if err == nil {
+			break
 		}
-		select {
-		case rec, ok := <-events:
-			if !ok {
-				return res, fmt.Errorf("estimate stream ended after %d of %d events", received, len(batches))
-			}
-			if rec.K < 0 || rec.K >= len(batches) || admit[rec.K].IsZero() {
-				return res, fmt.Errorf("estimate for unexpected iteration %d", rec.K)
-			}
-			res.latencies = append(res.latencies, time.Since(admit[rec.K]))
-			res.records = append(res.records, rec)
-			received++
-		case err := <-readErr:
-			return res, fmt.Errorf("estimate stream: %w", err)
-		case <-ctx.Done():
-			return res, ctx.Err()
-		case <-time.After(o.stepWait):
-			return res, fmt.Errorf("timed out waiting for estimate %d", received)
+		var te transientError
+		if !errors.As(err, &te) || attempt >= maxAttempts {
+			return res, err
+		}
+		if err := ctl.awaitReady(ctx, 60*time.Second); err != nil {
+			return res, fmt.Errorf("waiting out daemon restart: %w", err)
 		}
 	}
 
+	res.records = make([]trace.Record, 0, n)
+	for k := 0; k < n; k++ {
+		rec, ok := st.got[k]
+		if !ok {
+			return res, fmt.Errorf("drive finished without record %d", k)
+		}
+		res.records = append(res.records, rec)
+	}
+	res.latencies = st.latencies
 	if o.verify {
 		if err := verifyAgainstOffline(spec, res.records); err != nil {
 			return res, err
@@ -274,27 +321,166 @@ func driveSession(ctx context.Context, client *http.Client, base string, spec se
 	return res, nil
 }
 
-// createSession POSTs the spec and returns the created SessionInfo.
-func createSession(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec) (serve.SessionInfo, error) {
+// driveAttempt makes one pass at finishing the session against the daemon's
+// current address: look the session up (creating it on 404), subscribe,
+// re-feed from the server's NextK — anything admitted but not yet in the WAL
+// when a crash hit must be posted again — and fold the event stream into st.
+func driveAttempt(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, batches []serve.Batch, o options, st *driveState, trig *restartTrigger) error {
+	n := len(batches)
+	info, status, err := getSessionInfo(ctx, client, base, spec.ID)
+	switch {
+	case err != nil:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return transientError{err}
+	case status == http.StatusNotFound:
+		var cs int
+		info, cs, err = createSession(ctx, client, base, spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if cs == 0 || cs == http.StatusServiceUnavailable || cs == http.StatusConflict {
+				return transientError{err}
+			}
+			return err
+		}
+	case status == http.StatusServiceUnavailable:
+		return transientError{fmt.Errorf("session info: HTTP 503 (daemon recovering or draining)")}
+	case status != http.StatusOK:
+		return fmt.Errorf("session info: HTTP %d", status)
+	}
+	if info.Iterations != n {
+		return fmt.Errorf("server reports %d iterations, expected %d", info.Iterations, n)
+	}
+
+	// Subscribe before feeding anything so no event can be missed; the stream
+	// replays the session's full record history first, which is how records
+	// stepped before a crash reach a client that resubscribed after it.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		base+"/v1/sessions/"+spec.ID+"/estimates", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return transientError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return transientError{fmt.Errorf("subscribe: HTTP 503")}
+		}
+		return fmt.Errorf("subscribe: HTTP %d", resp.StatusCode)
+	}
+	events := make(chan trace.Record, n)
+	readErr := make(chan error, 1)
+	go readEvents(resp.Body, events, readErr)
+
+	// Feed from the server's cursor, gated by the highest iteration whose
+	// estimate has arrived (ackK): at most `window` steps are outstanding.
+	posted, ackK := info.NextK, info.NextK-1
+	for len(st.got) < n {
+		for posted < n && posted-ackK <= o.window {
+			if err := postBatch(ctx, client, base, spec.ID, batches[posted]); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return transientError{err}
+			}
+			if st.admit[posted].IsZero() {
+				st.admit[posted] = time.Now()
+			}
+			posted++
+		}
+		select {
+		case rec, ok := <-events:
+			if !ok {
+				if len(st.got) == n {
+					return nil
+				}
+				return transientError{fmt.Errorf("estimate stream ended with %d of %d records", len(st.got), n)}
+			}
+			if rec.K < 0 || rec.K >= n {
+				return fmt.Errorf("estimate for unexpected iteration %d", rec.K)
+			}
+			if prev, seen := st.got[rec.K]; seen {
+				if prev != rec {
+					return fmt.Errorf("record %d diverged across reconnect:\nbefore %+v\nafter  %+v", rec.K, prev, rec)
+				}
+			} else {
+				st.got[rec.K] = rec
+				if !st.admit[rec.K].IsZero() {
+					st.latencies = append(st.latencies, time.Since(st.admit[rec.K]))
+				}
+				trig.onEvent()
+			}
+			if rec.K > ackK {
+				ackK = rec.K
+			}
+		case err := <-readErr:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return transientError{fmt.Errorf("estimate stream: %w", err)}
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(o.stepWait):
+			return transientError{fmt.Errorf("timed out with %d of %d records", len(st.got), n)}
+		}
+	}
+	return nil
+}
+
+// getSessionInfo GETs the session; a non-200 status is returned without error
+// so the caller can classify it (404 create, 503 retry).
+func getSessionInfo(ctx context.Context, client *http.Client, base, id string) (serve.SessionInfo, int, error) {
+	var info serve.SessionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return info, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return info, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return info, resp.StatusCode, nil
+	}
+	return info, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// createSession POSTs the spec and returns the created SessionInfo plus the
+// HTTP status (0 when the request never completed).
+func createSession(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec) (serve.SessionInfo, int, error) {
 	var info serve.SessionInfo
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return info, err
+		return info, 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sessions", bytes.NewReader(body))
 	if err != nil {
-		return info, err
+		return info, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return info, err
+		return info, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return info, fmt.Errorf("create: %s", readErrBody(resp))
+		return info, resp.StatusCode, fmt.Errorf("create: %s", readErrBody(resp))
 	}
-	return info, json.NewDecoder(resp.Body).Decode(&info)
+	return info, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&info)
 }
 
 // postBatch submits one iteration batch, retrying on backpressure (429 when

@@ -9,9 +9,16 @@
 //	        [-failfrac F] [-sfault stuck|drift|noise|outlier|byzantine]
 //	        [-sfaultfrac F] [-sfaultmag M] [-defend] [-v]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
+//	cdpfsim -replay-dir DIR [-replay-session ID] [-trace FILE] [-v]
 //
 // (-trace writes the per-iteration CSV trace; the runtime execution trace is
 // -exectrace.)
+//
+// Replay mode re-runs a production cdpfd session offline from its durability
+// directory: the write-ahead log holds the session spec and every admitted
+// observation batch, which is everything the deterministic tracker needs to
+// reproduce the served trace bit for bit (see internal/serve.Replay). With no
+// -replay-session, the sessions found in the WAL are listed.
 package main
 
 import (
@@ -24,12 +31,14 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/sensorfault"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/version"
 	"repro/internal/wsn"
@@ -56,6 +65,8 @@ func main() {
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.StringVar(&o.prof.Trace, "exectrace", "", "write a runtime execution trace to this file (-trace is the CSV trace)")
+	flag.StringVar(&o.replayDir, "replay-dir", "", "replay mode: a cdpfd durability directory (WAL + snapshots) to re-run sessions from")
+	flag.StringVar(&o.replaySession, "replay-session", "", "session ID to replay from -replay-dir (empty lists the sessions)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("cdpfsim", version.String())
@@ -100,6 +111,9 @@ type options struct {
 	verbose  bool
 	traceOut string
 	prof     prof.Flags
+
+	replayDir     string
+	replaySession string
 }
 
 // validate rejects out-of-range fault and loss parameters with a one-line
@@ -132,6 +146,12 @@ func (o options) validate() error {
 }
 
 func run(ctx context.Context, o options) error {
+	if o.replayDir != "" {
+		return runReplay(o)
+	}
+	if o.replaySession != "" {
+		return fmt.Errorf("-replay-session requires -replay-dir")
+	}
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -288,26 +308,9 @@ func run(ctx context.Context, o options) error {
 		rec.Add(r)
 	}
 	if o.traceOut != "" {
-		// Write-then-rename so an interrupted run never leaves a truncated
-		// trace behind under the requested name.
-		tmp := o.traceOut + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
+		if err := writeTraceFile(rec, o.traceOut); err != nil {
 			return err
 		}
-		if err := rec.WriteCSV(f); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-		if err := f.Close(); err != nil {
-			os.Remove(tmp)
-			return err
-		}
-		if err := os.Rename(tmp, o.traceOut); err != nil {
-			return err
-		}
-		fmt.Printf("trace written to %s (%d iterations)\n", o.traceOut, rec.Len())
 	}
 
 	fmt.Printf("\n%s: %d estimates, RMSE %.2f m, max error %.2f m\n",
@@ -333,6 +336,80 @@ func run(ctx context.Context, o options) error {
 		fmt.Printf("quarantine: %d evictions, %d readmissions, %d nodes quarantined at end, %d gated likelihood terms\n",
 			q.Evictions, q.Readmissions, len(q.Quarantined), q.Gated)
 	}
+	return nil
+}
+
+// runReplay re-runs a cdpfd session offline from a durability directory. The
+// WAL is read without truncating anything — replay is a forensic tool and must
+// leave a production data directory untouched.
+func runReplay(o options) error {
+	rec, err := durable.Load(o.replayDir)
+	if err != nil {
+		return err
+	}
+	if o.replaySession == "" {
+		if len(rec.Order) == 0 {
+			return fmt.Errorf("no sessions logged under %s", o.replayDir)
+		}
+		fmt.Printf("%d sessions logged under %s:\n", len(rec.Order), o.replayDir)
+		for _, id := range rec.Order {
+			fmt.Printf("  %-32s %3d batches in WAL\n", id, len(rec.Sessions[id].Batches))
+		}
+		fmt.Println("replay one with -replay-session ID")
+		return nil
+	}
+	tr, err := serve.Replay(rec, o.replaySession)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed session %q: algo %s, density %g, seed %d, %d of %d iterations logged\n",
+		o.replaySession, tr.Algo, tr.Density, tr.Seed,
+		len(rec.Sessions[o.replaySession].Batches), tr.Len())
+	if o.verbose {
+		for _, r := range tr.Records {
+			if r.HaveEst {
+				fmt.Printf("k=%2d truth=(%.2f, %.2f) est[k=%d]=(%.2f, %.2f) err=%.2f m\n",
+					r.K, r.TruthX, r.TruthY, r.EstForK, r.EstX, r.EstY, r.Err)
+			} else {
+				fmt.Printf("k=%2d truth=(%.2f, %.2f) (no estimate)\n", r.K, r.TruthX, r.TruthY)
+			}
+		}
+	}
+	var errs []float64
+	for _, r := range tr.Records {
+		if r.HaveEst {
+			errs = append(errs, r.Err)
+		}
+	}
+	fmt.Printf("%s: %d estimates, RMSE %.2f m, max error %.2f m\n",
+		tr.Algo, len(errs), mathx.RMS(errs), maxOf(errs))
+	if o.traceOut != "" {
+		return writeTraceFile(tr, o.traceOut)
+	}
+	return nil
+}
+
+// writeTraceFile writes the CSV trace with write-then-rename so an
+// interrupted run never leaves a truncated trace under the requested name.
+func writeTraceFile(rec *trace.Recorder, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteCSV(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (%d iterations)\n", path, rec.Len())
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sensorfault"
+)
+
+// stateParams builds the scenario parameter sets the save/restore tests run
+// over: a clean run, and a hostile one that exercises every piece of
+// persisted state (quarantine maps, loss epoch, resilience counters).
+func stateScenario(t *testing.T, hostile bool) scenario.Params {
+	t.Helper()
+	p := scenario.Default(20, 42)
+	if hostile {
+		p.SensorFault = sensorfault.Plan{Kind: sensorfault.Byzantine, Fraction: 0.15}
+	}
+	return p
+}
+
+func stateConfig(hostile bool) core.Config {
+	if hostile {
+		return core.HardenedSensingConfig(false)
+	}
+	return core.DefaultConfig(false)
+}
+
+// runSteps steps a fresh tracker on a fresh build of p through obs[from:to],
+// returning the per-step results. Configure is applied to the built scenario
+// (loss model etc.) before the tracker is created.
+func buildTracked(t *testing.T, p scenario.Params, hostile bool) (*scenario.Scenario, *core.Tracker) {
+	t.Helper()
+	sc, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostile {
+		sc.Net.SetLossRate(0.2, p.Seed^0xfa117)
+	}
+	tr, err := core.NewTracker(sc.Net, stateConfig(hostile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, tr
+}
+
+// TestSaveRestoreMidRunIdentity is the determinism contract behind durable
+// crash recovery: a tracker restored from a mid-run SaveState and stepped
+// through the remaining observations produces results, communication
+// accounting, and diagnostic counters identical to the uninterrupted run.
+func TestSaveRestoreMidRunIdentity(t *testing.T) {
+	for _, hostile := range []bool{false, true} {
+		name := "clean"
+		if hostile {
+			name = "hostile"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := stateScenario(t, hostile)
+
+			// Canonical observation stream, drawn once.
+			scObs, err := scenario.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := scObs.Iterations()
+			obs := make([][]core.Observation, n)
+			for k := 0; k < n; k++ {
+				obs[k] = scObs.Observations(k)
+			}
+
+			// Uninterrupted reference run.
+			scRef, trRef := buildTracked(t, p, hostile)
+			rngRef := scRef.RNG(1)
+			refResults := make([]core.StepResult, n)
+			for k := 0; k < n; k++ {
+				refResults[k] = trRef.Step(obs[k], rngRef)
+			}
+
+			// Interrupted run: step half, save, restore into a fresh build,
+			// finish.
+			half := n / 2
+			scA, trA := buildTracked(t, p, hostile)
+			rngA := scA.RNG(1)
+			for k := 0; k < half; k++ {
+				if got := trA.Step(obs[k], rngA); got != refResults[k] {
+					t.Fatalf("pre-save step %d diverged: got %+v want %+v", k, got, refResults[k])
+				}
+			}
+			st := trA.SaveState()
+			rngState := rngA.State()
+			comm := scA.Net.Stats.Snapshot()
+			lossEpoch := scA.Net.LossEpoch()
+
+			scB, trB := buildTracked(t, p, hostile)
+			if err := trB.RestoreState(st); err != nil {
+				t.Fatal(err)
+			}
+			rngB := scB.RNG(1)
+			rngB.SetState(rngState)
+			*scB.Net.Stats = comm
+			scB.Net.SetLossEpoch(lossEpoch)
+
+			for k := half; k < n; k++ {
+				if got := trB.Step(obs[k], rngB); got != refResults[k] {
+					t.Fatalf("post-restore step %d diverged: got %+v want %+v", k, got, refResults[k])
+				}
+			}
+			if got, want := scB.Net.Stats.Snapshot(), scRef.Net.Stats.Snapshot(); got != want {
+				t.Fatalf("communication accounting diverged: got %+v want %+v", got, want)
+			}
+			gotR, wantR := trB.Resilience(), trRef.Resilience()
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("resilience counters diverged: got %+v want %+v", gotR, wantR)
+			}
+			gotQ, wantQ := trB.Quarantine(), trRef.Quarantine()
+			if gotQ.Gated != wantQ.Gated || gotQ.Evictions != wantQ.Evictions ||
+				gotQ.Readmissions != wantQ.Readmissions ||
+				!slices.Equal(gotQ.Quarantined, wantQ.Quarantined) ||
+				!slices.Equal(gotQ.Ever, wantQ.Ever) ||
+				!slices.Equal(gotQ.Scored, wantQ.Scored) {
+				t.Fatalf("quarantine state diverged: got %+v want %+v", gotQ, wantQ)
+			}
+			if !slices.Equal(trB.Holders(), trRef.Holders()) {
+				t.Fatalf("holder sets diverged: got %v want %v", trB.Holders(), trRef.Holders())
+			}
+		})
+	}
+}
+
+// TestRestoreStateRejectsCorruptInput checks the validation surface a decoded
+// snapshot passes through: out-of-range and unsorted holder IDs must be
+// rejected, never installed.
+func TestRestoreStateRejectsCorruptInput(t *testing.T) {
+	_, tr := buildTracked(t, stateScenario(t, false), false)
+	bad := core.TrackerState{Holders: []core.HolderState{{ID: 1 << 30, W: 1}}}
+	if err := tr.RestoreState(bad); err == nil {
+		t.Fatal("out-of-range holder accepted")
+	}
+	bad = core.TrackerState{Holders: []core.HolderState{{ID: 5, W: 1}, {ID: 3, W: 1}}}
+	if err := tr.RestoreState(bad); err == nil {
+		t.Fatal("unsorted holders accepted")
+	}
+}

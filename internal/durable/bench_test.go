@@ -1,0 +1,53 @@
+package durable
+
+import (
+	"testing"
+)
+
+// The durability hot path sits inside every served step (WAL append) and on
+// the snapshot cadence; these benchmarks are tracked by the bench-regression
+// gate against results/BENCH_serve.json.
+
+func BenchmarkWALAppend(b *testing.B) {
+	st, _, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	rec := &BatchRecord{ID: "bench-session", K: 0, Obs: make([]Obs, 8)}
+	for i := range rec.Obs {
+		rec.Obs[i] = Obs{Node: int32(i), Bearing: float64(i) * 0.3}
+	}
+	if err := st.LogCreate(0, rec.ID, []byte(`{"steps":1}`)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.K = i
+		if err := st.LogBatch(0, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	s := testSnapshot()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.encode(buf)
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	enc := testSnapshot().encode(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeSnapshot(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

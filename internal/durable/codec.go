@@ -1,0 +1,141 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Flat little-endian binary codec shared by the snapshot and WAL formats.
+// The encoder appends to a reusable buffer; the decoder is strictly
+// bounds-checked and turns every malformation into an error, never a panic —
+// the WAL fuzz target leans on that.
+
+// maxBlob bounds any single length-prefixed field or frame (64 MiB). A
+// corrupt length word must not translate into an attempted multi-gigabyte
+// allocation.
+const maxBlob = 64 << 20
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// fail records the first decode error; all subsequent reads return zeros.
+func (d *decoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("durable: truncated payload at offset %d (need %d of %d bytes)", d.off, n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) bool() bool   { return d.u8() != 0 }
+
+// count reads a u32 length word for a collection of elemSize-byte elements,
+// rejecting lengths the remaining buffer cannot possibly hold.
+func (d *decoder) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > maxBlob || (elemSize > 0 && n > (len(d.buf)-d.off)/elemSize) {
+		d.fail("durable: implausible element count %d at offset %d", n, d.off)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) blob() []byte {
+	n := d.count(1)
+	if !d.need(n) {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.buf[d.off:])
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if !d.need(n) {
+		return ""
+	}
+	v := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+// finish checks that the whole payload was consumed.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("durable: %d trailing bytes after payload", len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package durable
+
+import "sync/atomic"
+
+// Counters is the durability layer's observability surface. The serving
+// layer exposes these over /metrics in Prometheus format; the durable
+// package only increments them. Open and Load install a fresh Counters when
+// the caller does not supply one, so internal code may assume non-nil.
+type Counters struct {
+	WALRecords atomic.Int64 // records appended to any WAL segment
+	WALBytes   atomic.Int64 // framed bytes appended (header + payload)
+	Fsyncs     atomic.Int64 // fsync syscalls issued on WAL segments
+	WALErrors  atomic.Int64 // failed WAL writes or fsyncs
+
+	Snapshots      atomic.Int64 // snapshots written successfully
+	SnapshotErrors atomic.Int64 // failed snapshot writes or unreadable files
+	SnapshotNanos  atomic.Int64 // cumulative wall time spent writing snapshots
+
+	RecoveredSessions atomic.Int64 // sessions rebuilt on startup
+	ReplayedBatches   atomic.Int64 // WAL batches re-stepped during recovery
+	TruncatedTails    atomic.Int64 // torn WAL tails truncated on open
+	OrphanBatches     atomic.Int64 // WAL batches with no preceding create record
+}
+
+func (c *Counters) add(f *atomic.Int64)           { f.Add(1) }
+func (c *Counters) addN(f *atomic.Int64, n int64) { f.Add(n) }

@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SessionLog is one session's observation history aggregated from the WAL:
+// the spec it was created with and every admitted batch, in admission order.
+// When a session ID is reused (a finished session's ID freed and re-created),
+// the latest create record wins and earlier batches are discarded — they
+// belong to the previous incarnation.
+type SessionLog struct {
+	ID       string
+	SpecJSON []byte
+	Batches  []*BatchRecord
+}
+
+// Recovery is everything the durability layer found on disk: per-session WAL
+// histories (in create order) and the latest decodable snapshot per session.
+// Snapshots are kept separate from logs because trusting a snapshot is a
+// policy decision that belongs to the serving layer — a snapshot is only
+// valid for the WAL incarnation whose spec it matches.
+type Recovery struct {
+	Sessions  map[string]*SessionLog
+	Order     []string // session IDs in first-create order
+	Snapshots map[string]*Snapshot
+}
+
+// segmentRef locates one WAL segment for ordered replay.
+type segmentRef struct {
+	path  string
+	gen   uint64
+	shard int
+}
+
+// listSegments finds every WAL segment under dir, sorted into replay order
+// (generation, then shard). Files that do not parse as segment names are
+// ignored — they are not ours.
+func listSegments(dir string) ([]segmentRef, error) {
+	walDir := filepath.Join(dir, walDirName)
+	entries, err := os.ReadDir(walDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		gen, shard, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentRef{path: filepath.Join(walDir, e.Name()), gen: gen, shard: shard})
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].gen != segs[j].gen {
+			return segs[i].gen < segs[j].gen
+		}
+		return segs[i].shard < segs[j].shard
+	})
+	return segs, nil
+}
+
+// scanSegment reads one segment's valid prefix into rec, returning the byte
+// offset where the valid prefix ends and whether a torn tail follows it.
+func scanSegment(path string, rec *Recovery, c *Counters) (validEnd int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	end, scanErr := scanFrames(data, func(payload []byte) error {
+		r, err := decodeLogRecord(payload)
+		if err != nil {
+			return err
+		}
+		switch {
+		case r.create != nil:
+			s := rec.Sessions[r.create.ID]
+			if s == nil {
+				s = &SessionLog{ID: r.create.ID}
+				rec.Sessions[r.create.ID] = s
+				rec.Order = append(rec.Order, r.create.ID)
+			}
+			// Latest incarnation wins: reset the history.
+			s.SpecJSON = r.create.SpecJSON
+			s.Batches = s.Batches[:0]
+		case r.batch != nil:
+			s := rec.Sessions[r.batch.ID]
+			if s == nil {
+				// A batch without a create record cannot happen through the
+				// Store API (creates are logged before the session is
+				// registered); count and skip rather than fail recovery.
+				c.add(&c.OrphanBatches)
+				return nil
+			}
+			s.Batches = append(s.Batches, r.batch)
+		}
+		return nil
+	})
+	return end, scanErr != nil, nil
+}
+
+// Load reads the durability directory without taking ownership of it: no
+// truncation, no generation claim, no writers. It is the read-only entry
+// point for offline tooling (cdpfreplay) and may run while a live daemon
+// owns the directory.
+func Load(dir string) (*Recovery, error) {
+	return load(dir, new(Counters), false)
+}
+
+func load(dir string, c *Counters, truncate bool) (*Recovery, error) {
+	rec := &Recovery{
+		Sessions:  make(map[string]*SessionLog),
+		Snapshots: make(map[string]*Snapshot),
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		end, torn, err := scanSegment(seg.path, rec, c)
+		if err != nil {
+			return nil, fmt.Errorf("durable: reading %s: %w", seg.path, err)
+		}
+		if !torn {
+			continue
+		}
+		c.add(&c.TruncatedTails)
+		if truncate {
+			if err := os.Truncate(seg.path, end); err != nil {
+				return nil, fmt.Errorf("durable: truncating torn tail of %s: %w", seg.path, err)
+			}
+		}
+	}
+	snaps, err := loadSnapshots(dir, c)
+	if err != nil {
+		return nil, err
+	}
+	rec.Snapshots = snaps
+	return rec, nil
+}
+
+// maxGeneration returns the highest generation among existing segments.
+func maxGeneration(dir string) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, s := range segs {
+		if s.gen > max {
+			max = s.gen
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,337 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+	"repro/internal/wsn"
+)
+
+// Snapshot is the complete persisted state of one session at a step
+// boundary: enough to rebuild the scenario (SpecJSON), reposition every
+// deterministic stream (RNG, loss epoch), and continue stepping bit-exactly
+// where the saved session stopped. Records carries the full trace so far, so
+// a recovered session can also replay its history to late subscribers.
+type Snapshot struct {
+	ID       string
+	SpecJSON []byte // normalized serve.SessionSpec, JSON-encoded
+	Stepped  int
+
+	RNG       mathx.RNGState
+	Comm      wsn.CommStats
+	LossEpoch uint64
+
+	Tracker core.TrackerState
+	Records []trace.Record
+}
+
+// Snapshot file layout: an 8-byte magic, a version word, then one CRC-framed
+// payload (u32 length, u32 CRC32-IEEE, payload bytes). Snapshots are written
+// to a temp file and renamed into place, so a crash mid-write never corrupts
+// the previous snapshot; the CRC catches torn renames on filesystems without
+// atomic rename (and plain bit rot).
+var snapMagic = [8]byte{'C', 'D', 'P', 'F', 'S', 'N', 'A', 'P'}
+
+const snapVersion = 1
+
+// encode renders the snapshot into the versioned, CRC-framed file format.
+func (s *Snapshot) encode(buf []byte) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.str(s.ID)
+	p.bytes(s.SpecJSON)
+	p.u64(uint64(s.Stepped))
+	for _, w := range s.RNG.S {
+		p.u64(w)
+	}
+	p.f64(s.RNG.Gauss)
+	p.bool(s.RNG.HasGauss)
+	p.u32(uint32(len(s.Comm.Msgs)))
+	for _, v := range s.Comm.Msgs {
+		p.i64(v)
+	}
+	for _, v := range s.Comm.Bytes {
+		p.i64(v)
+	}
+	p.u64(s.LossEpoch)
+	encodeTracker(&p, &s.Tracker)
+	p.u32(uint32(len(s.Records)))
+	for i := range s.Records {
+		encodeRecord(&p, &s.Records[i])
+	}
+	payload := p.buf
+
+	var f encoder
+	f.buf = make([]byte, 0, len(payload)+20)
+	f.buf = append(f.buf, snapMagic[:]...)
+	f.u32(snapVersion)
+	f.u32(uint32(len(payload)))
+	f.u32(crc32.ChecksumIEEE(payload))
+	f.buf = append(f.buf, payload...)
+	return f.buf
+}
+
+// decodeSnapshot parses a snapshot file image, validating magic, version,
+// length, and CRC before touching the payload.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+12 {
+		return nil, fmt.Errorf("durable: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("durable: bad snapshot magic")
+	}
+	h := decoder{buf: data, off: len(snapMagic)}
+	version := h.u32()
+	if version != snapVersion {
+		return nil, fmt.Errorf("durable: unsupported snapshot version %d", version)
+	}
+	n := int(h.u32())
+	crc := h.u32()
+	if h.err != nil {
+		return nil, h.err
+	}
+	if n < 0 || n > maxBlob || len(data)-h.off != n {
+		return nil, fmt.Errorf("durable: snapshot payload length %d does not match file (%d bytes left)", n, len(data)-h.off)
+	}
+	payload := data[h.off:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("durable: snapshot CRC mismatch")
+	}
+
+	d := decoder{buf: payload}
+	s := &Snapshot{}
+	s.ID = d.str()
+	s.SpecJSON = d.blob()
+	s.Stepped = int(d.u64())
+	for i := range s.RNG.S {
+		s.RNG.S[i] = d.u64()
+	}
+	s.RNG.Gauss = d.f64()
+	s.RNG.HasGauss = d.bool()
+	if kinds := int(d.u32()); d.err == nil && kinds != len(s.Comm.Msgs) {
+		return nil, fmt.Errorf("durable: snapshot has %d message kinds, this build has %d", kinds, len(s.Comm.Msgs))
+	}
+	for i := range s.Comm.Msgs {
+		s.Comm.Msgs[i] = d.i64()
+	}
+	for i := range s.Comm.Bytes {
+		s.Comm.Bytes[i] = d.i64()
+	}
+	s.LossEpoch = d.u64()
+	decodeTracker(&d, &s.Tracker)
+	nRec := d.count(recordWireSize)
+	if d.err == nil && nRec > 0 {
+		s.Records = make([]trace.Record, nRec)
+		for i := range s.Records {
+			decodeRecord(&d, &s.Records[i])
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	if s.Stepped < 0 || s.Stepped > maxBlob {
+		return nil, fmt.Errorf("durable: implausible snapshot step count %d", s.Stepped)
+	}
+	return s, nil
+}
+
+func encodeTracker(p *encoder, t *core.TrackerState) {
+	p.u32(uint32(len(t.Holders)))
+	for _, h := range t.Holders {
+		p.u32(uint32(h.ID))
+		p.f64(h.W)
+		p.f64(h.Vel.X)
+		p.f64(h.Vel.Y)
+	}
+	p.i64(int64(t.MissedIters))
+	p.i64(int64(t.Iter))
+	p.i64(int64(t.LostAt))
+	p.bool(t.EverEst)
+	p.i64(int64(t.Gated))
+	p.i64(int64(t.Resil.Rebroadcasts))
+	p.i64(int64(t.Resil.RebroadcastSaves))
+	p.i64(int64(t.Resil.Compensated))
+	p.i64(int64(t.Resil.LossEpisodes))
+	p.i64(int64(t.Resil.LockedIters))
+	p.i64(int64(t.Resil.LostIters))
+	p.u32(uint32(len(t.Resil.Reacquires)))
+	for _, r := range t.Resil.Reacquires {
+		p.i64(int64(r))
+	}
+	if t.Quar == nil {
+		p.bool(false)
+		return
+	}
+	p.bool(true)
+	p.u32(uint32(len(t.Quar.Scores)))
+	for _, s := range t.Quar.Scores {
+		p.u32(uint32(s.ID))
+		p.f64(s.Score)
+	}
+	encodeIDs(p, t.Quar.Quarantined)
+	encodeIDs(p, t.Quar.Ever)
+	encodeIDs(p, t.Quar.Scored)
+	p.i64(int64(t.Quar.Evictions))
+	p.i64(int64(t.Quar.Readmissions))
+}
+
+func decodeTracker(d *decoder, t *core.TrackerState) {
+	nh := d.count(28) // u32 + 3*f64 per holder
+	if d.err == nil && nh > 0 {
+		t.Holders = make([]core.HolderState, nh)
+		for i := range t.Holders {
+			t.Holders[i].ID = wsn.NodeID(d.u32())
+			t.Holders[i].W = d.f64()
+			t.Holders[i].Vel.X = d.f64()
+			t.Holders[i].Vel.Y = d.f64()
+		}
+	}
+	t.MissedIters = int(d.i64())
+	t.Iter = int(d.i64())
+	t.LostAt = int(d.i64())
+	t.EverEst = d.bool()
+	t.Gated = int(d.i64())
+	t.Resil.Rebroadcasts = int(d.i64())
+	t.Resil.RebroadcastSaves = int(d.i64())
+	t.Resil.Compensated = int(d.i64())
+	t.Resil.LossEpisodes = int(d.i64())
+	t.Resil.LockedIters = int(d.i64())
+	t.Resil.LostIters = int(d.i64())
+	nr := d.count(8)
+	if d.err == nil && nr > 0 {
+		t.Resil.Reacquires = make([]int, nr)
+		for i := range t.Resil.Reacquires {
+			t.Resil.Reacquires[i] = int(d.i64())
+		}
+	}
+	if !d.bool() {
+		return
+	}
+	q := &core.ReputationState{}
+	ns := d.count(12) // u32 + f64 per score
+	if d.err == nil && ns > 0 {
+		q.Scores = make([]core.NodeScore, ns)
+		for i := range q.Scores {
+			q.Scores[i].ID = wsn.NodeID(d.u32())
+			q.Scores[i].Score = d.f64()
+		}
+	}
+	q.Quarantined = decodeIDs(d)
+	q.Ever = decodeIDs(d)
+	q.Scored = decodeIDs(d)
+	q.Evictions = int(d.i64())
+	q.Readmissions = int(d.i64())
+	if d.err == nil {
+		t.Quar = q
+	}
+}
+
+func encodeIDs(p *encoder, ids []wsn.NodeID) {
+	p.u32(uint32(len(ids)))
+	for _, id := range ids {
+		p.u32(uint32(id))
+	}
+}
+
+func decodeIDs(d *decoder) []wsn.NodeID {
+	n := d.count(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ids := make([]wsn.NodeID, n)
+	for i := range ids {
+		ids[i] = wsn.NodeID(d.u32())
+	}
+	return ids
+}
+
+// recordWireSize is the fixed encoded size of one trace.Record: twelve
+// 8-byte fields plus the HaveEst flag.
+const recordWireSize = 8*12 + 1
+
+func encodeRecord(p *encoder, r *trace.Record) {
+	p.i64(int64(r.K))
+	p.f64(r.Time)
+	p.f64(r.TruthX)
+	p.f64(r.TruthY)
+	p.bool(r.HaveEst)
+	p.i64(int64(r.EstForK))
+	p.f64(r.EstX)
+	p.f64(r.EstY)
+	p.f64(r.Err)
+	p.i64(int64(r.Detectors))
+	p.i64(int64(r.Holders))
+	p.i64(r.MsgsDelta)
+	p.i64(r.BytesDelta)
+}
+
+func decodeRecord(d *decoder, r *trace.Record) {
+	r.K = int(d.i64())
+	r.Time = d.f64()
+	r.TruthX = d.f64()
+	r.TruthY = d.f64()
+	r.HaveEst = d.bool()
+	r.EstForK = int(d.i64())
+	r.EstX = d.f64()
+	r.EstY = d.f64()
+	r.Err = d.f64()
+	r.Detectors = int(d.i64())
+	r.Holders = int(d.i64())
+	r.MsgsDelta = d.i64()
+	r.BytesDelta = d.i64()
+}
+
+// snapshotPath maps a session ID onto its snapshot file. IDs are
+// percent-escaped into a filesystem-safe name (the true ID lives in the
+// payload, so the name only needs to be unique and reversible-free).
+func snapshotPath(dir, id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02x", c)
+		}
+	}
+	return filepath.Join(dir, snapDirName, b.String()+".snap")
+}
+
+// loadSnapshots reads every decodable snapshot in the directory, keyed by
+// session ID. Corrupt snapshots are skipped (counted), never fatal: the WAL
+// can always rebuild the session from scratch.
+func loadSnapshots(dir string, c *Counters) (map[string]*Snapshot, error) {
+	snapDir := filepath.Join(dir, snapDirName)
+	entries, err := os.ReadDir(snapDir)
+	if os.IsNotExist(err) {
+		return map[string]*Snapshot{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	snaps := make(map[string]*Snapshot)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(snapDir, e.Name()))
+		if err != nil {
+			c.add(&c.SnapshotErrors)
+			continue
+		}
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			c.add(&c.SnapshotErrors)
+			continue
+		}
+		snaps[s.ID] = s
+	}
+	return snaps, nil
+}

@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Write-ahead log. Each shard of the serving manager owns one append-only
+// segment per daemon boot ("generation"), so concurrent shards never contend
+// on a file and every session's records — create first, then its batches in
+// step order — land in one segment in order. Segments are named
+//
+//	wal/wal-<generation>-<shard>.log
+//
+// with zero-padded numbers so lexicographic order is replay order (by
+// generation, then shard). Segments are never deleted: they are the
+// complete observation history that cdpfreplay mines for time-travel
+// debugging, and retention also removes every rotation/deletion race from
+// the crash path. At paper scale a batch record is tens of bytes per
+// detector per iteration — retention is cheap.
+//
+// Frame format, repeated to EOF:
+//
+//	u32 payload length | u32 CRC32-IEEE(payload) | payload
+//
+// A torn tail (partial frame, bad CRC, implausible length — whatever a crash
+// or bit rot left behind) ends the readable prefix; recovery truncates the
+// segment there and appends nothing to a torn file (new generations get
+// fresh segments, so a truncated tail can never be overwritten by a
+// same-boot append).
+
+const (
+	walDirName  = "wal"
+	snapDirName = "snap"
+
+	// record kinds
+	recCreate byte = 1
+	recBatch  byte = 2
+)
+
+// CreateRecord logs one session admission: the ID and the normalized spec
+// the server accepted. Logged before the session is registered, so a logged
+// batch can never precede its session's create record.
+type CreateRecord struct {
+	ID       string
+	SpecJSON []byte
+}
+
+// Obs is one observation inside a logged batch (the wire-independent form of
+// a measurement: node index plus bearing).
+type Obs struct {
+	Node    int32
+	Bearing float64
+}
+
+// BatchRecord logs one admitted iteration batch, written by the owning shard
+// goroutine immediately before the batch is stepped.
+type BatchRecord struct {
+	ID  string
+	K   int
+	Obs []Obs
+}
+
+// logRecord is the union the reader yields, in segment order.
+type logRecord struct {
+	create *CreateRecord
+	batch  *BatchRecord
+}
+
+func encodeCreate(buf []byte, r *CreateRecord) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.u8(recCreate)
+	p.str(r.ID)
+	p.bytes(r.SpecJSON)
+	return p.buf
+}
+
+func encodeBatch(buf []byte, r *BatchRecord) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.u8(recBatch)
+	p.str(r.ID)
+	p.u32(uint32(r.K))
+	p.u32(uint32(len(r.Obs)))
+	for _, o := range r.Obs {
+		p.u32(uint32(o.Node))
+		p.f64(o.Bearing)
+	}
+	return p.buf
+}
+
+// decodeLogRecord parses one frame payload.
+func decodeLogRecord(payload []byte) (logRecord, error) {
+	d := decoder{buf: payload}
+	switch kind := d.u8(); kind {
+	case recCreate:
+		r := &CreateRecord{ID: d.str(), SpecJSON: d.blob()}
+		if err := d.finish(); err != nil {
+			return logRecord{}, err
+		}
+		return logRecord{create: r}, nil
+	case recBatch:
+		r := &BatchRecord{ID: d.str(), K: int(d.u32())}
+		n := d.count(12) // u32 node + f64 bearing
+		if d.err == nil && n > 0 {
+			r.Obs = make([]Obs, n)
+			for i := range r.Obs {
+				r.Obs[i].Node = int32(d.u32())
+				r.Obs[i].Bearing = d.f64()
+			}
+		}
+		if err := d.finish(); err != nil {
+			return logRecord{}, err
+		}
+		if r.K < 0 || r.K > maxBlob {
+			return logRecord{}, fmt.Errorf("durable: implausible batch iteration %d", r.K)
+		}
+		return logRecord{batch: r}, nil
+	default:
+		return logRecord{}, fmt.Errorf("durable: unknown WAL record kind %d", kind)
+	}
+}
+
+// frame wraps a payload in the length+CRC frame.
+func frame(buf, payload []byte) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.u32(uint32(len(payload)))
+	p.u32(crc32.ChecksumIEEE(payload))
+	p.buf = append(p.buf, payload...)
+	return p.buf
+}
+
+// scanFrames walks the frames of a segment image, calling fn for each valid
+// payload. It returns the byte offset of the valid prefix's end and a nil
+// error when the file ends exactly on a frame boundary; a non-nil error
+// describes the torn tail beginning at the returned offset.
+func scanFrames(data []byte, fn func(payload []byte) error) (int64, error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return int64(off), fmt.Errorf("durable: partial frame header (%d bytes)", len(data)-off)
+		}
+		d := decoder{buf: data, off: off}
+		n := int(d.u32())
+		crc := d.u32()
+		if n < 0 || n > maxBlob {
+			return int64(off), fmt.Errorf("durable: implausible frame length %d", n)
+		}
+		if len(data)-d.off < n {
+			return int64(off), fmt.Errorf("durable: partial frame payload (%d of %d bytes)", len(data)-d.off, n)
+		}
+		payload := data[d.off : d.off+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(off), fmt.Errorf("durable: frame CRC mismatch at offset %d", off)
+		}
+		if err := fn(payload); err != nil {
+			return int64(off), err
+		}
+		off = d.off + n
+	}
+	return int64(off), nil
+}
+
+// segmentName renders the canonical segment file name; zero padding keeps
+// lexicographic directory order equal to (generation, shard) replay order.
+func segmentName(gen uint64, shard int) string {
+	return fmt.Sprintf("wal-%08d-%04d.log", gen, shard)
+}
+
+// parseSegmentName extracts (generation, shard) from a segment name.
+func parseSegmentName(name string) (gen uint64, shard int, ok bool) {
+	var g uint64
+	var s int
+	if _, err := fmt.Sscanf(name, "wal-%d-%d.log", &g, &s); err != nil {
+		return 0, 0, false
+	}
+	return g, s, true
+}
+
+// walWriter appends frames to one shard's segment of the current generation.
+// The mutex serializes the manager's HTTP goroutines (create records) with
+// the shard goroutine (batch records).
+type walWriter struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   []byte // reused frame buffer
+	pbuf  []byte // reused payload buffer
+	dirty bool   // written since last fsync (interval policy)
+}
+
+// openWalWriter creates the segment file for (gen, shard), failing if it
+// already exists — generations are single-use by construction.
+func openWalWriter(dir string, gen uint64, shard int) (*walWriter, error) {
+	path := filepath.Join(dir, walDirName, segmentName(gen, shard))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+// logCreate encodes and appends one create record.
+func (w *walWriter) logCreate(r *CreateRecord, sync bool, c *Counters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pbuf = encodeCreate(w.pbuf, r)
+	return w.appendLocked(w.pbuf, sync, c)
+}
+
+// logBatch encodes and appends one batch record.
+func (w *walWriter) logBatch(r *BatchRecord, sync bool, c *Counters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pbuf = encodeBatch(w.pbuf, r)
+	return w.appendLocked(w.pbuf, sync, c)
+}
+
+// appendLocked frames and writes one payload, fsyncing when the policy
+// demands it. The write is a single Write syscall of the whole frame: a
+// kill -9 cannot lose user-space-buffered bytes because there are none
+// (fsync only defends against power loss below the page cache).
+func (w *walWriter) appendLocked(payload []byte, sync bool, c *Counters) error {
+	w.buf = frame(w.buf, payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		c.add(&c.WALErrors)
+		return err
+	}
+	c.add(&c.WALRecords)
+	c.addN(&c.WALBytes, int64(len(w.buf)))
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			c.add(&c.WALErrors)
+			return err
+		}
+		c.add(&c.Fsyncs)
+	} else {
+		w.dirty = true
+	}
+	return nil
+}
+
+// flush fsyncs the segment if anything was appended since the last flush.
+func (w *walWriter) flush(c *Counters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dirty {
+		return nil
+	}
+	w.dirty = false
+	if err := w.f.Sync(); err != nil {
+		c.add(&c.WALErrors)
+		return err
+	}
+	c.add(&c.Fsyncs)
+	return nil
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -73,6 +73,26 @@ func TestMapFirstErrorWins(t *testing.T) {
 	}
 }
 
+func TestMapPreCancelledContextNeverSucceeds(t *testing.T) {
+	// A context cancelled before Map starts must surface context.Canceled
+	// from every worker configuration. This was racy: Submit can fail fast
+	// before any job resolves, leaving Wait with no job error to report —
+	// an incomplete batch must not read as success. Many rounds because the
+	// enqueue-vs-cancel select is nondeterministic in the parallel path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		for round := 0; round < 50; round++ {
+			_, err := Map(ctx, Config{Workers: workers}, jobs,
+				func(_ context.Context, j int) (int, error) { return j, nil })
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d round=%d: err = %v, want context.Canceled", workers, round, err)
+			}
+		}
+	}
+}
+
 func TestPanicIsolation(t *testing.T) {
 	type cell struct{ i int }
 	jobs := []cell{{0}, {1}, {2}, {3}}

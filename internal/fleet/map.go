@@ -34,6 +34,7 @@ func Map[J, T any](ctx context.Context, cfg Config, jobs []J, run func(ctx conte
 		out[r.Index] = r.Value.(T)
 	})
 	p := New(ctx, cfg, sink)
+	var submitErr error
 	for _, j := range jobs {
 		j := j
 		label, seed := "", uint64(0)
@@ -44,11 +45,20 @@ func Map[J, T any](ctx context.Context, cfg Config, jobs []J, run func(ctx conte
 			return run(ctx, j)
 		})
 		if err != nil {
-			break // canceled; Wait surfaces the causing job error
+			submitErr = err
+			break // canceled; drain and surface below
 		}
 	}
 	if err := p.Wait(); err != nil {
 		return nil, err
+	}
+	// Wait reports nil when every *resolved* job succeeded — but if Submit
+	// was cut short by cancellation, some jobs never entered the pool at
+	// all (a pre-canceled context can reject even the first one, leaving
+	// Wait nothing to surface). An incomplete batch must not read as
+	// success.
+	if submitErr != nil {
+		return nil, submitErr
 	}
 	return out, nil
 }

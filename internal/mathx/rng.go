@@ -45,6 +45,30 @@ func (r *RNG) Seed(seed uint64) {
 	r.hasGaus = false
 }
 
+// RNGState is the complete serializable generator state: the xoshiro256**
+// words plus the polar-method Gaussian cache. Checkpointing a filter mid-run
+// must capture the cache too — NormFloat64 produces variates in pairs, so a
+// restore that dropped a cached second variate would shift every subsequent
+// Gaussian draw by one and break bit-reproducibility.
+type RNGState struct {
+	S        [4]uint64
+	Gauss    float64
+	HasGauss bool
+}
+
+// State captures the generator's full internal state for checkpointing.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, Gauss: r.gauss, HasGauss: r.hasGaus}
+}
+
+// SetState restores a state captured by State: the subsequent output stream
+// continues bit-exactly where the captured generator's would have.
+func (r *RNG) SetState(st RNGState) {
+	r.s = st.S
+	r.gauss = st.Gauss
+	r.hasGaus = st.HasGauss
+}
+
 // Split derives an independent child generator from the current one. The
 // child's stream is a deterministic function of the parent state and key, so
 // per-node or per-component generators can be created reproducibly without

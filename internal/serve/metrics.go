@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/durable"
 )
 
 // Metrics is the daemon's instrumentation, exported in Prometheus text
@@ -27,6 +29,10 @@ type Metrics struct {
 
 	// queueDepth is read live at scrape time.
 	queueDepth func() int
+
+	// durability, when non-nil, is the durable store's counter block,
+	// re-exported on /metrics alongside the serving metrics.
+	durability *durable.Counters
 }
 
 // NewMetrics returns an empty registry. queueDepth, when non-nil, is sampled
@@ -44,6 +50,13 @@ func NewMetrics(queueDepth func() int) *Metrics {
 func (m *Metrics) SetQueueDepthFunc(f func() int) {
 	if m != nil {
 		m.queueDepth = f
+	}
+}
+
+// SetDurability installs the durable store's counters for exposition.
+func (m *Metrics) SetDurability(c *durable.Counters) {
+	if m != nil {
+		m.durability = c
 	}
 }
 
@@ -150,6 +163,41 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("cdpfd_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	p("cdpfd_step_latency_seconds_sum %g\n", lat.sum)
 	p("cdpfd_step_latency_seconds_count %d\n", cum)
+	if d := m.durability; d != nil {
+		p("# HELP cdpfd_wal_records_total Records appended to the write-ahead log.\n")
+		p("# TYPE cdpfd_wal_records_total counter\n")
+		p("cdpfd_wal_records_total %d\n", d.WALRecords.Load())
+		p("# HELP cdpfd_wal_bytes_total Framed bytes appended to the write-ahead log.\n")
+		p("# TYPE cdpfd_wal_bytes_total counter\n")
+		p("cdpfd_wal_bytes_total %d\n", d.WALBytes.Load())
+		p("# HELP cdpfd_wal_fsyncs_total fsync syscalls issued on WAL segments.\n")
+		p("# TYPE cdpfd_wal_fsyncs_total counter\n")
+		p("cdpfd_wal_fsyncs_total %d\n", d.Fsyncs.Load())
+		p("# HELP cdpfd_wal_errors_total Failed WAL writes or fsyncs.\n")
+		p("# TYPE cdpfd_wal_errors_total counter\n")
+		p("cdpfd_wal_errors_total %d\n", d.WALErrors.Load())
+		p("# HELP cdpfd_snapshots_total Session snapshots written.\n")
+		p("# TYPE cdpfd_snapshots_total counter\n")
+		p("cdpfd_snapshots_total %d\n", d.Snapshots.Load())
+		p("# HELP cdpfd_snapshot_errors_total Failed or unreadable session snapshots.\n")
+		p("# TYPE cdpfd_snapshot_errors_total counter\n")
+		p("cdpfd_snapshot_errors_total %d\n", d.SnapshotErrors.Load())
+		p("# HELP cdpfd_snapshot_seconds_total Wall time spent writing snapshots.\n")
+		p("# TYPE cdpfd_snapshot_seconds_total counter\n")
+		p("cdpfd_snapshot_seconds_total %g\n", float64(d.SnapshotNanos.Load())/1e9)
+		p("# HELP cdpfd_recovered_sessions_total Sessions rebuilt from the durability directory at startup.\n")
+		p("# TYPE cdpfd_recovered_sessions_total counter\n")
+		p("cdpfd_recovered_sessions_total %d\n", d.RecoveredSessions.Load())
+		p("# HELP cdpfd_replayed_batches_total WAL batches re-stepped during recovery.\n")
+		p("# TYPE cdpfd_replayed_batches_total counter\n")
+		p("cdpfd_replayed_batches_total %d\n", d.ReplayedBatches.Load())
+		p("# HELP cdpfd_wal_truncated_tails_total Torn WAL tails truncated on open.\n")
+		p("# TYPE cdpfd_wal_truncated_tails_total counter\n")
+		p("cdpfd_wal_truncated_tails_total %d\n", d.TruncatedTails.Load())
+		p("# HELP cdpfd_wal_orphan_batches_total WAL batches with no preceding create record.\n")
+		p("# TYPE cdpfd_wal_orphan_batches_total counter\n")
+		p("cdpfd_wal_orphan_batches_total %d\n", d.OrphanBatches.Load())
+	}
 	return err
 }
 

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/durable"
+	"repro/internal/trace"
+)
+
+// Replay re-runs one logged session offline from its WAL history alone: a
+// fresh build of the admitted spec stepped through every logged batch,
+// ignoring snapshots entirely. Because the WAL carries the exact admitted
+// observations and the spec pins every seed, the result reproduces the
+// production session's trace from nothing but the log — the time-travel
+// debugging mode cdpfsim's -replay-dir flag exposes.
+func Replay(rec *durable.Recovery, id string) (*trace.Recorder, error) {
+	log := rec.Sessions[id]
+	if log == nil {
+		known := make([]string, 0, len(rec.Order))
+		known = append(known, rec.Order...)
+		return nil, fmt.Errorf("serve: no session %q in the WAL (have %v)", id, known)
+	}
+	var spec SessionSpec
+	if err := json.Unmarshal(log.SpecJSON, &spec); err != nil {
+		return nil, fmt.Errorf("serve: logged spec for %q: %w", id, err)
+	}
+	s, err := newSession(id, 0, spec.normalize())
+	if err != nil {
+		return nil, err
+	}
+	out := trace.New("cdpf", spec.Scenario.Density, spec.Scenario.Seed)
+	if s.spec.Tracker.UseNE {
+		out.Algo = "cdpf-ne"
+	}
+	for _, b := range log.Batches {
+		if b.K != s.stepped {
+			return nil, fmt.Errorf("serve: WAL for %q jumps from step %d to k=%d", id, s.stepped, b.K)
+		}
+		out.Add(s.step(wireBatch(b)))
+	}
+	return out, nil
+}

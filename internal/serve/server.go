@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync/atomic"
 )
 
 // Server is the HTTP transport over a Manager. Routes (Go 1.22 pattern
@@ -14,12 +16,18 @@ import (
 //	GET  /v1/sessions/{id}                session status (SessionInfo)
 //	POST /v1/sessions/{id}/measurements   ingest iteration batches
 //	GET  /v1/sessions/{id}/estimates      SSE estimate stream
-//	GET  /healthz                         200 while serving, 503 draining
+//	GET  /healthz                         200 "ready"; 503 "recovering"/"draining"
 //	GET  /metrics                         Prometheus text format
 type Server struct {
 	mgr *Manager
 	met *Metrics
 	mux *http.ServeMux
+
+	// recovering gates the API while crash recovery rebuilds sessions: the
+	// daemon binds its port before recovery (so restarts are visible, not
+	// connection-refused), but serves 503 on /v1/ until the session table is
+	// complete. /healthz reports the phase for orchestrators and retry loops.
+	recovering atomic.Bool
 }
 
 // NewServer wires a manager and its metrics into an HTTP handler.
@@ -34,8 +42,20 @@ func NewServer(mgr *Manager, met *Metrics) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetRecovering flips the recovery gate; the daemon raises it before
+// listening and clears it once Manager.Restore returns.
+func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
+
+// ServeHTTP implements http.Handler. While recovering, the session API is
+// answered with 503 (clients' retry loops wait recovery out); /healthz and
+// /metrics stay live for observability.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
+		writeJSON(w, http.StatusServiceUnavailable, errf("recovering: replaying session logs"))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // writeJSON emits a JSON body with the given status.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -175,15 +195,22 @@ func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	send("done", map[string]int{"estimates": n})
 }
 
+// handleHealthz reports the daemon's phase: "ready" (200) when serving,
+// "recovering" (503) while the session table is being rebuilt from the
+// durability directory, "draining" (503) once shutdown began. Orchestrators
+// and the CI smoke tests poll for the literal body "ready".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	phase, status := "ready", http.StatusOK
+	if s.recovering.Load() {
+		phase, status = "recovering", http.StatusServiceUnavailable
+	}
 	select {
 	case <-s.mgr.Draining():
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		phase, status = "draining", http.StatusServiceUnavailable
 	default:
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
 	}
+	w.WriteHeader(status)
+	fmt.Fprintln(w, phase)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

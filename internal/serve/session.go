@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
 	"math"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/mathx"
 	"repro/internal/scenario"
 	"repro/internal/trace"
@@ -20,6 +23,11 @@ type session struct {
 	id    string
 	shard int
 	spec  SessionSpec
+	// specJSON is the normalized spec as admitted, the exact bytes the WAL
+	// create record and every snapshot carry. Recovery compares these bytes to
+	// decide whether a snapshot belongs to the current WAL incarnation of the
+	// session ID.
+	specJSON []byte
 
 	sc  *scenario.Scenario
 	tr  *core.Tracker
@@ -54,10 +62,69 @@ func newSession(id string, shard int, spec SessionSpec) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
 	return &session{
-		id: id, shard: shard, spec: spec,
+		id: id, shard: shard, spec: spec, specJSON: specJSON,
 		sc: sc, tr: tr, rng: sc.RNG(1),
 	}, nil
+}
+
+// snapshot captures the session's complete durable state. Tracker, RNG, and
+// network state are only mutated by step, so callers must hold the stepping
+// role: the owning shard goroutine, or the manager after the shards exited
+// (drain) or before they see the session (recovery).
+func (s *session) snapshot() *durable.Snapshot {
+	s.mu.Lock()
+	records := make([]trace.Record, len(s.records))
+	copy(records, s.records)
+	stepped := s.stepped
+	s.mu.Unlock()
+	return &durable.Snapshot{
+		ID:        s.id,
+		SpecJSON:  s.specJSON,
+		Stepped:   stepped,
+		RNG:       s.rng.State(),
+		Comm:      s.sc.Net.Stats.Snapshot(),
+		LossEpoch: s.sc.Net.LossEpoch(),
+		Tracker:   s.tr.SaveState(),
+		Records:   records,
+	}
+}
+
+// restoreSession rebuilds a session from a snapshot: a fresh build of the
+// same spec with every deterministic stream repositioned, so subsequent
+// steps are bit-identical to the crashed process's. The caller has already
+// verified the snapshot's spec bytes match the WAL's create record.
+func restoreSession(id string, shard int, snap *durable.Snapshot) (*session, error) {
+	var spec SessionSpec
+	if err := json.Unmarshal(snap.SpecJSON, &spec); err != nil {
+		return nil, fmt.Errorf("serve: snapshot spec for %q: %w", id, err)
+	}
+	s, err := newSession(id, shard, spec.normalize())
+	if err != nil {
+		return nil, err
+	}
+	// Keep the admitted bytes verbatim: future snapshots must keep matching
+	// the WAL create record even if JSON re-marshaling ever drifted.
+	s.specJSON = snap.SpecJSON
+	if err := s.tr.RestoreState(snap.Tracker); err != nil {
+		return nil, err
+	}
+	if snap.Stepped > s.iterations() || snap.Stepped != len(snap.Records) {
+		return nil, fmt.Errorf("serve: snapshot for %q stepped %d with %d records over %d iterations",
+			id, snap.Stepped, len(snap.Records), s.iterations())
+	}
+	s.rng.SetState(snap.RNG)
+	*s.sc.Net.Stats = snap.Comm
+	s.sc.Net.SetLossEpoch(snap.LossEpoch)
+	s.records = append(s.records, snap.Records...)
+	s.stepped = snap.Stepped
+	s.nextK = snap.Stepped
+	s.done = snap.Stepped >= s.iterations()
+	return s, nil
 }
 
 // iterations is the total filter iteration count (Steps+1, including t=0).

@@ -53,6 +53,15 @@ func (nw *Network) LossRate() float64 { return nw.lossRate }
 // iteration's broadcasts see fresh, independent loss draws.
 func (nw *Network) NextEpoch() { nw.lossEpoch++ }
 
+// LossEpoch returns the current loss epoch, for checkpointing a run mid-way.
+func (nw *Network) LossEpoch() uint64 { return nw.lossEpoch }
+
+// SetLossEpoch jumps the loss process to the given epoch — checkpoint restore
+// only. Loss draws are pure functions of (epoch, link, seed), and the bursty
+// chain memo recomputes from epoch 0 on a cache miss, so jumping forward
+// reproduces exactly the draws a step-by-step replay via NextEpoch would see.
+func (nw *Network) SetLossEpoch(epoch uint64) { nw.lossEpoch = epoch }
+
 // ResetLossEpoch rewinds the loss process to epoch 0 (and, in burst mode,
 // discards the cached chain states), so a repeated run on the same
 // deployment replays exactly the same loss draws. ResetStates calls this.
