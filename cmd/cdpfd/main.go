@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cdpfd [-addr HOST:PORT] [-shards N] [-shard-queue N] [-max-sessions N]
-//	      [-addr-file FILE] [-drain-timeout D] [-data-dir DIR]
+//	      [-addr-file FILE] [-drain-timeout D] [-drain-linger D] [-data-dir DIR]
 //	      [-fsync always|interval|none] [-snapshot-every N] [-version]
 //
 // With -data-dir, sessions are durable: every admitted batch is written to a
@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +47,7 @@ type config struct {
 	maxSessions   int
 	addrFile      string
 	drainTimeout  time.Duration
+	drainLinger   time.Duration
 	dataDir       string
 	fsync         string
 	snapshotEvery int
@@ -61,6 +61,7 @@ func main() {
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 4096, "live session limit")
 	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "maximum time to wait for connection drain after the queues empty")
+	flag.DurationVar(&cfg.drainLinger, "drain-linger", 0, "after draining, keep serving session exports until the session table empties or this long passes (lets a gateway evacuate on SIGTERM)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durability directory (WAL + snapshots); empty disables durability")
 	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL sync policy: always, interval, or none")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 32, "snapshot each session every N steps")
@@ -129,7 +130,9 @@ func run(cfg config) error {
 	log.Printf("cdpfd %s listening on %s (%d shards, queue %d/shard, max %d sessions)",
 		version.String(), bound, cfg.shards, cfg.shardQueue, cfg.maxSessions)
 
-	srv := &http.Server{Handler: handler}
+	// Shared hardening timeouts (slowloris header trickle, idle keep-alives)
+	// live in serve.NewHTTPServer so cdpfd and cdpfgw stay in lockstep.
+	srv := serve.NewHTTPServer(handler)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -152,6 +155,23 @@ func run(cfg config) error {
 	}
 	log.Printf("cdpfd: signal received, draining (%d iterations queued)", mgr.QueueDepth())
 	mgr.Drain() // finish queued work, snapshot live sessions, close streams
+	// With -drain-linger, the drained daemon lingers with /healthz reporting
+	// "draining" and the admin export endpoint still answering: a gateway
+	// probing the fleet sees the phase change and pulls every remaining
+	// session off via export before this process exits. The linger ends early
+	// the moment the session table is empty.
+	if cfg.drainLinger > 0 && mgr.LiveSessions() > 0 {
+		log.Printf("cdpfd: lingering up to %v for %d sessions to be evacuated", cfg.drainLinger, mgr.LiveSessions())
+		lingerEnd := time.Now().Add(cfg.drainLinger)
+		for time.Now().Before(lingerEnd) && mgr.LiveSessions() > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if left := mgr.LiveSessions(); left > 0 {
+			log.Printf("cdpfd: linger expired with %d sessions still local (snapshots cover them)", left)
+		} else {
+			log.Printf("cdpfd: all sessions evacuated")
+		}
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseBackends(t *testing.T) {
+	bks, err := parseBackends("b0=127.0.0.1:9000, b1=127.0.0.1:9001 ,b2=http://127.0.0.1:9002/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bks) != 3 {
+		t.Fatalf("parsed %d backends, want 3", len(bks))
+	}
+	want := map[string]string{
+		"b0": "http://127.0.0.1:9000",
+		"b1": "http://127.0.0.1:9001",
+		"b2": "http://127.0.0.1:9002",
+	}
+	for _, b := range bks {
+		if want[b.Name] != b.Addr {
+			t.Errorf("backend %s has addr %q, want %q", b.Name, b.Addr, want[b.Name])
+		}
+	}
+	for _, bad := range []string{"", "b0", "=addr", "b0="} {
+		if _, err := parseBackends(bad); err == nil {
+			t.Errorf("parseBackends(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// runCluster is cdpfload's cluster mode: it spawns -cluster cdpfd backends
+// (each with its own durability directory and -drain-linger armed), a cdpfgw
+// gateway in front of them, and drives every session through the gateway.
+// With -drain-after N, once N estimate events have arrived the busiest
+// backend is evacuated through the gateway and SIGTERMed mid-run — the run
+// then proves that zero sessions were lost and every trace, migrated or
+// not, still matches its offline twin (-verify is on by default).
+func runCluster(ctx context.Context, o options, out io.Writer) error {
+	if o.cluster < 2 {
+		return fmt.Errorf("-cluster needs at least 2 backends, got %d", o.cluster)
+	}
+	if o.daemon == "" || o.gatewayCmd == "" {
+		return fmt.Errorf("-cluster requires both -daemon (backend command) and -gateway (cdpfgw command)")
+	}
+	if o.restartAfter > 0 {
+		return fmt.Errorf("-restart-after is single-daemon fault injection; use -drain-after with -cluster")
+	}
+	if o.drainAfter > 0 {
+		if total := o.sessions * (o.steps + 1); o.drainAfter >= total {
+			return fmt.Errorf("-drain-after %d must be below the run's %d total estimate events", o.drainAfter, total)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "cdpfcluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctl, err := newClusterCtl(o.daemon, o.gatewayCmd, o.cluster, dir)
+	if err != nil {
+		return err
+	}
+	if err := ctl.start(ctx); err != nil {
+		ctl.stopAll()
+		return err
+	}
+	defer ctl.stopAll()
+
+	var trig *eventTrigger
+	if o.drainAfter > 0 {
+		trig = &eventTrigger{threshold: int64(o.drainAfter), action: func() { ctl.drainBusiest(ctx) }}
+	}
+
+	results, wall, err := driveAll(ctx, o, ctl.gatewayURL, ctl, trig)
+	if ferr := ctl.failed(); ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	if trig != nil {
+		if !trig.fired.Load() {
+			return fmt.Errorf("-drain-after %d never fired (%d events observed)", o.drainAfter, trig.count.Load())
+		}
+		if ctl.migratedCount() == 0 {
+			return fmt.Errorf("drained backend %s had no sessions to migrate — the drill proved nothing", ctl.drainedName())
+		}
+	}
+
+	var lats []time.Duration
+	perBackend := make(map[string][]time.Duration)
+	for _, r := range results {
+		lats = append(lats, r.latencies...)
+		for bk, ls := range r.perBackend {
+			perBackend[bk] = append(perBackend[bk], ls...)
+		}
+	}
+	sum, err := summarize(lats)
+	if err != nil {
+		return err
+	}
+	steps := sum.n()
+	throughput := float64(steps) / wall.Seconds()
+
+	fmt.Fprintf(out, "cdpfload: cluster of %d backends behind %s: %d sessions x %d iterations (window %d, verify %v)\n",
+		o.cluster, ctl.gatewayURL(), o.sessions, o.steps+1, o.window, o.verify)
+	if name := ctl.drainedName(); name != "" {
+		fmt.Fprintf(out, "cdpfload: drained %s mid-run: %d sessions migrated, 0 lost\n", name, ctl.migratedCount())
+	}
+	fmt.Fprintf(out, "wall %v  steps %d  throughput %.1f steps/sec\n", wall.Round(time.Millisecond), steps, throughput)
+	fmt.Fprintf(out, "step latency p50 %v  p90 %v  p99 %v  max %v\n",
+		sum.q(0.50).Round(time.Microsecond), sum.q(0.90).Round(time.Microsecond),
+		sum.q(0.99).Round(time.Microsecond), sum.max().Round(time.Microsecond))
+	names := make([]string, 0, len(perBackend))
+	for bk := range perBackend {
+		names = append(names, bk)
+	}
+	sort.Strings(names)
+	for _, bk := range names {
+		bsum, err := summarize(perBackend[bk])
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(out, "backend %s: steps %d  p50 %v  p99 %v  max %v\n",
+			bk, bsum.n(), bsum.q(0.50).Round(time.Microsecond),
+			bsum.q(0.99).Round(time.Microsecond), bsum.max().Round(time.Microsecond))
+	}
+
+	if cpu := benchfmt.HostCPU(); cpu != "" {
+		fmt.Fprintf(out, "cpu: %s\n", cpu)
+	}
+	fmt.Fprintf(out, "BenchmarkClusterStepLatencyP50 \t%d\t%d ns/op\n", steps, sum.q(0.50).Nanoseconds())
+	fmt.Fprintf(out, "BenchmarkClusterStepLatencyP99 \t%d\t%d ns/op\n", steps, sum.q(0.99).Nanoseconds())
+	fmt.Fprintf(out, "BenchmarkClusterThroughput \t%d\t%d ns/op\t%.2f jobs/sec\n",
+		steps, wall.Nanoseconds()/int64(steps), throughput)
+
+	if o.benchJSON != "" {
+		b := benchfmt.Baseline{
+			Schema:   "bench-cluster/v1",
+			Recorded: time.Now().Format("2006-01-02"),
+			CPU:      benchfmt.HostCPU(),
+			Note:     o.note,
+			Baseline: map[string]benchfmt.Measurement{
+				"BenchmarkClusterStepLatencyP50": {NsPerOp: float64(sum.q(0.50).Nanoseconds())},
+				"BenchmarkClusterStepLatencyP99": {NsPerOp: float64(sum.q(0.99).Nanoseconds())},
+				"BenchmarkClusterThroughput": {
+					NsPerOp:    float64(wall.Nanoseconds() / int64(steps)),
+					JobsPerSec: throughput,
+				},
+			},
+		}
+		if err := b.Write(o.benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cdpfload: baseline written to %s\n", o.benchJSON)
+	}
+	return nil
+}
+
+// clusterProc is one spawned process (backend or gateway).
+type clusterProc struct {
+	name     string
+	addrFile string
+	cmd      *exec.Cmd
+	base     string
+}
+
+// clusterCtl owns the spawned fleet: N backends plus the gateway.
+type clusterCtl struct {
+	daemonArgv []string
+	gwArgv     []string
+	dir        string
+	backends   []*clusterProc
+	gw         *clusterProc
+
+	mu       sync.Mutex
+	err      error
+	drained  string
+	migrated int
+}
+
+func newClusterCtl(daemonCmd, gatewayCmd string, n int, dir string) (*clusterCtl, error) {
+	daemonArgv := strings.Fields(daemonCmd)
+	gwArgv := strings.Fields(gatewayCmd)
+	if len(daemonArgv) == 0 || len(gwArgv) == 0 {
+		return nil, fmt.Errorf("empty -daemon or -gateway command")
+	}
+	c := &clusterCtl{daemonArgv: daemonArgv, gwArgv: gwArgv, dir: dir}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("b%d", i)
+		c.backends = append(c.backends, &clusterProc{
+			name:     name,
+			addrFile: filepath.Join(dir, name+".addr"),
+		})
+	}
+	c.gw = &clusterProc{name: "gateway", addrFile: filepath.Join(dir, "gw.addr")}
+	return c, nil
+}
+
+// start boots every backend (each with its own durability directory and a
+// drain-linger window so SIGTERM leaves time to evacuate), then the gateway
+// pointed at all of them, and waits for the gateway to report ready.
+func (c *clusterCtl) start(ctx context.Context) error {
+	var ringArg []string
+	for _, p := range c.backends {
+		argv := append(append([]string(nil), c.daemonArgv...),
+			"-addr", "127.0.0.1:0",
+			"-addr-file", p.addrFile,
+			"-data-dir", filepath.Join(c.dir, p.name+"-data"),
+			"-drain-linger", "30s")
+		if err := c.spawn(ctx, p, argv); err != nil {
+			return err
+		}
+		ringArg = append(ringArg, p.name+"="+strings.TrimPrefix(p.base, "http://"))
+	}
+	argv := append(append([]string(nil), c.gwArgv...),
+		"-addr", "127.0.0.1:0",
+		"-addr-file", c.gw.addrFile,
+		"-probe-every", "100ms",
+		"-backends", strings.Join(ringArg, ","))
+	return c.spawn(ctx, c.gw, argv)
+}
+
+// spawn starts one process and waits for its addr-file plus a ready healthz.
+func (c *clusterCtl) spawn(ctx context.Context, p *clusterProc, argv []string) error {
+	os.Remove(p.addrFile)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", p.name, err)
+	}
+	p.cmd = cmd
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became ready", p.name)
+		}
+		if base, ok := readyBase(p.addrFile); ok {
+			p.base = base
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// gatewayURL is the drive target; it never changes (only backends come and
+// go behind it).
+func (c *clusterCtl) gatewayURL() string { return c.gw.base }
+
+// awaitReady waits for the gateway to answer ready — the cluster-mode
+// recoverer hook driveSession uses after a transient failure (typically the
+// SSE stream cut when a session's backend was evacuated under it).
+func (c *clusterCtl) awaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.failed(); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway not ready within %v", timeout)
+		}
+		if _, ok := readyBase(c.gw.addrFile); ok {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// drainBusiest picks the backend holding the most sessions (gateway census,
+// ties broken by name for determinism), evacuates it through the gateway,
+// then SIGTERMs it and requires a clean exit — the full decommissioning
+// drill, mid-load.
+func (c *clusterCtl) drainBusiest(ctx context.Context) {
+	name, err := c.busiestBackend(ctx)
+	if err != nil {
+		c.setErr(fmt.Errorf("choosing drain victim: %w", err))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cdpfload: draining busiest backend %s mid-run\n", name)
+	moved, err := c.migrateViaGateway(ctx, name)
+	if err != nil {
+		c.setErr(fmt.Errorf("evacuating %s: %w", name, err))
+		return
+	}
+	c.mu.Lock()
+	c.drained, c.migrated = name, moved
+	c.mu.Unlock()
+
+	var victim *clusterProc
+	for _, p := range c.backends {
+		if p.name == name {
+			victim = p
+			break
+		}
+	}
+	if victim == nil || victim.cmd == nil {
+		c.setErr(fmt.Errorf("drain victim %s has no process", name))
+		return
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		c.setErr(fmt.Errorf("SIGTERM %s: %w", name, err))
+		return
+	}
+	done := make(chan error, 1)
+	go func() { done <- victim.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			c.setErr(fmt.Errorf("drained backend %s exited uncleanly: %w", name, err))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "cdpfload: backend %s exited 0 after evacuating %d sessions\n", name, moved)
+	case <-time.After(60 * time.Second):
+		victim.cmd.Process.Kill()
+		c.setErr(fmt.Errorf("drained backend %s did not exit within 60s", name))
+	}
+}
+
+// busiestBackend reads the gateway's /cluster census.
+func (c *clusterCtl) busiestBackend(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.gw.base+"/cluster", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Sessions map[string]int `json:"sessions_per_backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	names := make([]string, 0, len(info.Sessions))
+	for name := range info.Sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n := info.Sessions[name]; n > bestN {
+			best, bestN = name, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("empty census from /cluster")
+	}
+	return best, nil
+}
+
+// migrateViaGateway POSTs the explicit evacuation and returns how many
+// sessions moved.
+func (c *clusterCtl) migrateViaGateway(ctx context.Context, name string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.gw.base+"/admin/migrate?backend="+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var rep struct {
+		Moved  map[string]string `json:"moved"`
+		Errors []string          `json:"errors"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, err
+	}
+	if len(rep.Errors) > 0 {
+		return len(rep.Moved), fmt.Errorf("migration errors: %s", strings.Join(rep.Errors, "; "))
+	}
+	return len(rep.Moved), nil
+}
+
+func (c *clusterCtl) setErr(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *clusterCtl) failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *clusterCtl) drainedName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drained
+}
+
+func (c *clusterCtl) migratedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migrated
+}
+
+// stopAll shuts the gateway down first (no new routing), then every backend
+// that is still running.
+func (c *clusterCtl) stopAll() {
+	procs := append([]*clusterProc{c.gw}, c.backends...)
+	for _, p := range procs {
+		if p == nil || p.cmd == nil || p.cmd.Process == nil {
+			continue
+		}
+		name := c.drainedName()
+		if p.name == name {
+			continue // already reaped by drainBusiest
+		}
+		p.cmd.Process.Signal(os.Interrupt)
+	}
+	for _, p := range procs {
+		if p == nil || p.cmd == nil || p.cmd.Process == nil || p.name == c.drainedName() {
+			continue
+		}
+		done := make(chan error, 1)
+		go func(p *clusterProc) { done <- p.cmd.Wait() }(p)
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	}
+}

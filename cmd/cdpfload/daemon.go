@@ -161,24 +161,25 @@ func (d *daemonCtl) awaitReady(ctx context.Context, timeout time.Duration) error
 	}
 }
 
-// restartTrigger fires one kill+restart of the managed daemon once the fleet
-// has observed -restart-after estimate events. Only first-time records count
-// (replays after the restart must not re-arm anything). Nil-safe: a nil
-// trigger means -restart-after is off.
-type restartTrigger struct {
-	ctx       context.Context
-	ctl       *daemonCtl
+// eventTrigger fires its action once, after the fleet has observed
+// `threshold` first-time estimate events — the scheduling mechanism behind
+// both -restart-after (kill the managed daemon) and -drain-after (evacuate
+// the busiest cluster backend). Replayed records after a recovery must not
+// re-arm anything, so only first receipts count. Nil-safe: a nil trigger
+// means no fault injection.
+type eventTrigger struct {
 	threshold int64
+	action    func()
 	count     atomic.Int64
 	fired     atomic.Bool
 }
 
-func (r *restartTrigger) onEvent() {
+func (r *eventTrigger) onEvent() {
 	if r == nil {
 		return
 	}
 	if r.count.Add(1) >= r.threshold && r.fired.CompareAndSwap(false, true) {
-		go r.ctl.killRestart(r.ctx)
+		go r.action()
 	}
 }
 

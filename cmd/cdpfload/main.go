@@ -20,11 +20,21 @@
 // byte-for-byte against the offline twin — an end-to-end crash-recovery
 // check under concurrent load.
 //
+// With -cluster N (plus -daemon and -gateway "CMD ARGS..."), cdpfload spawns
+// N cdpfd backends and a cdpfgw gateway in front of them, and drives every
+// session through the gateway. -drain-after K evacuates and SIGTERMs the
+// busiest backend after K estimate events: its sessions live-migrate to
+// other backends via snapshot handoff, the drained process must exit 0, and
+// every migrated session's trace must still match its offline twin. The
+// summary adds per-backend latency breakdowns, and -benchjson writes the
+// bench-cluster/v1 baseline (results/BENCH_cluster.json in CI).
+//
 // Usage:
 //
 //	cdpfload [-addr HOST:PORT] [-sessions N] [-steps N] [-density D]
 //	         [-seed S] [-window W] [-use-ne] [-verify=false]
 //	         [-daemon "CMD ARGS..."] [-restart-after N]
+//	         [-cluster N] [-gateway "CMD ARGS..."] [-drain-after N]
 //	         [-benchjson FILE] [-note TEXT] [-version]
 package main
 
@@ -68,6 +78,9 @@ type options struct {
 	stepWait     time.Duration
 	daemon       string
 	restartAfter int
+	cluster      int
+	gatewayCmd   string
+	drainAfter   int
 }
 
 func main() {
@@ -88,6 +101,9 @@ func main() {
 	flag.DurationVar(&o.stepWait, "step-wait", 30*time.Second, "timeout waiting for any single estimate event")
 	flag.StringVar(&o.daemon, "daemon", "", "launch this cdpfd command (space-separated) instead of targeting -addr")
 	flag.IntVar(&o.restartAfter, "restart-after", 0, "SIGKILL and restart the managed daemon after N estimate events (requires -daemon)")
+	flag.IntVar(&o.cluster, "cluster", 0, "cluster mode: spawn N cdpfd backends plus a cdpfgw gateway and drive through the gateway (requires -daemon and -gateway)")
+	flag.StringVar(&o.gatewayCmd, "gateway", "", "cdpfgw command (space-separated) for -cluster mode")
+	flag.IntVar(&o.drainAfter, "drain-after", 0, "drain and SIGTERM the busiest backend after N estimate events (requires -cluster)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("cdpfload", version.String())
@@ -105,8 +121,9 @@ func main() {
 
 // sessionResult is what one driven session reports back.
 type sessionResult struct {
-	latencies []time.Duration
-	records   []trace.Record
+	latencies  []time.Duration
+	perBackend map[string][]time.Duration // by X-Backend of the admitting response
+	records    []trace.Record
 }
 
 func run(ctx context.Context, o options, out io.Writer) error {
@@ -115,6 +132,12 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 	if o.window <= 0 {
 		o.window = 1
+	}
+	if o.cluster > 0 {
+		return runCluster(ctx, o, out)
+	}
+	if o.gatewayCmd != "" || o.drainAfter > 0 {
+		return fmt.Errorf("-gateway and -drain-after require -cluster")
 	}
 	if o.restartAfter > 0 && o.daemon == "" {
 		return fmt.Errorf("-restart-after requires -daemon (cdpfload must own the process it kills)")
@@ -144,45 +167,27 @@ func run(ctx context.Context, o options, out io.Writer) error {
 		baseFn = ctl.baseURL
 	}
 
-	var trig *restartTrigger
+	var trig *eventTrigger
 	if o.restartAfter > 0 {
 		total := o.sessions * (o.steps + 1)
 		if o.restartAfter >= total {
 			return fmt.Errorf("-restart-after %d must be below the run's %d total estimate events", o.restartAfter, total)
 		}
-		trig = &restartTrigger{ctx: ctx, ctl: ctl, threshold: int64(o.restartAfter)}
+		trig = &eventTrigger{threshold: int64(o.restartAfter), action: func() { ctl.killRestart(ctx) }}
 	}
 
-	seeds := fleet.Seeds(o.seed, o.sessions)
-	client := &http.Client{} // no global timeout: SSE streams live for the whole run
-	results := make([]sessionResult, o.sessions)
-	errs := make([]error, o.sessions)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < o.sessions; i++ {
-		spec := serve.SessionSpec{
-			ID:       fmt.Sprintf("load-%d-%03d", o.seed, i),
-			Scenario: scenario.Default(o.density, seeds[i]),
-			UseNE:    o.useNE,
-		}
-		spec.Scenario.Steps = o.steps
-		wg.Add(1)
-		go func(i int, spec serve.SessionSpec) {
-			defer wg.Done()
-			results[i], errs[i] = driveSession(ctx, client, baseFn, spec, o, ctl, trig)
-		}(i, spec)
-	}
-	wg.Wait()
-	wall := time.Since(start)
+	var rec recoverer
 	if ctl != nil {
-		if err := ctl.failed(); err != nil {
-			return err
+		rec = ctl
+	}
+	results, wall, err := driveAll(ctx, o, baseFn, rec, trig)
+	if ctl != nil {
+		if ferr := ctl.failed(); ferr != nil {
+			return ferr
 		}
 	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("session %d: %w", i, err)
-		}
+	if err != nil {
+		return err
 	}
 	if trig != nil && !trig.fired.Load() {
 		return fmt.Errorf("-restart-after %d never fired (%d events observed)", o.restartAfter, trig.count.Load())
@@ -192,21 +197,11 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	for _, r := range results {
 		lats = append(lats, r.latencies...)
 	}
-	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	steps := len(lats)
-	if steps == 0 {
-		return fmt.Errorf("no steps completed")
+	sum, err := summarize(lats)
+	if err != nil {
+		return err
 	}
-	q := func(p float64) time.Duration {
-		i := int(p*float64(steps)+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= steps {
-			i = steps - 1
-		}
-		return lats[i]
-	}
+	steps, q := sum.n(), sum.q
 	throughput := float64(steps) / wall.Seconds()
 
 	fmt.Fprintf(out, "cdpfload: %d sessions x %d iterations against %s (window %d, verify %v)\n",
@@ -217,7 +212,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	fmt.Fprintf(out, "wall %v  steps %d  throughput %.1f steps/sec\n", wall.Round(time.Millisecond), steps, throughput)
 	fmt.Fprintf(out, "step latency p50 %v  p90 %v  p99 %v  max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-		q(0.99).Round(time.Microsecond), lats[steps-1].Round(time.Microsecond))
+		q(0.99).Round(time.Microsecond), sum.max().Round(time.Microsecond))
 
 	// Bench-format block: parseable by cmd/benchdiff (the cpu: line scopes
 	// the wall-clock gates to matching hardware).
@@ -252,9 +247,76 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	return nil
 }
 
-// transientError marks a failure worth retrying when cdpfload manages the
-// daemon: connection refused across a restart, 503 while recovering, a broken
-// SSE stream. Everything else is permanent and fails the session.
+// recoverer is whatever lets a drive loop wait out a transient failure: the
+// managed single daemon restarting, or the cluster's gateway riding out a
+// backend drain. A nil recoverer means transient failures are fatal.
+type recoverer interface {
+	awaitReady(ctx context.Context, timeout time.Duration) error
+}
+
+// driveAll runs every session drive concurrently and returns the results
+// plus wall time; the error is the first failed session's.
+func driveAll(ctx context.Context, o options, baseFn func() string, rec recoverer, trig *eventTrigger) ([]sessionResult, time.Duration, error) {
+	seeds := fleet.Seeds(o.seed, o.sessions)
+	client := &http.Client{} // no global timeout: SSE streams live for the whole run
+	results := make([]sessionResult, o.sessions)
+	errs := make([]error, o.sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.sessions; i++ {
+		spec := serve.SessionSpec{
+			ID:       fmt.Sprintf("load-%d-%03d", o.seed, i),
+			Scenario: scenario.Default(o.density, seeds[i]),
+			UseNE:    o.useNE,
+		}
+		spec.Scenario.Steps = o.steps
+		wg.Add(1)
+		go func(i int, spec serve.SessionSpec) {
+			defer wg.Done()
+			results[i], errs[i] = driveSession(ctx, client, baseFn, spec, o, rec, trig)
+		}(i, spec)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return results, wall, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	return results, wall, nil
+}
+
+// latSummary answers quantile queries over a sorted latency set.
+type latSummary struct{ lats []time.Duration }
+
+func summarize(lats []time.Duration) (latSummary, error) {
+	if len(lats) == 0 {
+		return latSummary{}, fmt.Errorf("no steps completed")
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return latSummary{lats: sorted}, nil
+}
+
+func (s latSummary) n() int { return len(s.lats) }
+
+func (s latSummary) q(p float64) time.Duration {
+	i := int(p*float64(len(s.lats))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.lats) {
+		i = len(s.lats) - 1
+	}
+	return s.lats[i]
+}
+
+func (s latSummary) max() time.Duration { return s.lats[len(s.lats)-1] }
+
+// transientError marks a failure worth retrying when a recoverer is present:
+// connection refused across a restart, 503 while recovering, a broken SSE
+// stream (a migrated session's old stream ends early). Everything else is
+// permanent and fails the session.
 type transientError struct{ err error }
 
 func (e transientError) Error() string { return e.err.Error() }
@@ -266,9 +328,11 @@ func (e transientError) Unwrap() error { return e.err }
 // resubscribe are checked for equality against what we already hold — a
 // recovered daemon re-serving a different record is a determinism failure.
 type driveState struct {
-	admit     []time.Time
-	got       map[int]trace.Record
-	latencies []time.Duration
+	admit        []time.Time
+	admitBackend []string // X-Backend header of the admitting response, per k
+	got          map[int]trace.Record
+	latencies    []time.Duration
+	perBackend   map[string][]time.Duration
 }
 
 // driveSession runs one session end to end: create, subscribe, feed every
@@ -277,17 +341,20 @@ type driveState struct {
 // the offline twin. When cdpfload manages the daemon (ctl != nil) the drive
 // is resumable: a transient failure — typically the -restart-after kill —
 // waits for the daemon to recover and resumes from the server's NextK.
-func driveSession(ctx context.Context, client *http.Client, baseFn func() string, spec serve.SessionSpec, o options, ctl *daemonCtl, trig *restartTrigger) (sessionResult, error) {
+func driveSession(ctx context.Context, client *http.Client, baseFn func() string, spec serve.SessionSpec, o options, rec recoverer, trig *eventTrigger) (sessionResult, error) {
 	var res sessionResult
 	batches, err := serve.Observations(spec)
 	if err != nil {
 		return res, err
 	}
 	n := len(batches)
-	st := &driveState{admit: make([]time.Time, n), got: make(map[int]trace.Record, n)}
+	st := &driveState{
+		admit: make([]time.Time, n), admitBackend: make([]string, n),
+		got: make(map[int]trace.Record, n), perBackend: make(map[string][]time.Duration),
+	}
 
 	maxAttempts := 1
-	if ctl != nil {
+	if rec != nil {
 		maxAttempts = 8
 	}
 	for attempt := 1; ; attempt++ {
@@ -299,8 +366,8 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 		if !errors.As(err, &te) || attempt >= maxAttempts {
 			return res, err
 		}
-		if err := ctl.awaitReady(ctx, 60*time.Second); err != nil {
-			return res, fmt.Errorf("waiting out daemon restart: %w", err)
+		if err := rec.awaitReady(ctx, 60*time.Second); err != nil {
+			return res, fmt.Errorf("waiting out recovery: %w", err)
 		}
 	}
 
@@ -313,6 +380,7 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 		res.records = append(res.records, rec)
 	}
 	res.latencies = st.latencies
+	res.perBackend = st.perBackend
 	if o.verify {
 		if err := verifyAgainstOffline(spec, res.records); err != nil {
 			return res, err
@@ -325,7 +393,7 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 // current address: look the session up (creating it on 404), subscribe,
 // re-feed from the server's NextK — anything admitted but not yet in the WAL
 // when a crash hit must be posted again — and fold the event stream into st.
-func driveAttempt(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, batches []serve.Batch, o options, st *driveState, trig *restartTrigger) error {
+func driveAttempt(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, batches []serve.Batch, o options, st *driveState, trig *eventTrigger) error {
 	n := len(batches)
 	info, status, err := getSessionInfo(ctx, client, base, spec.ID)
 	switch {
@@ -389,7 +457,8 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 	posted, ackK := info.NextK, info.NextK-1
 	for len(st.got) < n {
 		for posted < n && posted-ackK <= o.window {
-			if err := postBatch(ctx, client, base, spec.ID, batches[posted]); err != nil {
+			backend, err := postBatch(ctx, client, base, spec.ID, batches[posted])
+			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
@@ -397,6 +466,7 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 			}
 			if st.admit[posted].IsZero() {
 				st.admit[posted] = time.Now()
+				st.admitBackend[posted] = backend
 			}
 			posted++
 		}
@@ -418,7 +488,11 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 			} else {
 				st.got[rec.K] = rec
 				if !st.admit[rec.K].IsZero() {
-					st.latencies = append(st.latencies, time.Since(st.admit[rec.K]))
+					lat := time.Since(st.admit[rec.K])
+					st.latencies = append(st.latencies, lat)
+					if bk := st.admitBackend[rec.K]; bk != "" {
+						st.perBackend[bk] = append(st.perBackend[bk], lat)
+					}
 				}
 				trig.onEvent()
 			}
@@ -486,25 +560,30 @@ func createSession(ctx context.Context, client *http.Client, base string, spec s
 // postBatch submits one iteration batch, retrying on backpressure (429 when
 // the session queue budget is spent, 503 when a shard queue is full) — the
 // load generator's contract is to apply pressure, observe shedding, and keep
-// going, not to fail the run.
-func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch) error {
+// going, not to fail the run. It returns the X-Backend header of the
+// accepting response (set by the gateway in cluster mode, empty when talking
+// to a daemon directly) plus a freshly minted X-Request-Id on every attempt
+// so rejections are traceable end to end.
+func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch) (string, error) {
 	body, err := json.Marshal(serve.IngestRequest{Batches: []serve.Batch{b}})
 	if err != nil {
-		return err
+		return "", err
 	}
 	backoff := 2 * time.Millisecond
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			base+"/v1/sessions/"+id+"/measurements", bytes.NewReader(body))
 		if err != nil {
-			return err
+			return "", err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", serve.NewRequestID())
 		resp, err := client.Do(req)
 		if err != nil {
-			return err
+			return "", err
 		}
 		status, msg := resp.StatusCode, ""
+		backend := resp.Header.Get("X-Backend")
 		if status != http.StatusAccepted {
 			msg = readErrBody(resp)
 		}
@@ -512,30 +591,34 @@ func postBatch(ctx context.Context, client *http.Client, base, id string, b serv
 		resp.Body.Close()
 		switch status {
 		case http.StatusAccepted:
-			return nil
+			return backend, nil
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return "", ctx.Err()
 			case <-time.After(backoff):
 			}
 			if backoff < 100*time.Millisecond {
 				backoff *= 2
 			}
 		default:
-			return fmt.Errorf("ingest k=%d: %s", b.K, msg)
+			return "", fmt.Errorf("ingest k=%d: %s", b.K, msg)
 		}
 	}
 }
 
 // readErrBody extracts the JSON error envelope (or a fallback) from a non-2xx
-// response.
+// response, including the request ID when the server echoed one.
 func readErrBody(resp *http.Response) string {
 	var eb struct {
-		Error string `json:"error"`
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		if eb.RequestID != "" {
+			return fmt.Sprintf("HTTP %d: %s (request %s)", resp.StatusCode, eb.Error, eb.RequestID)
+		}
 		return fmt.Sprintf("HTTP %d: %s", resp.StatusCode, eb.Error)
 	}
 	return fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))

@@ -183,6 +183,30 @@ func (s *Store) LogBatch(shard int, r *BatchRecord) error {
 	return w.logBatch(r, s.policy == FsyncAlways, s.c)
 }
 
+// LogImport appends a migrated-in session's handoff snapshot, called by the
+// serving layer before the imported session becomes reachable. The snapshot
+// lives in the WAL itself, so recovery of a session whose batch history
+// starts mid-run never depends on a snapshot file. Migration records are
+// synced eagerly (policy permitting): acknowledging an import that a power
+// failure could erase would lose the session on both sides of the handoff.
+func (s *Store) LogImport(shard int, snap *Snapshot) error {
+	w, err := s.writer(shard)
+	if err != nil {
+		return err
+	}
+	return w.logImport(snap.encode(nil), s.policy != FsyncNone, s.c)
+}
+
+// LogForget appends a session-exported record: the session was handed to
+// another backend, and recovery on this daemon must skip it.
+func (s *Store) LogForget(shard int, id string) error {
+	w, err := s.writer(shard)
+	if err != nil {
+		return err
+	}
+	return w.logForget(&ForgetRecord{ID: id}, s.policy != FsyncNone, s.c)
+}
+
 // SaveSnapshot writes a session snapshot via temp-file-and-rename, so the
 // previous snapshot survives any crash mid-write.
 func (s *Store) SaveSnapshot(snap *Snapshot) error {

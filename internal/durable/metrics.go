@@ -20,6 +20,9 @@ type Counters struct {
 	ReplayedBatches   atomic.Int64 // WAL batches re-stepped during recovery
 	TruncatedTails    atomic.Int64 // torn WAL tails truncated on open
 	OrphanBatches     atomic.Int64 // WAL batches with no preceding create record
+
+	ImportRecords atomic.Int64 // migration import records seen during WAL scan
+	ForgetRecords atomic.Int64 // migration forget records seen during WAL scan
 }
 
 func (c *Counters) add(f *atomic.Int64)           { f.Add(1) }

@@ -12,10 +12,17 @@ import (
 // When a session ID is reused (a finished session's ID freed and re-created),
 // the latest create record wins and earlier batches are discarded — they
 // belong to the previous incarnation.
+//
+// A session that arrived by live migration begins with an import record
+// instead of a create: Base is then the handoff snapshot it started from,
+// and Batches hold only the iterations stepped since (k >= Base.Stepped).
+// A forget record ends a session's residence here (it was exported away) and
+// removes it from the recovery set entirely.
 type SessionLog struct {
 	ID       string
 	SpecJSON []byte
 	Batches  []*BatchRecord
+	Base     *Snapshot
 }
 
 // Recovery is everything the durability layer found on disk: per-session WAL
@@ -91,6 +98,30 @@ func scanSegment(path string, rec *Recovery, c *Counters) (validEnd int64, torn 
 			// Latest incarnation wins: reset the history.
 			s.SpecJSON = r.create.SpecJSON
 			s.Batches = s.Batches[:0]
+			s.Base = nil
+		case r.imp != nil:
+			s := rec.Sessions[r.imp.ID]
+			if s == nil {
+				s = &SessionLog{ID: r.imp.ID}
+				rec.Sessions[r.imp.ID] = s
+				rec.Order = append(rec.Order, r.imp.ID)
+			}
+			// A migrated-in incarnation starts at the handoff snapshot.
+			s.SpecJSON = r.imp.SpecJSON
+			s.Batches = s.Batches[:0]
+			s.Base = r.imp
+			c.add(&c.ImportRecords)
+		case r.forget != nil:
+			if _, ok := rec.Sessions[r.forget.ID]; ok {
+				delete(rec.Sessions, r.forget.ID)
+				for i, id := range rec.Order {
+					if id == r.forget.ID {
+						rec.Order = append(rec.Order[:i], rec.Order[i+1:]...)
+						break
+					}
+				}
+			}
+			c.add(&c.ForgetRecords)
 		case r.batch != nil:
 			s := rec.Sessions[r.batch.ID]
 			if s == nil {

@@ -40,6 +40,17 @@ var snapMagic = [8]byte{'C', 'D', 'P', 'F', 'S', 'N', 'A', 'P'}
 
 const snapVersion = 1
 
+// EncodeSnapshot renders a snapshot as its self-describing file image
+// (magic, version, CRC frame). The same bytes work as a snapshot file, a WAL
+// import record payload, and the migration wire format — a session handoff
+// is literally the durability format in an HTTP body.
+func EncodeSnapshot(s *Snapshot) []byte { return s.encode(nil) }
+
+// DecodeSnapshot parses a snapshot file image, validating magic, version,
+// length, and CRC. It is the inverse of EncodeSnapshot and the entry point
+// for migration imports arriving over the wire.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return decodeSnapshot(data) }
+
 // encode renders the snapshot into the versioned, CRC-framed file format.
 func (s *Snapshot) encode(buf []byte) []byte {
 	var p encoder

@@ -39,6 +39,8 @@ const (
 	// record kinds
 	recCreate byte = 1
 	recBatch  byte = 2
+	recImport byte = 3
+	recForget byte = 4
 )
 
 // CreateRecord logs one session admission: the ID and the normalized spec
@@ -64,10 +66,23 @@ type BatchRecord struct {
 	Obs []Obs
 }
 
-// logRecord is the union the reader yields, in segment order.
+// ForgetRecord logs a session leaving this daemon: it was exported (live
+// migration to another backend), so recovery must not resurrect it here even
+// though its create record and batches precede it in the log.
+type ForgetRecord struct {
+	ID string
+}
+
+// logRecord is the union the reader yields, in segment order. An import
+// record carries the handoff snapshot a migrated-in session started from —
+// embedding it in the WAL keeps the log self-contained: recovery of a
+// session whose batches begin at step k > 0 never depends on a separate
+// snapshot file surviving.
 type logRecord struct {
 	create *CreateRecord
 	batch  *BatchRecord
+	imp    *Snapshot
+	forget *ForgetRecord
 }
 
 func encodeCreate(buf []byte, r *CreateRecord) []byte {
@@ -90,6 +105,24 @@ func encodeBatch(buf []byte, r *BatchRecord) []byte {
 		p.u32(uint32(o.Node))
 		p.f64(o.Bearing)
 	}
+	return p.buf
+}
+
+// encodeImport wraps a snapshot file image (EncodeSnapshot output, its own
+// magic/version/CRC intact) as an import record.
+func encodeImport(buf []byte, img []byte) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.u8(recImport)
+	p.bytes(img)
+	return p.buf
+}
+
+func encodeForget(buf []byte, r *ForgetRecord) []byte {
+	var p encoder
+	p.buf = buf[:0]
+	p.u8(recForget)
+	p.str(r.ID)
 	return p.buf
 }
 
@@ -120,6 +153,22 @@ func decodeLogRecord(payload []byte) (logRecord, error) {
 			return logRecord{}, fmt.Errorf("durable: implausible batch iteration %d", r.K)
 		}
 		return logRecord{batch: r}, nil
+	case recImport:
+		img := d.blob()
+		if err := d.finish(); err != nil {
+			return logRecord{}, err
+		}
+		snap, err := decodeSnapshot(img)
+		if err != nil {
+			return logRecord{}, fmt.Errorf("durable: import record: %w", err)
+		}
+		return logRecord{imp: snap}, nil
+	case recForget:
+		r := &ForgetRecord{ID: d.str()}
+		if err := d.finish(); err != nil {
+			return logRecord{}, err
+		}
+		return logRecord{forget: r}, nil
 	default:
 		return logRecord{}, fmt.Errorf("durable: unknown WAL record kind %d", kind)
 	}
@@ -217,6 +266,22 @@ func (w *walWriter) logBatch(r *BatchRecord, sync bool, c *Counters) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.pbuf = encodeBatch(w.pbuf, r)
+	return w.appendLocked(w.pbuf, sync, c)
+}
+
+// logImport encodes and appends one import record (migration handoff).
+func (w *walWriter) logImport(img []byte, sync bool, c *Counters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pbuf = encodeImport(w.pbuf, img)
+	return w.appendLocked(w.pbuf, sync, c)
+}
+
+// logForget encodes and appends one forget record (session exported away).
+func (w *walWriter) logForget(r *ForgetRecord, sync bool, c *Counters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pbuf = encodeForget(w.pbuf, r)
 	return w.appendLocked(w.pbuf, sync, c)
 }
 

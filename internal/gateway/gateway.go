@@ -1,0 +1,412 @@
+// Package gateway is the stateless cluster front door for cdpfd: it owns no
+// session state of its own, routing every session-scoped request to the
+// backend the ring says owns the session and falling through the ring's
+// fallback chain when the owner does not have it (yet). Because routing is
+// pure rendezvous hashing over backend names, any number of gateways in
+// front of the same fleet route identically without coordinating.
+//
+// The gateway is also the migration driver: evacuating a backend means
+// marking it ineligible in the ring, exporting each of its sessions at a
+// step boundary, and importing the snapshot bytes into the session's new
+// owner. Requests for a session caught mid-handoff are held (not failed)
+// until the handoff lands, so clients observe added latency, never a lost
+// session.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+	"repro/internal/version"
+)
+
+// Config wires a Gateway.
+type Config struct {
+	// Ring is the backend membership; required.
+	Ring *ring.Ring
+	// Client performs all proxied requests. nil defaults to a client with
+	// no global timeout (SSE streams live arbitrarily long); control-plane
+	// calls bound themselves with request contexts.
+	Client *http.Client
+	// ExportRetry bounds how long one session export is retried while the
+	// session still has queued batches (409). 0 defaults to 15s.
+	ExportRetry time.Duration
+}
+
+// Gateway is the http.Handler. All state is routing state: the ring, the
+// in-flight migration holds, and counters.
+type Gateway struct {
+	ring        *ring.Ring
+	client      *http.Client
+	exportRetry time.Duration
+	met         metrics
+	mux         *http.ServeMux
+
+	mu        sync.Mutex
+	migrating map[string]chan struct{} // session id -> closed when its handoff completes
+	evacuated map[string]bool          // backend name -> evacuation ran (or is running)
+
+	idCounter atomic.Uint64
+}
+
+// New builds a gateway over the ring.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("gateway: Config.Ring is required")
+	}
+	g := &Gateway{
+		ring:        cfg.Ring,
+		client:      cfg.Client,
+		exportRetry: cfg.ExportRetry,
+		migrating:   make(map[string]chan struct{}),
+		evacuated:   make(map[string]bool),
+		mux:         http.NewServeMux(),
+	}
+	if g.client == nil {
+		g.client = &http.Client{}
+	}
+	if g.exportRetry <= 0 {
+		g.exportRetry = 15 * time.Second
+	}
+	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
+	g.mux.HandleFunc("GET /v1/sessions/{id}", g.handleSession)
+	g.mux.HandleFunc("POST /v1/sessions/{id}/measurements", g.handleSession)
+	g.mux.HandleFunc("GET /v1/sessions/{id}/estimates", g.handleEstimates)
+	g.mux.HandleFunc("POST /admin/migrate", g.handleMigrate)
+	g.mux.HandleFunc("GET /cluster", g.handleCluster)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Ring exposes the membership (the prober and tests need it).
+func (g *Gateway) Ring() *ring.Ring { return g.ring }
+
+// ServeHTTP stamps the request ID (minting one when the client sent none —
+// the ID then rides every proxied hop and comes back in daemon error bodies)
+// and dispatches.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = serve.NewRequestID()
+		r.Header.Set("X-Request-Id", rid)
+	}
+	w.Header().Set("X-Request-Id", rid)
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":      fmt.Sprintf(format, args...),
+		"request_id": w.Header().Get("X-Request-Id"),
+	})
+}
+
+// handleCreate decodes the spec far enough to know the session ID — routing
+// needs it before the session exists. A client that omits the ID gets a
+// gateway-assigned one ("g-<n>"), so ownership is still deterministic.
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec serve.SessionSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		g.writeError(w, http.StatusBadRequest, "bad session spec: %v", err)
+		return
+	}
+	if spec.ID == "" {
+		spec.ID = fmt.Sprintf("g-%d", g.idCounter.Add(1))
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, "re-encoding spec: %v", err)
+		return
+	}
+	g.forward(w, r, spec.ID, http.MethodPost, "/v1/sessions", body)
+}
+
+// handleSession proxies info and ingest requests through the route chain.
+func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	g.forward(w, r, id, r.Method, r.URL.Path, body)
+}
+
+// retryable503 reports whether a 503 error body came from a daemon phase the
+// chain should route around (recovering/draining) rather than genuine
+// backpressure (full shard queue) that must reach the client so its own
+// retry loop backs off.
+func retryable503(body []byte) bool {
+	s := string(body)
+	return strings.Contains(s, "recovering") || strings.Contains(s, "draining")
+}
+
+// chainPasses bounds how many times forward re-walks the whole route chain
+// when no backend gave an authoritative answer. A session in the export→
+// import window of a live handoff is momentarily on no backend at all; one
+// re-pass after a short wait finds it at its new home. Genuine misses (a
+// session that never existed) pay chainPasses×chainPassWait of extra latency
+// before their 404 — a deliberate trade for never surfacing a transient 404
+// mid-migration.
+const (
+	chainPasses   = 4
+	chainPassWait = 25 * time.Millisecond
+)
+
+// forward tries the ring's route chain for key until a backend gives an
+// authoritative answer. Per attempt:
+//
+//   - connection error: next backend (and the prober will mark it Down)
+//   - 404: next backend — during migration the session may live on a
+//     fallback; only when every backend 404s is the 404 real
+//   - 503 recovering/draining: next backend
+//   - anything else (including 410 gone, 429 and backpressure 503s): final
+//
+// Requests for a session currently mid-handoff wait for the handoff first.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte) {
+	g.met.requests.Add(1)
+	var last *backendResult
+	for pass := 0; pass < chainPasses; pass++ {
+		if err := g.waitMigration(r.Context(), key); err != nil {
+			g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", key, err)
+			return
+		}
+		for i, b := range g.ring.Route(key) {
+			if i > 0 || pass > 0 {
+				g.met.retries.Add(1)
+			}
+			res, err := g.do(r, b, method, path, body)
+			if err != nil {
+				continue
+			}
+			switch {
+			case res.status == http.StatusNotFound,
+				res.status == http.StatusServiceUnavailable && retryable503(res.body):
+				last = res
+				continue
+			default:
+				res.write(w)
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			pass = chainPasses // fall out with whatever we have
+		case <-time.After(chainPassWait):
+		}
+	}
+	if last != nil {
+		last.write(w)
+		return
+	}
+	g.met.noBackend.Add(1)
+	g.writeError(w, http.StatusServiceUnavailable, "no backend answered for session %s", key)
+}
+
+// backendResult is one buffered proxied response.
+type backendResult struct {
+	backend string
+	status  int
+	ctype   string
+	body    []byte
+}
+
+func (res *backendResult) write(w http.ResponseWriter) {
+	if res.ctype != "" {
+		w.Header().Set("Content-Type", res.ctype)
+	}
+	w.Header().Set("X-Backend", res.backend)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// do performs one buffered attempt against one backend.
+func (g *Gateway) do(r *http.Request, b ring.Backend, method, path string, body []byte) (*backendResult, error) {
+	req, err := http.NewRequestWithContext(r.Context(), method, b.Addr+path, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &backendResult{
+		backend: b.Name,
+		status:  resp.StatusCode,
+		ctype:   resp.Header.Get("Content-Type"),
+		body:    data,
+	}, nil
+}
+
+// handleEstimates proxies the SSE stream. Streams cannot be buffered and
+// replayed, so the fallback chain applies only until a backend accepts the
+// subscription; after that the stream is welded to that backend. A stream
+// cut by migration ends cleanly and the client resubscribes through the
+// gateway, landing on the new owner, whose stream replays the full record
+// history first — no estimate is lost.
+func (g *Gateway) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := g.waitMigration(r.Context(), id); err != nil {
+		g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", id, err)
+		return
+	}
+	g.met.requests.Add(1)
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		g.writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	for pass := 0; pass < chainPasses; pass++ {
+		if err := g.waitMigration(r.Context(), id); err != nil {
+			g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", id, err)
+			return
+		}
+		for i, b := range g.ring.Route(id) {
+			if i > 0 || pass > 0 {
+				g.met.retries.Add(1)
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.Addr+r.URL.Path, nil)
+			if err != nil {
+				continue
+			}
+			req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+			resp, err := g.client.Do(req)
+			if err != nil {
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusNotFound ||
+					(resp.StatusCode == http.StatusServiceUnavailable && retryable503(data)) {
+					continue
+				}
+				w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+				w.Header().Set("X-Backend", b.Name)
+				w.WriteHeader(resp.StatusCode)
+				_, _ = w.Write(data)
+				return
+			}
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.Header().Set("X-Backend", b.Name)
+			w.WriteHeader(http.StatusOK)
+			fl.Flush()
+			buf := make([]byte, 16<<10)
+			for {
+				n, err := resp.Body.Read(buf)
+				if n > 0 {
+					if _, werr := w.Write(buf[:n]); werr != nil {
+						resp.Body.Close()
+						return
+					}
+					fl.Flush()
+				}
+				if err != nil {
+					resp.Body.Close()
+					return
+				}
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			pass = chainPasses
+		case <-time.After(chainPassWait):
+		}
+	}
+	g.writeError(w, http.StatusNotFound, "no backend has session %s", id)
+}
+
+// clusterInfo is the body of GET /cluster.
+type clusterInfo struct {
+	Version  string            `json:"version"`
+	Eligible int               `json:"eligible_backends"`
+	Members  []ring.MemberInfo `json:"members"`
+	Sessions map[string]int    `json:"sessions_per_backend"`
+}
+
+// handleCluster reports the gateway's view of the fleet: member health plus
+// a live per-backend session census (polled, best effort — an unreachable
+// backend reports -1).
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	members := g.ring.Members()
+	info := clusterInfo{
+		Version:  version.String(),
+		Eligible: g.ring.EligibleCount(),
+		Members:  members,
+		Sessions: make(map[string]int, len(members)),
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, m := range members {
+		wg.Add(1)
+		go func(m ring.MemberInfo) {
+			defer wg.Done()
+			n := g.countSessions(r.Context(), m.Addr)
+			mu.Lock()
+			info.Sessions[m.Name] = n
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// countSessions polls one backend's live session count; -1 when unreachable.
+func (g *Gateway) countSessions(ctx context.Context, addr string) int {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/admin/sessions", nil)
+	if err != nil {
+		return -1
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return -1
+	}
+	var list serve.SessionList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return -1
+	}
+	return len(list.Sessions)
+}
+
+// handleHealthz: the gateway is ready while at least one backend can own
+// sessions. The body mirrors the daemons' phase vocabulary so the same
+// polling loops work against either tier.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.ring.EligibleCount() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

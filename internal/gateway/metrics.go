@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the gateway's own instrumentation (atomics; Prometheus text on
+// /metrics alongside the aggregated backend section).
+type metrics struct {
+	requests         atomic.Int64 // session-scoped requests routed
+	retries          atomic.Int64 // fallback attempts past the first backend
+	noBackend        atomic.Int64 // requests that exhausted the chain
+	holds            atomic.Int64 // requests parked behind an in-flight handoff
+	migrations       atomic.Int64 // backend evacuations started
+	migratedSessions atomic.Int64 // sessions successfully re-homed
+}
+
+// handleMetrics writes the gateway's own counters, then the fleet's metrics
+// summed across backends: every non-comment line of each reachable backend's
+// /metrics is parsed as `name{labels} value` and values are added per key.
+// Counters and gauge totals aggregate meaningfully; the summed histogram is
+// the fleet-wide latency distribution.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP cdpfgw_requests_total Session-scoped requests routed through the gateway.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_requests_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_requests_total %d\n", g.met.requests.Load())
+	fmt.Fprintf(w, "# HELP cdpfgw_route_retries_total Fallback attempts past the first backend in the chain.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_route_retries_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_route_retries_total %d\n", g.met.retries.Load())
+	fmt.Fprintf(w, "# HELP cdpfgw_no_backend_total Requests that exhausted every backend in the chain.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_no_backend_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_no_backend_total %d\n", g.met.noBackend.Load())
+	fmt.Fprintf(w, "# HELP cdpfgw_migration_holds_total Requests parked behind an in-flight session handoff.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_migration_holds_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_migration_holds_total %d\n", g.met.holds.Load())
+	fmt.Fprintf(w, "# HELP cdpfgw_migrations_total Backend evacuations started.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_migrations_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_migrations_total %d\n", g.met.migrations.Load())
+	fmt.Fprintf(w, "# HELP cdpfgw_migrated_sessions_total Sessions successfully re-homed by migration.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_migrated_sessions_total counter\n")
+	fmt.Fprintf(w, "cdpfgw_migrated_sessions_total %d\n", g.met.migratedSessions.Load())
+
+	sums, scraped := g.scrapeBackends(r)
+	fmt.Fprintf(w, "# Aggregated below: per-metric sums across %d reachable backend(s).\n", scraped)
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %g\n", k, sums[k])
+	}
+}
+
+// scrapeBackends polls every reachable backend's /metrics concurrently and
+// sums sample values by `name{labels}` key.
+func (g *Gateway) scrapeBackends(r *http.Request) (map[string]float64, int) {
+	members := g.ring.Members()
+	sums := make(map[string]float64)
+	scraped := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			local, err := scrapeOne(g.client, r, addr)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			scraped++
+			for k, v := range local {
+				sums[k] += v
+			}
+			mu.Unlock()
+		}(m.Addr)
+	}
+	wg.Wait()
+	return sums, scraped
+}
+
+// scrapeOne fetches one backend's exposition and parses it into key->value.
+func scrapeOne(client *http.Client, r *http.Request, addr string) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// `name{labels} value` — labels may contain spaces inside quotes, so
+		// split at the last space.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] += v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// migrate POSTs /admin/migrate for a backend and decodes the report.
+func (tc *testCluster) migrate(backend string) MigrationReport {
+	tc.t.Helper()
+	resp, err := http.Post(tc.gwSrv.URL+"/admin/migrate?backend="+backend, "", nil)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		tc.t.Fatalf("migrate %s: HTTP %d: %s", backend, resp.StatusCode, data)
+	}
+	var rep MigrationReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		tc.t.Fatal(err)
+	}
+	return rep
+}
+
+// busiest returns the backend holding the most live sessions, by direct
+// manager census.
+func (tc *testCluster) busiest() string {
+	best, n := "", -1
+	for _, name := range tc.names {
+		if c := len(tc.mgrs[name].SessionIDs()); c > n {
+			best, n = name, c
+		}
+	}
+	return best
+}
+
+// TestMigrationByteIdentity is the headline cluster test: sessions are
+// driven through the gateway while the busiest backend is evacuated
+// mid-run, and every session's final trace — including the ones that
+// changed homes halfway — must be byte-identical to its uninterrupted
+// offline twin. Zero lost sessions, zero diverged records.
+func TestMigrationByteIdentity(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	const (
+		nSessions = 9
+		steps     = 8 // 9 filter iterations per session
+		splitAt   = 4 // batches fed before the evacuation starts
+	)
+
+	specs := make([]serve.SessionSpec, nSessions)
+	batches := make([][]serve.Batch, nSessions)
+	for i := range specs {
+		specs[i] = testSpec(fmt.Sprintf("mig-%d", i), steps, uint64(i+1))
+		var err error
+		batches[i], err = serve.Observations(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.create(specs[i])
+	}
+	for i, spec := range specs {
+		for _, b := range batches[i][:splitAt] {
+			tc.feed(spec.ID, b)
+		}
+	}
+
+	victim := tc.busiest()
+	if len(tc.mgrs[victim].SessionIDs()) == 0 {
+		t.Fatalf("busiest backend %s holds no sessions", victim)
+	}
+
+	// Evacuate while the remaining batches are being fed concurrently: the
+	// handoff holds and the 404 re-pass must keep every request invisible
+	// to the drivers.
+	var wg sync.WaitGroup
+	feedErrs := make([]error, nSessions)
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, id string, rest []serve.Batch) {
+			defer wg.Done()
+			for _, b := range rest {
+				if err := tc.tryFeed(id, b); err != nil {
+					feedErrs[i] = err
+					return
+				}
+			}
+		}(i, spec.ID, batches[i][splitAt:])
+	}
+	rep := tc.migrate(victim)
+	wg.Wait()
+	for i, err := range feedErrs {
+		if err != nil {
+			t.Fatalf("feeding session %d across migration: %v", i, err)
+		}
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("migration errors: %v", rep.Errors)
+	}
+	if len(rep.Moved)+len(rep.Skipped) == 0 {
+		t.Fatalf("evacuating %s moved nothing", victim)
+	}
+	for id, dst := range rep.Moved {
+		if dst == victim {
+			t.Fatalf("session %s 'moved' back onto the evacuated backend", id)
+		}
+	}
+
+	// The victim must end the run empty; every session's trace must match
+	// its offline twin exactly.
+	if left := tc.mgrs[victim].SessionIDs(); len(left) != 0 {
+		t.Fatalf("evacuated backend %s still holds %v", victim, left)
+	}
+	for _, spec := range specs {
+		got := tc.records(spec.ID)
+		ref, err := serve.OfflineTrace(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref.Records) {
+			t.Fatalf("session %s: served %d records, offline %d", spec.ID, len(got), len(ref.Records))
+		}
+		for k, want := range ref.Records {
+			if got[k] != want {
+				t.Fatalf("session %s record %d diverged after migration:\nserved  %+v\noffline %+v",
+					spec.ID, k, got[k], want)
+			}
+		}
+	}
+
+	// The gateway's own accounting saw the evacuation.
+	if n := tc.gw.met.migratedSessions.Load(); n != int64(len(rep.Moved)) {
+		t.Fatalf("metrics count %d migrated sessions, report says %d", n, len(rep.Moved))
+	}
+}
+
+// TestMigrateIsIdempotent: a second evacuation of the same backend is a
+// no-op rather than a double-move.
+func TestMigrateIsIdempotent(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	spec := testSpec("idem-1", 2, 9)
+	tc.create(spec)
+	first := tc.migrate(tc.busiest())
+	again := tc.migrate(first.Backend)
+	if len(again.Moved) != 0 || len(again.Errors) != 0 {
+		t.Fatalf("second evacuation was not a no-op: %+v", again)
+	}
+}
+
+// TestMigratedSessionKeepsStreaming: an SSE subscriber cut by migration can
+// resubscribe through the gateway and receive the full, consistent history
+// from the session's new home.
+func TestMigratedSessionKeepsStreaming(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	spec := testSpec("stream-1", 4, 11)
+	batches, err := serve.Observations(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.create(spec)
+	for _, b := range batches[:2] {
+		tc.feed(spec.ID, b)
+	}
+	owner, _ := tc.gw.Ring().Owner(spec.ID)
+	tc.migrate(owner.Name)
+	for _, b := range batches[2:] {
+		tc.feed(spec.ID, b)
+	}
+	got := tc.records(spec.ID)
+	var want []trace.Record
+	ref, err := serve.OfflineTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = ref.Records
+	if len(got) != len(want) {
+		t.Fatalf("resubscribed stream has %d records, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("record %d diverged across migration: %+v vs %+v", k, got[k], want[k])
+		}
+	}
+}

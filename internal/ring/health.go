@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Prober keeps a Ring's health current by polling each member's /healthz.
+// The daemon's tri-state body maps onto the ring's health states:
+//
+//	200 "ready"      -> Ready
+//	503 "recovering" -> Recovering (still owns its sessions)
+//	503 "draining"   -> Draining   (sessions must move)
+//	anything else    -> Down
+type Prober struct {
+	Ring     *Ring
+	Client   *http.Client  // nil: a 2s-timeout client
+	Interval time.Duration // 0: 500ms
+	// OnTransition, when non-nil, runs after a member's health changes —
+	// the gateway hooks auto-evacuation here. Called from the prober
+	// goroutine; implementations spawn their own work.
+	OnTransition func(name string, from, to Health)
+}
+
+func (p *Prober) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// classify maps one probe response onto a Health.
+func classify(status int, body string) Health {
+	body = strings.TrimSpace(body)
+	switch {
+	case status == http.StatusOK:
+		return Ready
+	case status == http.StatusServiceUnavailable && body == "recovering":
+		return Recovering
+	case status == http.StatusServiceUnavailable && body == "draining":
+		return Draining
+	default:
+		return Down
+	}
+}
+
+// ProbeOnce polls every member once, concurrently, and applies the results.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	members := p.Ring.Members()
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m MemberInfo) {
+			defer wg.Done()
+			h, errMsg := p.probe(ctx, m.Addr)
+			prev, ok := p.Ring.SetHealth(m.Name, h, errMsg)
+			if ok && prev != h && p.OnTransition != nil {
+				p.OnTransition(m.Name, prev, h)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(ctx context.Context, addr string) (Health, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return Down, err.Error()
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return Down, err.Error()
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	h := classify(resp.StatusCode, string(body))
+	if h == Down {
+		return Down, strings.TrimSpace(resp.Status + " " + string(body))
+	}
+	return h, ""
+}
+
+// Run probes on the interval until ctx is done. The first probe fires
+// immediately so the ring leaves Unknown as fast as possible.
+func (p *Prober) Run(ctx context.Context) {
+	iv := p.Interval
+	if iv <= 0 {
+		iv = 500 * time.Millisecond
+	}
+	p.ProbeOnce(ctx)
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.ProbeOnce(ctx)
+		}
+	}
+}

@@ -518,19 +518,36 @@ func (m *Manager) rebuildSession(id string, log *durable.SessionLog, snap *durab
 		return nil, fmt.Errorf("logged spec: %w", err)
 	}
 	shard := m.shardFor(id)
+	// A migrated-in session's WAL history starts at the handoff snapshot
+	// embedded in its import record, not at step 0; batches before baseStep
+	// were stepped (and logged) by the previous owner.
+	baseStep := 0
+	if log.Base != nil {
+		baseStep = log.Base.Stepped
+	}
 	var s *session
-	// A snapshot is trusted only for the WAL incarnation whose exact spec
-	// bytes it carries: a reused session ID re-created after the snapshot was
-	// written fails the comparison and rebuilds from the WAL alone. The
-	// log-before-step ordering guarantees a genuine snapshot never leads the
-	// WAL, so the consistency check only trips on corruption.
-	if snap != nil && bytes.Equal(snap.SpecJSON, log.SpecJSON) && snap.Stepped <= len(log.Batches) {
+	// A snapshot file is trusted only for the WAL incarnation whose exact
+	// spec bytes it carries: a reused session ID re-created after the
+	// snapshot was written fails the comparison and rebuilds from the WAL
+	// alone. The log-before-step ordering guarantees a genuine snapshot
+	// never leads the WAL, so the consistency check only trips on
+	// corruption; a stale pre-migration snapshot fails the baseStep bound
+	// and yields to the import record's own snapshot.
+	switch {
+	case snap != nil && bytes.Equal(snap.SpecJSON, log.SpecJSON) &&
+		snap.Stepped >= baseStep && snap.Stepped <= baseStep+len(log.Batches):
 		restored, err := restoreSession(id, shard, snap)
 		if err != nil {
 			return nil, err
 		}
 		s = restored
-	} else {
+	case log.Base != nil:
+		restored, err := restoreSession(id, shard, log.Base)
+		if err != nil {
+			return nil, err
+		}
+		s = restored
+	default:
 		fresh, err := newSession(id, shard, spec.normalize())
 		if err != nil {
 			return nil, err

@@ -21,6 +21,8 @@ type Metrics struct {
 	sessionsCreated   atomic.Int64
 	sessionsCompleted atomic.Int64
 	sessionsLive      atomic.Int64
+	sessionsExported  atomic.Int64
+	sessionsImported  atomic.Int64
 	stepsTotal        atomic.Int64
 
 	mu       sync.Mutex
@@ -74,6 +76,28 @@ func (m *Metrics) sessionCompleted() {
 	}
 	m.sessionsCompleted.Add(1)
 	m.sessionsLive.Add(-1)
+}
+
+// sessionExported records a live session leaving by migration.
+func (m *Metrics) sessionExported() {
+	if m == nil {
+		return
+	}
+	m.sessionsExported.Add(1)
+	m.sessionsLive.Add(-1)
+}
+
+// sessionImported records a session arriving by migration; a handoff whose
+// run is already complete goes straight to the finished archive and never
+// counts as live.
+func (m *Metrics) sessionImported(done bool) {
+	if m == nil {
+		return
+	}
+	m.sessionsImported.Add(1)
+	if !done {
+		m.sessionsLive.Add(1)
+	}
 }
 
 func (m *Metrics) stepDone(d time.Duration) {
@@ -141,6 +165,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	p("# HELP cdpfd_sessions_live Sessions currently hosted.\n")
 	p("# TYPE cdpfd_sessions_live gauge\n")
 	p("cdpfd_sessions_live %d\n", m.sessionsLive.Load())
+	p("# HELP cdpfd_sessions_exported_total Sessions handed to another backend by live migration.\n")
+	p("# TYPE cdpfd_sessions_exported_total counter\n")
+	p("cdpfd_sessions_exported_total %d\n", m.sessionsExported.Load())
+	p("# HELP cdpfd_sessions_imported_total Sessions received from another backend by live migration.\n")
+	p("# TYPE cdpfd_sessions_imported_total counter\n")
+	p("cdpfd_sessions_imported_total %d\n", m.sessionsImported.Load())
 	p("# HELP cdpfd_steps_total Filter iterations stepped.\n")
 	p("# TYPE cdpfd_steps_total counter\n")
 	p("cdpfd_steps_total %d\n", m.stepsTotal.Load())

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sort"
+
+	"repro/internal/durable"
+)
+
+// Live session migration. A session moves between daemons as a durable
+// snapshot: the source manager pauses it at a step boundary (Export), the
+// bytes travel to the destination (any transport — the gateway uses HTTP),
+// and the destination resumes it bit-exactly (Import). Determinism makes the
+// handoff verifiable: a migrated session's remaining steps are byte-identical
+// to the steps its uninterrupted offline twin would have produced, so the
+// correctness check is a diff, not a heuristic.
+//
+// Durability across the handoff is WAL-anchored on both sides: Export logs a
+// forget record on the source (a crash there must not resurrect the departed
+// session), Import logs the handoff snapshot itself on the destination (a
+// crash there recovers the session even though its batch history starts
+// mid-run).
+
+// SessionIDs lists the live (unfinished) sessions, sorted for deterministic
+// migration order. The gateway enumerates a backend with this before
+// evacuating it.
+func (m *Manager) SessionIDs() []string {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		if s != nil {
+			ids = append(ids, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// LiveSessions counts live (unfinished) sessions.
+func (m *Manager) LiveSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.sessions {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Export removes a live session from this manager and returns its snapshot —
+// the source half of a migration. It only succeeds at a step boundary: a
+// session with queued batches is still being stepped by its shard goroutine,
+// so the caller gets 409 and retries once the queue drains (the gateway stops
+// routing new batches here first, so the drain is prompt). Once Export
+// returns, the session is gone from this daemon: subscribers' streams end,
+// later requests see 404, and a forget record in the WAL keeps a subsequent
+// crash recovery from resurrecting it.
+//
+// Export works while the manager drains (queues are already empty then) —
+// that is the evacuation path for a daemon being decommissioned.
+func (m *Manager) Export(id string) (*durable.Snapshot, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		_, fin := m.finished[id]
+		m.mu.Unlock()
+		if fin {
+			return nil, admitErr(410, "finished", "session %q already completed", id)
+		}
+		return nil, admitErr(404, "no_session", "no live session %q", id)
+	}
+	if q := s.queued; q > 0 {
+		m.mu.Unlock()
+		return nil, admitErr(409, "busy", "session %q has %d queued batches", id, q)
+	}
+	// queued == 0 under mu means no work item for this session is in any
+	// shard queue or mid-step (the shard goroutine decrements queued under mu
+	// only after the step completes), so the state below is quiescent.
+	delete(m.sessions, id)
+	m.mu.Unlock()
+
+	snap := s.snapshot()
+	if m.cfg.Store != nil {
+		// Best-effort like LogBatch: a failed forget append is counted by the
+		// store; the migration itself proceeds.
+		_ = m.cfg.Store.LogForget(s.shard, id)
+	}
+	s.closeSubs()
+	m.cfg.Metrics.sessionExported()
+	return snap, nil
+}
+
+// Import registers a migrated-in session from its handoff snapshot — the
+// destination half of a migration. The snapshot is logged to this daemon's
+// WAL before the session becomes reachable (mirroring Create's ordering), so
+// no batch record can precede the state it applies to. A snapshot whose run
+// is already complete lands directly in the finished archive, keeping its
+// records readable here.
+func (m *Manager) Import(snap *durable.Snapshot) error {
+	if snap == nil || snap.ID == "" {
+		return admitErr(400, "bad_snapshot", "import needs a snapshot with a session ID")
+	}
+	id := snap.ID
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return admitErr(503, "draining", "server is draining")
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return admitErr(503, "max_sessions", "session limit %d reached", m.cfg.MaxSessions)
+	}
+	if _, exists := m.sessions[id]; exists {
+		m.mu.Unlock()
+		return admitErr(409, "duplicate_id", "session %q already exists", id)
+	}
+	// A fresh import supersedes a finished run's archived records under the
+	// same ID, exactly like Create.
+	delete(m.finished, id)
+	// Reserve the ID while the scenario rebuilds outside the lock.
+	m.sessions[id] = nil
+	m.mu.Unlock()
+
+	s, err := restoreSession(id, m.shardFor(id), snap)
+	if err != nil {
+		err = admitErr(400, "bad_snapshot", "restoring session %q: %v", id, err)
+	}
+	if err == nil && m.cfg.Store != nil {
+		if werr := m.cfg.Store.LogImport(s.shard, snap); werr != nil {
+			err = admitErr(500, "wal", "logging import of %q: %v", id, werr)
+		}
+	}
+
+	m.mu.Lock()
+	if err != nil || m.draining {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		if err == nil {
+			err = admitErr(503, "draining", "server is draining")
+		}
+		return err
+	}
+	if s.done {
+		delete(m.sessions, id)
+		m.retainFinished(s)
+	} else {
+		m.sessions[id] = s
+	}
+	m.bumpNextID(id)
+	m.mu.Unlock()
+	m.cfg.Metrics.sessionImported(s.done)
+	// Persist a local snapshot immediately: recovery then has its usual
+	// fast path and never needs to reread the WAL's import record payload.
+	if m.cfg.Store != nil {
+		_ = m.cfg.Store.SaveSnapshot(snap)
+	}
+	return nil
+}

@@ -133,9 +133,18 @@ type SessionInfo struct {
 // bytes and the offline records stay one shape.
 type Estimate = trace.Record
 
+// SessionList is the body of GET /admin/sessions: the live session IDs,
+// sorted.
+type SessionList struct {
+	Sessions []string `json:"sessions"`
+}
+
 // errorBody is the JSON error envelope every non-2xx response carries.
+// RequestID echoes the request's X-Request-Id so a failure logged anywhere
+// in a cluster can be traced back to the originating call.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func errf(format string, args ...interface{}) errorBody {

@@ -25,13 +25,25 @@ func Replay(rec *durable.Recovery, id string) (*trace.Recorder, error) {
 	if err := json.Unmarshal(log.SpecJSON, &spec); err != nil {
 		return nil, fmt.Errorf("serve: logged spec for %q: %w", id, err)
 	}
-	s, err := newSession(id, 0, spec.normalize())
+	// A migrated-in session's log starts at its import record's handoff
+	// snapshot: restore from it (its Records carry the pre-migration trace,
+	// so the replay still reproduces the full run) and step the tail.
+	var s *session
+	var err error
+	if log.Base != nil {
+		s, err = restoreSession(id, 0, log.Base)
+	} else {
+		s, err = newSession(id, 0, spec.normalize())
+	}
 	if err != nil {
 		return nil, err
 	}
 	out := trace.New("cdpf", spec.Scenario.Density, spec.Scenario.Seed)
 	if s.spec.Tracker.UseNE {
 		out.Algo = "cdpf-ne"
+	}
+	if log.Base != nil {
+		out.Records = append(out.Records, log.Base.Records...)
 	}
 	for _, b := range log.Batches {
 		if b.K != s.stepped {

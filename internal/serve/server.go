@@ -1,12 +1,18 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
 )
 
 // Server is the HTTP transport over a Manager. Routes (Go 1.22 pattern
@@ -16,6 +22,9 @@ import (
 //	GET  /v1/sessions/{id}                session status (SessionInfo)
 //	POST /v1/sessions/{id}/measurements   ingest iteration batches
 //	GET  /v1/sessions/{id}/estimates      SSE estimate stream
+//	GET  /admin/sessions                  live session IDs (migration enumeration)
+//	POST /admin/sessions/{id}/export      migrate out: snapshot bytes, session removed
+//	POST /admin/sessions/import           migrate in: snapshot bytes in the body
 //	GET  /healthz                         200 "ready"; 503 "recovering"/"draining"
 //	GET  /metrics                         Prometheus text format
 type Server struct {
@@ -37,28 +46,84 @@ func NewServer(mgr *Manager, met *Metrics) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/measurements", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates", s.handleEstimates)
+	s.mux.HandleFunc("GET /admin/sessions", s.handleAdminSessions)
+	s.mux.HandleFunc("POST /admin/sessions/{id}/export", s.handleExport)
+	s.mux.HandleFunc("POST /admin/sessions/import", s.handleImport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// HTTP hardening shared by cdpfd and cdpfgw. ReadHeaderTimeout closes
+// slowloris-style connections that trickle header bytes; IdleTimeout reaps
+// abandoned keep-alive connections. There is deliberately no WriteTimeout or
+// blanket ReadTimeout: SSE estimate streams legitimately live for a whole
+// session.
+const (
+	ReadHeaderTimeout = 10 * time.Second
+	IdleTimeout       = 2 * time.Minute
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the shared hardening
+// timeouts. Both daemons (cdpfd, cdpfgw) serve through this so the limits
+// stay in one place.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
 }
 
 // SetRecovering flips the recovery gate; the daemon raises it before
 // listening and clears it once Manager.Restore returns.
 func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
 
-// ServeHTTP implements http.Handler. While recovering, the session API is
-// answered with 503 (clients' retry loops wait recovery out); /healthz and
-// /metrics stay live for observability.
+// requestIDHeader names the end-to-end trace header: the gateway or load
+// generator mints an ID per request, every hop forwards it, the daemon
+// echoes it on the response and stamps it into error bodies — so a failure
+// deep in a cluster names the request that hit it.
+const requestIDHeader = "X-Request-Id"
+
+// ridPrefix makes request IDs minted by this process distinguishable from
+// another daemon's; the counter makes them unique within it.
+var (
+	ridPrefix  = func() string { var b [4]byte; _, _ = rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	ridCounter atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID ("<hexprefix>-<n>").
+// Exported so the gateway and load generator mint IDs in the same shape.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%d", ridPrefix, ridCounter.Add(1))
+}
+
+// ServeHTTP implements http.Handler. Every request gets an X-Request-Id
+// (caller's if present, freshly minted otherwise) echoed on the response and
+// carried into error bodies. While recovering, the session and admin APIs
+// are answered with 503 (clients' retry loops wait recovery out; migration
+// must not race a half-rebuilt session table); /healthz and /metrics stay
+// live for observability.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.recovering.Load() && strings.HasPrefix(r.URL.Path, "/v1/") {
+	rid := r.Header.Get(requestIDHeader)
+	if rid == "" {
+		rid = NewRequestID()
+	}
+	w.Header().Set(requestIDHeader, rid)
+	if s.recovering.Load() && (strings.HasPrefix(r.URL.Path, "/v1/") || strings.HasPrefix(r.URL.Path, "/admin/")) {
 		writeJSON(w, http.StatusServiceUnavailable, errf("recovering: replaying session logs"))
 		return
 	}
 	s.mux.ServeHTTP(w, r)
 }
 
-// writeJSON emits a JSON body with the given status.
+// writeJSON emits a JSON body with the given status. Error envelopes pick up
+// the response's request ID so cross-process failures are traceable.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	if eb, ok := v.(errorBody); ok {
+		eb.RequestID = w.Header().Get(requestIDHeader)
+		v = eb
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
@@ -216,4 +281,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.met.WritePrometheus(w)
+}
+
+// handleAdminSessions lists live session IDs — the gateway enumerates a
+// backend with this before evacuating it.
+func (s *Server) handleAdminSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SessionList{Sessions: s.mgr.SessionIDs()})
+}
+
+// handleExport hands a live session away: the response body is the durable
+// snapshot image and the session is gone from this daemon once the status is
+// 200. 409 means the session still has queued batches — the caller stops
+// feeding it and retries.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.mgr.Export(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(durable.EncodeSnapshot(snap))
+}
+
+// maxSnapshotBytes bounds an import body; it matches the durable codec's own
+// per-field cap, so anything larger could not decode anyway.
+const maxSnapshotBytes = 64 << 20
+
+// handleImport receives a migrated session: the body is the snapshot image
+// handleExport produced on another daemon.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errf("reading snapshot: %v", err))
+		return
+	}
+	snap, err := durable.DecodeSnapshot(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errf("decoding snapshot: %v", err))
+		return
+	}
+	if err := s.mgr.Import(snap); err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, _ := s.mgr.Info(snap.ID)
+	writeJSON(w, http.StatusOK, info)
 }
