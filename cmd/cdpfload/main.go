@@ -29,12 +29,27 @@
 // summary adds per-backend latency breakdowns, and -benchjson writes the
 // bench-cluster/v1 baseline (results/BENCH_cluster.json in CI).
 //
+// -kill-after K is the harsher cluster drill: after K estimate events the
+// busiest backend is SIGKILLed — no drain, no evacuation — and relaunched on
+// its own data directory at the same address. The gateway parks requests for
+// the dead backend's sessions through the crash-recovery window, WAL replay
+// brings the sessions back, and the run fails if any session the victim was
+// serving saw a single client-visible 5xx, or if any trace diverges from its
+// offline twin. The summary adds recovery time, the gateway's park-latency
+// p99 and retry totals as bench lines, and -benchjson switches to the
+// bench-chaos/v1 schema (results/BENCH_chaos.json in CI).
+//
+// -chaos SCHEDULE additionally interposes a deterministic fault-injecting
+// TCP proxy (internal/chaos) between the gateway and every backend; backend
+// i's proxy is seeded -chaos-seed + i, so a run's fault log is reproducible.
+//
 // Usage:
 //
 //	cdpfload [-addr HOST:PORT] [-sessions N] [-steps N] [-density D]
 //	         [-seed S] [-window W] [-use-ne] [-verify=false]
 //	         [-daemon "CMD ARGS..."] [-restart-after N]
 //	         [-cluster N] [-gateway "CMD ARGS..."] [-drain-after N]
+//	         [-kill-after N] [-chaos SCHEDULE] [-chaos-seed S]
 //	         [-benchjson FILE] [-note TEXT] [-version]
 package main
 
@@ -81,6 +96,9 @@ type options struct {
 	cluster      int
 	gatewayCmd   string
 	drainAfter   int
+	killAfter    int
+	chaos        string
+	chaosSeed    uint64
 }
 
 func main() {
@@ -104,6 +122,9 @@ func main() {
 	flag.IntVar(&o.cluster, "cluster", 0, "cluster mode: spawn N cdpfd backends plus a cdpfgw gateway and drive through the gateway (requires -daemon and -gateway)")
 	flag.StringVar(&o.gatewayCmd, "gateway", "", "cdpfgw command (space-separated) for -cluster mode")
 	flag.IntVar(&o.drainAfter, "drain-after", 0, "drain and SIGTERM the busiest backend after N estimate events (requires -cluster)")
+	flag.IntVar(&o.killAfter, "kill-after", 0, "SIGKILL the busiest backend after N estimate events and relaunch it on its data dir (requires -cluster)")
+	flag.StringVar(&o.chaos, "chaos", "", "chaos proxy fault schedule between gateway and backends, e.g. \"latency/delay=5ms/every=7,reset/every=13\" (requires -cluster)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "chaos proxy seed; backend i's proxy uses seed+i")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("cdpfload", version.String())
@@ -124,6 +145,7 @@ type sessionResult struct {
 	latencies  []time.Duration
 	perBackend map[string][]time.Duration // by X-Backend of the admitting response
 	records    []trace.Record
+	fiveXX     int // HTTP 5xx responses this session's client ever saw
 }
 
 func run(ctx context.Context, o options, out io.Writer) error {
@@ -136,8 +158,8 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	if o.cluster > 0 {
 		return runCluster(ctx, o, out)
 	}
-	if o.gatewayCmd != "" || o.drainAfter > 0 {
-		return fmt.Errorf("-gateway and -drain-after require -cluster")
+	if o.gatewayCmd != "" || o.drainAfter > 0 || o.killAfter > 0 || o.chaos != "" {
+		return fmt.Errorf("-gateway, -drain-after, -kill-after, and -chaos require -cluster")
 	}
 	if o.restartAfter > 0 && o.daemon == "" {
 		return fmt.Errorf("-restart-after requires -daemon (cdpfload must own the process it kills)")
@@ -333,6 +355,7 @@ type driveState struct {
 	got          map[int]trace.Record
 	latencies    []time.Duration
 	perBackend   map[string][]time.Duration
+	fiveXX       int // every 5xx response observed, retried or not
 }
 
 // driveSession runs one session end to end: create, subscribe, feed every
@@ -381,6 +404,7 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 	}
 	res.latencies = st.latencies
 	res.perBackend = st.perBackend
+	res.fiveXX = st.fiveXX
 	if o.verify {
 		if err := verifyAgainstOffline(spec, res.records); err != nil {
 			return res, err
@@ -396,6 +420,9 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 func driveAttempt(ctx context.Context, client *http.Client, base string, spec serve.SessionSpec, batches []serve.Batch, o options, st *driveState, trig *eventTrigger) error {
 	n := len(batches)
 	info, status, err := getSessionInfo(ctx, client, base, spec.ID)
+	if status >= 500 {
+		st.fiveXX++
+	}
 	switch {
 	case err != nil:
 		if ctx.Err() != nil {
@@ -405,6 +432,9 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 	case status == http.StatusNotFound:
 		var cs int
 		info, cs, err = createSession(ctx, client, base, spec)
+		if cs >= 500 {
+			st.fiveXX++
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -443,6 +473,9 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode >= 500 {
+			st.fiveXX++
+		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			return transientError{fmt.Errorf("subscribe: HTTP 503")}
 		}
@@ -457,7 +490,7 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 	posted, ackK := info.NextK, info.NextK-1
 	for len(st.got) < n {
 		for posted < n && posted-ackK <= o.window {
-			backend, err := postBatch(ctx, client, base, spec.ID, batches[posted])
+			backend, err := postBatch(ctx, client, base, spec.ID, batches[posted], &st.fiveXX)
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -563,8 +596,10 @@ func createSession(ctx context.Context, client *http.Client, base string, spec s
 // going, not to fail the run. It returns the X-Backend header of the
 // accepting response (set by the gateway in cluster mode, empty when talking
 // to a daemon directly) plus a freshly minted X-Request-Id on every attempt
-// so rejections are traceable end to end.
-func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch) (string, error) {
+// so rejections are traceable end to end. Every 5xx response — even ones the
+// retry loop absorbs — is tallied into fiveXX: the cluster kill drill asserts
+// a crashed backend's sessions never saw one.
+func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch, fiveXX *int) (string, error) {
 	body, err := json.Marshal(serve.IngestRequest{Batches: []serve.Batch{b}})
 	if err != nil {
 		return "", err
@@ -583,6 +618,9 @@ func postBatch(ctx context.Context, client *http.Client, base, id string, b serv
 			return "", err
 		}
 		status, msg := resp.StatusCode, ""
+		if status >= 500 {
+			*fiveXX++
+		}
 		backend := resp.Header.Get("X-Backend")
 		if status != http.StatusAccepted {
 			msg = readErrBody(resp)

@@ -1,0 +1,314 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dial connects through the proxy, sends an HTTP/1.0 request (connection per
+// request, so each request is one proxy conn), and returns body + error.
+func fetchThrough(t *testing.T, addr, path string) (string, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: chaos\r\n\r\n", path)
+	data, err := io.ReadAll(conn)
+	return string(data), err
+}
+
+func startBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func targetOf(ts *httptest.Server) string {
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestPassthrough: with an empty schedule the proxy is a transparent pipe.
+func TestPassthrough(t *testing.T) {
+	ts := startBackend(t, "hello from backend")
+	p, err := Start(Config{Target: targetOf(ts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got, err := fetchThrough(t, p.Addr(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "hello from backend") {
+		t.Fatalf("passthrough mangled response:\n%s", got)
+	}
+	if n := p.Conns(); n != 1 {
+		t.Fatalf("proxy counted %d conns, want 1", n)
+	}
+	if f := p.Faults(); len(f) != 0 {
+		t.Fatalf("passthrough injected faults: %v", f)
+	}
+}
+
+// TestResetFault: a reset rule produces a connection error, not a response.
+func TestResetFault(t *testing.T) {
+	ts := startBackend(t, "never seen")
+	sched := Schedule{Rules: []Rule{{Kind: KindReset, Every: 2}}}
+	p, err := Start(Config{Target: targetOf(ts), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Conn 0 matches (every 2nd starting at 0): reset.
+	if body, err := fetchThrough(t, p.Addr(), "/"); err == nil && strings.Contains(body, "never seen") {
+		t.Fatalf("conn 0 should have been reset, got response:\n%s", body)
+	}
+	// Conn 1 does not match: clean response.
+	body, err := fetchThrough(t, p.Addr(), "/")
+	if err != nil {
+		t.Fatalf("conn 1 should pass: %v", err)
+	}
+	if !strings.Contains(body, "never seen") {
+		t.Fatalf("conn 1 response mangled:\n%s", body)
+	}
+	faults := p.Faults()
+	if len(faults) != 1 || faults[0].Conn != 0 || faults[0].Kind != KindReset {
+		t.Fatalf("fault log = %v, want one reset on conn 0", faults)
+	}
+}
+
+// TestTruncateFaultIsVisible: a truncated response must end in a connection
+// error (RST), never a clean EOF that looks like completion.
+func TestTruncateFaultIsVisible(t *testing.T) {
+	ts := startBackend(t, strings.Repeat("x", 64<<10))
+	sched := Schedule{Rules: []Rule{{Kind: KindTruncate, Bytes: 1024}}}
+	p, err := Start(Config{Target: targetOf(ts), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	data, err := fetchThrough(t, p.Addr(), "/")
+	if err == nil {
+		t.Fatalf("truncated stream ended cleanly with %d bytes — cut is invisible", len(data))
+	}
+	if len(data) > 1024 {
+		t.Fatalf("proxy forwarded %d bytes past a 1024-byte cap", len(data))
+	}
+}
+
+// TestLatencyFault: a latency rule delays the response by at least Delay.
+func TestLatencyFault(t *testing.T) {
+	ts := startBackend(t, "slow hello")
+	sched := Schedule{Rules: []Rule{{Kind: KindLatency, Delay: 80 * time.Millisecond}}}
+	p, err := Start(Config{Target: targetOf(ts), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	if _, err := fetchThrough(t, p.Addr(), "/"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("latency fault added only %v, want ≥ 80ms", d)
+	}
+}
+
+// TestBlackholeFault: the connection stalls (no bytes) and then errors.
+func TestBlackholeFault(t *testing.T) {
+	ts := startBackend(t, "unreachable")
+	sched := Schedule{Rules: []Rule{{Kind: KindBlackhole, Hold: 50 * time.Millisecond}}}
+	p, err := Start(Config{Target: targetOf(ts), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	data, err := fetchThrough(t, p.Addr(), "/")
+	if err == nil && strings.Contains(data, "unreachable") {
+		t.Fatal("blackholed connection reached the backend")
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("blackhole released after %v, want ≥ 50ms stall", d)
+	}
+}
+
+// TestDeterministicFaultLog is the acceptance-criteria test: two proxies
+// with the same seed and schedule, offered the same connection sequence,
+// record identical fault logs — including probabilistic rules. A different
+// seed produces a different log.
+func TestDeterministicFaultLog(t *testing.T) {
+	ts := startBackend(t, "ok")
+	sched, err := ParseSchedule("truncate/bytes=1/prob=0.4,latency/delay=1ms/every=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conns = 40
+
+	runOnce := func(seed uint64) []Fault {
+		p, err := Start(Config{Target: targetOf(ts), Seed: seed, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < conns; i++ {
+			fetchThrough(t, p.Addr(), "/") // errors expected on faulted conns
+		}
+		// All decisions land before accept returns control; poll for the
+		// accept loop to have numbered every conn.
+		deadline := time.Now().Add(2 * time.Second)
+		for p.Conns() < conns && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if p.Conns() != conns {
+			t.Fatalf("proxy saw %d conns, want %d", p.Conns(), conns)
+		}
+		return p.Faults()
+	}
+
+	a := runOnce(42)
+	b := runOnce(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different fault logs:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule injected nothing across 40 conns")
+	}
+	c := runOnce(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("seeds 42 and 43 produced identical %d-fault logs", len(a))
+	}
+}
+
+// TestParseSchedule: grammar round-trips and bad inputs are rejected.
+func TestParseSchedule(t *testing.T) {
+	good := []struct {
+		in   string
+		want int // rules
+	}{
+		{"latency/delay=30ms/every=2", 1},
+		{"reset/prob=0.1", 1},
+		{"truncate/bytes=4096@50-100", 1},
+		{"blackhole/hold=2s/every=25", 1},
+		{"blackhole/every=25", 1}, // hold defaults
+		{"latency/delay=5ms/every=7,reset/every=13", 2},
+		{"slow/rate=1024@3", 1},
+	}
+	for _, tc := range good {
+		s, err := ParseSchedule(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", tc.in, err)
+		}
+		if len(s.Rules) != tc.want {
+			t.Fatalf("ParseSchedule(%q): %d rules, want %d", tc.in, len(s.Rules), tc.want)
+		}
+	}
+	bad := []string{
+		"",
+		"warp/speed=9",                  // unknown kind
+		"latency",                       // missing delay
+		"slow",                          // missing rate
+		"reset/prob=1.5",                // prob out of range
+		"reset/prob=0.5/every=2",        // prob and every together
+		"latency/delay=1ms@9-3",         // empty range
+		"latency/delay=abc",             // bad duration
+		"reset@x",                       // bad range start
+		"latency/delay=1ms/cheese=brie", // unknown key
+	}
+	for _, in := range bad {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted bad input", in)
+		}
+	}
+}
+
+// TestRuleRangesAndStride: decide() honors [From, To) windows and strides.
+func TestRuleRangesAndStride(t *testing.T) {
+	sched := Schedule{Rules: []Rule{
+		{Kind: KindReset, From: 2, To: 6, Every: 2},
+		{Kind: KindLatency, Delay: time.Millisecond, From: 10},
+	}}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]int{0: -1, 1: -1, 2: 0, 3: -1, 4: 0, 5: -1, 6: -1, 9: -1, 10: 1, 99: 1}
+	for conn, rule := range want {
+		if got := sched.decide(1, conn); got != rule {
+			t.Fatalf("decide(conn=%d) = %d, want %d", conn, got, rule)
+		}
+	}
+}
+
+// TestFirstMatchingRuleWins: rule order is priority order.
+func TestFirstMatchingRuleWins(t *testing.T) {
+	sched := Schedule{Rules: []Rule{
+		{Kind: KindLatency, Delay: time.Millisecond},
+		{Kind: KindReset},
+	}}
+	for conn := uint64(0); conn < 5; conn++ {
+		if got := sched.decide(7, conn); got != 0 {
+			t.Fatalf("conn %d resolved to rule %d, want 0 (first match)", conn, got)
+		}
+	}
+}
+
+// TestCoinUniform: the seeded coin is roughly uniform so prob rules fire at
+// about their configured rate.
+func TestCoinUniform(t *testing.T) {
+	hits := 0
+	const n = 10000
+	for conn := uint64(0); conn < n; conn++ {
+		if coin(99, 0, conn) < 0.3 {
+			hits++
+		}
+	}
+	if hits < n*25/100 || hits > n*35/100 {
+		t.Fatalf("prob=0.3 fired %d/%d times", hits, n)
+	}
+}
+
+// TestWritePrometheus: counters expose conns and per-kind fault totals.
+func TestWritePrometheus(t *testing.T) {
+	ts := startBackend(t, "ok")
+	sched := Schedule{Rules: []Rule{{Kind: KindReset, Every: 2}}}
+	p, err := Start(Config{Target: targetOf(ts), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		fetchThrough(t, p.Addr(), "/")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Conns() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	var buf bytes.Buffer
+	p.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"cdpfchaos_conns_total 4",
+		`cdpfchaos_faults_injected_total{kind="reset"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("WritePrometheus missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTruncateFraming: for any stream content, chunking, and cap, the
+// truncWriter forwards exactly the stream's first cap bytes and surfaces an
+// error the moment the cap is exceeded — truncation can never look like a
+// clean end-of-stream, and the forwarded prefix is never corrupted. This is
+// the property the gateway's welded SSE streams depend on.
+func FuzzTruncateFraming(f *testing.F) {
+	f.Add([]byte("event: estimate\ndata: {\"k\":1}\n\n"), uint16(10), uint8(4))
+	f.Add([]byte(""), uint16(0), uint8(1))
+	f.Add([]byte("abc"), uint16(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 300), uint16(128), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, cap16 uint16, chunk8 uint8) {
+		capN := int64(cap16)
+		chunk := int(chunk8)
+		if chunk == 0 {
+			chunk = 1
+		}
+		var sink bytes.Buffer
+		tw := &truncWriter{w: &sink, remaining: capN}
+		var wErr error
+		for off := 0; off < len(data) && wErr == nil; off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			_, wErr = tw.Write(data[off:end])
+		}
+
+		wantN := int64(len(data))
+		if wantN > capN {
+			wantN = capN
+		}
+		if int64(sink.Len()) != wantN {
+			t.Fatalf("forwarded %d bytes, want %d (len=%d cap=%d chunk=%d)",
+				sink.Len(), wantN, len(data), capN, chunk)
+		}
+		if !bytes.Equal(sink.Bytes(), data[:wantN]) {
+			t.Fatalf("forwarded bytes are not the stream prefix (len=%d cap=%d chunk=%d)",
+				len(data), capN, chunk)
+		}
+		overflowed := int64(len(data)) > capN
+		if overflowed && wErr == nil {
+			t.Fatalf("stream exceeded cap (%d > %d) with no error — silent truncation",
+				len(data), capN)
+		}
+		if overflowed && !tw.truncated {
+			t.Fatal("overflow not flagged as truncated")
+		}
+		if !overflowed && wErr != nil {
+			t.Fatalf("stream within cap errored: %v", wErr)
+		}
+	})
+}

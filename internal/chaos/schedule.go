@@ -1,0 +1,224 @@
+// Package chaos is the fault-injecting TCP proxy of the serving tier's chaos
+// drills: it sits between the gateway and a backend and injects latency
+// spikes, connection resets, blackholes, throttled transfers, and truncated
+// responses according to a *scripted, seeded schedule* — the same philosophy
+// as the wsn fault scripts and sensor-fault plans: faults are reproducible
+// inputs, never ambient randomness. The same seed and schedule against the
+// same connection-arrival order produce the same injected-fault log, so a
+// chaos run that finds a bug is a test case, not an anecdote.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names one fault class the proxy can inject on a connection.
+type Kind string
+
+const (
+	// KindLatency delays the connection by Rule.Delay before any byte is
+	// forwarded (a head-of-line latency spike).
+	KindLatency Kind = "latency"
+	// KindReset aborts the connection with a TCP RST immediately on accept.
+	KindReset Kind = "reset"
+	// KindBlackhole accepts the connection, forwards nothing, holds it for
+	// Rule.Hold, then resets it — the peer sees a stall, then an error.
+	KindBlackhole Kind = "blackhole"
+	// KindSlow throttles the backend→client direction to Rule.Rate bytes/sec.
+	KindSlow Kind = "slow"
+	// KindTruncate forwards only the first Rule.Bytes backend→client bytes,
+	// then resets the connection. The cut is always a client-visible error
+	// (RST), never a clean EOF that could be mistaken for completion.
+	KindTruncate Kind = "truncate"
+)
+
+// Rule is one scripted fault. Connections are numbered in accept order
+// (0-based); a rule applies to connection c when c is inside [From, To)
+// (To == 0 means unbounded) and either the stride or the seeded coin
+// selects it:
+//
+//   - Every N: fire on every Nth matching connection ((c-From)%N == 0);
+//     Every 0 or 1 fires on all of them. Fully deterministic.
+//   - Prob p: fire with probability p, decided by a hash of (seed, rule
+//     index, c) — deterministic for a fixed seed, different across seeds.
+//
+// Every and Prob are mutually exclusive. The first rule in the schedule that
+// applies to a connection wins.
+type Rule struct {
+	Kind  Kind
+	From  uint64
+	To    uint64 // 0 = unbounded
+	Every uint64
+	Prob  float64
+
+	Delay time.Duration // latency: injected head-of-line delay
+	Hold  time.Duration // blackhole: stall duration before the reset
+	Bytes int64         // truncate: backend→client bytes forwarded before the cut
+	Rate  int64         // slow: backend→client bytes per second
+}
+
+// Schedule is an ordered fault script.
+type Schedule struct {
+	Rules []Rule
+}
+
+// Validate rejects malformed rules before a proxy starts serving with them.
+func (s Schedule) Validate() error {
+	for i, r := range s.Rules {
+		where := fmt.Sprintf("rule %d (%s)", i, r.Kind)
+		switch r.Kind {
+		case KindLatency:
+			if r.Delay <= 0 {
+				return fmt.Errorf("%s: needs delay > 0", where)
+			}
+		case KindBlackhole:
+			if r.Hold <= 0 {
+				return fmt.Errorf("%s: needs hold > 0", where)
+			}
+		case KindSlow:
+			if r.Rate <= 0 {
+				return fmt.Errorf("%s: needs rate > 0", where)
+			}
+		case KindTruncate:
+			if r.Bytes < 0 {
+				return fmt.Errorf("%s: negative bytes", where)
+			}
+		case KindReset:
+		default:
+			return fmt.Errorf("rule %d: unknown fault kind %q", i, r.Kind)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("%s: prob %v outside [0, 1]", where, r.Prob)
+		}
+		if r.Prob > 0 && r.Every > 1 {
+			return fmt.Errorf("%s: every and prob are mutually exclusive", where)
+		}
+		if r.To > 0 && r.To <= r.From {
+			return fmt.Errorf("%s: empty connection range [%d, %d)", where, r.From, r.To)
+		}
+	}
+	return nil
+}
+
+// decide returns the first rule applying to connection conn, or -1.
+func (s Schedule) decide(seed, conn uint64) int {
+	for i, r := range s.Rules {
+		if r.applies(seed, i, conn) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r Rule) applies(seed uint64, idx int, conn uint64) bool {
+	if conn < r.From || (r.To > 0 && conn >= r.To) {
+		return false
+	}
+	if r.Prob > 0 {
+		return coin(seed, uint64(idx), conn) < r.Prob
+	}
+	every := r.Every
+	if every <= 1 {
+		return true
+	}
+	return (conn-r.From)%every == 0
+}
+
+// mix is splitmix64's finalizer — the deterministic hash behind Prob rules.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// coin maps (seed, rule, conn) to a uniform value in [0, 1).
+func coin(seed, rule, conn uint64) float64 {
+	u := mix(seed ^ mix(rule+1) ^ mix(conn+0x632be59bd9b4e019))
+	return float64(u>>11) / (1 << 53)
+}
+
+// ParseSchedule compiles the CLI schedule grammar:
+//
+//	SCHEDULE = RULE ("," RULE)*
+//	RULE     = KIND ["@" FROM ["-" TO]] ("/" KEY "=" VALUE)*
+//	KEY      = every | prob | delay | hold | bytes | rate
+//
+// Examples:
+//
+//	latency/delay=30ms/every=2        delay every 2nd connection by 30ms
+//	reset/prob=0.1                    reset ~10% of connections (seeded)
+//	truncate/bytes=4096@50-100        cut conns 50..99 after 4 KiB of response
+//	blackhole/hold=2s/every=25        stall every 25th connection for 2s
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// The @FROM[-TO] window may trail the kind or any parameter:
+		// "truncate@50-100/bytes=4096" ≡ "truncate/bytes=4096@50-100".
+		fields := strings.Split(part, "/")
+		var rangeSpec string
+		for i, f := range fields {
+			if pre, rng, ok := strings.Cut(f, "@"); ok {
+				fields[i], rangeSpec = pre, rng
+			}
+		}
+		head, fields := fields[0], fields[1:]
+		r := Rule{Kind: Kind(strings.TrimSpace(head))}
+		if rangeSpec != "" {
+			from, to, hasTo := strings.Cut(rangeSpec, "-")
+			v, err := strconv.ParseUint(from, 10, 64)
+			if err != nil {
+				return sched, fmt.Errorf("rule %q: bad range start %q", part, from)
+			}
+			r.From = v
+			if hasTo {
+				v, err := strconv.ParseUint(to, 10, 64)
+				if err != nil {
+					return sched, fmt.Errorf("rule %q: bad range end %q", part, to)
+				}
+				r.To = v
+			}
+		}
+		for _, f := range fields {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return sched, fmt.Errorf("rule %q: parameter %q is not KEY=VALUE", part, f)
+			}
+			var err error
+			switch key {
+			case "every":
+				r.Every, err = strconv.ParseUint(val, 10, 64)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			case "hold":
+				r.Hold, err = time.ParseDuration(val)
+			case "bytes":
+				r.Bytes, err = strconv.ParseInt(val, 10, 64)
+			case "rate":
+				r.Rate, err = strconv.ParseInt(val, 10, 64)
+			default:
+				return sched, fmt.Errorf("rule %q: unknown parameter %q", part, key)
+			}
+			if err != nil {
+				return sched, fmt.Errorf("rule %q: bad %s value %q: %v", part, key, val, err)
+			}
+		}
+		if r.Kind == KindBlackhole && r.Hold == 0 {
+			r.Hold = time.Second
+		}
+		sched.Rules = append(sched.Rules, r)
+	}
+	if len(sched.Rules) == 0 {
+		return sched, fmt.Errorf("empty chaos schedule")
+	}
+	return sched, sched.Validate()
+}

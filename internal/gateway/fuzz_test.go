@@ -1,0 +1,54 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// FuzzRetryable503 drives the 503-body classifier with daemon-shaped error
+// bodies carrying adversarial session IDs and request IDs. The invariants:
+//
+//   - the daemon's phase bodies (recovering gate, draining admit) are always
+//     retryable, whatever the request ID;
+//   - backpressure and lookup bodies are NEVER retryable, even when the
+//     session ID embedded in the message contains phase words — a session
+//     named "recovering" must not get its queue-full errors silently
+//     re-routed;
+//   - arbitrary bytes never panic the classifier.
+func FuzzRetryable503(f *testing.F) {
+	f.Add("sess-1", "r-1")
+	f.Add("recovering", "draining")
+	f.Add("server is draining", "recovering: replaying session logs")
+	f.Add("\x00\xff{", `{"error":`)
+	f.Fuzz(func(t *testing.T, id, rid string) {
+		enc := func(msg string) []byte {
+			b, err := json.Marshal(map[string]string{"error": msg, "request_id": rid})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		for _, phase := range []string{
+			"recovering: replaying session logs",
+			"server is draining",
+		} {
+			if !retryable503(enc(phase)) {
+				t.Fatalf("phase body not retryable: %s", enc(phase))
+			}
+		}
+		for _, final := range []string{
+			fmt.Sprintf("session %q queue full (9 queued, budget 8)", id),
+			fmt.Sprintf("no live session %q", id),
+			fmt.Sprintf("shard 3 queue full (64 of 64)"),
+			fmt.Sprintf("session %q already exists", id),
+		} {
+			if retryable503(enc(final)) {
+				t.Fatalf("non-phase body classified retryable: %s", enc(final))
+			}
+		}
+		// Raw bytes (including invalid JSON) must classify without panicking.
+		retryable503([]byte(id))
+		retryable503([]byte(rid))
+	})
+}

@@ -11,6 +11,14 @@
 // owner. Requests for a session caught mid-handoff are held (not failed)
 // until the handoff lands, so clients observe added latency, never a lost
 // session.
+//
+// Against unannounced failure the data path is defended in depth: a
+// per-backend circuit breaker stops hammering a dead backend, every retry
+// sleeps under an exponential-backoff-with-full-jitter budget, and when the
+// ring is unsettled — some member Down or Recovering — requests for possibly
+// affected sessions park until the fleet heals (bounded by ParkTimeout)
+// instead of surfacing transient 404s/503s. A backend crash therefore costs
+// its clients latency, not errors.
 package gateway
 
 import (
@@ -33,23 +41,51 @@ import (
 type Config struct {
 	// Ring is the backend membership; required.
 	Ring *ring.Ring
-	// Client performs all proxied requests. nil defaults to a client with
-	// no global timeout (SSE streams live arbitrarily long); control-plane
-	// calls bound themselves with request contexts.
+	// Client performs all proxied requests. nil defaults to a client with no
+	// global timeout (SSE streams live arbitrarily long) but a response-
+	// header timeout, so a blackholed backend cannot hang an attempt forever.
 	Client *http.Client
 	// ExportRetry bounds how long one session export is retried while the
 	// session still has queued batches (409). 0 defaults to 15s.
 	ExportRetry time.Duration
+	// ExportBackoff / ExportBackoffMax shape the 409-retry backoff inside
+	// one export (full jitter). Defaults 2ms / 50ms.
+	ExportBackoff    time.Duration
+	ExportBackoffMax time.Duration
+	// Route is the data-path retry budget: how many times the whole route
+	// chain is re-walked and how backoff between passes grows.
+	// Defaults {Passes: 4, Base: 25ms, Max: 250ms}.
+	Route RetryConfig
+	// ParkTimeout bounds how long a request parks while the ring is
+	// unsettled (a member Down or Recovering) before failing. 0 defaults
+	// to 30s.
+	ParkTimeout time.Duration
+	// AttemptTimeout bounds one buffered proxy attempt (not SSE streams).
+	// 0 defaults to 10s.
+	AttemptTimeout time.Duration
+	// CensusTimeout bounds one backend census poll for /cluster. 0: 2s.
+	CensusTimeout time.Duration
+	// ScrapeTimeout bounds one backend /metrics scrape. 0: 2s.
+	ScrapeTimeout time.Duration
+	// Breaker tunes the per-backend circuit breakers.
+	Breaker BreakerConfig
 }
 
 // Gateway is the http.Handler. All state is routing state: the ring, the
-// in-flight migration holds, and counters.
+// in-flight migration holds, the breakers, and counters.
 type Gateway struct {
-	ring        *ring.Ring
-	client      *http.Client
-	exportRetry time.Duration
-	met         metrics
-	mux         *http.ServeMux
+	ring           *ring.Ring
+	client         *http.Client
+	exportRetry    time.Duration
+	exportBackoff  RetryConfig
+	route          RetryConfig
+	parkTimeout    time.Duration
+	attemptTimeout time.Duration
+	censusTimeout  time.Duration
+	scrapeTimeout  time.Duration
+	breakers       map[string]*breaker
+	met            metrics
+	mux            *http.ServeMux
 
 	mu        sync.Mutex
 	migrating map[string]chan struct{} // session id -> closed when its handoff completes
@@ -64,18 +100,43 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: Config.Ring is required")
 	}
 	g := &Gateway{
-		ring:        cfg.Ring,
-		client:      cfg.Client,
-		exportRetry: cfg.ExportRetry,
-		migrating:   make(map[string]chan struct{}),
-		evacuated:   make(map[string]bool),
-		mux:         http.NewServeMux(),
+		ring:           cfg.Ring,
+		client:         cfg.Client,
+		exportRetry:    cfg.ExportRetry,
+		route:          cfg.Route.withDefaults(4, 25*time.Millisecond, 250*time.Millisecond),
+		parkTimeout:    cfg.ParkTimeout,
+		attemptTimeout: cfg.AttemptTimeout,
+		censusTimeout:  cfg.CensusTimeout,
+		scrapeTimeout:  cfg.ScrapeTimeout,
+		breakers:       make(map[string]*breaker),
+		migrating:      make(map[string]chan struct{}),
+		evacuated:      make(map[string]bool),
+		mux:            http.NewServeMux(),
 	}
+	g.exportBackoff = RetryConfig{Base: cfg.ExportBackoff, Max: cfg.ExportBackoffMax}.
+		withDefaults(1, 2*time.Millisecond, 50*time.Millisecond)
 	if g.client == nil {
-		g.client = &http.Client{}
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ResponseHeaderTimeout = 10 * time.Second
+		g.client = &http.Client{Transport: tr}
 	}
 	if g.exportRetry <= 0 {
 		g.exportRetry = 15 * time.Second
+	}
+	if g.parkTimeout <= 0 {
+		g.parkTimeout = 30 * time.Second
+	}
+	if g.attemptTimeout <= 0 {
+		g.attemptTimeout = 10 * time.Second
+	}
+	if g.censusTimeout <= 0 {
+		g.censusTimeout = 2 * time.Second
+	}
+	if g.scrapeTimeout <= 0 {
+		g.scrapeTimeout = 2 * time.Second
+	}
+	for _, m := range cfg.Ring.Members() {
+		g.breakers[m.Name] = newBreaker(cfg.Breaker)
 	}
 	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
 	g.mux.HandleFunc("GET /v1/sessions/{id}", g.handleSession)
@@ -91,9 +152,26 @@ func New(cfg Config) (*Gateway, error) {
 // Ring exposes the membership (the prober and tests need it).
 func (g *Gateway) Ring() *ring.Ring { return g.ring }
 
+// NoteHealth lets the health prober inform the gateway of transitions. A
+// backend confirmed Ready gets its breaker force-closed: the probe is
+// independent evidence the backend is back, so the data path should not wait
+// out a cooldown.
+func (g *Gateway) NoteHealth(name string, from, to ring.Health) {
+	if to == ring.Ready {
+		if br := g.breakers[name]; br != nil {
+			br.reset()
+		}
+	}
+}
+
+func (g *Gateway) breakerFor(name string) *breaker { return g.breakers[name] }
+
 // ServeHTTP stamps the request ID (minting one when the client sent none —
 // the ID then rides every proxied hop and comes back in daemon error bodies)
-// and dispatches.
+// and applies the client's deadline: an X-Request-Timeout header (a Go
+// duration) bounds everything done on the request's behalf, including parks
+// and retries, so the client's own deadline is never overshot by gateway
+// patience.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get("X-Request-Id")
 	if rid == "" {
@@ -101,6 +179,13 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r.Header.Set("X-Request-Id", rid)
 	}
 	w.Header().Set("X-Request-Id", rid)
+	if v := r.Header.Get("X-Request-Timeout"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
 	g.mux.ServeHTTP(w, r)
 }
 
@@ -149,72 +234,164 @@ func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
 // retryable503 reports whether a 503 error body came from a daemon phase the
 // chain should route around (recovering/draining) rather than genuine
 // backpressure (full shard queue) that must reach the client so its own
-// retry loop backs off.
+// retry loop backs off. The daemon's phase 503s open with the phase word
+// ("recovering: replaying session logs", "server is draining"); matching on
+// the message *prefix* keeps a session whose ID happens to contain
+// "recovering" from turning its backpressure errors into silent re-routes.
 func retryable503(body []byte) bool {
-	s := string(body)
-	return strings.Contains(s, "recovering") || strings.Contains(s, "draining")
+	msg := string(body)
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	msg = strings.TrimSpace(msg)
+	return strings.HasPrefix(msg, serve.PhaseRecovering) ||
+		strings.HasPrefix(msg, serve.PhaseDraining) ||
+		strings.HasPrefix(msg, "server is "+serve.PhaseDraining)
 }
 
-// chainPasses bounds how many times forward re-walks the whole route chain
-// when no backend gave an authoritative answer. A session in the export→
-// import window of a live handoff is momentarily on no backend at all; one
-// re-pass after a short wait finds it at its new home. Genuine misses (a
-// session that never existed) pay chainPasses×chainPassWait of extra latency
-// before their 404 — a deliberate trade for never surfacing a transient 404
-// mid-migration.
-const (
-	chainPasses   = 4
-	chainPassWait = 25 * time.Millisecond
-)
+// passOutcome summarizes one walk of the route chain for the park decision.
+type passOutcome struct {
+	served     bool           // an authoritative response was written
+	last       *backendResult // most recent non-authoritative response (404/phase-503)
+	connErrs   int            // connection-level failures this pass
+	skips      int            // backends skipped by an open breaker
+	recovering bool           // some backend answered "recovering"
+}
+
+// parkable reports whether this pass's failure smells like a healing fleet
+// (crash, recovery, breaker shadow) rather than a genuinely absent session.
+func (o passOutcome) parkable(unsettledRing bool) bool {
+	return unsettledRing || o.connErrs > 0 || o.skips > 0 || o.recovering
+}
 
 // forward tries the ring's route chain for key until a backend gives an
 // authoritative answer. Per attempt:
 //
-//   - connection error: next backend (and the prober will mark it Down)
+//   - breaker open: skip the backend
+//   - connection error: next backend (feeds the breaker; the prober will
+//     mark it Down)
 //   - 404: next backend — during migration the session may live on a
-//     fallback; only when every backend 404s is the 404 real
+//     fallback; only when every backend 404s *and the ring is settled* is
+//     the 404 real
 //   - 503 recovering/draining: next backend
 //   - anything else (including 410 gone, 429 and backpressure 503s): final
 //
-// Requests for a session currently mid-handoff wait for the handoff first.
+// When a pass fails while the fleet looks unhealthy, the request parks:
+// it keeps re-walking the chain under the jittered backoff until the fleet
+// heals or ParkTimeout expires. Requests for a session mid-handoff wait for
+// the handoff first.
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte) {
 	g.met.requests.Add(1)
+	start := time.Now()
+	parkDeadline := start.Add(g.parkTimeout)
+	parked := false
 	var last *backendResult
-	for pass := 0; pass < chainPasses; pass++ {
+	for pass := 0; ; pass++ {
 		if err := g.waitMigration(r.Context(), key); err != nil {
 			g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", key, err)
 			return
 		}
-		for i, b := range g.ring.Route(key) {
-			if i > 0 || pass > 0 {
-				g.met.retries.Add(1)
+		out := g.walkChain(r, key, method, path, body, pass, func(res *backendResult) {
+			if parked {
+				g.met.observePark(time.Since(start))
 			}
-			res, err := g.do(r, b, method, path, body)
-			if err != nil {
-				continue
-			}
-			switch {
-			case res.status == http.StatusNotFound,
-				res.status == http.StatusServiceUnavailable && retryable503(res.body):
-				last = res
-				continue
-			default:
-				res.write(w)
+			res.write(w)
+		})
+		if out.served {
+			return
+		}
+		if out.last != nil {
+			last = out.last
+		}
+		parking := out.parkable(g.ring.Unsettled())
+		if parking && !parked {
+			parked = true
+			g.met.parked.Add(1)
+		}
+		switch {
+		case parking && time.Now().Before(parkDeadline):
+			// keep passing; backoff below
+		case pass+1 < g.route.Passes:
+			// plain retry budget (settled ring, e.g. migration race)
+		default:
+			if parking {
+				// The fleet never healed: the session's owner is still
+				// unavailable, so a fallback's 404 is not authoritative —
+				// answer 503, the honest "try again later".
+				g.met.parkTimeouts.Add(1)
+				g.met.noBackend.Add(1)
+				g.writeError(w, http.StatusServiceUnavailable,
+					"session %s: backend unavailable past park timeout", key)
 				return
 			}
+			g.met.retryExhausted.Add(1)
+			if last != nil {
+				last.write(w)
+				return
+			}
+			g.met.noBackend.Add(1)
+			g.writeError(w, http.StatusServiceUnavailable, "no backend answered for session %s", key)
+			return
 		}
 		select {
 		case <-r.Context().Done():
-			pass = chainPasses // fall out with whatever we have
-		case <-time.After(chainPassWait):
+			if last != nil {
+				last.write(w)
+				return
+			}
+			g.met.noBackend.Add(1)
+			g.writeError(w, http.StatusServiceUnavailable, "no backend answered for session %s", key)
+			return
+		case <-time.After(g.route.backoff(pass)):
 		}
 	}
-	if last != nil {
-		last.write(w)
-		return
+}
+
+// walkChain runs one pass over the route chain. An authoritative response is
+// handed to sink and the zero outcome is returned; otherwise the outcome
+// describes why the pass failed.
+func (g *Gateway) walkChain(r *http.Request, key, method, path string, body []byte, pass int, sink func(*backendResult)) passOutcome {
+	var out passOutcome
+	for i, b := range g.ring.Route(key) {
+		br := g.breakerFor(b.Name)
+		if br != nil && !br.allow() {
+			out.skips++
+			g.met.breakerSkips.Add(1)
+			continue
+		}
+		if i > 0 || pass > 0 {
+			g.met.retries.Add(1)
+		}
+		res, err := g.do(r, b, method, path, body)
+		if err != nil {
+			out.connErrs++
+			if br != nil {
+				br.fail()
+			}
+			continue
+		}
+		if br != nil {
+			br.succeed()
+		}
+		switch {
+		case res.status == http.StatusNotFound:
+			out.last = res
+			continue
+		case res.status == http.StatusServiceUnavailable && retryable503(res.body):
+			out.last = res
+			if strings.Contains(string(res.body), serve.PhaseRecovering) {
+				out.recovering = true
+			}
+			continue
+		default:
+			sink(res)
+			return passOutcome{served: true}
+		}
 	}
-	g.met.noBackend.Add(1)
-	g.writeError(w, http.StatusServiceUnavailable, "no backend answered for session %s", key)
+	return out
 }
 
 // backendResult is one buffered proxied response.
@@ -234,9 +411,12 @@ func (res *backendResult) write(w http.ResponseWriter) {
 	_, _ = w.Write(res.body)
 }
 
-// do performs one buffered attempt against one backend.
+// do performs one buffered attempt against one backend, bounded by
+// AttemptTimeout so one hung backend cannot eat the whole retry budget.
 func (g *Gateway) do(r *http.Request, b ring.Backend, method, path string, body []byte) (*backendResult, error) {
-	req, err := http.NewRequestWithContext(r.Context(), method, b.Addr+path, strings.NewReader(string(body)))
+	ctx, cancel := context.WithTimeout(r.Context(), g.attemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, b.Addr+path, strings.NewReader(string(body)))
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +424,9 @@ func (g *Gateway) do(r *http.Request, b ring.Backend, method, path string, body 
 		req.Header.Set("Content-Type", ct)
 	}
 	req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
+	if v := r.Header.Get("X-Request-Timeout"); v != "" {
+		req.Header.Set("X-Request-Timeout", v)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -266,25 +449,34 @@ func (g *Gateway) do(r *http.Request, b ring.Backend, method, path string, body 
 // subscription; after that the stream is welded to that backend. A stream
 // cut by migration ends cleanly and the client resubscribes through the
 // gateway, landing on the new owner, whose stream replays the full record
-// history first — no estimate is lost.
+// history first — no estimate is lost. A stream cut by *failure* (the
+// backend died, or a proxy truncated the response) is aborted mid-body so
+// the client sees a transport error, never a silently shortened stream that
+// could pass for complete.
 func (g *Gateway) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := g.waitMigration(r.Context(), id); err != nil {
-		g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", id, err)
-		return
-	}
 	g.met.requests.Add(1)
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		g.writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	for pass := 0; pass < chainPasses; pass++ {
+	start := time.Now()
+	parkDeadline := start.Add(g.parkTimeout)
+	parked := false
+	for pass := 0; ; pass++ {
 		if err := g.waitMigration(r.Context(), id); err != nil {
 			g.writeError(w, http.StatusServiceUnavailable, "session %s: interrupted waiting for migration: %v", id, err)
 			return
 		}
+		var out passOutcome
 		for i, b := range g.ring.Route(id) {
+			br := g.breakerFor(b.Name)
+			if br != nil && !br.allow() {
+				out.skips++
+				g.met.breakerSkips.Add(1)
+				continue
+			}
 			if i > 0 || pass > 0 {
 				g.met.retries.Add(1)
 			}
@@ -295,13 +487,27 @@ func (g *Gateway) handleEstimates(w http.ResponseWriter, r *http.Request) {
 			req.Header.Set("X-Request-Id", r.Header.Get("X-Request-Id"))
 			resp, err := g.client.Do(req)
 			if err != nil {
+				out.connErrs++
+				if br != nil {
+					br.fail()
+				}
 				continue
+			}
+			if br != nil {
+				br.succeed()
 			}
 			if resp.StatusCode != http.StatusOK {
 				data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 				resp.Body.Close()
-				if resp.StatusCode == http.StatusNotFound ||
-					(resp.StatusCode == http.StatusServiceUnavailable && retryable503(data)) {
+				if resp.StatusCode == http.StatusNotFound {
+					out.last = &backendResult{backend: b.Name, status: resp.StatusCode, body: data}
+					continue
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable && retryable503(data) {
+					out.last = &backendResult{backend: b.Name, status: resp.StatusCode, body: data}
+					if strings.Contains(string(data), serve.PhaseRecovering) {
+						out.recovering = true
+					}
 					continue
 				}
 				w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
@@ -310,33 +516,69 @@ func (g *Gateway) handleEstimates(w http.ResponseWriter, r *http.Request) {
 				_, _ = w.Write(data)
 				return
 			}
+			if parked {
+				g.met.observePark(time.Since(start))
+			}
 			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 			w.Header().Set("X-Backend", b.Name)
 			w.WriteHeader(http.StatusOK)
 			fl.Flush()
-			buf := make([]byte, 16<<10)
-			for {
-				n, err := resp.Body.Read(buf)
-				if n > 0 {
-					if _, werr := w.Write(buf[:n]); werr != nil {
-						resp.Body.Close()
-						return
-					}
-					fl.Flush()
-				}
-				if err != nil {
-					resp.Body.Close()
-					return
-				}
+			g.weld(w, fl, resp.Body)
+			return
+		}
+		parking := out.parkable(g.ring.Unsettled())
+		if parking && !parked {
+			parked = true
+			g.met.parked.Add(1)
+		}
+		switch {
+		case parking && time.Now().Before(parkDeadline):
+		case pass+1 < g.route.Passes:
+		default:
+			if parked && parking {
+				g.met.parkTimeouts.Add(1)
 			}
+			if out.last != nil && !parking {
+				g.writeError(w, http.StatusNotFound, "no backend has session %s", id)
+				return
+			}
+			g.writeError(w, http.StatusServiceUnavailable, "no backend reachable for session %s", id)
+			return
 		}
 		select {
 		case <-r.Context().Done():
-			pass = chainPasses
-		case <-time.After(chainPassWait):
+			g.writeError(w, http.StatusServiceUnavailable, "session %s: %v", id, r.Context().Err())
+			return
+		case <-time.After(g.route.backoff(pass)):
 		}
 	}
-	g.writeError(w, http.StatusNotFound, "no backend has session %s", id)
+}
+
+// weld copies the accepted SSE stream to the client. The response status is
+// already written, so a backend-side read failure cannot be reported in
+// band; aborting the handler resets the client connection instead, making
+// the cut unmistakable. Clean EOF ends the stream normally (the daemon
+// always terminates a finished stream with its `done` event, which the
+// client checks for).
+func (g *Gateway) weld(w http.ResponseWriter, fl http.Flusher, from io.ReadCloser) {
+	defer from.Close()
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := from.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away
+			}
+			fl.Flush()
+		}
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			g.met.streamAborts.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+	}
 }
 
 // clusterInfo is the body of GET /cluster.
@@ -345,11 +587,12 @@ type clusterInfo struct {
 	Eligible int               `json:"eligible_backends"`
 	Members  []ring.MemberInfo `json:"members"`
 	Sessions map[string]int    `json:"sessions_per_backend"`
+	Breakers map[string]string `json:"breakers"`
 }
 
-// handleCluster reports the gateway's view of the fleet: member health plus
-// a live per-backend session census (polled, best effort — an unreachable
-// backend reports -1).
+// handleCluster reports the gateway's view of the fleet: member health,
+// breaker states, plus a live per-backend session census (polled, best
+// effort — an unreachable backend reports -1).
 func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 	members := g.ring.Members()
 	info := clusterInfo{
@@ -357,6 +600,10 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Eligible: g.ring.EligibleCount(),
 		Members:  members,
 		Sessions: make(map[string]int, len(members)),
+		Breakers: make(map[string]string, len(members)),
+	}
+	for name, br := range g.breakers {
+		info.Breakers[name] = br.current().String()
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -377,7 +624,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 
 // countSessions polls one backend's live session count; -1 when unreachable.
 func (g *Gateway) countSessions(ctx context.Context, addr string) int {
-	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, g.censusTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/admin/sessions", nil)
 	if err != nil {
@@ -408,5 +655,5 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "degraded")
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	fmt.Fprintln(w, serve.PhaseReady)
 }

@@ -24,31 +24,49 @@ type testCluster struct {
 	gw    *Gateway
 	gwSrv *httptest.Server
 	mgrs  map[string]*serve.Manager
+	srvs  map[string]*serve.Server
+	https map[string]*httptest.Server
 	names []string
 }
 
 func newTestCluster(t *testing.T, n int) *testCluster {
+	return newTestClusterCfg(t, n, func(cfg *Config) {})
+}
+
+// newTestClusterCfg lets a test tune the gateway config (breaker thresholds,
+// park timeout, retry budget) before the gateway is built.
+func newTestClusterCfg(t *testing.T, n int, tune func(*Config)) *testCluster {
 	t.Helper()
-	tc := &testCluster{t: t, mgrs: make(map[string]*serve.Manager)}
+	tc := &testCluster{
+		t:     t,
+		mgrs:  make(map[string]*serve.Manager),
+		srvs:  make(map[string]*serve.Server),
+		https: make(map[string]*httptest.Server),
+	}
 	var bks []ring.Backend
 	for i := 0; i < n; i++ {
 		met := serve.NewMetrics(nil)
 		mgr := serve.NewManager(serve.ManagerConfig{
 			Shards: 2, ShardQueue: 64, MaxSessions: 256, Metrics: met,
 		})
-		ts := httptest.NewServer(serve.NewServer(mgr, met))
+		srv := serve.NewServer(mgr, met)
+		ts := httptest.NewServer(srv)
 		t.Cleanup(ts.Close)
 		t.Cleanup(mgr.Drain)
 		name := fmt.Sprintf("b%d", i)
 		bks = append(bks, ring.Backend{Name: name, Addr: ts.URL})
 		tc.mgrs[name] = mgr
+		tc.srvs[name] = srv
+		tc.https[name] = ts
 		tc.names = append(tc.names, name)
 	}
 	r, err := ring.New(bks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw, err := New(Config{Ring: r})
+	cfg := Config{Ring: r}
+	tune(&cfg)
+	gw, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,6 +354,15 @@ func TestAggregatedMetrics(t *testing.T) {
 	for _, want := range []string{
 		"cdpfgw_requests_total",
 		"cdpfgw_migrated_sessions_total 0",
+		"cdpfgw_retry_exhausted_total",
+		"cdpfgw_breaker_skips_total",
+		`cdpfgw_breaker_state{backend="b0"} 0`,
+		`cdpfgw_breaker_opens_total{backend="b1"} 0`,
+		"cdpfgw_parked_requests_total",
+		"cdpfgw_park_timeouts_total",
+		"cdpfgw_park_latency_seconds_bucket{le=\"+Inf\"}",
+		"cdpfgw_park_latency_seconds_count",
+		"cdpfgw_stream_aborts_total",
 		"cdpfd_sessions_created_total 1",
 		fmt.Sprintf("cdpfd_steps_total %d", len(batches)),
 	} {

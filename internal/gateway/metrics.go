@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -19,10 +20,88 @@ import (
 type metrics struct {
 	requests         atomic.Int64 // session-scoped requests routed
 	retries          atomic.Int64 // fallback attempts past the first backend
+	retryExhausted   atomic.Int64 // requests that burned the whole retry budget
 	noBackend        atomic.Int64 // requests that exhausted the chain
 	holds            atomic.Int64 // requests parked behind an in-flight handoff
 	migrations       atomic.Int64 // backend evacuations started
 	migratedSessions atomic.Int64 // sessions successfully re-homed
+	breakerSkips     atomic.Int64 // attempts skipped because a breaker was open
+	parked           atomic.Int64 // requests that parked on an unsettled ring
+	parkTimeouts     atomic.Int64 // parks that expired without the fleet healing
+	streamAborts     atomic.Int64 // SSE welds aborted after a backend-side cut
+
+	parkMu   sync.Mutex
+	parkHist histogram
+}
+
+// observePark records how long a parked request waited before succeeding.
+func (m *metrics) observePark(d time.Duration) {
+	m.parkMu.Lock()
+	m.parkHist.observe(d.Seconds())
+	m.parkMu.Unlock()
+}
+
+// parkQuantile estimates a park-latency quantile; NaN with no observations.
+func (m *metrics) parkQuantile(q float64) float64 {
+	m.parkMu.Lock()
+	defer m.parkMu.Unlock()
+	return m.parkHist.quantile(q)
+}
+
+// latencyBuckets mirror the serve tier's histogram bounds (100 µs to ~52 s in
+// powers of two) so fleet dashboards can overlay gateway park latency on
+// backend step latency without bucket gymnastics.
+var latencyBuckets = func() []float64 {
+	b := make([]float64, 20)
+	ub := 100e-6
+	for i := range b {
+		b[i] = ub
+		ub *= 2
+	}
+	return b
+}()
+
+type histogram struct {
+	counts [21]int64 // len(latencyBuckets)+1, last bucket is +Inf
+	sum    float64
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBuckets)]++
+}
+
+func (h *histogram) quantile(q float64) float64 {
+	var total int64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// formatUpperBound renders a bucket bound the way Prometheus clients do.
+func formatUpperBound(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
 }
 
 // handleMetrics writes the gateway's own counters, then the fleet's metrics
@@ -32,24 +111,53 @@ type metrics struct {
 // the fleet-wide latency distribution.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP cdpfgw_requests_total Session-scoped requests routed through the gateway.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_requests_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_requests_total %d\n", g.met.requests.Load())
-	fmt.Fprintf(w, "# HELP cdpfgw_route_retries_total Fallback attempts past the first backend in the chain.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_route_retries_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_route_retries_total %d\n", g.met.retries.Load())
-	fmt.Fprintf(w, "# HELP cdpfgw_no_backend_total Requests that exhausted every backend in the chain.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_no_backend_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_no_backend_total %d\n", g.met.noBackend.Load())
-	fmt.Fprintf(w, "# HELP cdpfgw_migration_holds_total Requests parked behind an in-flight session handoff.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_migration_holds_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_migration_holds_total %d\n", g.met.holds.Load())
-	fmt.Fprintf(w, "# HELP cdpfgw_migrations_total Backend evacuations started.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_migrations_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_migrations_total %d\n", g.met.migrations.Load())
-	fmt.Fprintf(w, "# HELP cdpfgw_migrated_sessions_total Sessions successfully re-homed by migration.\n")
-	fmt.Fprintf(w, "# TYPE cdpfgw_migrated_sessions_total counter\n")
-	fmt.Fprintf(w, "cdpfgw_migrated_sessions_total %d\n", g.met.migratedSessions.Load())
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	counter("cdpfgw_requests_total", "Session-scoped requests routed through the gateway.", g.met.requests.Load())
+	counter("cdpfgw_route_retries_total", "Fallback attempts past the first backend in the chain.", g.met.retries.Load())
+	counter("cdpfgw_retry_exhausted_total", "Requests that burned the whole retry budget without an authoritative answer.", g.met.retryExhausted.Load())
+	counter("cdpfgw_no_backend_total", "Requests that exhausted every backend in the chain.", g.met.noBackend.Load())
+	counter("cdpfgw_migration_holds_total", "Requests parked behind an in-flight session handoff.", g.met.holds.Load())
+	counter("cdpfgw_migrations_total", "Backend evacuations started.", g.met.migrations.Load())
+	counter("cdpfgw_migrated_sessions_total", "Sessions successfully re-homed by migration.", g.met.migratedSessions.Load())
+	counter("cdpfgw_breaker_skips_total", "Route attempts skipped because the backend's breaker was open.", g.met.breakerSkips.Load())
+	counter("cdpfgw_parked_requests_total", "Requests that parked while the ring was unsettled.", g.met.parked.Load())
+	counter("cdpfgw_park_timeouts_total", "Parked requests that timed out before the fleet healed.", g.met.parkTimeouts.Load())
+	counter("cdpfgw_stream_aborts_total", "SSE streams aborted after a backend-side cut (client sees a reset, not a short stream).", g.met.streamAborts.Load())
+
+	fmt.Fprintf(w, "# HELP cdpfgw_breaker_state Per-backend breaker state (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_breaker_state gauge\n")
+	names := make([]string, 0, len(g.breakers))
+	for name := range g.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "cdpfgw_breaker_state{backend=%q} %d\n", name, int(g.breakers[name].current()))
+	}
+	fmt.Fprintf(w, "# HELP cdpfgw_breaker_opens_total Closed-to-open breaker transitions per backend.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_breaker_opens_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "cdpfgw_breaker_opens_total{backend=%q} %d\n", name, g.breakers[name].opens.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP cdpfgw_park_latency_seconds Time parked requests waited before succeeding.\n")
+	fmt.Fprintf(w, "# TYPE cdpfgw_park_latency_seconds histogram\n")
+	g.met.parkMu.Lock()
+	hist := g.met.parkHist
+	g.met.parkMu.Unlock()
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += hist.counts[i]
+		fmt.Fprintf(w, "cdpfgw_park_latency_seconds_bucket{le=%q} %d\n", formatUpperBound(ub), cum)
+	}
+	cum += hist.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "cdpfgw_park_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "cdpfgw_park_latency_seconds_sum %g\n", hist.sum)
+	fmt.Fprintf(w, "cdpfgw_park_latency_seconds_count %d\n", cum)
 
 	sums, scraped := g.scrapeBackends(r)
 	fmt.Fprintf(w, "# Aggregated below: per-metric sums across %d reachable backend(s).\n", scraped)
@@ -75,7 +183,7 @@ func (g *Gateway) scrapeBackends(r *http.Request) (map[string]float64, int) {
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
-			local, err := scrapeOne(g.client, r, addr)
+			local, err := scrapeOne(g.client, r, addr, g.scrapeTimeout)
 			if err != nil {
 				return
 			}
@@ -92,8 +200,8 @@ func (g *Gateway) scrapeBackends(r *http.Request) (map[string]float64, int) {
 }
 
 // scrapeOne fetches one backend's exposition and parses it into key->value.
-func scrapeOne(client *http.Client, r *http.Request, addr string) (map[string]float64, error) {
-	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+func scrapeOne(client *http.Client, r *http.Request, addr string, timeout time.Duration) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
 	if err != nil {

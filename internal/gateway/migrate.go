@@ -163,12 +163,11 @@ func (g *Gateway) waitMigration(ctx context.Context, id string) error {
 
 // exportSession POSTs the export endpoint until the session is quiescent: a
 // 409 means batches are still queued (the shard will step them in
-// microseconds to milliseconds), so retry on a short fuse until ExportRetry
-// runs out.
+// microseconds to milliseconds), so retry under the shared full-jitter
+// backoff until ExportRetry runs out.
 func (g *Gateway) exportSession(ctx context.Context, addr, id string) ([]byte, error) {
 	deadline := time.Now().Add(g.exportRetry)
-	backoff := 2 * time.Millisecond
-	for {
+	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			addr+"/admin/sessions/"+id+"/export", nil)
 		if err != nil {
@@ -199,10 +198,7 @@ func (g *Gateway) exportSession(ctx context.Context, addr, id string) ([]byte, e
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(backoff):
-			}
-			if backoff < 50*time.Millisecond {
-				backoff *= 2
+			case <-time.After(g.exportBackoff.backoff(attempt)):
 			}
 		default:
 			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))

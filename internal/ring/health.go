@@ -3,6 +3,7 @@ package ring
 import (
 	"context"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -20,10 +21,28 @@ type Prober struct {
 	Ring     *Ring
 	Client   *http.Client  // nil: a 2s-timeout client
 	Interval time.Duration // 0: 500ms
+	// FlapK is flap damping: a Ready↔Down transition is applied only after
+	// this many consecutive identical observations (≤1 disables damping).
+	// Transitions involving Recovering, Draining, or Unknown apply
+	// immediately — those phases carry migration/recovery semantics a
+	// gateway must react to on first sight.
+	FlapK int
+	// Jitter spreads probe ticks uniformly over Interval·[1−J, 1+J] so a
+	// fleet of gateways doesn't probe every backend in lockstep. 0 disables.
+	Jitter float64
 	// OnTransition, when non-nil, runs after a member's health changes —
 	// the gateway hooks auto-evacuation here. Called from the prober
 	// goroutine; implementations spawn their own work.
 	OnTransition func(name string, from, to Health)
+
+	mu      sync.Mutex
+	streaks map[string]streak
+}
+
+// streak counts consecutive identical damped observations for one member.
+type streak struct {
+	h Health
+	n int
 }
 
 func (p *Prober) client() *http.Client {
@@ -48,6 +67,50 @@ func classify(status int, body string) Health {
 	}
 }
 
+// damped reports whether the cur→obs transition is subject to flap damping:
+// only the Ready↔Down pair, where one bad (or good) packet must not flip
+// routing. Everything else — first contact, drain, recovery — is immediate.
+func damped(cur, obs Health) bool {
+	if cur == obs {
+		return false
+	}
+	flappy := func(h Health) bool { return h == Ready || h == Down }
+	return flappy(cur) && flappy(obs)
+}
+
+// observe applies one probe observation for a member, honoring flap damping,
+// and fires OnTransition on an applied change. Safe for concurrent use
+// across members.
+func (p *Prober) observe(name string, h Health, errMsg string) {
+	if p.FlapK > 1 {
+		cur, ok := p.Ring.HealthOf(name)
+		if ok && damped(cur, h) {
+			p.mu.Lock()
+			s := p.streaks[name]
+			if s.h == h {
+				s.n++
+			} else {
+				s = streak{h: h, n: 1}
+			}
+			if p.streaks == nil {
+				p.streaks = make(map[string]streak)
+			}
+			p.streaks[name] = s
+			p.mu.Unlock()
+			if s.n < p.FlapK {
+				return // not confirmed yet; keep current health
+			}
+		}
+		p.mu.Lock()
+		delete(p.streaks, name)
+		p.mu.Unlock()
+	}
+	prev, ok := p.Ring.SetHealth(name, h, errMsg)
+	if ok && prev != h && p.OnTransition != nil {
+		p.OnTransition(name, prev, h)
+	}
+}
+
 // ProbeOnce polls every member once, concurrently, and applies the results.
 func (p *Prober) ProbeOnce(ctx context.Context) {
 	members := p.Ring.Members()
@@ -57,10 +120,7 @@ func (p *Prober) ProbeOnce(ctx context.Context) {
 		go func(m MemberInfo) {
 			defer wg.Done()
 			h, errMsg := p.probe(ctx, m.Addr)
-			prev, ok := p.Ring.SetHealth(m.Name, h, errMsg)
-			if ok && prev != h && p.OnTransition != nil {
-				p.OnTransition(m.Name, prev, h)
-			}
+			p.observe(m.Name, h, errMsg)
 		}(m)
 	}
 	wg.Wait()
@@ -84,15 +144,32 @@ func (p *Prober) probe(ctx context.Context, addr string) (Health, string) {
 	return h, ""
 }
 
-// Run probes on the interval until ctx is done. The first probe fires
-// immediately so the ring leaves Unknown as fast as possible.
+// jittered returns the next probe delay: iv spread uniformly over
+// [iv·(1−j), iv·(1+j)].
+func jittered(iv time.Duration, j float64) time.Duration {
+	if j <= 0 {
+		return iv
+	}
+	if j > 1 {
+		j = 1
+	}
+	span := 2 * j * float64(iv)
+	d := time.Duration(float64(iv)*(1-j) + rand.Float64()*span)
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Run probes until ctx is done, jittering the interval per tick. The first
+// probe fires immediately so the ring leaves Unknown as fast as possible.
 func (p *Prober) Run(ctx context.Context) {
 	iv := p.Interval
 	if iv <= 0 {
 		iv = 500 * time.Millisecond
 	}
 	p.ProbeOnce(ctx)
-	t := time.NewTicker(iv)
+	t := time.NewTimer(jittered(iv, p.Jitter))
 	defer t.Stop()
 	for {
 		select {
@@ -100,6 +177,7 @@ func (p *Prober) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			p.ProbeOnce(ctx)
+			t.Reset(jittered(iv, p.Jitter))
 		}
 	}
 }

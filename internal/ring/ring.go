@@ -250,6 +250,32 @@ func (r *Ring) Members() []MemberInfo {
 	return out
 }
 
+// HealthOf returns a member's current health.
+func (r *Ring) HealthOf(name string) (Health, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byName[name]
+	if !ok {
+		return Unknown, false
+	}
+	return m.health, true
+}
+
+// Unsettled reports whether any member is Down or Recovering — the window in
+// which a session's owner may be mid-crash-recovery and requests for it
+// should park rather than fail. Unknown members don't count: a fresh ring is
+// routable by design, and probes resolve Unknown within one interval.
+func (r *Ring) Unsettled() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.members {
+		if m.health == Down || m.health == Recovering {
+			return true
+		}
+	}
+	return false
+}
+
 // EligibleCount reports how many members may currently own sessions — the
 // gateway's /healthz readiness is "at least one".
 func (r *Ring) EligibleCount() int {

@@ -260,18 +260,27 @@ func (s *Server) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	send("done", map[string]int{"estimates": n})
 }
 
+// The daemon's lifecycle phases, as spoken by /healthz bodies and embedded in
+// 503 error messages. The gateway and ring prober match on these literals, so
+// they are part of the wire protocol.
+const (
+	PhaseReady      = "ready"
+	PhaseRecovering = "recovering"
+	PhaseDraining   = "draining"
+)
+
 // handleHealthz reports the daemon's phase: "ready" (200) when serving,
 // "recovering" (503) while the session table is being rebuilt from the
 // durability directory, "draining" (503) once shutdown began. Orchestrators
 // and the CI smoke tests poll for the literal body "ready".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	phase, status := "ready", http.StatusOK
+	phase, status := PhaseReady, http.StatusOK
 	if s.recovering.Load() {
-		phase, status = "recovering", http.StatusServiceUnavailable
+		phase, status = PhaseRecovering, http.StatusServiceUnavailable
 	}
 	select {
 	case <-s.mgr.Draining():
-		phase, status = "draining", http.StatusServiceUnavailable
+		phase, status = PhaseDraining, http.StatusServiceUnavailable
 	default:
 	}
 	w.WriteHeader(status)
