@@ -14,17 +14,22 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/kernel"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wsn"
 )
 
@@ -345,5 +350,145 @@ func BenchmarkBatchNormal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng.NormalFill(buf, 0, 0.05)
+	}
+}
+
+// kernelColumns builds deterministic coordinate/bearing/distance columns
+// shaped like a density-20 sharer set, for pricing the batch kernels in
+// isolation (DESIGN.md §16).
+func kernelColumns(n int) (fromX, fromY, z, dist []float64, mask []bool) {
+	rng := mathx.NewRNG(5)
+	fromX = make([]float64, n)
+	fromY = make([]float64, n)
+	z = make([]float64, n)
+	dist = make([]float64, n)
+	mask = make([]bool, n)
+	for i := range fromX {
+		fromX[i] = rng.Uniform(0, 120)
+		fromY[i] = rng.Uniform(0, 120)
+		z[i] = rng.Uniform(-3, 3)
+		dist[i] = rng.Uniform(0, 40)
+		mask[i] = rng.Float64() < 0.7
+	}
+	return
+}
+
+// BenchmarkKernelMaskedSum prices the assignLikelihood inner loop: one
+// holder's masked ordered log-likelihood sum over 64 sharer columns, in the
+// constant-sigma fast lane (Gaussian, no quantization, no gating) and the
+// general lane (Student-t with quantization and gating). allocs/op must be 0.
+func BenchmarkKernelMaskedSum(b *testing.B) {
+	fromX, fromY, z, dist, mask := kernelColumns(64)
+	lanes := []struct {
+		name string
+		bk   kernel.Bearing
+	}{
+		{"gauss", kernel.NewBearing(0.05, 0, 0, 0)},
+		{"student-t-quant-gate", kernel.NewBearing(0.05, 4, 2.0, 2.5)},
+	}
+	for _, lane := range lanes {
+		b.Run(lane.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				ll, _, _ := lane.bk.MaskedSum(fromX, fromY, z, dist, mask, 60, 60)
+				sink += ll
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkKernelOverheardSum prices the propagation-phase overheard-weight
+// aggregation over 64 broadcast columns (allocs/op must be 0).
+func BenchmarkKernelOverheardSum(b *testing.B) {
+	b.ReportAllocs()
+	bx, by, bw, _, _ := kernelColumns(64)
+	ids := make([]int32, len(bx))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += kernel.OverheardSum(bx, by, bw, ids, -1, 60, 60, 40)
+	}
+	_ = sink
+}
+
+// BenchmarkKernelPropagateCV prices the constant-velocity column advance
+// with and without pre-drawn process noise (allocs/op must be 0).
+func BenchmarkKernelPropagateCV(b *testing.B) {
+	px, py, vx, vy, _ := kernelColumns(1024)
+	nx, ny, _, _, _ := kernelColumns(1024)
+	b.Run("drift", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kernel.PropagateCV(px, py, vx, vy, 5)
+		}
+	})
+	b.Run("noise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kernel.PropagateCVNoise(px, py, vx, vy, nx, ny, 5)
+		}
+	})
+}
+
+// BenchmarkServeManagerThroughput drives the serving core in process — no
+// HTTP, no SSE transport — with the cross-session batch drain engaged: 8
+// sessions fed round-robin through 2 shards, exactly the shape cdpfload's
+// CI smoke applies over the wire. jobs/sec here is the transport-free upper
+// bound the served number is judged against.
+func BenchmarkServeManagerThroughput(b *testing.B) {
+	const sessions = 8
+	seeds := fleet.Seeds(benchSeed, sessions)
+	specs := make([]serve.SessionSpec, sessions)
+	batches := make([][]serve.Batch, sessions)
+	for i := range specs {
+		specs[i] = serve.SessionSpec{ID: fmt.Sprintf("bench-%d", i), Scenario: scenario.Default(10, seeds[i])}
+		bs, err := serve.Observations(specs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches[i] = bs
+	}
+	steps := sessions * len(batches[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := serve.NewManager(serve.ManagerConfig{Shards: 2})
+		chans := make([]<-chan trace.Record, sessions)
+		for j := range specs {
+			if _, err := m.Create(specs[j]); err != nil {
+				b.Fatal(err)
+			}
+			_, ch, err := m.Subscribe(specs[j].ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans[j] = ch
+		}
+		for k := 0; k < len(batches[0]); k++ {
+			for j := range specs {
+				for {
+					_, err := m.Ingest(specs[j].ID, serve.IngestRequest{Batches: []serve.Batch{batches[j][k]}})
+					if err == nil {
+						break
+					}
+					var ae *serve.AdmitError
+					if !errors.As(err, &ae) || (ae.Status != 429 && ae.Status != 503) {
+						b.Fatalf("ingest session %d k=%d: %v", j, k, err)
+					}
+					runtime.Gosched()
+				}
+			}
+		}
+		for _, ch := range chans {
+			for range ch {
+			}
+		}
+		m.Drain()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(steps*b.N)/secs, "jobs/sec")
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/mathx"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// runKernels is the `-exp kernels` hot-path loop: a fixed repetition count of
+// each batch kernel (DESIGN.md §16) plus the warmed full tracker step, timed
+// wall-clock and reported as ns/op. Unlike `go test -bench`, the whole loop
+// runs inside benchtab's process-wide profiler window, so
+//
+//	benchtab -exp kernels -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
+//
+// attributes every sample to the kernel under study — the profiling workflow
+// EXPERIMENTS.md documents for hot-path regressions.
+func runKernels(o options, emit func(string, *report.Table) error) error {
+	const cols = 64
+	rng := mathx.NewRNG(5)
+	fx := make([]float64, cols)
+	fy := make([]float64, cols)
+	z := make([]float64, cols)
+	dist := make([]float64, cols)
+	mask := make([]bool, cols)
+	ids := make([]int32, cols)
+	for i := 0; i < cols; i++ {
+		fx[i] = rng.Uniform(0, 120)
+		fy[i] = rng.Uniform(0, 120)
+		z[i] = rng.Uniform(-3, 3)
+		dist[i] = rng.Uniform(0, 40)
+		mask[i] = rng.Float64() < 0.7
+		ids[i] = int32(i)
+	}
+	const particles = 1024
+	px := make([]float64, particles)
+	py := make([]float64, particles)
+	vx := make([]float64, particles)
+	vy := make([]float64, particles)
+	nx := make([]float64, particles)
+	ny := make([]float64, particles)
+	for i := 0; i < particles; i++ {
+		px[i], py[i] = rng.Uniform(0, 120), rng.Uniform(0, 120)
+		vx[i], vy[i] = rng.Uniform(-2, 2), rng.Uniform(-2, 2)
+		nx[i], ny[i] = rng.Normal(0, 0.1), rng.Normal(0, 0.1)
+	}
+	gauss := kernel.NewBearing(0.05, 0, 0, 0)
+	student := kernel.NewBearing(0.05, 4, 2.0, 2.5)
+
+	var sink float64
+	t := report.NewTable(
+		fmt.Sprintf("Hot-path kernels (%d bearing columns, %d CV particles)", cols, particles),
+		"kernel", "reps", "ns/op")
+	bench := func(name string, reps int, fn func()) {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		t.AddRow(name, reps, fmt.Sprintf("%.1f", float64(time.Since(start).Nanoseconds())/float64(reps)))
+	}
+	bench("masked_sum/gauss", 200000, func() {
+		ll, _, _ := gauss.MaskedSum(fx, fy, z, dist, mask, 60, 60)
+		sink += ll
+	})
+	bench("masked_sum/student_t_quant_gate", 100000, func() {
+		ll, _, _ := student.MaskedSum(fx, fy, z, dist, mask, 60, 60)
+		sink += ll
+	})
+	bench("overheard_sum", 500000, func() {
+		sink += kernel.OverheardSum(fx, fy, z, ids, -1, 60, 60, 40)
+	})
+	bench("propagate_cv/drift", 100000, func() {
+		kernel.PropagateCV(px, py, vx, vy, 5)
+	})
+	bench("propagate_cv/noise", 100000, func() {
+		kernel.PropagateCVNoise(px, py, vx, vy, nx, ny, 5)
+	})
+
+	// The warmed end-to-end step, the quantity the kernels exist to serve:
+	// scenario build and scratch growth happen before timing starts.
+	sc, err := scenario.Build(scenario.Default(o.density, experiments.Seeds(1)[0]))
+	if err != nil {
+		return err
+	}
+	tr, err := core.NewTracker(sc.Net, core.DefaultConfig(false))
+	if err != nil {
+		return err
+	}
+	trng := sc.RNG(1)
+	obs := make([][]core.Observation, sc.Iterations())
+	for k := range obs {
+		obs[k] = sc.Observations(k)
+	}
+	for k := range obs {
+		tr.Step(obs[k], trng)
+	}
+	const stepReps = 2000
+	bench("tracker_step/warmed", stepReps, func() {
+		tr.Step(obs[0], trng)
+	})
+	_ = sink
+	return emit("kernels", t)
+}

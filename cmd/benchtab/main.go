@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience|sensorfault]
+//	benchtab [-exp all|table1|fig4|fig5|fig6|failure|sleep|duty|ablation|latency|resilience|sensorfault|kernels]
 //	         [-seeds N] [-density D] [-csv DIR]
 //	         [-parallel N] [-progress] [-benchjson FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
@@ -39,7 +39,7 @@ import (
 func main() {
 	var o options
 	showVersion := flag.Bool("version", false, "print version and exit")
-	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience, sensorfault")
+	flag.StringVar(&o.exp, "exp", "all", "experiment to run: all, table1, fig4, fig5, fig6, failure, sleep, loss, duty, ablation, multitarget, mobility, radius, resampler, aggregation, latency, resilience, sensorfault, kernels (hot-path profiling loop, not part of all)")
 	flag.IntVar(&o.seeds, "seeds", 10, "number of random seeds per configuration (paper: 10)")
 	flag.Float64Var(&o.density, "density", 20, "node density (nodes per 100 m²) for single-density experiments")
 	flag.StringVar(&o.csvDir, "csv", "", "also write each table as CSV into this directory")
@@ -218,6 +218,12 @@ func runExperiments(o options, exec experiments.Exec) error {
 
 	exp, density, chart := o.exp, o.density, o.chart
 	seedList := experiments.Seeds(o.seeds)
+
+	// The kernel hot-path loop is a profiling harness, not a paper table:
+	// it runs only when asked for, never under "all".
+	if exp == "kernels" {
+		return runKernels(o, emit)
+	}
 
 	wantsSweep := exp == "all" || exp == "fig5" || exp == "fig6"
 	var aggs []metrics.Aggregate

@@ -3,19 +3,24 @@
 // measurement stream its offline twin would consume (serve.Observations) and
 // reading the estimates back over SSE. Each session verifies the served
 // records against a local offline run (-verify, on by default), so a load
-// run is also an end-to-end determinism check.
+// run is also an end-to-end determinism check. Scenario builds and the
+// offline-twin verification happen outside the timed window — the wall clock
+// covers only the driven load, not the generator's own recomputation.
 //
 // Per-step latency is measured from batch admission (POST accepted) to the
 // estimate event arriving, summarised as p50/p90/p99/max plus steps/sec, and
-// emitted in `go test -bench` text form so cmd/benchdiff can gate it.
-// -benchjson additionally writes a benchdiff baseline file
-// (results/BENCH_serve.json in CI).
+// emitted in `go test -bench` text form so cmd/benchdiff can gate it. All
+// currently-ready iterations of a session (bounded by -window) are grouped
+// into one ingest POST, so a wide window amortises the HTTP round-trip the
+// way the server's shard drain amortises queue bookkeeping. -benchjson
+// additionally writes a benchdiff baseline file (results/BENCH_serve.json in
+// CI).
 //
 // With -daemon "CMD ARGS...", cdpfload manages the daemon itself: it appends
 // -addr 127.0.0.1:0 -addr-file and waits for /healthz to report "ready".
 // -restart-after N then SIGKILLs and restarts the managed daemon after N
 // estimate events have been observed, mid-load: sessions ride out the crash
-// (postBatch already retries 503s, the drive loop resumes from the server's
+// (postBatches already retries 503s, the drive loop resumes from the server's
 // recovered NextK) and every record that spans the restart is still verified
 // byte-for-byte against the offline twin — an end-to-end crash-recovery
 // check under concurrent load.
@@ -277,32 +282,61 @@ type recoverer interface {
 }
 
 // driveAll runs every session drive concurrently and returns the results
-// plus wall time; the error is the first failed session's.
+// plus wall time; the error is the first failed session's. Measurement
+// streams are built before the clock starts and offline-twin verification
+// runs after it stops: both recompute the full scenario locally, and billing
+// that work to the wall would understate the server's actual throughput.
 func driveAll(ctx context.Context, o options, baseFn func() string, rec recoverer, trig *eventTrigger) ([]sessionResult, time.Duration, error) {
 	seeds := fleet.Seeds(o.seed, o.sessions)
 	client := &http.Client{} // no global timeout: SSE streams live for the whole run
-	results := make([]sessionResult, o.sessions)
-	errs := make([]error, o.sessions)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < o.sessions; i++ {
+	specs := make([]serve.SessionSpec, o.sessions)
+	allBatches := make([][]serve.Batch, o.sessions)
+	for i := range specs {
 		spec := serve.SessionSpec{
 			ID:       fmt.Sprintf("load-%d-%03d", o.seed, i),
 			Scenario: scenario.Default(o.density, seeds[i]),
 			UseNE:    o.useNE,
 		}
 		spec.Scenario.Steps = o.steps
+		specs[i] = spec
+		var err error
+		if allBatches[i], err = serve.Observations(spec); err != nil {
+			return nil, 0, fmt.Errorf("session %d observations: %w", i, err)
+		}
+	}
+
+	results := make([]sessionResult, o.sessions)
+	errs := make([]error, o.sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < o.sessions; i++ {
 		wg.Add(1)
-		go func(i int, spec serve.SessionSpec) {
+		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = driveSession(ctx, client, baseFn, spec, o, rec, trig)
-		}(i, spec)
+			results[i], errs[i] = driveSession(ctx, client, baseFn, specs[i], allBatches[i], o, rec, trig)
+		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	for i, err := range errs {
 		if err != nil {
 			return results, wall, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+
+	if o.verify {
+		for i := 0; i < o.sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = verifyAgainstOffline(specs[i], results[i].records)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return results, wall, fmt.Errorf("session %d: %w", i, err)
+			}
 		}
 	}
 	return results, wall, nil
@@ -359,17 +393,14 @@ type driveState struct {
 }
 
 // driveSession runs one session end to end: create, subscribe, feed every
-// batch in lockstep (up to `window` in flight), measure admission-to-estimate
-// latency per iteration, and optionally verify the streamed records against
-// the offline twin. When cdpfload manages the daemon (ctl != nil) the drive
-// is resumable: a transient failure — typically the -restart-after kill —
-// waits for the daemon to recover and resumes from the server's NextK.
-func driveSession(ctx context.Context, client *http.Client, baseFn func() string, spec serve.SessionSpec, o options, rec recoverer, trig *eventTrigger) (sessionResult, error) {
+// batch in lockstep (up to `window` in flight), and measure
+// admission-to-estimate latency per iteration. Offline-twin verification is
+// the caller's job (driveAll, after the wall clock stops). When cdpfload
+// manages the daemon (ctl != nil) the drive is resumable: a transient
+// failure — typically the -restart-after kill — waits for the daemon to
+// recover and resumes from the server's NextK.
+func driveSession(ctx context.Context, client *http.Client, baseFn func() string, spec serve.SessionSpec, batches []serve.Batch, o options, rec recoverer, trig *eventTrigger) (sessionResult, error) {
 	var res sessionResult
-	batches, err := serve.Observations(spec)
-	if err != nil {
-		return res, err
-	}
 	n := len(batches)
 	st := &driveState{
 		admit: make([]time.Time, n), admitBackend: make([]string, n),
@@ -405,11 +436,6 @@ func driveSession(ctx context.Context, client *http.Client, baseFn func() string
 	res.latencies = st.latencies
 	res.perBackend = st.perBackend
 	res.fiveXX = st.fiveXX
-	if o.verify {
-		if err := verifyAgainstOffline(spec, res.records); err != nil {
-			return res, err
-		}
-	}
 	return res, nil
 }
 
@@ -487,21 +513,26 @@ func driveAttempt(ctx context.Context, client *http.Client, base string, spec se
 
 	// Feed from the server's cursor, gated by the highest iteration whose
 	// estimate has arrived (ackK): at most `window` steps are outstanding.
+	// Every currently-ready iteration goes out in one ingest request —
+	// admission is atomic server-side, so the group lands as a unit and the
+	// shard's batch drain can step it back to back.
 	posted, ackK := info.NextK, info.NextK-1
 	for len(st.got) < n {
-		for posted < n && posted-ackK <= o.window {
-			backend, err := postBatch(ctx, client, base, spec.ID, batches[posted], &st.fiveXX)
+		if hi := min(n, ackK+o.window+1); posted < hi {
+			backend, err := postBatches(ctx, client, base, spec.ID, batches[posted:hi], &st.fiveXX)
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
 				return transientError{err}
 			}
-			if st.admit[posted].IsZero() {
-				st.admit[posted] = time.Now()
-				st.admitBackend[posted] = backend
+			now := time.Now()
+			for ; posted < hi; posted++ {
+				if st.admit[posted].IsZero() {
+					st.admit[posted] = now
+					st.admitBackend[posted] = backend
+				}
 			}
-			posted++
 		}
 		select {
 		case rec, ok := <-events:
@@ -590,17 +621,19 @@ func createSession(ctx context.Context, client *http.Client, base string, spec s
 	return info, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&info)
 }
 
-// postBatch submits one iteration batch, retrying on backpressure (429 when
-// the session queue budget is spent, 503 when a shard queue is full) — the
-// load generator's contract is to apply pressure, observe shedding, and keep
-// going, not to fail the run. It returns the X-Backend header of the
-// accepting response (set by the gateway in cluster mode, empty when talking
-// to a daemon directly) plus a freshly minted X-Request-Id on every attempt
-// so rejections are traceable end to end. Every 5xx response — even ones the
-// retry loop absorbs — is tallied into fiveXX: the cluster kill drill asserts
-// a crashed backend's sessions never saw one.
-func postBatch(ctx context.Context, client *http.Client, base, id string, b serve.Batch, fiveXX *int) (string, error) {
-	body, err := json.Marshal(serve.IngestRequest{Batches: []serve.Batch{b}})
+// postBatches submits a run of consecutive iteration batches as one ingest
+// request, retrying on backpressure (429 when the session queue budget is
+// spent, 503 when a shard queue is full) — the load generator's contract is
+// to apply pressure, observe shedding, and keep going, not to fail the run.
+// Admission is atomic server-side, so a retry re-sends the identical group.
+// It returns the X-Backend header of the accepting response (set by the
+// gateway in cluster mode, empty when talking to a daemon directly) plus a
+// freshly minted X-Request-Id on every attempt so rejections are traceable
+// end to end. Every 5xx response — even ones the retry loop absorbs — is
+// tallied into fiveXX: the cluster kill drill asserts a crashed backend's
+// sessions never saw one.
+func postBatches(ctx context.Context, client *http.Client, base, id string, bs []serve.Batch, fiveXX *int) (string, error) {
+	body, err := json.Marshal(serve.IngestRequest{Batches: bs})
 	if err != nil {
 		return "", err
 	}
@@ -640,7 +673,7 @@ func postBatch(ctx context.Context, client *http.Client, base, id string, b serv
 				backoff *= 2
 			}
 		default:
-			return "", fmt.Errorf("ingest k=%d: %s", b.K, msg)
+			return "", fmt.Errorf("ingest k=%d..%d: %s", bs[0].K, bs[len(bs)-1].K, msg)
 		}
 	}
 }

@@ -128,7 +128,7 @@ func (s *SDPF) Step(obs []core.Observation, rng *mathx.RNG) (est mathx.Vec2, ok 
 	// and weights: Σ Ni(Dp+Dw) bytes over N_n messages.
 	byHost := s.groupByHost()
 	for host, idxs := range byHost {
-		s.nw.BroadcastQuiet(host, wsn.MsgParticle, len(idxs)*(s.cfg.Sizes.Dp+s.cfg.Sizes.Dw))
+		s.nw.Transmit(host, wsn.MsgParticle, len(idxs)*(s.cfg.Sizes.Dp+s.cfg.Sizes.Dw))
 	}
 	// Every particle samples its next host from the linear-probability
 	// profile of its own predicted area (the quantized prior proposal).
@@ -180,7 +180,7 @@ func (s *SDPF) Step(obs []core.Observation, rng *mathx.RNG) (est mathx.Vec2, ok 
 	}
 	sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
 	for _, id := range sharers {
-		s.nw.BroadcastQuiet(id, wsn.MsgMeasurement, s.cfg.Sizes.Dm)
+		s.nw.Transmit(id, wsn.MsgMeasurement, s.cfg.Sizes.Dm)
 	}
 
 	// --- Likelihood update (per host, over audible measurements) ---

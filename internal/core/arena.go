@@ -157,6 +157,35 @@ type scratch struct {
 	logls   []float64
 	heard   []bool
 
+	// Pre-gathered flat columns for the batch kernels (DESIGN.md §16).
+	// bx/by/bw/bid mirror this iteration's broadcasts (position, weight,
+	// sender); sx/sy/sz mirror the usable sharers (position, bearing).
+	bx, by, bw []float64
+	bid        []int32
+	sx, sy, sz []float64
+	// pairDist/pairMask buffer one holder's per-sharer distances and
+	// audibility mask for kernel.Bearing.MaskedSum (serial path; parallel
+	// workers carry their own in workerScratch).
+	pairDist []float64
+	pairMask []bool
+
+	// Overheard-total memo: within one propagation phase the total audible
+	// at a node is a pure function of (node, broadcasts, loss epoch), but
+	// the seed recomputed it per (broadcast, recorder) pair — O(B²·R)
+	// hypot+loss work. otComp remembers whether the stored total was
+	// loss-compensated, so every memo hit replays the Compensated counter
+	// increment the scalar path would have performed.
+	otStamp []uint32
+	otEpoch uint32
+	otVal   []float64
+	otComp  []bool
+
+	// maxRecordDist parks the propagation phase's recording distance where
+	// parallel workers can read it (set before dispatch, constant during).
+	maxRecordDist float64
+	// pw is the per-worker scratch set, created with the step pool.
+	pw []workerScratch
+
 	// Quarantine-scoring buffers (scoreSharers).
 	ms    []statex.Measurement
 	norms []float64
@@ -174,7 +203,27 @@ func newScratch(n int) scratch {
 		obsBearing:   make([]float64, n),
 		contribStamp: make([]uint32, n),
 		contribVal:   make([]float64, n),
+		otStamp:      make([]uint32, n),
+		otVal:        make([]float64, n),
+		otComp:       make([]bool, n),
 	}
+}
+
+// growF returns s with length n, reusing its backing array when capacity
+// allows. Contents are unspecified; callers overwrite every element.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growB is growF for bool slices.
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // snapshotHolders copies the sorted holder list into the scratch snapshot so

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/kernel"
 	"repro/internal/mathx"
 	"repro/internal/wsn"
 )
@@ -26,6 +27,9 @@ type Contributions struct {
 	Area  mathx.Vec2 // predicted target position (area center)
 	Nodes []wsn.NodeID
 	C     []float64 // normalized contributions, parallel to Nodes
+
+	// xs/ys are reused coordinate columns for the batch kernel.
+	xs, ys []float64
 }
 
 // EstimateContributions computes Definition 2 for all awake nodes inside the
@@ -50,20 +54,14 @@ func EstimateContributionsInto(nw *wsn.Network, pred mathx.Vec2, radius float64,
 	if len(cs.Nodes) == 0 {
 		return false
 	}
-	cs.C = cs.C[:0]
-	d := 0.0
+	cs.xs, cs.ys = cs.xs[:0], cs.ys[:0]
 	for _, id := range cs.Nodes {
-		dist := nw.Node(id).Pos.Dist(pred)
-		if dist < minContributionDist {
-			dist = minContributionDist
-		}
-		ci := 1 / dist
-		cs.C = append(cs.C, ci)
-		d += ci
+		pos := nw.Node(id).Pos
+		cs.xs = append(cs.xs, pos.X)
+		cs.ys = append(cs.ys, pos.Y)
 	}
-	for i := range cs.C {
-		cs.C[i] /= d
-	}
+	cs.C = growF(cs.C, len(cs.Nodes))
+	kernel.Contributions(cs.C, cs.xs, cs.ys, pred.X, pred.Y, minContributionDist)
 	cs.Area = pred
 	return true
 }

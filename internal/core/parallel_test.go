@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+	"repro/internal/wsn"
+)
+
+// runTrace is one full tracking run's complete observable output, with every
+// float captured as raw bits so comparison is bit-exact, not tolerance-based.
+type runTrace struct {
+	estBits  []uint64 // X/Y bits per iteration with a valid estimate
+	holders  []int
+	created  []int
+	dropped  []int
+	weights  []uint64 // final holder weights, ascending ID
+	resil    ResilienceStats
+	gated    int
+	msgs     int64
+	bytes    int64
+	poolUsed bool
+}
+
+// traceRun drives one tracker over a deterministic moving-target scenario and
+// captures everything the algorithm computes. Every call with the same
+// (netSeed, cfg-up-to-Parallelism, loss setup) must produce identical traces.
+func traceRun(t *testing.T, cfg Config, parallelism int, loss func(*wsn.Network)) runTrace {
+	t.Helper()
+	nw, err := wsn.NewNetwork(wsn.DefaultConfig(20), mathx.NewRNG(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != nil {
+		loss(nw)
+	}
+	cfg.Parallelism = parallelism
+	tr, err := NewTracker(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(98)
+	target := mathx.V2(30, 60)
+	var trace runTrace
+	for k := 0; k < 12; k++ {
+		res := stepWithTarget(t, tr, nw, target, rng)
+		if res.EstimateValid {
+			trace.estBits = append(trace.estBits,
+				math.Float64bits(res.Estimate.X), math.Float64bits(res.Estimate.Y))
+		}
+		trace.holders = append(trace.holders, res.Holders)
+		trace.created = append(trace.created, res.Created)
+		trace.dropped = append(trace.dropped, res.Dropped)
+		target = target.Add(mathx.V2(12, 6))
+	}
+	for _, id := range tr.Holders() {
+		trace.weights = append(trace.weights, math.Float64bits(tr.Weight(id)))
+	}
+	trace.resil = tr.Resilience()
+	trace.gated = tr.gated
+	trace.msgs = nw.Stats.TotalMsgs()
+	trace.bytes = nw.Stats.TotalBytes()
+	trace.poolUsed = tr.pool != nil
+	return trace
+}
+
+func sameTrace(a, b runTrace) bool {
+	if len(a.estBits) != len(b.estBits) || len(a.weights) != len(b.weights) ||
+		a.gated != b.gated || a.msgs != b.msgs || a.bytes != b.bytes {
+		return false
+	}
+	for i := range a.estBits {
+		if a.estBits[i] != b.estBits[i] {
+			return false
+		}
+	}
+	for i := range a.weights {
+		if a.weights[i] != b.weights[i] {
+			return false
+		}
+	}
+	for i := range a.holders {
+		if a.holders[i] != b.holders[i] || a.created[i] != b.created[i] || a.dropped[i] != b.dropped[i] {
+			return false
+		}
+	}
+	ar, br := a.resil, b.resil
+	return ar.Rebroadcasts == br.Rebroadcasts && ar.RebroadcastSaves == br.RebroadcastSaves &&
+		ar.Compensated == br.Compensated && ar.LossEpisodes == br.LossEpisodes &&
+		ar.LockedIters == br.LockedIters && ar.LostIters == br.LostIters
+}
+
+// TestParallelStepByteIdentity is the determinism contract of the intra-step
+// parallel path (DESIGN.md §16): for every configuration — loss-free
+// Gaussian, iid loss with rebroadcast and compensation, Student-t with
+// quantization and gating, and CDPF-NE — worker counts 2, 4, and 8 must
+// reproduce the single-worker run bit for bit: identical estimate bits,
+// weight bits, population dynamics, resilience counters, gate counts, and
+// radio traffic.
+func TestParallelStepByteIdentity(t *testing.T) {
+	type variant struct {
+		name string
+		cfg  func() Config
+		loss func(*wsn.Network)
+	}
+	variants := []variant{
+		{name: "gaussian-lossfree", cfg: func() Config { return DefaultConfig(false) }},
+		{
+			name: "iid-loss-rebroadcast-compensate",
+			cfg: func() Config {
+				c := DefaultConfig(false)
+				c.Rebroadcasts = 2
+				c.RebroadcastBackoff = 1.3
+				c.CompensateLoss = true
+				return c
+			},
+			loss: func(nw *wsn.Network) { nw.SetLossRate(0.25, 7) },
+		},
+		{
+			name: "student-t-quant-gate",
+			cfg: func() Config {
+				c := DefaultConfig(false)
+				c.Sensor = statex.BearingSensor{SigmaN: 0.05, TailNu: 4}
+				c.QuantSigma = 2.0
+				c.GateSigma = 2.5
+				return c
+			},
+		},
+		{name: "ne", cfg: func() Config { return DefaultConfig(true) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			serial := traceRun(t, v.cfg(), 1, v.loss)
+			if serial.poolUsed {
+				t.Fatal("single-worker run started the pool")
+			}
+			engaged := false
+			for _, workers := range []int{2, 4, 8} {
+				got := traceRun(t, v.cfg(), workers, v.loss)
+				if !sameTrace(serial, got) {
+					t.Fatalf("workers=%d: trace differs from serial run", workers)
+				}
+				engaged = engaged || got.poolUsed
+			}
+			if !engaged {
+				t.Fatal("parallel path never engaged: scenario too small to exercise the pool")
+			}
+		})
+	}
+}
+
+// TestParallelBurstLossStaysSerial pins the safety gate: under bursty loss
+// the per-link chain memo mutates on query, so the parallel phases must not
+// engage no matter the configured worker count — and results must still match
+// the single-worker run exactly.
+func TestParallelBurstLossStaysSerial(t *testing.T) {
+	burst := func(nw *wsn.Network) { nw.SetBurstLoss(0.2, 3, 11) }
+	cfg := DefaultConfig(false)
+	serial := traceRun(t, cfg, 1, burst)
+	got := traceRun(t, cfg, 8, burst)
+	if got.poolUsed {
+		t.Fatal("parallel path engaged under bursty loss")
+	}
+	if !sameTrace(serial, got) {
+		t.Fatal("workers=8 burst-loss trace differs from serial run")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"repro/internal/cluster"
+	"repro/internal/kernel"
 	"repro/internal/mathx"
 	"repro/internal/statex"
 	"repro/internal/wsn"
@@ -67,6 +68,12 @@ type Tracker struct {
 	// Config.Quarantine is set, gated counts innovation-gated terms.
 	quar  *reputation
 	gated int
+
+	// bk is the batch bearing-likelihood evaluator (internal/kernel) with the
+	// model's normalization constants hoisted; pool is the lazily-started
+	// intra-step worker pool (pool.go), nil until the first parallel phase.
+	bk   kernel.Bearing
+	pool *stepPool
 }
 
 // ResilienceStats counts the tracker's degradation events across a run:
@@ -98,6 +105,7 @@ func NewTracker(nw *wsn.Network, cfg Config) (*Tracker, error) {
 		parts:  newParticleStore(nw.Len()),
 		scr:    newScratch(nw.Len()),
 		lostAt: -1,
+		bk:     kernel.NewBearing(c.Sensor.SigmaN, c.Sensor.TailNu, c.QuantSigma, c.GateSigma),
 	}
 	if c.Quarantine {
 		t.quar = newReputation(c.QuarantineDevSigma)
@@ -276,7 +284,7 @@ func (t *Tracker) propagate(res *StepResult) {
 	for _, id := range holders {
 		w, vel := t.parts.w[id], t.parts.vel[id]
 		pos := t.nw.Node(id).Pos
-		t.nw.BroadcastQuiet(id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
+		t.nw.Transmit(id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
 		center := pos.Add(vel.Scale(t.cfg.Dt))
 		bcasts = append(bcasts, bcast{
 			id: id, pos: pos, vel: vel, w: w,
@@ -317,58 +325,16 @@ func (t *Tracker) propagate(res *StepResult) {
 
 	t.scr.accEpoch++
 	t.scr.touched = t.scr.touched[:0]
-	for _, b := range bcasts {
-		recorders := t.selectRecorders(b, maxRecordDist, 0)
-		// Bounded re-broadcast with backoff: a holder whose propagation drew
-		// no recorder (nobody awake/reachable in the predicted area) retries
-		// up to Rebroadcasts times, each retry charged like the original
-		// message and announcing a recording distance widened by the backoff
-		// factor — trading bytes for a chance to keep the particle alive
-		// instead of silently dropping it.
-		for attempt := 1; len(recorders) == 0 && attempt <= t.cfg.Rebroadcasts; attempt++ {
-			t.nw.BroadcastQuiet(b.id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
-			t.resil.Rebroadcasts++
-			dist := maxRecordDist * math.Pow(t.cfg.RebroadcastBackoff, float64(attempt))
-			recorders = t.selectRecorders(b, dist, attempt)
-			if len(recorders) > 0 {
-				t.resil.RebroadcastSaves++
-			}
-		}
-		if len(recorders) == 0 {
-			res.Dropped++ // particle lost: nobody in its predicted area
-			continue
-		}
-		// Division ratios over the selected recorders (rules of §III-B).
-		t.scr.positions = t.scr.positions[:0]
-		for _, id := range recorders {
-			t.scr.positions = append(t.scr.positions, t.nw.Node(id).Pos)
-		}
-		positions := t.scr.positions
-		t.scr.ratios = b.area.AppendDivisionRatios(t.scr.ratios[:0], positions)
-		ratios := t.scr.ratios
-		// Per-recorder overheard total: the sum of broadcast weights this
-		// recorder could physically hear (all broadcasters within one hop).
-		for i, id := range recorders {
-			wj := t.overheardTotal(id, bcasts)
-			if wj <= 0 {
-				continue
-			}
-			if t.scr.accStamp[id] != t.scr.accEpoch {
-				t.scr.accStamp[id] = t.scr.accEpoch
-				t.scr.accW[id] = 0
-				t.scr.accVel[id] = mathx.Vec2{}
-				t.scr.touched = append(t.scr.touched, id)
-			}
-			share := ratios[i] * b.w / wj
-			t.scr.accW[id] += share
-			// The recorded particle's velocity blends the realized
-			// displacement from the source host to the recorder with the
-			// source particle's own velocity, damping the quantization
-			// noise the node-hop injects into the velocity estimate.
-			hop := positions[i].Sub(b.pos).Scale(1 / t.cfg.Dt)
-			vel := hop.Lerp(b.vel, t.cfg.VelSmoothing)
-			t.scr.accVel[id] = t.scr.accVel[id].Add(vel.Scale(share))
-		}
+	t.scr.maxRecordDist = maxRecordDist
+	t.gatherBcastColumns(bcasts)
+	t.scr.otEpoch++
+	if t.parallelOK(len(bcasts)) {
+		// Parallel recorder resolution: workers log per-broadcast outcomes,
+		// the serial merge replays them in broadcast order (pool.go).
+		t.ensurePool().run(t, phaseRec, len(bcasts))
+		t.mergeRecorders(res)
+	} else {
+		t.recordSerial(bcasts, maxRecordDist, res)
 	}
 
 	// Install the recorded particles (combining happens implicitly: one
@@ -410,15 +376,77 @@ func (t *Tracker) propagate(res *StepResult) {
 	}
 }
 
-// selectRecorders returns the awake nodes within maxDist of the broadcast's
-// predicted-area center that physically received the attempt-th transmission
-// of the broadcast: within the communication radius of the sender (or the
-// sender itself). The returned slice aliases the scratch candidate buffer and
-// is invalidated by the next selectRecorders call.
-func (t *Tracker) selectRecorders(b bcast, maxDist float64, attempt int) []wsn.NodeID {
+// recordSerial is the serial recorder-resolution loop of the propagation
+// phase: for every broadcast, select its recorders (with bounded rebroadcast
+// retries), split the weight by division ratio over each recorder's
+// (memoized) overheard total, and accumulate the shares in broadcast order.
+func (t *Tracker) recordSerial(bcasts []bcast, maxRecordDist float64, res *StepResult) {
+	sizes := t.cfg.Sizes
+	for _, b := range bcasts {
+		recorders := t.selectRecordersInto(&t.scr.cand, b, maxRecordDist, 0)
+		// Bounded re-broadcast with backoff: a holder whose propagation drew
+		// no recorder (nobody awake/reachable in the predicted area) retries
+		// up to Rebroadcasts times, each retry charged like the original
+		// message and announcing a recording distance widened by the backoff
+		// factor — trading bytes for a chance to keep the particle alive
+		// instead of silently dropping it.
+		for attempt := 1; len(recorders) == 0 && attempt <= t.cfg.Rebroadcasts; attempt++ {
+			t.nw.Transmit(b.id, wsn.MsgParticle, sizes.Dp+sizes.Dw)
+			t.resil.Rebroadcasts++
+			dist := maxRecordDist * math.Pow(t.cfg.RebroadcastBackoff, float64(attempt))
+			recorders = t.selectRecordersInto(&t.scr.cand, b, dist, attempt)
+			if len(recorders) > 0 {
+				t.resil.RebroadcastSaves++
+			}
+		}
+		if len(recorders) == 0 {
+			res.Dropped++ // particle lost: nobody in its predicted area
+			continue
+		}
+		// Division ratios over the selected recorders (rules of §III-B).
+		t.scr.positions = t.scr.positions[:0]
+		for _, id := range recorders {
+			t.scr.positions = append(t.scr.positions, t.nw.Node(id).Pos)
+		}
+		positions := t.scr.positions
+		t.scr.ratios = b.area.AppendDivisionRatios(t.scr.ratios[:0], positions)
+		ratios := t.scr.ratios
+		// Per-recorder overheard total: the sum of broadcast weights this
+		// recorder could physically hear (all broadcasters within one hop).
+		for i, id := range recorders {
+			wj := t.overheardTotalMemo(id, bcasts)
+			if wj <= 0 {
+				continue
+			}
+			if t.scr.accStamp[id] != t.scr.accEpoch {
+				t.scr.accStamp[id] = t.scr.accEpoch
+				t.scr.accW[id] = 0
+				t.scr.accVel[id] = mathx.Vec2{}
+				t.scr.touched = append(t.scr.touched, id)
+			}
+			share := ratios[i] * b.w / wj
+			t.scr.accW[id] += share
+			// The recorded particle's velocity blends the realized
+			// displacement from the source host to the recorder with the
+			// source particle's own velocity, damping the quantization
+			// noise the node-hop injects into the velocity estimate.
+			hop := positions[i].Sub(b.pos).Scale(1 / t.cfg.Dt)
+			vel := hop.Lerp(b.vel, t.cfg.VelSmoothing)
+			t.scr.accVel[id] = t.scr.accVel[id].Add(vel.Scale(share))
+		}
+	}
+}
+
+// selectRecordersInto returns the awake nodes within maxDist of the
+// broadcast's predicted-area center that physically received the attempt-th
+// transmission of the broadcast: within the communication radius of the
+// sender (or the sender itself). The returned slice aliases *buf (grown in
+// place) and is invalidated by the next call with the same buffer; parallel
+// workers pass their own buffers.
+func (t *Tracker) selectRecordersInto(buf *[]wsn.NodeID, b bcast, maxDist float64, attempt int) []wsn.NodeID {
 	commR := t.nw.Cfg.CommRadius
-	t.scr.cand = t.nw.AppendActiveNodesWithin(t.scr.cand[:0], b.area.Center, maxDist)
-	cand := t.scr.cand
+	*buf = t.nw.AppendActiveNodesWithin((*buf)[:0], b.area.Center, maxDist)
+	cand := *buf
 	recorders := cand[:0]
 	for _, id := range cand {
 		if id == b.id || (t.nw.Node(id).Pos.Dist(b.pos) <= commR && t.nw.DeliversAttempt(b.id, id, attempt)) {
@@ -426,6 +454,20 @@ func (t *Tracker) selectRecorders(b bcast, maxDist float64, attempt int) []wsn.N
 		}
 	}
 	return recorders
+}
+
+// gatherBcastColumns mirrors this iteration's finalized broadcasts into the
+// flat scratch columns the batch kernels and parallel workers read.
+func (t *Tracker) gatherBcastColumns(bcasts []bcast) {
+	scr := &t.scr
+	scr.bx, scr.by = scr.bx[:0], scr.by[:0]
+	scr.bw, scr.bid = scr.bw[:0], scr.bid[:0]
+	for i := range bcasts {
+		scr.bx = append(scr.bx, bcasts[i].pos.X)
+		scr.by = append(scr.by, bcasts[i].pos.Y)
+		scr.bw = append(scr.bw, bcasts[i].w)
+		scr.bid = append(scr.bid, int32(bcasts[i].id))
+	}
 }
 
 // overheardTotal returns the sum of broadcast weights receivable at node id:
@@ -464,6 +506,61 @@ func (t *Tracker) overheardTotal(id wsn.NodeID, bcasts []bcast) float64 {
 		t.resil.Compensated++
 	}
 	return total
+}
+
+// overheardTotalCompute is overheardTotal without the Compensated counter
+// side effect: it returns the total plus whether compensation fired, so memo
+// layers can replay the counter per lookup. Within one propagation phase the
+// total is a pure function of (id, bcasts, loss epoch); when no loss process
+// is configured it delegates to the loss-free batch kernel over the gathered
+// broadcast columns (identical Hypot operands, identical summation order).
+func (t *Tracker) overheardTotalCompute(id wsn.NodeID, bcasts []bcast) (float64, bool) {
+	pos := t.nw.Node(id).Pos
+	commR := t.nw.Cfg.CommRadius
+	if t.nw.LossFree() {
+		scr := &t.scr
+		return kernel.OverheardSum(scr.bx, scr.by, scr.bw, scr.bid, int32(id), pos.X, pos.Y, commR), false
+	}
+	total := 0.0
+	heard, inRange := 0, 0
+	for i := range bcasts {
+		if bcasts[i].id == id {
+			total += bcasts[i].w
+			heard++
+			inRange++
+			continue
+		}
+		if bcasts[i].pos.Dist(pos) > commR {
+			continue
+		}
+		inRange++
+		if t.nw.Delivers(bcasts[i].id, id) {
+			total += bcasts[i].w
+			heard++
+		}
+	}
+	comp := t.cfg.CompensateLoss && heard > 0 && inRange > heard
+	if comp {
+		total *= float64(inRange) / float64(heard)
+	}
+	return total, comp
+}
+
+// overheardTotalMemo is the serial path's memoized overheardTotal: the seed
+// recomputed the same total for every (broadcast, recorder) pair — O(B²·R)
+// distance and loss work per iteration — while it only depends on the
+// recorder. The memo is invalidated per propagation phase (otEpoch), and a
+// hit replays the Compensated increment the direct call would have made.
+func (t *Tracker) overheardTotalMemo(id wsn.NodeID, bcasts []bcast) float64 {
+	scr := &t.scr
+	if scr.otStamp[id] != scr.otEpoch {
+		scr.otStamp[id] = scr.otEpoch
+		scr.otVal[id], scr.otComp[id] = t.overheardTotalCompute(id, bcasts)
+	}
+	if scr.otComp[id] {
+		t.resil.Compensated++
+	}
+	return scr.otVal[id]
 }
 
 // effSigma returns the bearing-noise scale used when evaluating a
@@ -515,6 +612,39 @@ func (t *Tracker) bearingLL(from mathx.Vec2, z float64, cand mathx.Vec2) float64
 		return mathx.StudentTLogPDF(resid, 0, sigma, t.cfg.Sensor.TailNu)
 	}
 	return mathx.GaussianLogPDF(resid, 0, sigma)
+}
+
+// gatherSharerColumns mirrors the usable sharers' positions and bearings into
+// the flat scratch columns the holder-update kernel reads.
+func (t *Tracker) gatherSharerColumns(sharers []wsn.NodeID) {
+	scr := &t.scr
+	scr.sx, scr.sy, scr.sz = scr.sx[:0], scr.sy[:0], scr.sz[:0]
+	for _, sid := range sharers {
+		pos := t.nw.Node(sid).Pos
+		b, _ := t.hasObs(sid)
+		scr.sx = append(scr.sx, pos.X)
+		scr.sy = append(scr.sy, pos.Y)
+		scr.sz = append(scr.sz, b)
+	}
+}
+
+// holderLL computes one holder's joint log likelihood over the audible
+// sharers via the batch kernel. The per-sharer distance doubles as the radio
+// range check and the quantization-sigma input — the scalar path computed the
+// identical math.Hypot twice (Vec2.Dist in the range test, effSigma's from
+// .Dist(cand)), so sharing one evaluation is bit-identical. dist and mask are
+// caller-owned buffers of len(sharers) (parallel workers pass their own).
+func (t *Tracker) holderLL(id wsn.NodeID, sharers []wsn.NodeID, dist []float64, mask []bool) (ll float64, heard bool, gated int) {
+	pos := t.nw.Node(id).Pos
+	commR := t.nw.Cfg.CommRadius
+	scr := &t.scr
+	lossFree := t.nw.LossFree()
+	for k, sid := range sharers {
+		d := math.Hypot(scr.sx[k]-pos.X, scr.sy[k]-pos.Y)
+		dist[k] = d
+		mask[k] = sid == id || (d <= commR && (lossFree || t.nw.Delivers(sid, id)))
+	}
+	return t.bk.MaskedSum(scr.sx, scr.sy, scr.sz, dist, mask, pos.X, pos.Y)
 }
 
 // scoreSharers runs one round of the quarantine reputation update. The
@@ -582,7 +712,7 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 	}
 	t.scr.sharers = sharers
 	for _, id := range sharers {
-		t.nw.BroadcastQuiet(id, wsn.MsgMeasurement, t.cfg.Sizes.Dm)
+		t.nw.Transmit(id, wsn.MsgMeasurement, t.cfg.Sizes.Dm)
 	}
 	if len(sharers) == 0 {
 		// No holder has a measurement to share: an information-free
@@ -606,26 +736,30 @@ func (t *Tracker) assignLikelihood(obs []Observation, res *StepResult) {
 			return
 		}
 	}
-	commR := t.nw.Cfg.CommRadius
+	t.gatherSharerColumns(sharers)
 	holders := t.snapshotHolders()
-	logls := t.scr.logls[:0]
-	heardAny := t.scr.heard[:0]
-	for _, id := range holders {
-		pos := t.nw.Node(id).Pos
-		ll := 0.0
-		heard := false
-		for _, sid := range sharers {
-			if sid != id && (t.nw.Node(sid).Pos.Dist(pos) > commR || !t.nw.Delivers(sid, id)) {
-				continue
-			}
-			heard = true
-			b, _ := t.hasObs(sid)
-			ll += t.bearingLL(t.nw.Node(sid).Pos, b, pos)
-		}
-		logls = append(logls, ll)
-		heardAny = append(heardAny, heard)
-	}
+	logls := growF(t.scr.logls, len(holders))
+	heardAny := growB(t.scr.heard, len(holders))
 	t.scr.logls, t.scr.heard = logls, heardAny
+	if t.parallelOK(len(holders)) {
+		// Parallel holder update: disjoint writes into logls/heard, gate
+		// counts merged per worker chunk (pool.go).
+		n := len(holders)
+		t.ensurePool().run(t, phaseLik, n)
+		chunk := (n + t.pool.workers - 1) / t.pool.workers
+		for w := 0; w*chunk < n; w++ {
+			t.gated += t.scr.pw[w].gated
+		}
+	} else {
+		t.scr.pairDist = growF(t.scr.pairDist, len(sharers))
+		t.scr.pairMask = growB(t.scr.pairMask, len(sharers))
+		for i, id := range holders {
+			ll, heard, g := t.holderLL(id, sharers, t.scr.pairDist, t.scr.pairMask)
+			logls[i] = ll
+			heardAny[i] = heard
+			t.gated += g
+		}
+	}
 	// Common rescaling by the maximum log-likelihood. This is a uniform
 	// scale factor (normalization happens next iteration via overhearing),
 	// applied here only to keep weights within floating-point range.

@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/statex"
+)
+
+// FuzzBearingLLBatchMatchesScalar drives the batched bearing kernels against
+// the scalar references they replace — statex.BearingSensor.LogLikelihood /
+// JointLogLikelihood for the plain model, and the tracker's
+// effSigma/gate/clamp composition for the quantization and gating variants —
+// and requires bit-identical float64 results, including the TailNu Student-t
+// path and residuals straddling the ±π wrap seam.
+func FuzzBearingLLBatchMatchesScalar(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 10.0, 10.0, 0.05, 0.0, 0.0, 0.0)
+	f.Add(5.0, -3.0, math.Pi, -20.0, 4.0, 0.05, 4.0, 0.0, 0.0)                 // Student-t
+	f.Add(100.0, 100.0, -math.Pi+1e-15, 100.3, 99.7, 0.2, 0.0, 1.1, 4.0)       // seam + quant + gate
+	f.Add(1.0, 2.0, 3.0, 1.0, 2.0, 0.05, 4.0, 1.1, 4.0)                        // from == cand (d = 0)
+	f.Add(-50.0, 75.0, 2*math.Pi+0.25, 0.0, 0.0, 1e-3, 2.5, 0.5, 1.5)          // out-of-range bearing, tight sigma
+	f.Add(0.0, 0.0, math.Nextafter(math.Pi, 4), 1.0, 0.0, 0.05, 0.0, 0.0, 0.0) // just past +π
+
+	f.Fuzz(func(t *testing.T, fx, fy, z, cx, cy, sigma, nu, quant, gate float64) {
+		// Clamp the model parameters to the domains the constructors accept;
+		// coordinates and bearings stay arbitrary (any finite float is legal).
+		if !finiteAll(fx, fy, z, cx, cy, sigma, nu, quant, gate) {
+			t.Skip()
+		}
+		if sigma <= 0 || sigma > 1e6 || nu < 0 || nu > 1e6 {
+			t.Skip()
+		}
+		if gate != 0 && gate < 1 {
+			gate = 1
+		}
+		if quant < 0 {
+			quant = 0
+		}
+		if gate < 0 {
+			gate = 0
+		}
+
+		// Plain model: must match statex exactly.
+		s := statex.BearingSensor{SigmaN: sigma, TailNu: nu}
+		plain := NewBearing(sigma, nu, 0, 0)
+		fxs := []float64{fx, cx, fx}
+		fys := []float64{fy, cy, fy}
+		zs := []float64{z, -z, z + math.Pi}
+		dst := make([]float64, len(zs))
+		plain.LogLikBatch(dst, fxs, fys, zs, cx, cy)
+		joint := 0.0
+		for i := range zs {
+			want := s.LogLikelihood(mathx.V2(fxs[i], fys[i]), zs[i], mathx.V2(cx, cy))
+			if !sameFloat(dst[i], want) {
+				t.Fatalf("LogLikBatch[%d] = %x, statex scalar = %x", i, dst[i], want)
+			}
+			joint += want
+		}
+		ms := []statex.Measurement{
+			{From: mathx.V2(fxs[0], fys[0]), Bearing: zs[0]},
+			{From: mathx.V2(fxs[1], fys[1]), Bearing: zs[1]},
+			{From: mathx.V2(fxs[2], fys[2]), Bearing: zs[2]},
+		}
+		if got, want := plain.JointLogLik(fxs, fys, zs, cx, cy), s.JointLogLikelihood(ms, mathx.V2(cx, cy)); !sameFloat(got, want) {
+			t.Fatalf("JointLogLik = %x, statex = %x", got, want)
+		}
+		cand := make([]float64, 1)
+		plain.LogLikCandidates(cand, []float64{cx}, []float64{cy}, fx, fy, z)
+		if want := s.LogLikelihood(mathx.V2(fx, fy), z, mathx.V2(cx, cy)); !sameFloat(cand[0], want) {
+			t.Fatalf("LogLikCandidates = %x, statex = %x", cand[0], want)
+		}
+
+		// Full tracker model (quantization inflation + innovation gate):
+		// must match the scalar effSigma/bearingLL composition.
+		b := NewBearing(sigma, nu, quant, gate)
+		b.LogLikBatch(dst, fxs, fys, zs, cx, cy)
+		for i := range zs {
+			want := scalarTerm(b, fxs[i], fys[i], zs[i], cx, cy)
+			if !sameFloat(dst[i], want) {
+				t.Fatalf("quant/gate LogLikBatch[%d] = %x, scalar = %x", i, dst[i], want)
+			}
+		}
+		dist := make([]float64, len(zs))
+		mask := []bool{true, false, true}
+		for i := range dist {
+			dist[i] = math.Hypot(fxs[i]-cx, fys[i]-cy)
+		}
+		got, _, _ := b.MaskedSum(fxs, fys, zs, dist, mask, cx, cy)
+		want := scalarTerm(b, fxs[0], fys[0], zs[0], cx, cy) + scalarTerm(b, fxs[2], fys[2], zs[2], cx, cy)
+		if !sameFloat(got, want) {
+			t.Fatalf("MaskedSum = %x, scalar = %x", got, want)
+		}
+	})
+}
+
+func finiteAll(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFloat is bit equality with NaN == NaN (degenerate inputs can push the
+// scalar and batched paths to NaN; both must agree they did).
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}

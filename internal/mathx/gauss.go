@@ -14,6 +14,12 @@ func GaussianPDF(x, mean, stddev float64) float64 {
 	return math.Exp(-0.5*d*d) / (stddev * math.Sqrt(2*math.Pi))
 }
 
+// HalfLog2Pi is the Gaussian log-normalizer constant 0.5·log(2π), hoisted so
+// the flat-slice kernels (internal/kernel) and GaussianLogPDF share one
+// value: both subtract the identical bits, keeping the batched and scalar
+// evaluations bit-for-bit interchangeable.
+var HalfLog2Pi = 0.5 * math.Log(2*math.Pi)
+
 // GaussianLogPDF returns the log density of N(mean, stddev²) at x. Using the
 // log form avoids underflow when many per-node likelihoods are multiplied.
 func GaussianLogPDF(x, mean, stddev float64) float64 {
@@ -21,7 +27,7 @@ func GaussianLogPDF(x, mean, stddev float64) float64 {
 		panic("mathx: GaussianLogPDF non-positive stddev")
 	}
 	d := (x - mean) / stddev
-	return -0.5*d*d - math.Log(stddev) - 0.5*math.Log(2*math.Pi)
+	return -0.5*d*d - math.Log(stddev) - HalfLog2Pi
 }
 
 // StudentTLogPDF returns the log density of a Student-t distribution with nu

@@ -39,6 +39,14 @@ type ManagerConfig struct {
 	// after every Nth iteration bounds WAL replay work on recovery). <= 0
 	// defaults to 32.
 	SnapshotEvery int
+	// StepBatch is the cross-session step batch size: a woken shard drains up
+	// to this many ready iterations from its queue and steps them
+	// back-to-back, amortizing the admission-lock bookkeeping over the whole
+	// batch instead of paying it per step. Per-shard FIFO (and therefore
+	// per-session ordering and the log-before-step WAL invariant) is
+	// unchanged — the drain only moves already-ordered work out of the
+	// channel earlier. <= 0 defaults to 16.
+	StepBatch int
 
 	// stepGate, when non-nil, is received from before every step — a
 	// test-only hook that lets the overload tests stall the shard workers
@@ -58,6 +66,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 32
+	}
+	if c.StepBatch <= 0 {
+		c.StepBatch = 16
 	}
 	return c
 }
@@ -129,11 +140,22 @@ func NewManager(cfg ManagerConfig) *Manager {
 // runShard steps queued iterations in FIFO order. Per-shard FIFO implies
 // per-session FIFO, which together with admission-time sequencing gives
 // every session strictly ordered, exactly-once iterations.
+//
+// A woken shard drains up to StepBatch ready iterations and steps them
+// back-to-back: each item still logs to the WAL immediately before its own
+// step (the log-before-step invariant is per item, not per wakeup), but the
+// admission-lock bookkeeping — queued decrements, completion detection — is
+// paid once per drained batch. With the test gate installed the drain is
+// disabled (batch of 1), so a stalled worker holds nothing and the queue
+// lengths the overload tests observe stay deterministic.
 func (m *Manager) runShard(shard int, ch chan workItem) {
 	defer m.wg.Done()
+	batchMax := m.cfg.StepBatch
+	if m.cfg.stepGate != nil {
+		batchMax = 1
+	}
+	items := make([]workItem, 0, batchMax)
 	for {
-		// The test gate sits before the queue read so a stalled worker holds
-		// nothing: queue lengths observed by admission stay deterministic.
 		if m.cfg.stepGate != nil {
 			<-m.cfg.stepGate
 		}
@@ -141,30 +163,52 @@ func (m *Manager) runShard(shard int, ch chan workItem) {
 		if !ok {
 			return
 		}
-		// Log before stepping, so the WAL always dominates the applied
-		// history: recovery can rebuild every stepped iteration, and a batch
-		// logged but never stepped replays harmlessly. A failed append is
-		// counted by the store but does not stall serving — mid-run
-		// availability wins over durability of the newest step.
-		if m.cfg.Store != nil {
-			_ = m.cfg.Store.LogBatch(shard, batchRecord(it.s.id, it.b))
-		}
-		it.s.step(it.b)
-		if m.cfg.Store != nil {
-			if stepped := it.b.K + 1; it.s.done || stepped%m.cfg.SnapshotEvery == 0 {
-				_ = m.cfg.Store.SaveSnapshot(it.s.snapshot())
+		items = append(items[:0], it)
+	drain:
+		for len(items) < batchMax {
+			select {
+			case more, open := <-ch:
+				if !open {
+					// Channel closed mid-drain: finish what was accepted; the
+					// next blocking receive observes the close and exits.
+					break drain
+				}
+				items = append(items, more)
+			default:
+				break drain
 			}
 		}
-		m.cfg.Metrics.stepDone(time.Since(it.admitted))
+		for i := range items {
+			it := &items[i]
+			// Log before stepping, so the WAL always dominates the applied
+			// history: recovery can rebuild every stepped iteration, and a
+			// batch logged but never stepped replays harmlessly. A failed
+			// append is counted by the store but does not stall serving —
+			// mid-run availability wins over durability of the newest step.
+			if m.cfg.Store != nil {
+				_ = m.cfg.Store.LogBatch(shard, batchRecord(it.s.id, it.b))
+			}
+			it.s.step(it.b)
+			if m.cfg.Store != nil {
+				if stepped := it.b.K + 1; it.s.done || stepped%m.cfg.SnapshotEvery == 0 {
+					_ = m.cfg.Store.SaveSnapshot(it.s.snapshot())
+				}
+			}
+			m.cfg.Metrics.stepDone(time.Since(it.admitted))
+		}
+		completed := 0
 		m.mu.Lock()
-		it.s.queued--
-		done := it.s.done
-		if done {
-			delete(m.sessions, it.s.id)
-			m.retainFinished(it.s)
+		for i := range items {
+			s := items[i].s
+			s.queued--
+			if s.done && m.sessions[s.id] == s {
+				delete(m.sessions, s.id)
+				m.retainFinished(s)
+				completed++
+			}
 		}
 		m.mu.Unlock()
-		if done {
+		for ; completed > 0; completed-- {
 			m.cfg.Metrics.sessionCompleted()
 		}
 	}

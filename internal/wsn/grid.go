@@ -15,6 +15,15 @@ type Grid struct {
 	minX, minY float64
 	buckets    [][]NodeID
 	positions  []mathx.Vec2 // indexed by NodeID
+
+	// backing/counts/idx implement the counting bucket layout: every bucket
+	// is a capacity-limited window into one shared backing array (one
+	// allocation for the whole grid instead of one per occupied bucket),
+	// re-sliced from fresh counts on every build; idx caches each node's
+	// bucket index between the counting and filling passes.
+	backing []NodeID
+	counts  []int32
+	idx     []int32
 }
 
 // NewGrid indexes the given positions over the bounding box
@@ -38,11 +47,37 @@ func NewGrid(width, height, cell float64, positions []mathx.Vec2) *Grid {
 		buckets:   make([][]NodeID, cols*rows),
 		positions: positions,
 	}
+	g.backing = make([]NodeID, len(positions))
+	g.counts = make([]int32, cols*rows)
+	g.idx = make([]int32, len(positions))
+	g.layout(positions)
+	return g
+}
+
+// layout counts nodes per bucket, slices the shared backing array into
+// per-bucket windows, and fills them — one allocation-free pass replacing a
+// growing slice per occupied bucket, which cost an allocation (and several
+// growth copies) per bucket and dominated the scenario-build profile.
+// Per-bucket insertion order stays ascending ID, so query candidate order is
+// unchanged.
+func (g *Grid) layout(positions []mathx.Vec2) {
+	for i := range g.counts {
+		g.counts[i] = 0
+	}
 	for id, p := range positions {
 		idx := g.bucketIndex(p)
+		g.idx[id] = int32(idx)
+		g.counts[idx]++
+	}
+	off := 0
+	for i, c := range g.counts {
+		g.buckets[i] = g.backing[off : off : off+int(c)]
+		off += int(c)
+	}
+	for id := range positions {
+		idx := g.idx[id]
 		g.buckets[idx] = append(g.buckets[idx], NodeID(id))
 	}
-	return g
 }
 
 // Rebuild re-indexes the grid over the given positions, reusing the existing
@@ -53,14 +88,8 @@ func (g *Grid) Rebuild(positions []mathx.Vec2) {
 	if len(positions) != len(g.positions) {
 		panic("wsn: grid rebuild with mismatched position count")
 	}
-	for i := range g.buckets {
-		g.buckets[i] = g.buckets[i][:0]
-	}
 	g.positions = positions
-	for id, p := range positions {
-		idx := g.bucketIndex(p)
-		g.buckets[idx] = append(g.buckets[idx], NodeID(id))
-	}
+	g.layout(positions)
 }
 
 func (g *Grid) bucketIndex(p mathx.Vec2) int {
