@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/report"
+	"repro/internal/spec"
 	"repro/internal/version"
 )
 
@@ -125,8 +126,15 @@ func run(ctx context.Context, o options) error {
 	if o.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)
 	}
-	if o.density <= 0 {
-		return fmt.Errorf("-density must be positive, got %v", o.density)
+	// Scenario-level validation goes through the spec axes — the same single
+	// path cdpfsim, cdpfmatrix, and cdpfd admission use. Zero is guarded
+	// separately because a spec cell treats 0 as "unset, use the default"
+	// while an explicit -density 0 is an error.
+	if o.density == 0 {
+		return fmt.Errorf("-density must be positive, got 0")
+	}
+	if err := (spec.Axes{Density: o.density}).Validate(); err != nil {
+		return fmt.Errorf("-density: %w", err)
 	}
 	counter := &jobCounter{}
 	if o.progress {

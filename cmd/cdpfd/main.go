@@ -3,6 +3,14 @@
 // back as Server-Sent Events (see internal/serve for the API and the
 // determinism contract with the offline sim).
 //
+// A session is created with either the flag-style Scenario/Tracker spec or a
+// declarative spec/v1 cell: POST /v1/sessions with a "cell" object holding
+// the axes (algo, density, seed, loss, burst, failfrac, sensor faults,
+// defend, ...). Cells are admitted only when serveable — cdpf/cdpf-ne,
+// single target, no duty cycle or mobility — and resolve through the same
+// internal/spec path cdpfsim and cdpfmatrix use, so a served cell, an
+// offline -spec run, and a matrix cell produce identical bytes.
+//
 // Usage:
 //
 //	cdpfd [-addr HOST:PORT] [-shards N] [-shard-queue N] [-max-sessions N]

@@ -48,10 +48,17 @@
 // TCP proxy (internal/chaos) between the gateway and every backend; backend
 // i's proxy is seeded -chaos-seed + i, so a run's fault log is reproducible.
 //
+// With -spec FILE[#CELL], every session is configured from one declarative
+// spec/v1 cell (the same files cdpfsim -spec and cdpfmatrix run) instead of
+// the -density/-use-ne/-steps flags; per-session seeds still derive from
+// -seed, overriding the cell's seed axis, and offline-twin verification
+// covers the cell's full composition (loss, fail-stops, sensor faults,
+// defenses).
+//
 // Usage:
 //
 //	cdpfload [-addr HOST:PORT] [-sessions N] [-steps N] [-density D]
-//	         [-seed S] [-window W] [-use-ne] [-verify=false]
+//	         [-seed S] [-window W] [-use-ne] [-spec FILE[#CELL]] [-verify=false]
 //	         [-daemon "CMD ARGS..."] [-restart-after N]
 //	         [-cluster N] [-gateway "CMD ARGS..."] [-drain-after N]
 //	         [-kill-after N] [-chaos SCHEDULE] [-chaos-seed S]
@@ -80,6 +87,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	cellspec "repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
@@ -92,6 +100,8 @@ type options struct {
 	seed         uint64
 	window       int
 	useNE        bool
+	spec         string
+	cellAxes     *cellspec.Axes // resolved from -spec; per-session seeds override Seed
 	verify       bool
 	benchJSON    string
 	note         string
@@ -118,6 +128,7 @@ func main() {
 	flag.Float64Var(&o.density, "density", 10, "node density (nodes per 100 m^2)")
 	flag.IntVar(&o.window, "window", 1, "batches in flight per session (1 = strict lockstep)")
 	flag.BoolVar(&o.useNE, "use-ne", false, "run the CDPF-NE variant")
+	flag.StringVar(&o.spec, "spec", "", "drive sessions from a serveable spec/v1 cell (FILE or FILE#CELL); per-session seeds override the cell's seed axis")
 	flag.BoolVar(&o.verify, "verify", true, "check served records against a local offline run")
 	flag.StringVar(&o.benchJSON, "benchjson", "", "also write a benchdiff baseline JSON file")
 	flag.StringVar(&o.note, "note", "", "note stored in the -benchjson baseline")
@@ -134,6 +145,19 @@ func main() {
 	if *showVersion {
 		fmt.Println("cdpfload", version.String())
 		return
+	}
+	if o.spec != "" {
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "density", "use-ne", "steps":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "cdpfload: -spec conflicts with %v (the spec owns those axes)\n", conflicts)
+			os.Exit(1)
+		}
 	}
 	o.seed = *seed
 
@@ -154,6 +178,18 @@ type sessionResult struct {
 }
 
 func run(ctx context.Context, o options, out io.Writer) error {
+	if o.spec != "" {
+		// Resolve the cell once; per-session seeds are overlaid in driveAll.
+		// The spec owns the iteration count, which the drive loop and the
+		// -restart-after arithmetic read from o.steps.
+		cell, _, err := cellspec.LoadCell(o.spec)
+		if err != nil {
+			return err
+		}
+		ax := cell.Axes.Normalized()
+		o.cellAxes = &ax
+		o.steps = ax.Steps
+	}
 	if o.sessions <= 0 || o.steps <= 0 {
 		return fmt.Errorf("need positive -sessions and -steps")
 	}
@@ -292,12 +328,16 @@ func driveAll(ctx context.Context, o options, baseFn func() string, rec recovere
 	specs := make([]serve.SessionSpec, o.sessions)
 	allBatches := make([][]serve.Batch, o.sessions)
 	for i := range specs {
-		spec := serve.SessionSpec{
-			ID:       fmt.Sprintf("load-%d-%03d", o.seed, i),
-			Scenario: scenario.Default(o.density, seeds[i]),
-			UseNE:    o.useNE,
+		spec := serve.SessionSpec{ID: fmt.Sprintf("load-%d-%03d", o.seed, i)}
+		if o.cellAxes != nil {
+			ax := *o.cellAxes
+			ax.Seed = seeds[i]
+			spec.Cell = &ax
+		} else {
+			spec.Scenario = scenario.Default(o.density, seeds[i])
+			spec.UseNE = o.useNE
+			spec.Scenario.Steps = o.steps
 		}
-		spec.Scenario.Steps = o.steps
 		specs[i] = spec
 		var err error
 		if allBatches[i], err = serve.Observations(spec); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,6 +72,44 @@ func TestRunDrivesSessionsAndWritesBaseline(t *testing.T) {
 	}
 	if b.Schema != "bench-serve/v1" || len(b.Baseline) != 3 || b.Note != "test run" {
 		t.Errorf("unexpected baseline: %+v", b)
+	}
+}
+
+// TestRunWithSpecCell drives sessions configured from a spec/v1 cell file —
+// a composition (bursty loss + mid-run fail-stops) the flag form cannot
+// express — with offline-twin verification on, so the served traces are
+// checked byte-for-byte against the cell's offline runs.
+func TestRunWithSpecCell(t *testing.T) {
+	ts, _ := startDaemon(t)
+	specPath := filepath.Join(t.TempDir(), "cell.json")
+	if err := os.WriteFile(specPath, []byte(`{
+  "version": "spec/v1",
+  "base": {"algo": "cdpf", "density": 10, "loss": 0.3, "burst": 3, "failfrac": 0.2, "steps": 5}
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := options{
+		addr: ts.URL, sessions: 2, spec: specPath, seed: 7,
+		window: 2, verify: true, stepWait: 30 * time.Second,
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), o, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "2 sessions x 6 iterations") {
+		t.Errorf("spec cell's steps not picked up:\n%s", buf.String())
+	}
+	// A non-serveable cell (baseline algo) fails the run.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{
+  "version": "spec/v1",
+  "base": {"algo": "sdpf", "density": 10}
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.spec = bad
+	if err := run(context.Background(), o, &buf); err == nil {
+		t.Fatal("non-serveable cell accepted")
 	}
 }
 

@@ -1,0 +1,227 @@
+// Command cdpfmatrix expands a declarative spec/v1 grid (internal/spec) into
+// its cells and executes every cell into a per-cell result directory on the
+// internal/fleet runtime. Each directory holds the per-iteration trace CSV,
+// the resolved single-cell spec (re-runnable standalone via
+// `cdpfsim -spec dir/cell.json`), and — written last — a manifest recording
+// seed, code version, wall time, and summary metrics. Every cell's outputs
+// are a pure function of its axes, so any -parallel count, any -resume
+// continuation, and any standalone re-run produce byte-identical trace CSVs.
+//
+// Usage:
+//
+//	cdpfmatrix -spec FILE [-out DIR] [-parallel N] [-resume]
+//	           [-filter axis=value,...] [-list] [-progress]
+//	           [-benchjson FILE] [-note STRING] [-version]
+//
+// -resume skips cells whose directory already holds a complete manifest, so
+// an interrupted matrix continues where it stopped (manifests are written
+// via rename; a torn run never looks complete). -filter restricts execution
+// to cells whose resolved axes match every axis=value pair; -list prints the
+// expansion (with filter/resume dispositions) without running anything.
+// -benchjson records matrix throughput as a bench-matrix/v1 baseline for the
+// cmd/benchdiff performance gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/spec"
+	"repro/internal/version"
+)
+
+// options carries the parsed command line.
+type options struct {
+	spec      string
+	out       string
+	parallel  int
+	resume    bool
+	filter    string
+	list      bool
+	progress  bool
+	benchJSON string
+	note      string
+}
+
+func main() {
+	var o options
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.StringVar(&o.spec, "spec", "", "spec/v1 grid file to expand and run (required)")
+	flag.StringVar(&o.out, "out", "matrix-out", "output root; each cell writes OUT/<cellname>/")
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "fleet workers executing cells (output is identical at any count)")
+	flag.BoolVar(&o.resume, "resume", false, "skip cells whose directory already holds a complete manifest")
+	flag.StringVar(&o.filter, "filter", "", "only run cells matching every axis=value pair (comma-separated), e.g. algo=cdpf,loss=0.3")
+	flag.BoolVar(&o.list, "list", false, "print the expanded cells and their dispositions without running")
+	flag.BoolVar(&o.progress, "progress", false, "print fleet progress (cells done, cells/sec, ETA) to stderr")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "write a bench-matrix/v1 throughput baseline to this JSON file")
+	flag.StringVar(&o.note, "note", "", "note to embed in the -benchjson baseline")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("cdpfmatrix", version.String())
+		return
+	}
+
+	// Ctrl-C / SIGTERM cancels the fleet cleanly: queued cells drain without
+	// running and the run returns the context error; completed cell
+	// directories stay valid for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdpfmatrix:", err)
+		os.Exit(1)
+	}
+}
+
+// parseFilter turns "axis=value,axis=value" into the RunMatrix filter map.
+// Axis-name validity is checked by RunMatrix itself (one validation path).
+func parseFilter(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		name, value, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || value == "" {
+			return nil, fmt.Errorf("-filter: %q is not axis=value", pair)
+		}
+		m[name] = value
+	}
+	return m, nil
+}
+
+func run(ctx context.Context, o options, out io.Writer) error {
+	if o.spec == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", o.parallel)
+	}
+	filter, err := parseFilter(o.filter)
+	if err != nil {
+		return err
+	}
+	f, err := spec.Load(o.spec)
+	if err != nil {
+		return err
+	}
+
+	if o.list {
+		return list(f, filter, o, out)
+	}
+
+	var obs fleet.Observer
+	if o.progress {
+		obs = fleet.NewProgress(os.Stderr, time.Second)
+	}
+	start := time.Now()
+	sum, err := experiments.RunMatrix(f, experiments.MatrixOptions{
+		Exec:    experiments.Exec{Workers: o.parallel, Observer: obs, Ctx: ctx},
+		OutDir:  o.out,
+		Resume:  o.resume,
+		Filter:  filter,
+		Version: version.String(),
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	for _, st := range sum.Statuses {
+		switch {
+		case st.Filtered:
+			fmt.Fprintf(out, "  %-40s filtered\n", st.Name)
+		case st.Skipped:
+			fmt.Fprintf(out, "  %-40s complete (resume)\n", st.Name)
+		default:
+			rmse := "-"
+			if r := st.Result.RMSE(); r == r { // not NaN
+				rmse = fmt.Sprintf("%.3f m", r)
+			}
+			fmt.Fprintf(out, "  %-40s rmse %-9s %4d ms\n", st.Name, rmse, st.WallMS)
+		}
+	}
+	fmt.Fprintf(out, "cdpfmatrix: spec %s: %d cells, %d matched, %d executed, %d skipped, out %s\n",
+		sum.Spec, sum.Total, sum.Matched, sum.Executed, sum.Skipped, o.out)
+
+	// Bench-format block: parseable by cmd/benchdiff. Expansion count is
+	// machine-independent (allocs/op gates exactly); cell throughput and
+	// wall-clock gate only on matching cpu: hardware.
+	if cpu := benchfmt.HostCPU(); cpu != "" {
+		fmt.Fprintf(out, "cpu: %s\n", cpu)
+	}
+	fmt.Fprintf(out, "BenchmarkMatrixExpansion \t1\t%d allocs/op\n", sum.Total)
+	meas := map[string]benchfmt.Measurement{
+		"BenchmarkMatrixExpansion": {AllocsPerOp: float64(sum.Total)},
+	}
+	if sum.Executed > 0 {
+		perCell := wall.Nanoseconds() / int64(sum.Executed)
+		cellsPerSec := float64(sum.Executed) / wall.Seconds()
+		fmt.Fprintf(out, "BenchmarkMatrixCells \t%d\t%d ns/op\t%.2f jobs/sec\n",
+			sum.Executed, perCell, cellsPerSec)
+		fmt.Fprintf(out, "BenchmarkMatrixWall \t1\t%d ns/op\n", wall.Nanoseconds())
+		meas["BenchmarkMatrixCells"] = benchfmt.Measurement{
+			NsPerOp: float64(perCell), JobsPerSec: cellsPerSec,
+		}
+		meas["BenchmarkMatrixWall"] = benchfmt.Measurement{NsPerOp: float64(wall.Nanoseconds())}
+	}
+
+	if o.benchJSON != "" {
+		b := benchfmt.Baseline{
+			Schema:   "bench-matrix/v1",
+			Recorded: time.Now().Format("2006-01-02"),
+			CPU:      benchfmt.HostCPU(),
+			Note:     o.note,
+			Baseline: meas,
+		}
+		if err := b.Write(o.benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cdpfmatrix: baseline written to %s\n", o.benchJSON)
+	}
+	return nil
+}
+
+// list prints the expansion with each cell's disposition (would run,
+// filtered out, or already complete under -resume) without executing.
+func list(f *spec.File, filter map[string]string, o options, out io.Writer) error {
+	cells, err := f.Expand()
+	if err != nil {
+		return err
+	}
+	for name := range filter {
+		if _, ok := (spec.Axes{}).AxisValue(name); !ok {
+			return fmt.Errorf("unknown filter axis %q", name)
+		}
+	}
+	matched := 0
+	for _, c := range cells {
+		disposition := "run"
+		for name, want := range filter {
+			if got, _ := c.Axes.AxisValue(name); got != want {
+				disposition = "filtered"
+				break
+			}
+		}
+		if disposition == "run" {
+			matched++
+			if o.resume && experiments.CellComplete(o.out, c.Name) {
+				disposition = "complete"
+			}
+		}
+		fmt.Fprintf(out, "%-40s %s\n", c.Name, disposition)
+	}
+	fmt.Fprintf(out, "cdpfmatrix: spec %s: %d cells, %d matched\n", f.Name, len(cells), matched)
+	return nil
+}

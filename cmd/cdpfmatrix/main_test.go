@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiments"
+	"repro/internal/spec"
+)
+
+// gridSpec is the 12-cell smoke grid: algo × loss × seed at density 10 with
+// bursty loss, 5 steps (6 iterations) per cell.
+const gridSpec = `{
+  "version": "spec/v1",
+  "name": "smoke",
+  "base": {"density": 10, "steps": 5, "burst": 3},
+  "grid": {
+    "loss": [0, 0.3],
+    "algo": ["cdpf", "cdpf-ne"],
+    "seed": [31, 62, 93]
+  }
+}`
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runMatrix(t *testing.T, o options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(context.Background(), o, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	return buf.String()
+}
+
+// readTraces returns every cell's trace.csv bytes keyed by cell name.
+func readTraces(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name(), "trace.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+func TestRunExecutesGridAndResumes(t *testing.T) {
+	specPath := writeSpec(t, gridSpec)
+	outDir := filepath.Join(t.TempDir(), "out")
+	benchPath := filepath.Join(t.TempDir(), "BENCH_matrix.json")
+	o := options{spec: specPath, out: outDir, parallel: 4, benchJSON: benchPath, note: "smoke"}
+
+	out := runMatrix(t, o)
+	if !strings.Contains(out, "spec smoke: 12 cells, 12 matched, 12 executed, 0 skipped") {
+		t.Fatalf("unexpected summary:\n%s", out)
+	}
+	ms, _, err := benchfmt.ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("bench text unparseable: %v", err)
+	}
+	if ms["BenchmarkMatrixExpansion"].AllocsPerOp != 12 {
+		t.Errorf("expansion metric: %+v", ms["BenchmarkMatrixExpansion"])
+	}
+	if ms["BenchmarkMatrixCells"].JobsPerSec <= 0 {
+		t.Errorf("cell throughput not reported: %+v", ms["BenchmarkMatrixCells"])
+	}
+	b, err := benchfmt.ReadBaseline(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != "bench-matrix/v1" || b.Note != "smoke" || len(b.Baseline) != 3 {
+		t.Errorf("unexpected baseline: %+v", b)
+	}
+
+	// Second invocation with -resume executes nothing and rewrites nothing.
+	before := readTraces(t, outDir)
+	o.resume = true
+	o.benchJSON = ""
+	out = runMatrix(t, o)
+	if !strings.Contains(out, "12 cells, 12 matched, 0 executed, 12 skipped") {
+		t.Fatalf("resume re-executed cells:\n%s", out)
+	}
+	after := readTraces(t, outDir)
+	if len(before) != 12 || len(after) != 12 {
+		t.Fatalf("cell dirs: %d before, %d after", len(before), len(after))
+	}
+	for name, tr := range before {
+		if after[name] != tr {
+			t.Errorf("resume rewrote %s", name)
+		}
+	}
+}
+
+// TestRunParallelAndStandaloneIdentity is the determinism contract at the
+// CLI level: a -parallel 1 run, a -parallel 4 run, and a standalone re-run
+// of each cell's resolved cell.json all produce byte-identical trace CSVs.
+func TestRunParallelAndStandaloneIdentity(t *testing.T) {
+	specPath := writeSpec(t, gridSpec)
+	serial := filepath.Join(t.TempDir(), "serial")
+	parallel := filepath.Join(t.TempDir(), "parallel")
+	runMatrix(t, options{spec: specPath, out: serial, parallel: 1})
+	runMatrix(t, options{spec: specPath, out: parallel, parallel: 4})
+
+	st, pt := readTraces(t, serial), readTraces(t, parallel)
+	if len(st) != 12 || len(pt) != 12 {
+		t.Fatalf("cell dirs: %d serial, %d parallel", len(st), len(pt))
+	}
+	for name, tr := range st {
+		if pt[name] != tr {
+			t.Errorf("parallel trace differs for %s", name)
+		}
+	}
+
+	// Standalone re-run from the resolved cell spec written into each dir.
+	for name, tr := range st {
+		cell, _, err := spec.LoadCell(filepath.Join(serial, name, "cell.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := experiments.RunCell(context.Background(), cell.Axes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := out.Trace.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != tr {
+			t.Errorf("standalone re-run differs for %s", name)
+		}
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	specPath := writeSpec(t, gridSpec)
+	outDir := filepath.Join(t.TempDir(), "out")
+	o := options{spec: specPath, out: outDir, parallel: 2, filter: "algo=cdpf,loss=0.3"}
+	out := runMatrix(t, o)
+	if !strings.Contains(out, "12 cells, 3 matched, 3 executed, 0 skipped") {
+		t.Fatalf("unexpected filtered summary:\n%s", out)
+	}
+	if got := readTraces(t, outDir); len(got) != 3 {
+		t.Errorf("filtered run wrote %d cell dirs, want 3", len(got))
+	}
+}
+
+func TestRunListDoesNotExecute(t *testing.T) {
+	specPath := writeSpec(t, gridSpec)
+	outDir := filepath.Join(t.TempDir(), "out")
+	out := runMatrix(t, options{spec: specPath, out: outDir, parallel: 2, list: true})
+	if !strings.Contains(out, "12 cells, 12 matched") {
+		t.Fatalf("unexpected list output:\n%s", out)
+	}
+	if !strings.Contains(out, "loss=0.3,algo=cdpf-ne,seed=93") {
+		t.Fatalf("list missing cell names:\n%s", out)
+	}
+	if _, err := os.Stat(outDir); !os.IsNotExist(err) {
+		t.Errorf("-list created the output dir (err=%v)", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	specPath := writeSpec(t, gridSpec)
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"no spec", options{parallel: 1}, "-spec"},
+		{"bad parallel", options{spec: specPath}, "-parallel"},
+		{"bad filter pair", options{spec: specPath, parallel: 1, filter: "algo"}, "axis=value"},
+		{"unknown filter axis", options{spec: specPath, parallel: 1, filter: "bogus=1"}, "bogus"},
+		{"unknown list axis", options{spec: specPath, parallel: 1, list: true, filter: "bogus=1"}, "bogus"},
+		{"missing file", options{spec: filepath.Join(t.TempDir(), "nope.json"), parallel: 1}, "nope.json"},
+	}
+	for _, c := range cases {
+		c.o.out = t.TempDir()
+		var buf bytes.Buffer
+		err := run(context.Background(), c.o, &buf)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %s", c.name, err, c.want)
+		}
+	}
+}

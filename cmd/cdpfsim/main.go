@@ -9,10 +9,18 @@
 //	        [-failfrac F] [-sfault stuck|drift|noise|outlier|byzantine]
 //	        [-sfaultfrac F] [-sfaultmag M] [-defend] [-v]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
+//	cdpfsim -spec FILE[#CELL] [-trace FILE] [-v]
 //	cdpfsim -replay-dir DIR [-replay-session ID] [-trace FILE] [-v]
 //
 // (-trace writes the per-iteration CSV trace; the runtime execution trace is
 // -exectrace.)
+//
+// The scenario flags and -spec are two spellings of the same thing: the
+// flags assemble a spec/v1 cell in memory, and -spec loads one from disk
+// (FILE#CELL names one cell of a gridded spec). Both run through the same
+// engine (internal/experiments.RunCell), so a spec-driven run is
+// byte-identical to its flag-driven twin — and to the same cell executed by
+// cdpfmatrix.
 //
 // Replay mode re-runs a production cdpfd session offline from its durability
 // directory: the write-ahead log holds the session spec and every admitted
@@ -29,20 +37,23 @@ import (
 	"os/signal"
 	"syscall"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/mathx"
-	"repro/internal/metrics"
 	"repro/internal/prof"
-	"repro/internal/scenario"
-	"repro/internal/sensorfault"
 	"repro/internal/serve"
+	"repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/version"
-	"repro/internal/wsn"
 )
+
+// scenarioFlags are the flag names that conflict with -spec: each sets an
+// axis the spec file already owns.
+var scenarioFlags = map[string]bool{
+	"algo": true, "density": true, "seed": true, "steps": true,
+	"fail": true, "sleep": true, "loss": true, "burst": true, "failfrac": true,
+	"sfault": true, "sfaultfrac": true, "sfaultmag": true, "defend": true,
+}
 
 func main() {
 	var o options
@@ -60,6 +71,7 @@ func main() {
 	flag.Float64Var(&o.sfFrac, "sfaultfrac", 0, "fraction of nodes with faulty sensors in [0,1]; 0 disables sensor faults")
 	flag.Float64Var(&o.sfMag, "sfaultmag", 0, "sensor-fault magnitude (drift rad/s, noise stddev rad, outlier probability); 0 = kind default")
 	flag.BoolVar(&o.defend, "defend", false, "enable the Byzantine-tolerant sensing defenses (cdpf/cdpf-ne only): innovation gating, Student-t likelihood, node quarantine")
+	flag.StringVar(&o.spec, "spec", "", "run a spec/v1 scenario file instead of scenario flags: FILE, or FILE#CELL for one cell of a grid")
 	flag.BoolVar(&o.verbose, "v", false, "print a per-iteration trace")
 	flag.StringVar(&o.traceOut, "trace", "", "write a per-iteration CSV trace to this file")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -71,6 +83,18 @@ func main() {
 	if *showVersion {
 		fmt.Println("cdpfsim", version.String())
 		return
+	}
+	if o.spec != "" {
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			if scenarioFlags[f.Name] {
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "cdpfsim: -spec conflicts with scenario flags %v (the spec owns those axes)\n", conflicts)
+			os.Exit(1)
+		}
 	}
 
 	// Ctrl-C / SIGTERM stops the iteration loop at the next step boundary;
@@ -108,6 +132,7 @@ type options struct {
 	sfFrac   float64
 	sfMag    float64
 	defend   bool
+	spec     string
 	verbose  bool
 	traceOut string
 	prof     prof.Flags
@@ -116,33 +141,27 @@ type options struct {
 	replaySession string
 }
 
-// validate rejects out-of-range fault and loss parameters with a one-line
-// error before any scenario is built.
-func (o options) validate() error {
-	for _, f := range []struct {
-		name string
-		v    float64
-	}{
-		{"-fail", o.failFrac}, {"-sleep", o.sleepFr},
-		{"-failfrac", o.failMid}, {"-sfaultfrac", o.sfFrac},
-	} {
-		if f.v < 0 || f.v > 1 {
-			return fmt.Errorf("%s %v outside [0, 1]", f.name, f.v)
-		}
+// axes assembles the flag set's spec cell — the single validation and
+// execution path shared with -spec files, cdpfmatrix, and benchtab.
+func (o options) axes() spec.Axes {
+	return spec.Axes{
+		Algo:    o.algo,
+		Density: o.density,
+		Seed:    o.seed,
+		Steps:   o.steps,
+		Fail:    o.failFrac,
+		Sleep:   o.sleepFr,
+
+		Loss:     o.loss,
+		Burst:    o.burst,
+		FailFrac: o.failMid,
+
+		SensorFault:     o.sfKind,
+		SensorFaultFrac: o.sfFrac,
+		SensorFaultMag:  o.sfMag,
+
+		Defend: o.defend,
 	}
-	if o.loss < 0 || o.loss >= 1 {
-		return fmt.Errorf("-loss %v outside [0, 1)", o.loss)
-	}
-	if o.loss > 0 && o.burst > 1 && o.loss/(1-o.loss) > o.burst {
-		return fmt.Errorf("-loss %v unreachable with -burst %v (needs loss/(1-loss) <= burst)", o.loss, o.burst)
-	}
-	if o.sfMag < 0 {
-		return fmt.Errorf("-sfaultmag %v negative", o.sfMag)
-	}
-	if _, err := sensorfault.ParseKind(o.sfKind); err != nil {
-		return fmt.Errorf("-sfault: %w", err)
-	}
-	return nil
 }
 
 func run(ctx context.Context, o options) error {
@@ -152,187 +171,91 @@ func run(ctx context.Context, o options) error {
 	if o.replaySession != "" {
 		return fmt.Errorf("-replay-session requires -replay-dir")
 	}
-	if err := o.validate(); err != nil {
-		return err
-	}
-	var algo experiments.Algo
-	if o.algo == "ekf" {
-		algo = "ekf"
-	} else {
-		var err error
-		algo, err = experiments.ParseAlgo(o.algo)
+	ax := o.axes()
+	if o.spec != "" {
+		cell, f, err := spec.LoadCell(o.spec)
 		if err != nil {
 			return err
 		}
+		ax = cell.Axes
+		fmt.Printf("spec %s cell %s\n", f.Name, cell.Name)
 	}
-	if o.defend && algo != experiments.AlgoCDPF && algo != experiments.AlgoCDPFNE {
-		return fmt.Errorf("-defend only applies to cdpf and cdpf-ne, not %s", algo)
+	ax = ax.Normalized()
+	if err := ax.Validate(); err != nil {
+		return err
 	}
-	sfKind, _ := sensorfault.ParseKind(o.sfKind)
-	p := scenario.Default(o.density, o.seed)
-	p.Steps = o.steps
-	p.FailFraction = o.failFrac
-	p.SleepFraction = o.sleepFr
-	p.SensorFault = sensorfault.Plan{Kind: sfKind, Fraction: o.sfFrac, Magnitude: o.sfMag}
-	sc, err := scenario.Build(p)
+	out, err := experiments.RunCell(ctx, ax)
 	if err != nil {
 		return err
 	}
+
 	fmt.Printf("field %gx%g m, %d nodes (density %.1f/100m²), rs=%g m, rc=%g m, %d filter iterations\n",
-		sc.Net.Cfg.Width, sc.Net.Cfg.Height, sc.Net.Len(), sc.Net.Density(),
-		sc.Net.Cfg.SensingRadius, sc.Net.Cfg.CommRadius, sc.Iterations())
-	if sc.SensorFaults != nil {
-		fmt.Printf("sensor faults: %d of %d nodes %s\n",
-			len(sc.SensorFaults.FaultyNodes()), sc.Net.Len(), sfKind)
+		out.FieldW, out.FieldH, out.Nodes, out.NetDensity,
+		out.SensingR, out.CommR, out.Result.Iterations)
+	if out.FaultySensors > 0 {
+		fmt.Printf("sensor faults: %d of %d nodes %s\n", out.FaultySensors, out.Nodes, ax.SensorFault)
 	}
-
-	// Fault injection: link loss and a mid-run fail-stop schedule.
-	if o.loss > 0 {
-		if o.burst > 1 {
-			sc.Net.SetBurstLoss(o.loss, o.burst, o.seed^0xfa117)
-			fmt.Printf("link loss: %.0f%% bursty (mean burst %.1f iterations)\n", 100*o.loss, o.burst)
+	if ax.Loss > 0 {
+		if ax.Burst > 1 {
+			fmt.Printf("link loss: %.0f%% bursty (mean burst %.1f iterations)\n", 100*ax.Loss, ax.Burst)
 		} else {
-			sc.Net.SetLossRate(o.loss, o.seed^0xfa117)
-			fmt.Printf("link loss: %.0f%% iid\n", 100*o.loss)
+			fmt.Printf("link loss: %.0f%% iid\n", 100*ax.Loss)
 		}
 	}
-	faults := wsn.NewFaultSchedule()
-	if o.failMid > 0 {
-		mid := sc.Filter.Times[sc.Iterations()/2]
-		victims := wsn.RandomNodes(sc.Net, o.failMid, sc.RNG(70))
-		faults.FailStopAt(mid, victims)
-		fmt.Printf("fault injection: %d nodes fail-stop at t=%g s\n", len(victims), mid)
+	if out.FailStopVictims > 0 {
+		fmt.Printf("fault injection: %d nodes fail-stop at t=%g s\n", out.FailStopVictims, out.FailStopTime)
 	}
-	hardened := o.loss > 0 || o.failMid > 0
-
-	var errs []float64
-	var resilTr *core.Tracker
-	step := func(k int) (mathx.Vec2, int, bool) { return mathx.Vec2{}, -1, false }
-
-	switch algo {
-	case experiments.AlgoCDPF, experiments.AlgoCDPFNE:
-		cfg := core.DefaultConfig(algo == experiments.AlgoCDPFNE)
-		if hardened {
-			cfg = core.ResilientConfig(algo == experiments.AlgoCDPFNE)
-		}
-		if o.defend {
-			sensing := core.HardenedSensingConfig(algo == experiments.AlgoCDPFNE)
-			cfg.GateSigma = sensing.GateSigma
-			cfg.Sensor.TailNu = sensing.Sensor.TailNu
-			cfg.Quarantine = sensing.Quarantine
+	if out.Defended {
+		if cfg, err := ax.TrackerConfig(); err == nil {
 			fmt.Printf("sensing defenses: gate %gσ, Student-t ν=%g, quarantine on\n",
 				cfg.GateSigma, cfg.Sensor.TailNu)
 		}
-		tr, err := core.NewTracker(sc.Net, cfg)
-		if err != nil {
-			return err
-		}
-		resilTr = tr
-		rng := sc.RNG(1)
-		step = func(k int) (mathx.Vec2, int, bool) {
-			r := tr.Step(sc.Observations(k), rng)
-			return r.Estimate, k - 1, r.EstimateValid && k >= 1
-		}
-	case experiments.AlgoCPF:
-		c, err := baseline.NewCPF(sc.Net, baseline.DefaultCPFConfig())
-		if err != nil {
-			return err
-		}
-		rng := sc.RNG(2)
-		step = func(k int) (mathx.Vec2, int, bool) {
-			est, ok := c.Step(sc.Observations(k), rng)
-			return est, k, ok
-		}
-	case experiments.AlgoSDPF:
-		s, err := baseline.NewSDPF(sc.Net, baseline.DefaultSDPFConfig())
-		if err != nil {
-			return err
-		}
-		rng := sc.RNG(3)
-		step = func(k int) (mathx.Vec2, int, bool) {
-			est, ok := s.Step(sc.Observations(k), rng)
-			return est, k, ok
-		}
-	case experiments.AlgoDPF:
-		d, err := baseline.NewDPF(sc.Net, baseline.DefaultDPFConfig())
-		if err != nil {
-			return err
-		}
-		rng := sc.RNG(4)
-		step = func(k int) (mathx.Vec2, int, bool) {
-			est, ok := d.Step(sc.Observations(k), rng)
-			return est, k, ok
-		}
-	case "ekf":
-		e, err := baseline.NewEKFTracker(sc.Net, baseline.DefaultEKFConfig())
-		if err != nil {
-			return err
-		}
-		rng := sc.RNG(5)
-		step = func(k int) (mathx.Vec2, int, bool) {
-			est, ok := e.Step(sc.Observations(k), rng)
-			return est, k, ok
-		}
+	}
+	if ax.Duty > 0 {
+		fmt.Printf("duty cycle: %.0f%% awake target with TDSS proactive wake-up, mean awake share %.2f\n",
+			100*ax.Duty, out.AwakeShare)
+	}
+	if ax.Targets > 1 {
+		fmt.Printf("multi-target: %d targets on staggered lanes, mean live tracks %.2f (trace follows lane 0)\n",
+			ax.Targets, out.MeanLiveTracks)
 	}
 
-	rec := trace.New(string(algo), o.density, o.seed)
-	valid := make([]bool, 0, sc.Iterations())
-	for k := 0; k < sc.Iterations(); k++ {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("interrupted at iteration %d: %w", k, err)
-		}
-		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
-		before := sc.Net.Stats.Snapshot()
-		detectors := len(sc.DetectingNodes(k))
-		est, estFor, ok := step(k)
-		valid = append(valid, ok)
-		d := sc.Net.Stats.Diff(before)
-		r := trace.Record{
-			K: k, Time: sc.Filter.Times[k],
-			TruthX: sc.Truth(k).X, TruthY: sc.Truth(k).Y,
-			Detectors: detectors, Holders: -1,
-			MsgsDelta: d.TotalMsgs(), BytesDelta: d.TotalBytes(),
-		}
-		if ok && estFor >= 0 {
-			e := est.Dist(sc.Truth(estFor))
-			errs = append(errs, e)
-			r.HaveEst, r.EstForK, r.EstX, r.EstY, r.Err = true, estFor, est.X, est.Y, e
-			if o.verbose {
+	if o.verbose {
+		for _, r := range out.Trace.Records {
+			truth := mathx.V2(r.TruthX, r.TruthY)
+			if r.HaveEst {
 				fmt.Printf("k=%2d truth=%v est[k=%d]=%v err=%.2f m, %d msgs / %d B this iteration\n",
-					k, sc.Truth(k), estFor, est, e, d.TotalMsgs(), d.TotalBytes())
+					r.K, truth, r.EstForK, mathx.V2(r.EstX, r.EstY), r.Err, r.MsgsDelta, r.BytesDelta)
+			} else {
+				fmt.Printf("k=%2d truth=%v (no estimate), %d msgs / %d B\n",
+					r.K, truth, r.MsgsDelta, r.BytesDelta)
 			}
-		} else if o.verbose {
-			fmt.Printf("k=%2d truth=%v (no estimate), %d msgs / %d B\n",
-				k, sc.Truth(k), d.TotalMsgs(), d.TotalBytes())
 		}
-		rec.Add(r)
 	}
 	if o.traceOut != "" {
-		if err := writeTraceFile(rec, o.traceOut); err != nil {
+		if err := writeTraceFile(out.Trace, o.traceOut); err != nil {
 			return err
 		}
 	}
 
+	res := out.Result
 	fmt.Printf("\n%s: %d estimates, RMSE %.2f m, max error %.2f m\n",
-		algo, len(errs), mathx.RMS(errs), maxOf(errs))
+		ax.Algo, len(res.Errors), mathx.RMS(res.Errors), maxOf(res.Errors))
 	fmt.Printf("communication: %s (total %d msgs / %d bytes)\n",
-		sc.Net.Stats, sc.Net.Stats.TotalMsgs(), sc.Net.Stats.TotalBytes())
-	if hardened {
-		episodes, reacq, locked := metrics.TrackEpisodes(valid)
+		&res.Comm, res.Comm.TotalMsgs(), res.Comm.TotalBytes())
+	if out.Hardened {
 		fmt.Printf("track loss: %d episodes, locked %.0f%% of the time since acquisition",
-			episodes, 100*locked)
-		if len(reacq) > 0 {
-			fmt.Printf(", mean reacquire %.1f iterations", mathx.Mean(reacq))
+			res.LossEpisodes, 100*res.LockedFrac)
+		if len(res.ReacquireIters) > 0 {
+			fmt.Printf(", mean reacquire %.1f iterations", mathx.Mean(res.ReacquireIters))
 		}
 		fmt.Println()
-		if resilTr != nil {
-			rs := resilTr.Resilience()
+		if rs := out.Resilience; rs != nil {
 			fmt.Printf("degradation: %d rebroadcasts (%d saved a particle), %d compensated totals, %d failed nodes at end\n",
-				rs.Rebroadcasts, rs.RebroadcastSaves, rs.Compensated, faults.DownCount())
+				rs.Rebroadcasts, rs.RebroadcastSaves, rs.Compensated, out.DownAtEnd)
 		}
 	}
-	if o.defend && resilTr != nil {
-		q := resilTr.Quarantine()
+	if q := out.Quarantine; q != nil {
 		fmt.Printf("quarantine: %d evictions, %d readmissions, %d nodes quarantined at end, %d gated likelihood terms\n",
 			q.Evictions, q.Readmissions, len(q.Quarantined), q.Gated)
 	}

@@ -89,25 +89,91 @@ func TestRunWritesTrace(t *testing.T) {
 	}
 }
 
+// writeSpec drops a spec/v1 document into a temp dir and returns its path.
+func writeSpec(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSpecMatchesFlags is the spec-vs-flags byte-identity contract: the
+// same scenario spelled as a spec file and as CLI flags must write identical
+// trace CSVs, because both routes resolve to the same spec cell.
+func TestRunSpecMatchesFlags(t *testing.T) {
+	path := writeSpec(t, "twin.json", `{
+  "version": "spec/v1",
+  "base": {"algo": "cdpf", "density": 10, "seed": 31, "loss": 0.3, "burst": 3}
+}`)
+	specTrace := filepath.Join(t.TempDir(), "spec.csv")
+	o := options{spec: path, traceOut: specTrace}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+
+	flagTrace := filepath.Join(t.TempDir(), "flags.csv")
+	fo := opts("cdpf")
+	fo.loss, fo.burst = 0.3, 3
+	fo.traceOut = flagTrace
+	if err := run(context.Background(), fo); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(specTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(flagTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("spec-driven trace differs from flag-driven trace")
+	}
+}
+
+func TestRunSpecCellSelection(t *testing.T) {
+	path := writeSpec(t, "grid.json", `{
+  "version": "spec/v1",
+  "base": {"algo": "cdpf", "density": 5, "burst": 3},
+  "grid": {"loss": [0, 0.3], "seed": [31, 62]}
+}`)
+	// A gridded spec needs an explicit #cell.
+	if err := run(context.Background(), options{spec: path}); err == nil {
+		t.Fatal("gridded spec without a cell fragment accepted")
+	}
+	if err := run(context.Background(), options{spec: path + "#loss=0.3,seed=62"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), options{spec: path + "#loss=1,seed=1"}); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
 func TestRunRejectsInvalidFlags(t *testing.T) {
+	// Validation lives in spec.Validate (the single path shared with spec
+	// files, cdpfmatrix, and benchtab); errors name the spec axis, which is
+	// the flag name without the dash.
 	cases := []struct {
 		name string
 		mut  func(*options)
 		want string
 	}{
-		{"fail above 1", func(o *options) { o.failFrac = 2 }, "-fail"},
-		{"fail negative", func(o *options) { o.failFrac = -0.1 }, "-fail"},
-		{"sleep above 1", func(o *options) { o.sleepFr = 1.5 }, "-sleep"},
-		{"loss at 1", func(o *options) { o.loss = 1 }, "-loss"},
-		{"loss above 1", func(o *options) { o.loss = 1.5 }, "-loss"},
-		{"loss negative", func(o *options) { o.loss = -0.2 }, "-loss"},
-		{"failfrac above 1", func(o *options) { o.failMid = 1.2 }, "-failfrac"},
-		{"unreachable loss/burst", func(o *options) { o.loss, o.burst = 0.8, 3 }, "-burst"},
-		{"sfaultfrac above 1", func(o *options) { o.sfFrac = 1.01 }, "-sfaultfrac"},
-		{"sfaultfrac negative", func(o *options) { o.sfFrac = -0.3 }, "-sfaultfrac"},
-		{"sfaultmag negative", func(o *options) { o.sfMag = -1 }, "-sfaultmag"},
-		{"unknown sfault kind", func(o *options) { o.sfKind = "wobbly" }, "-sfault"},
-		{"defend on baseline", func(o *options) { o.algo, o.defend = "sdpf", true }, "-defend"},
+		{"fail above 1", func(o *options) { o.failFrac = 2 }, "fail"},
+		{"fail negative", func(o *options) { o.failFrac = -0.1 }, "fail"},
+		{"sleep above 1", func(o *options) { o.sleepFr = 1.5 }, "sleep"},
+		{"loss at 1", func(o *options) { o.loss = 1 }, "loss"},
+		{"loss above 1", func(o *options) { o.loss = 1.5 }, "loss"},
+		{"loss negative", func(o *options) { o.loss = -0.2 }, "loss"},
+		{"failfrac above 1", func(o *options) { o.failMid = 1.2 }, "failfrac"},
+		{"unreachable loss/burst", func(o *options) { o.loss, o.burst = 0.8, 3 }, "burst"},
+		{"sfaultfrac above 1", func(o *options) { o.sfFrac = 1.01 }, "sfaultfrac"},
+		{"sfaultfrac negative", func(o *options) { o.sfFrac = -0.3 }, "sfaultfrac"},
+		{"sfaultmag negative", func(o *options) { o.sfMag = -1 }, "sfaultmag"},
+		{"unknown sfault kind", func(o *options) { o.sfKind = "wobbly" }, "sfault"},
+		{"defend on baseline", func(o *options) { o.algo, o.defend = "sdpf", true }, "defend"},
 	}
 	for _, c := range cases {
 		o := opts("cdpf")

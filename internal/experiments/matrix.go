@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// ManifestSchema identifies the per-cell run manifest format.
+const ManifestSchema = "matrix-manifest/v1"
+
+// Manifest is the record cdpfmatrix writes last into every cell directory.
+// Its presence with Complete set marks the cell done (the -resume contract);
+// everything else is provenance: which spec and cell produced the directory,
+// under which seed and code version, and what the run measured. Wall time is
+// the only field that varies between identical runs — the trace CSV next to
+// it is byte-identical by construction.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// Spec is the source spec's name, Cell the expanded cell name; together
+	// "spec#cell" re-runs this directory standalone.
+	Spec string `json:"spec"`
+	Cell string `json:"cell"`
+	Seed uint64 `json:"seed"`
+	// Version is the code version (internal/version.String()) that ran the
+	// cell.
+	Version string `json:"version"`
+	// WallMS is the cell's execution wall time in milliseconds.
+	WallMS int64 `json:"wall_ms"`
+	// Complete marks a fully executed cell; the manifest is written last
+	// (write-then-rename), so a torn run never leaves a complete manifest.
+	Complete bool `json:"complete"`
+
+	Iterations int      `json:"iterations"`
+	Estimates  int      `json:"estimates"`
+	RMSE       *float64 `json:"rmse_m,omitempty"` // nil when no estimates
+	Msgs       int64    `json:"msgs"`
+	Bytes      int64    `json:"bytes"`
+}
+
+// MatrixOptions configures one RunMatrix invocation.
+type MatrixOptions struct {
+	// Exec is the execution policy (fleet workers, observer, context).
+	Exec Exec
+	// OutDir is the matrix output root; each cell gets OutDir/<cellname>/.
+	OutDir string
+	// Resume skips cells whose directory already holds a complete manifest
+	// for the same cell name.
+	Resume bool
+	// Filter restricts execution to cells whose resolved axes match every
+	// listed axis=value pair. Unknown axis names are an error.
+	Filter map[string]string
+	// Version is stamped into each manifest (the caller's code version).
+	Version string
+}
+
+// CellStatus reports what RunMatrix did with one expanded cell.
+type CellStatus struct {
+	Name string
+	// Filtered cells did not match -filter; Skipped cells had a complete
+	// manifest under -resume; Executed cells ran.
+	Filtered bool
+	Skipped  bool
+	Executed bool
+	WallMS   int64
+	// Result is the cell's metrics result (executed cells only).
+	Result *metrics.RunResult
+}
+
+// MatrixSummary aggregates one RunMatrix invocation.
+type MatrixSummary struct {
+	Spec     string
+	Total    int // expanded cells
+	Matched  int // cells matching the filter
+	Executed int
+	Skipped  int // complete under -resume
+	Statuses []CellStatus
+}
+
+// cellPaths returns a cell's directory and file paths under the output root.
+func cellPaths(outDir, name string) (dir, traceCSV, cellJSON, manifest string) {
+	dir = filepath.Join(outDir, name)
+	return dir, filepath.Join(dir, "trace.csv"), filepath.Join(dir, "cell.json"), filepath.Join(dir, "manifest.json")
+}
+
+// completeManifest reports whether path holds a complete manifest for the
+// named cell.
+func completeManifest(path, cellName string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	return m.Schema == ManifestSchema && m.Complete && m.Cell == cellName
+}
+
+// CellComplete reports whether outDir/<cellName>/ holds a complete manifest
+// for the cell — the condition -resume uses to skip execution.
+func CellComplete(outDir, cellName string) bool {
+	_, _, _, manifest := cellPaths(outDir, cellName)
+	return completeManifest(manifest, cellName)
+}
+
+// writeFileAtomic writes data via write-then-rename so an interrupted matrix
+// never leaves a torn file under the final name.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeCellDir persists one executed cell: the per-iteration trace CSV, the
+// resolved single-cell spec (the standalone re-run artifact), and — last —
+// the manifest marking the cell complete.
+func writeCellDir(outDir, specName string, c spec.Cell, out *CellOutcome, m Manifest) error {
+	dir, traceCSV, cellJSON, manifest := cellPaths(outDir, c.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(traceCSV, func(f *os.File) error {
+		return out.Trace.WriteCSV(f)
+	}); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(cellJSON, func(f *os.File) error {
+		return c.File(specName).Encode(f)
+	}); err != nil {
+		return err
+	}
+	return writeFileAtomic(manifest, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// matrixCell is one expanded cell prepared for the fleet.
+type matrixCell struct {
+	sweepCell
+	cell    spec.Cell
+	skip    bool // complete manifest found under -resume
+	matched bool
+}
+
+// RunMatrix expands the spec's grid and executes every matching cell into a
+// per-cell result directory under opt.OutDir. Cells fan out across the
+// fleet; each cell's outputs are a pure function of its axes, so any worker
+// count — and any standalone re-run via "spec#cell" — produces byte-
+// identical trace CSVs.
+func RunMatrix(f *spec.File, opt MatrixOptions) (*MatrixSummary, error) {
+	cells, err := f.Expand()
+	if err != nil {
+		return nil, err
+	}
+	for name := range opt.Filter {
+		if _, ok := (spec.Axes{}).AxisValue(name); !ok {
+			return nil, fmt.Errorf("matrix: unknown filter axis %q", name)
+		}
+	}
+	if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	sum := &MatrixSummary{Spec: f.Name, Total: len(cells)}
+
+	var work []matrixCell
+	for _, c := range cells {
+		mc := matrixCell{
+			sweepCell: sweepCell{label: "matrix/" + c.Name, seed: c.Axes.Seed},
+			cell:      c,
+			matched:   true,
+		}
+		for name, want := range opt.Filter {
+			if got, _ := c.Axes.AxisValue(name); got != want {
+				mc.matched = false
+				break
+			}
+		}
+		if mc.matched {
+			sum.Matched++
+			if opt.Resume {
+				mc.skip = CellComplete(opt.OutDir, c.Name)
+			}
+		}
+		work = append(work, mc)
+	}
+
+	// Fan only the cells that actually execute out to the fleet; filtered
+	// and resumed cells are accounted without spawning work.
+	var toRun []matrixCell
+	for _, mc := range work {
+		if mc.matched && !mc.skip {
+			toRun = append(toRun, mc)
+		}
+	}
+	statuses, err := runCells(opt.Exec, toRun, func(mc matrixCell) (CellStatus, error) {
+		start := time.Now()
+		ctx := opt.Exec.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		out, err := RunCell(ctx, mc.cell.Axes)
+		if err != nil {
+			return CellStatus{}, fmt.Errorf("matrix: cell %s: %w", mc.cell.Name, err)
+		}
+		wall := time.Since(start).Milliseconds()
+		m := Manifest{
+			Schema:     ManifestSchema,
+			Spec:       f.Name,
+			Cell:       mc.cell.Name,
+			Seed:       mc.cell.Axes.Seed,
+			Version:    opt.Version,
+			WallMS:     wall,
+			Complete:   true,
+			Iterations: out.Result.Iterations,
+			Estimates:  len(out.Result.Errors),
+			Msgs:       out.Result.Comm.TotalMsgs(),
+			Bytes:      out.Result.Comm.TotalBytes(),
+		}
+		if rmse := out.Result.RMSE(); !math.IsNaN(rmse) {
+			m.RMSE = &rmse
+		}
+		if err := writeCellDir(opt.OutDir, f.Name, mc.cell, out, m); err != nil {
+			return CellStatus{}, fmt.Errorf("matrix: cell %s: %w", mc.cell.Name, err)
+		}
+		res := out.Result
+		return CellStatus{Name: mc.cell.Name, Executed: true, WallMS: wall, Result: &res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Re-interleave executed statuses with the filtered/skipped ones in
+	// expansion order.
+	byName := make(map[string]CellStatus, len(statuses))
+	for _, st := range statuses {
+		byName[st.Name] = st
+	}
+	for _, mc := range work {
+		switch {
+		case !mc.matched:
+			sum.Statuses = append(sum.Statuses, CellStatus{Name: mc.cell.Name, Filtered: true})
+		case mc.skip:
+			sum.Skipped++
+			sum.Statuses = append(sum.Statuses, CellStatus{Name: mc.cell.Name, Skipped: true})
+		default:
+			sum.Executed++
+			sum.Statuses = append(sum.Statuses, byName[mc.cell.Name])
+		}
+	}
+	return sum, nil
+}
+
+// ReadCellTrace loads a cell directory's trace CSV, for tests and tools
+// comparing matrix output against standalone runs.
+func ReadCellTrace(outDir, cellName string) ([]trace.Record, error) {
+	_, traceCSV, _, _ := cellPaths(outDir, cellName)
+	f, err := os.Open(traceCSV)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// testGrid is a small 2×2 grid (loss × seed) at low density for fast runs.
+func testGrid() *spec.File {
+	return &spec.File{
+		Version: spec.Version,
+		Name:    "testgrid",
+		Base:    spec.Axes{Algo: "cdpf", Density: 5, Burst: 3},
+		Grid: spec.Grid{
+			Loss: []float64{0, 0.3},
+			Seed: []uint64{31, 62},
+		},
+	}
+}
+
+func readCellFiles(t *testing.T, dir string, cells []spec.Cell) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, c := range cells {
+		data, err := os.ReadFile(filepath.Join(dir, c.Name, "trace.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[c.Name] = data
+	}
+	return out
+}
+
+// TestMatrixDeterminism runs the same grid twice, and once with four fleet
+// workers, asserting every per-cell trace CSV is byte-identical across all
+// three runs.
+func TestMatrixDeterminism(t *testing.T) {
+	f := testGrid()
+	cells, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	for i, workers := range []int{1, 1, 4} {
+		sum, err := RunMatrix(f, MatrixOptions{
+			Exec:    Exec{Workers: workers},
+			OutDir:  dirs[i],
+			Version: "test",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Executed != len(cells) {
+			t.Fatalf("run %d executed %d cells, want %d", i, sum.Executed, len(cells))
+		}
+	}
+	first := readCellFiles(t, dirs[0], cells)
+	for _, dir := range dirs[1:] {
+		for name, data := range readCellFiles(t, dir, cells) {
+			if !bytes.Equal(data, first[name]) {
+				t.Fatalf("cell %s trace differs between runs (dir %s)", name, dir)
+			}
+		}
+	}
+}
+
+// TestMatrixCellMatchesStandaloneRun asserts a matrix cell's trace equals
+// the trace of running that cell's axes directly through RunCell — the
+// standalone re-run contract behind "cdpfsim -spec file#cell".
+func TestMatrixCellMatchesStandaloneRun(t *testing.T) {
+	f := testGrid()
+	dir := t.TempDir()
+	if _, err := RunMatrix(f, MatrixOptions{OutDir: dir, Version: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	cellName := "loss=0.3,seed=62"
+	c, err := f.FindCell(cellName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunCell(context.Background(), c.Axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var standalone bytes.Buffer
+	if err := out.Trace.WriteCSV(&standalone); err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := os.ReadFile(filepath.Join(dir, cellName, "trace.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(matrix, standalone.Bytes()) {
+		t.Fatalf("matrix cell %s trace differs from standalone run", cellName)
+	}
+	// The written cell.json must itself expand back to exactly these axes.
+	cf, err := spec.Load(filepath.Join(dir, cellName, "cell.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cf.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 || sub[0].Axes != c.Axes {
+		t.Fatalf("cell.json does not reproduce the cell axes: %+v", sub)
+	}
+}
+
+// TestMatrixResume asserts a second invocation with Resume re-executes
+// nothing, and that an incomplete cell (torn manifest) is re-run.
+func TestMatrixResume(t *testing.T) {
+	f := testGrid()
+	dir := t.TempDir()
+	sum, err := RunMatrix(f, MatrixOptions{OutDir: dir, Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 4 || sum.Skipped != 0 {
+		t.Fatalf("first run: executed %d skipped %d", sum.Executed, sum.Skipped)
+	}
+	sum, err = RunMatrix(f, MatrixOptions{OutDir: dir, Resume: true, Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 0 || sum.Skipped != 4 {
+		t.Fatalf("resume run: executed %d skipped %d, want 0/4", sum.Executed, sum.Skipped)
+	}
+	// Truncate one manifest: that cell — and only it — must re-run.
+	victim := filepath.Join(dir, "loss=0,seed=31", "manifest.json")
+	if err := os.WriteFile(victim, []byte(`{"schema":"matrix-manifest/v1"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = RunMatrix(f, MatrixOptions{OutDir: dir, Resume: true, Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 1 || sum.Skipped != 3 {
+		t.Fatalf("after torn manifest: executed %d skipped %d, want 1/3", sum.Executed, sum.Skipped)
+	}
+}
+
+// TestMatrixFilter asserts axis=value selection and unknown-axis rejection.
+func TestMatrixFilter(t *testing.T) {
+	f := testGrid()
+	dir := t.TempDir()
+	sum, err := RunMatrix(f, MatrixOptions{
+		OutDir:  dir,
+		Filter:  map[string]string{"loss": "0.3"},
+		Version: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 4 || sum.Matched != 2 || sum.Executed != 2 {
+		t.Fatalf("filtered run: total %d matched %d executed %d", sum.Total, sum.Matched, sum.Executed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "loss=0,seed=31")); !os.IsNotExist(err) {
+		t.Fatal("filtered-out cell directory should not exist")
+	}
+	// Filtering may also name an ungridded (base) axis.
+	sum, err = RunMatrix(f, MatrixOptions{
+		OutDir:  t.TempDir(),
+		Filter:  map[string]string{"algo": "cdpf-ne"},
+		Version: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Matched != 0 {
+		t.Fatalf("base-axis filter matched %d cells, want 0", sum.Matched)
+	}
+	if _, err := RunMatrix(f, MatrixOptions{
+		OutDir:  t.TempDir(),
+		Filter:  map[string]string{"bogus": "1"},
+		Version: "test",
+	}); err == nil {
+		t.Fatal("unknown filter axis should error")
+	}
+}
+
+// TestMatrixManifest checks the manifest's provenance and metric fields.
+func TestMatrixManifest(t *testing.T) {
+	f := testGrid()
+	dir := t.TempDir()
+	if _, err := RunMatrix(f, MatrixOptions{OutDir: dir, Version: "v-test"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "loss=0.3,seed=62", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != ManifestSchema || !m.Complete {
+		t.Fatalf("manifest schema/complete: %+v", m)
+	}
+	if m.Spec != "testgrid" || m.Cell != "loss=0.3,seed=62" || m.Seed != 62 {
+		t.Fatalf("manifest provenance: %+v", m)
+	}
+	if m.Version != "v-test" {
+		t.Fatalf("manifest version %q", m.Version)
+	}
+	if m.Iterations != 11 {
+		t.Fatalf("manifest iterations %d, want 11", m.Iterations)
+	}
+	if m.Estimates > 0 && m.RMSE == nil {
+		t.Fatal("manifest has estimates but no RMSE")
+	}
+	if m.Bytes <= 0 || m.Msgs <= 0 {
+		t.Fatalf("manifest comm counters: %+v", m)
+	}
+}

@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
-	"repro/internal/multi"
 	"repro/internal/report"
-	"repro/internal/scenario"
+	"repro/internal/spec"
 	"repro/internal/statex"
 	"repro/internal/wsn"
 )
@@ -65,61 +65,20 @@ func MultiTargetExperiment(density float64, targetCounts []int, seeds []uint64) 
 }
 
 // multiRun runs one multi-target scenario: n targets on horizontal lanes
-// spaced across the field, all moving east at the paper's speed.
+// spaced across the field, all moving east at the paper's speed. It is a
+// thin view over the spec cell engine (see runMultiCell), which owns the
+// actual loop.
 func multiRun(density float64, n int, seed uint64) (rmse, meanTracks, bytes float64, err error) {
-	p := scenario.Default(density, seed)
-	sc, err := scenario.Build(p)
+	// runMultiCell directly, not RunCell: the experiment's n=1 row runs the
+	// multi-target manager with a single target (pricing the machinery),
+	// whereas a spec cell with targets=1 is an ordinary single-target run.
+	out, err := runMultiCell(context.Background(), spec.Axes{
+		Algo: "cdpf", Density: density, Seed: seed, Targets: n,
+	}.Normalized())
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	mgr, err := multi.NewManager(sc.Net, multi.DefaultConfig(false))
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	sensor := statex.BearingSensor{SigmaN: p.SigmaN}
-	noise := sc.RNG(20)
-	rng := sc.RNG(21)
-
-	// Lanes at least 50 m apart so tracks stay distinguishable.
-	lane := func(i int) float64 { return 50 + 100*float64(i)/math.Max(1, float64(n-1)) }
-	if n == 1 {
-		lane = func(int) float64 { return 100 }
-	}
-	positions := make([]mathx.Vec2, n)
-	for i := range positions {
-		positions[i] = mathx.V2(10, lane(i))
-	}
-	vel := mathx.V2(p.Target.Speed, 0)
-
-	var errs []float64
-	var trackSum, iters float64
-	var prev []mathx.Vec2
-	for k := 0; k < sc.Iterations(); k++ {
-		obs := multiObserve(sc.Net, sensor, positions, noise)
-		tracks := mgr.Step(obs, rng)
-		trackSum += float64(len(tracks))
-		iters++
-		if k >= 2 && prev != nil {
-			for _, tg := range prev {
-				best := math.Inf(1)
-				for _, tr := range tracks {
-					if tr.EstimateValid {
-						if d := tr.Estimate.Dist(tg); d < best {
-							best = d
-						}
-					}
-				}
-				if !math.IsInf(best, 1) {
-					errs = append(errs, best)
-				}
-			}
-		}
-		prev = append(prev[:0], positions...)
-		for i := range positions {
-			positions[i] = positions[i].Add(vel.Scale(p.Dt))
-		}
-	}
-	return mathx.RMS(errs), trackSum / iters, float64(sc.Net.Stats.TotalBytes()), nil
+	return mathx.RMS(out.Result.Errors), out.MeanLiveTracks, float64(out.Result.Comm.TotalBytes()), nil
 }
 
 // multiObserve returns each in-range node's bearing to its nearest target.

@@ -26,16 +26,9 @@ import (
 // SensorFaultFracs returns the benchmark's faulty-fraction grid.
 func SensorFaultFracs() []float64 { return []float64{0, 0.1, 0.2, 0.3} }
 
-// SensorFaultKinds returns the benchmark's fault-kind grid.
-func SensorFaultKinds() []sensorfault.Kind {
-	return []sensorfault.Kind{
-		sensorfault.Stuck,
-		sensorfault.Drift,
-		sensorfault.Noise,
-		sensorfault.Outlier,
-		sensorfault.Byzantine,
-	}
-}
+// SensorFaultKinds returns the benchmark's fault-kind grid: every kind, in
+// declaration order.
+func SensorFaultKinds() []sensorfault.Kind { return sensorfault.AllKinds() }
 
 // sensorFaultAlgo labels a sensor-fault run for grouping: "cdpf/<kind>" for
 // the undefended configuration, "cdpf+def/<kind>" for the hardened one.

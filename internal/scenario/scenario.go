@@ -46,14 +46,27 @@ type Params struct {
 // target covers 150 m, matching Fig. 4's x-range), which the 5 s filter
 // period turns into 10 filter iterations.
 func Default(density float64, seed uint64) Params {
-	return Params{
-		Density: density,
-		Seed:    seed,
-		Steps:   10,
-		Dt:      5,
-		SigmaN:  0.05,
-		Target:  statex.DefaultTargetConfig(),
+	return Params{Density: density, Seed: seed}.WithDefaults()
+}
+
+// WithDefaults returns p with every zero-valued evaluation field replaced by
+// the paper's default (Steps 10, Dt 5, SigmaN 0.05, the default target
+// model). It is idempotent; callers that accept partial parameter sets
+// (specs, serving sessions) share this one defaulting rule.
+func (p Params) WithDefaults() Params {
+	if p.Steps == 0 {
+		p.Steps = 10
 	}
+	if p.Dt == 0 {
+		p.Dt = 5
+	}
+	if p.SigmaN == 0 {
+		p.SigmaN = 0.05
+	}
+	if p.Target == (statex.TargetConfig{}) {
+		p.Target = statex.DefaultTargetConfig()
+	}
+	return p
 }
 
 // Scenario is a fully built simulation instance.

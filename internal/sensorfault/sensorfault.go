@@ -63,9 +63,23 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// AllKinds returns every fault kind in declaration order.
+func AllKinds() []Kind { return []Kind{Stuck, Drift, Noise, Outlier, Byzantine} }
+
+// KindNames returns the CLI/spec spellings of every fault kind, in
+// declaration order.
+func KindNames() []string {
+	kinds := AllKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
 // ParseKind resolves a fault-kind name (CLI spelling).
 func ParseKind(name string) (Kind, error) {
-	for _, k := range []Kind{Stuck, Drift, Noise, Outlier, Byzantine} {
+	for _, k := range AllKinds() {
 		if k.String() == name {
 			return k, nil
 		}

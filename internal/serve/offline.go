@@ -2,7 +2,6 @@ package serve
 
 import (
 	"repro/internal/core"
-	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -10,25 +9,23 @@ import (
 // executes, observations drawn from the scenario's own noise stream — and
 // returns the canonical trace. It is the reference side of the service's
 // determinism contract: a served session fed Observations(spec) produces
-// records byte-identical to OfflineTrace(spec), because both sides step the
-// same tracker code through the same stepTracker path with the same RNG
-// stream (sc.RNG(1)).
+// records byte-identical to OfflineTrace(spec), because both sides resolve
+// the spec through the same buildSession and step the same tracker code
+// through the same stepTracker path with the same RNG stream (sc.RNG(1)).
 func OfflineTrace(spec SessionSpec) (*trace.Recorder, error) {
 	spec = spec.normalize()
-	sc, err := scenario.Build(spec.Scenario)
+	sc, cfg, faults, algo, err := buildSession(spec)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := core.NewTracker(sc.Net, *spec.Tracker)
+	tr, err := core.NewTracker(sc.Net, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rng := sc.RNG(1)
-	rec := trace.New("cdpf", spec.Scenario.Density, spec.Scenario.Seed)
-	if spec.Tracker.UseNE {
-		rec.Algo = "cdpf-ne"
-	}
+	rec := trace.New(algo, sc.P.Density, sc.P.Seed)
 	for k := 0; k < sc.Iterations(); k++ {
+		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
 		rec.Add(stepTracker(sc, tr, rng, k, sc.Observations(k)))
 	}
 	return rec, nil
@@ -37,15 +34,18 @@ func OfflineTrace(spec SessionSpec) (*trace.Recorder, error) {
 // Observations generates the full measurement feed a spec's scenario
 // produces — what a client tracking real sensors would read from the field.
 // cmd/cdpfload and the equivalence tests use it to drive served sessions
-// with exactly the observations the offline run consumes.
+// with exactly the observations the offline run consumes. The fault schedule
+// is replayed ahead of each iteration because downed nodes stop observing
+// (and the detector set gates the scenario's noise draws).
 func Observations(spec SessionSpec) ([]Batch, error) {
 	spec = spec.normalize()
-	sc, err := scenario.Build(spec.Scenario)
+	sc, _, faults, _, err := buildSession(spec)
 	if err != nil {
 		return nil, err
 	}
 	batches := make([]Batch, sc.Iterations())
 	for k := 0; k < sc.Iterations(); k++ {
+		faults.ApplyUntil(sc.Net, sc.Filter.Times[k])
 		obs := sc.Observations(k)
 		b := Batch{K: k, Obs: make([]Measurement, len(obs))}
 		for i, o := range obs {

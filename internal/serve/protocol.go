@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scenario"
+	cellspec "repro/internal/spec"
 	"repro/internal/statex"
 	"repro/internal/trace"
 )
@@ -43,6 +44,14 @@ type SessionSpec struct {
 	// Scenario is the environment. Zero fields default like
 	// scenario.Default: Steps 10, Dt 5, SigmaN 0.05, the paper's target.
 	Scenario scenario.Params `json:"scenario"`
+	// Cell, when non-nil, configures the whole session — scenario, loss
+	// model, fault schedule, tracker config — from one declarative spec/v1
+	// cell (see internal/spec; "cdpfsim -spec" and cdpfmatrix run the same
+	// cells offline). Mutually exclusive with Scenario/Tracker/UseNE. Only
+	// serveable cells are admitted: algo cdpf or cdpf-ne with no duty-cycle,
+	// mobility, or multi-target axis, since those need machinery the online
+	// step loop does not run.
+	Cell *cellspec.Axes `json:"cell,omitempty"`
 	// Tracker, when non-nil, is the full CDPF configuration; nil selects
 	// core.DefaultConfig(UseNE).
 	Tracker *core.Config `json:"tracker,omitempty"`
@@ -62,6 +71,17 @@ const DefaultSessionQueue = 16
 // resolves the tracker config. Validation proper happens in scenario.Build
 // and core.NewTracker.
 func (s SessionSpec) normalize() SessionSpec {
+	if s.Cell != nil {
+		// Cell sessions: the cell is the whole configuration. Normalize it
+		// and the queue budget only, leaving Scenario zero and Tracker nil so
+		// buildSession can reject mixed specs.
+		ax := s.Cell.Normalized()
+		s.Cell = &ax
+		if s.Queue <= 0 {
+			s.Queue = DefaultSessionQueue
+		}
+		return s
+	}
 	if s.Scenario.Steps == 0 {
 		s.Scenario.Steps = 10
 	}

@@ -32,6 +32,10 @@ type session struct {
 	sc  *scenario.Scenario
 	tr  *core.Tracker
 	rng *mathx.RNG
+	// faults is the session's scheduled fault script (empty unless the spec
+	// is a cell with a fail-stop axis). The shard goroutine replays it ahead
+	// of each step, exactly where the offline loop does.
+	faults *wsn.FaultSchedule
 
 	// queued counts admitted-but-unstepped batches against spec.Queue; the
 	// HTTP handler increments it under the manager's admission lock and the
@@ -50,15 +54,63 @@ type session struct {
 	done    bool
 }
 
+// buildSession resolves a normalized SessionSpec into the scenario, tracker
+// configuration, fault schedule, and algorithm label. It is the one
+// constructor behind newSession, OfflineTrace, and Observations, so a served
+// session and its offline twin cannot drift apart — whichever way the spec
+// is spelled (Scenario/Tracker fields or a declarative cell).
+func buildSession(sp SessionSpec) (*scenario.Scenario, core.Config, *wsn.FaultSchedule, string, error) {
+	fail := func(err error) (*scenario.Scenario, core.Config, *wsn.FaultSchedule, string, error) {
+		return nil, core.Config{}, nil, "", err
+	}
+	if sp.Cell != nil {
+		if sp.Tracker != nil || sp.UseNE || sp.Scenario != (scenario.Params{}) {
+			return fail(fmt.Errorf("serve: cell and scenario/tracker fields are mutually exclusive"))
+		}
+		ax := *sp.Cell
+		if err := ax.Validate(); err != nil {
+			return fail(err)
+		}
+		if !ax.IsCDPF() || ax.Duty > 0 || ax.Mobility > 0 || ax.Targets > 1 {
+			return fail(fmt.Errorf("serve: cell not serveable: sessions run algo cdpf or cdpf-ne with duty 0, mobility 0, targets 1 (got algo %s, duty %v, mobility %v, targets %d)",
+				ax.Algo, ax.Duty, ax.Mobility, ax.Targets))
+		}
+		sc, faults, err := ax.Build()
+		if err != nil {
+			return fail(err)
+		}
+		cfg, err := ax.TrackerConfig()
+		if err != nil {
+			return fail(err)
+		}
+		if cfg.Parallelism == 0 {
+			// Same host-independence pin normalize() applies to explicit
+			// tracker configs: a session's behavior must not bake in the
+			// serving machine's core count.
+			cfg.Parallelism = 1
+		}
+		return sc, cfg, faults, ax.Algo, nil
+	}
+	sc, err := scenario.Build(sp.Scenario)
+	if err != nil {
+		return fail(err)
+	}
+	algo := "cdpf"
+	if sp.Tracker.UseNE {
+		algo = "cdpf-ne"
+	}
+	return sc, *sp.Tracker, wsn.NewFaultSchedule(), algo, nil
+}
+
 // newSession builds the scenario and tracker for a normalized spec. The
 // tracker RNG is sc.RNG(1) — the exact stream cdpfsim and OfflineTrace use —
 // so a served session and its offline twin consume identical randomness.
 func newSession(id string, shard int, spec SessionSpec) (*session, error) {
-	sc, err := scenario.Build(spec.Scenario)
+	sc, cfg, faults, _, err := buildSession(spec)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := core.NewTracker(sc.Net, *spec.Tracker)
+	tr, err := core.NewTracker(sc.Net, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +120,7 @@ func newSession(id string, shard int, spec SessionSpec) (*session, error) {
 	}
 	return &session{
 		id: id, shard: shard, spec: spec, specJSON: specJSON,
-		sc: sc, tr: tr, rng: sc.RNG(1),
+		sc: sc, tr: tr, rng: sc.RNG(1), faults: faults,
 	}, nil
 }
 
@@ -124,6 +176,12 @@ func restoreSession(id string, shard int, snap *durable.Snapshot) (*session, err
 	s.stepped = snap.Stepped
 	s.nextK = snap.Stepped
 	s.done = snap.Stepped >= s.iterations()
+	// Node up/down state is not in the snapshot: the fault schedule is a
+	// pure function of the spec, so replaying it up to the last stepped
+	// iteration's time reproduces the exact network state.
+	if s.stepped > 0 {
+		s.faults.ApplyUntil(s.sc.Net, s.sc.Filter.Times[s.stepped-1])
+	}
 	return s, nil
 }
 
@@ -138,6 +196,7 @@ func (s *session) step(b Batch) trace.Record {
 	for i, m := range b.Obs {
 		obs[i] = core.Observation{Node: wsn.NodeID(m.Node), Bearing: m.Bearing}
 	}
+	s.faults.ApplyUntil(s.sc.Net, s.sc.Filter.Times[b.K])
 	rec := stepTracker(s.sc, s.tr, s.rng, b.K, obs)
 
 	s.mu.Lock()

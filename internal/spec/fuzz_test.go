@@ -1,0 +1,51 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecDecode asserts the decoder's contract over arbitrary bytes:
+// malformed, truncated, or version-skewed input returns an error — it never
+// panics — and anything that does decode validates, expands, and re-encodes
+// to a document that decodes again to the same expansion.
+func FuzzSpecDecode(f *testing.F) {
+	f.Add([]byte(goldenSpec))
+	f.Add([]byte(`{"version": "spec/v1", "base": {}}`))
+	f.Add([]byte(`{"version": "spec/v1", "base": {"algo": "ekf", "loss": 0.99}}`))
+	f.Add([]byte(`{"version": "spec/v2", "base": {}}`))
+	f.Add([]byte(goldenSpec[:len(goldenSpec)/3]))
+	f.Add([]byte(`{"version": "spec/v1", "base": {"density": 1e308}, "grid": {"seed": [1, 2, 3]}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		cells, err := sf.Expand()
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := sf.Encode(&buf); err != nil {
+			t.Fatalf("decoded spec failed to encode: %v", err)
+		}
+		again, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v\n%s", err, buf.Bytes())
+		}
+		cells2, err := again.Expand()
+		if err != nil {
+			t.Fatalf("re-decoded spec failed to expand: %v", err)
+		}
+		if len(cells) != len(cells2) {
+			t.Fatalf("expansion changed across round trip: %d vs %d cells", len(cells), len(cells2))
+		}
+		for i := range cells {
+			if cells[i].Name != cells2[i].Name || cells[i].Axes != cells2[i].Axes {
+				t.Fatalf("cell %d changed across round trip", i)
+			}
+		}
+	})
+}

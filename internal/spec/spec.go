@@ -1,0 +1,674 @@
+// Package spec is the declarative scenario layer: a versioned, self-
+// describing JSON format ("spec/v1") naming every axis a tracking run can
+// vary — algorithm, network size, loss/burst, node failures, sensor faults,
+// defense config, mobility, duty cycle, multi-target — plus a grid section
+// that expands explicit per-axis value lists into a named cross-product of
+// cells. A spec compiles onto the repository's existing building blocks
+// (internal/scenario, internal/sensorfault, the wsn loss process and fault
+// schedules, core tracker configs), so a cell is exactly the run the
+// equivalent cdpfsim flag line would execute: same parameter wiring, same
+// RNG streams, byte-identical output.
+//
+// The package is also the single validation path for those parameters.
+// cmd/cdpfsim and cmd/benchtab build an Axes value from their flags and call
+// Validate instead of re-implementing range checks, and cmd/cdpfmatrix and
+// internal/serve validate whole files and cells through the same code.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sensorfault"
+	"repro/internal/statex"
+	"repro/internal/wsn"
+)
+
+// Version is the format identifier every spec file must carry. Decoding any
+// other value is an error: forward compatibility is explicit, not guessed.
+const Version = "spec/v1"
+
+// Axes is one fully resolved scenario point: every knob a single tracking
+// run can set. The zero value of each field means "the paper's default"
+// (resolved by Normalized), so a spec file only writes the axes it varies.
+type Axes struct {
+	// Algo selects the tracking algorithm: cdpf, cdpf-ne, cpf, dpf, sdpf,
+	// or ekf. Empty defaults to cdpf.
+	Algo string `json:"algo,omitempty"`
+	// Density is the node density in nodes per 100 m² (the paper sweeps
+	// 5..40). Zero defaults to 20.
+	Density float64 `json:"density,omitempty"`
+	// Seed is the master scenario seed; deployment, trajectory, noise, and
+	// every fault stream derive from it. Zero defaults to 31 (the canonical
+	// first evaluation seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Steps is the filter iteration count (paper: 10). Zero defaults to 10.
+	Steps int `json:"steps,omitempty"`
+	// Dt is the filter period in seconds (paper: 5). Zero defaults to 5.
+	Dt float64 `json:"dt,omitempty"`
+	// SigmaN is the bearing-noise stddev in radians (paper: 0.05). Zero
+	// defaults to 0.05.
+	SigmaN float64 `json:"sigma_n,omitempty"`
+
+	// Fail is the fraction of nodes permanently failed at deployment.
+	Fail float64 `json:"fail,omitempty"`
+	// Sleep is the fraction of nodes in unanticipated sleep for the run.
+	Sleep float64 `json:"sleep,omitempty"`
+
+	// Loss is the link packet-loss rate in [0, 1).
+	Loss float64 `json:"loss,omitempty"`
+	// Burst is the mean loss-burst length in filter iterations; values > 1
+	// select Gilbert–Elliott bursty loss, <= 1 iid loss. Zero defaults to 1.
+	Burst float64 `json:"burst,omitempty"`
+	// FailFrac is the fraction of nodes fail-stopped at the mid-run filter
+	// time (the resilience benchmark's fault injection).
+	FailFrac float64 `json:"failfrac,omitempty"`
+
+	// SensorFault names the sensor-fault kind (stuck, drift, noise,
+	// outlier, byzantine). Empty defaults to stuck; the kind only matters
+	// when SensorFaultFrac > 0.
+	SensorFault string `json:"sfault,omitempty"`
+	// SensorFaultFrac is the fraction of nodes with corrupted sensors.
+	SensorFaultFrac float64 `json:"sfaultfrac,omitempty"`
+	// SensorFaultMag is the kind-specific magnitude (drift rad/s, noise
+	// stddev rad, outlier probability); 0 selects the kind's default.
+	SensorFaultMag float64 `json:"sfaultmag,omitempty"`
+
+	// Defend enables the Byzantine-tolerant sensing defenses (innovation
+	// gating, Student-t likelihood, node quarantine). cdpf/cdpf-ne only.
+	Defend bool `json:"defend,omitempty"`
+	// Hardened selects the graceful-degradation config for cdpf variants:
+	// "on" forces core.ResilientConfig, "off" forces core.DefaultConfig,
+	// and ""/"auto" hardens exactly when Loss > 0 or FailFrac > 0 — the
+	// cdpfsim flag behavior. Ignored by the baseline algorithms.
+	Hardened string `json:"hardened,omitempty"`
+
+	// Mobility is the per-iteration Gaussian node-drift sigma in meters
+	// (the mobile-WSN extension); 0 keeps the field static.
+	Mobility float64 `json:"mobility,omitempty"`
+	// Duty is the duty-cycle awake fraction in (0, 1]; > 0 runs the
+	// duty-cycled network with TDSS proactive wake-up and the energy model
+	// enabled (cdpf/cdpf-ne only). 0 keeps every node always on.
+	Duty float64 `json:"duty,omitempty"`
+	// Targets is the number of simultaneous targets; > 1 runs the
+	// multi-target manager on staggered lanes (clean cdpf cells only).
+	// Zero defaults to 1.
+	Targets int `json:"targets,omitempty"`
+}
+
+// Normalized returns a with every zero-valued field replaced by its default.
+// It is idempotent.
+func (a Axes) Normalized() Axes {
+	if a.Algo == "" {
+		a.Algo = "cdpf"
+	}
+	if a.Density == 0 {
+		a.Density = 20
+	}
+	if a.Seed == 0 {
+		a.Seed = 31
+	}
+	if a.Steps == 0 {
+		a.Steps = 10
+	}
+	if a.Dt == 0 {
+		a.Dt = 5
+	}
+	if a.SigmaN == 0 {
+		a.SigmaN = 0.05
+	}
+	if a.Burst == 0 {
+		a.Burst = 1
+	}
+	if a.SensorFault == "" {
+		a.SensorFault = sensorfault.Stuck.String()
+	}
+	if a.Hardened == "" {
+		a.Hardened = "auto"
+	}
+	if a.Targets == 0 {
+		a.Targets = 1
+	}
+	return a
+}
+
+// algoNames lists the valid Algo values: the experiments package's five
+// algorithms plus the EKF baseline cdpfsim exposes.
+var algoNames = []string{"cdpf", "cdpf-ne", "cpf", "dpf", "sdpf", "ekf"}
+
+// validAlgo reports whether name is a known algorithm.
+func validAlgo(name string) bool {
+	for _, n := range algoNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCDPF reports whether the (normalized) axes select a cdpf-family
+// algorithm — the ones that take a core.Config and can serve live sessions.
+func (a Axes) IsCDPF() bool {
+	alg := a.Normalized().Algo
+	return alg == "cdpf" || alg == "cdpf-ne"
+}
+
+// UseNE reports whether the axes select the CDPF-NE variant.
+func (a Axes) UseNE() bool { return a.Normalized().Algo == "cdpf-ne" }
+
+// HardenedResolved resolves the tri-state Hardened field: "on" and "off"
+// are explicit, "auto" (the flag-path behavior) hardens exactly when a loss
+// process or mid-run fail-stop is configured.
+func (a Axes) HardenedResolved() bool {
+	a = a.Normalized()
+	switch a.Hardened {
+	case "on":
+		return true
+	case "off":
+		return false
+	}
+	return a.Loss > 0 || a.FailFrac > 0
+}
+
+// Validate rejects out-of-range or inconsistent axes with a one-line error.
+// It subsumes the parameter checks cmd/cdpfsim and cmd/benchtab used to
+// duplicate; scenario.Build and core.NewTracker still enforce their own
+// invariants at build time.
+func (a Axes) Validate() error {
+	a = a.Normalized()
+	if !validAlgo(a.Algo) {
+		return fmt.Errorf("spec: unknown algo %q (want %s)", a.Algo, strings.Join(algoNames, ", "))
+	}
+	if a.Density <= 0 {
+		return fmt.Errorf("spec: density %v must be positive", a.Density)
+	}
+	if a.Steps < 1 {
+		return fmt.Errorf("spec: steps %d must be at least 1", a.Steps)
+	}
+	if a.Dt <= 0 {
+		return fmt.Errorf("spec: dt %v must be positive", a.Dt)
+	}
+	if a.SigmaN <= 0 {
+		return fmt.Errorf("spec: sigma_n %v must be positive", a.SigmaN)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"fail", a.Fail}, {"sleep", a.Sleep}, {"failfrac", a.FailFrac}, {"sfaultfrac", a.SensorFaultFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("spec: %s %v outside [0, 1]", f.name, f.v)
+		}
+	}
+	if a.Loss < 0 || a.Loss >= 1 {
+		return fmt.Errorf("spec: loss %v outside [0, 1)", a.Loss)
+	}
+	if a.Burst <= 0 {
+		return fmt.Errorf("spec: burst %v must be positive", a.Burst)
+	}
+	if a.Loss > 0 && a.Burst > 1 && a.Loss/(1-a.Loss) > a.Burst {
+		return fmt.Errorf("spec: loss %v unreachable with burst %v (needs loss/(1-loss) <= burst)", a.Loss, a.Burst)
+	}
+	if a.SensorFaultMag < 0 {
+		return fmt.Errorf("spec: sfaultmag %v negative", a.SensorFaultMag)
+	}
+	if _, err := sensorfault.ParseKind(a.SensorFault); err != nil {
+		return fmt.Errorf("spec: sfault %q (want %s)", a.SensorFault, strings.Join(sensorfault.KindNames(), ", "))
+	}
+	if a.Defend && !a.IsCDPF() {
+		return fmt.Errorf("spec: defend only applies to cdpf and cdpf-ne, not %s", a.Algo)
+	}
+	switch a.Hardened {
+	case "auto", "on", "off":
+	default:
+		return fmt.Errorf("spec: hardened %q (want auto, on, or off)", a.Hardened)
+	}
+	if a.Mobility < 0 {
+		return fmt.Errorf("spec: mobility %v negative", a.Mobility)
+	}
+	if a.Duty < 0 || a.Duty > 1 {
+		return fmt.Errorf("spec: duty %v outside [0, 1]", a.Duty)
+	}
+	if a.Duty > 0 && !a.IsCDPF() {
+		return fmt.Errorf("spec: duty only applies to cdpf and cdpf-ne, not %s", a.Algo)
+	}
+	if a.Targets < 1 {
+		return fmt.Errorf("spec: targets %d must be at least 1", a.Targets)
+	}
+	if a.Targets > 1 {
+		if a.Algo != "cdpf" {
+			return fmt.Errorf("spec: targets %d requires algo cdpf, not %s", a.Targets, a.Algo)
+		}
+		if a.Loss > 0 || a.FailFrac > 0 || a.SensorFaultFrac > 0 || a.Fail > 0 || a.Sleep > 0 ||
+			a.Defend || a.Duty > 0 || a.Mobility > 0 {
+			return fmt.Errorf("spec: targets %d only composes with an otherwise-clean cell", a.Targets)
+		}
+	}
+	return nil
+}
+
+// ScenarioParams compiles the axes into the scenario builder's parameter
+// struct. The caller usually wants Build, which also installs the loss
+// process and fault schedule.
+func (a Axes) ScenarioParams() (scenario.Params, error) {
+	a = a.Normalized()
+	kind, err := sensorfault.ParseKind(a.SensorFault)
+	if err != nil {
+		return scenario.Params{}, fmt.Errorf("spec: %w", err)
+	}
+	return scenario.Params{
+		Density: a.Density,
+		Seed:    a.Seed,
+		Steps:   a.Steps,
+		Dt:      a.Dt,
+		SigmaN:  a.SigmaN,
+		Target:  statex.DefaultTargetConfig(),
+
+		FailFraction:  a.Fail,
+		SleepFraction: a.Sleep,
+		SensorFault:   sensorfault.Plan{Kind: kind, Fraction: a.SensorFaultFrac, Magnitude: a.SensorFaultMag},
+	}, nil
+}
+
+// Build compiles the axes into a live scenario with the loss process
+// installed and the mid-run fail-stop schedule constructed — exactly the
+// wiring the cdpfsim flag path performs: the loss RNG is seeded seed^0xfa117,
+// fail-stop victims draw from sc.RNG(70), and the fail-stop fires at the
+// mid-run filter time. The returned schedule is never nil (it is empty when
+// FailFrac is 0).
+func (a Axes) Build() (*scenario.Scenario, *wsn.FaultSchedule, error) {
+	a = a.Normalized()
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := a.ScenarioParams()
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := scenario.Build(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.Loss > 0 {
+		if a.Burst > 1 {
+			sc.Net.SetBurstLoss(a.Loss, a.Burst, p.Seed^0xfa117)
+		} else {
+			sc.Net.SetLossRate(a.Loss, p.Seed^0xfa117)
+		}
+	}
+	faults := wsn.NewFaultSchedule()
+	if a.FailFrac > 0 {
+		mid := sc.Filter.Times[sc.Iterations()/2]
+		faults.FailStopAt(mid, wsn.RandomNodes(sc.Net, a.FailFrac, sc.RNG(70)))
+	}
+	return sc, faults, nil
+}
+
+// TrackerConfig resolves the core tracker configuration a cdpf-family cell
+// runs: DefaultConfig or ResilientConfig by the hardened resolution, with
+// the sensing defenses overlaid when Defend is set — the same composition
+// cdpfsim's flag path builds.
+func (a Axes) TrackerConfig() (core.Config, error) {
+	a = a.Normalized()
+	if !a.IsCDPF() {
+		return core.Config{}, fmt.Errorf("spec: algorithm %s has no tracker config", a.Algo)
+	}
+	ne := a.UseNE()
+	cfg := core.DefaultConfig(ne)
+	if a.HardenedResolved() {
+		cfg = core.ResilientConfig(ne)
+	}
+	if a.Defend {
+		sensing := core.HardenedSensingConfig(ne)
+		cfg.GateSigma = sensing.GateSigma
+		cfg.Sensor.TailNu = sensing.Sensor.TailNu
+		cfg.Quarantine = sensing.Quarantine
+	}
+	return cfg, nil
+}
+
+// AxisValue formats the named axis's resolved value the way grid expansion
+// labels cells — the lookup -filter expressions match against. The second
+// return is false for unknown axis names.
+func (a Axes) AxisValue(name string) (string, bool) {
+	a = a.Normalized()
+	switch name {
+	case "algo":
+		return a.Algo, true
+	case "density":
+		return formatFloat(a.Density), true
+	case "seed":
+		return strconv.FormatUint(a.Seed, 10), true
+	case "steps":
+		return strconv.Itoa(a.Steps), true
+	case "dt":
+		return formatFloat(a.Dt), true
+	case "sigma_n":
+		return formatFloat(a.SigmaN), true
+	case "fail":
+		return formatFloat(a.Fail), true
+	case "sleep":
+		return formatFloat(a.Sleep), true
+	case "loss":
+		return formatFloat(a.Loss), true
+	case "burst":
+		return formatFloat(a.Burst), true
+	case "failfrac":
+		return formatFloat(a.FailFrac), true
+	case "sfault":
+		return a.SensorFault, true
+	case "sfaultfrac":
+		return formatFloat(a.SensorFaultFrac), true
+	case "sfaultmag":
+		return formatFloat(a.SensorFaultMag), true
+	case "defend":
+		return strconv.FormatBool(a.Defend), true
+	case "hardened":
+		return a.Hardened, true
+	case "mobility":
+		return formatFloat(a.Mobility), true
+	case "duty":
+		return formatFloat(a.Duty), true
+	case "targets":
+		return strconv.Itoa(a.Targets), true
+	}
+	return "", false
+}
+
+// formatFloat renders axis values canonically (shortest round-trip form).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Grid holds explicit value lists for the axes a spec varies. Expansion is
+// the full cross-product in a fixed canonical order (see Expand), with each
+// list kept in its written order — so the cell enumeration, and therefore
+// every downstream aggregation, is deterministic and matches the repo's
+// existing sweep orders.
+type Grid struct {
+	Density         []float64 `json:"density,omitempty"`
+	Steps           []int     `json:"steps,omitempty"`
+	Fail            []float64 `json:"fail,omitempty"`
+	Sleep           []float64 `json:"sleep,omitempty"`
+	Loss            []float64 `json:"loss,omitempty"`
+	Burst           []float64 `json:"burst,omitempty"`
+	FailFrac        []float64 `json:"failfrac,omitempty"`
+	SensorFault     []string  `json:"sfault,omitempty"`
+	SensorFaultFrac []float64 `json:"sfaultfrac,omitempty"`
+	SensorFaultMag  []float64 `json:"sfaultmag,omitempty"`
+	Defend          []bool    `json:"defend,omitempty"`
+	Mobility        []float64 `json:"mobility,omitempty"`
+	Duty            []float64 `json:"duty,omitempty"`
+	Targets         []int     `json:"targets,omitempty"`
+	Algo            []string  `json:"algo,omitempty"`
+	Seed            []uint64  `json:"seed,omitempty"`
+}
+
+// axisInst is one gridded axis prepared for expansion: its name and the
+// ordered (label, setter) pairs.
+type axisInst struct {
+	name string
+	vals []axisVal
+}
+
+type axisVal struct {
+	label string
+	set   func(*Axes)
+}
+
+// axes returns the gridded axes in canonical expansion order — outermost
+// first, seed always innermost. The order is chosen so the existing
+// experiment enumerations fall out of it: density-major for the fig5/fig6
+// sweep, loss (or failfrac) before algo before seed for the resilience
+// sweeps, and kind → fraction → defense → seed for the sensor-fault sweep.
+func (g Grid) axes() []axisInst {
+	var out []axisInst
+	add := func(name string, n int, label func(i int) string, set func(a *Axes, i int)) {
+		if n == 0 {
+			return
+		}
+		inst := axisInst{name: name}
+		for i := 0; i < n; i++ {
+			i := i
+			inst.vals = append(inst.vals, axisVal{label: label(i), set: func(a *Axes) { set(a, i) }})
+		}
+		out = append(out, inst)
+	}
+	addF := func(name string, vs []float64, set func(a *Axes, v float64)) {
+		add(name, len(vs), func(i int) string { return formatFloat(vs[i]) },
+			func(a *Axes, i int) { set(a, vs[i]) })
+	}
+	addF("density", g.Density, func(a *Axes, v float64) { a.Density = v })
+	add("steps", len(g.Steps), func(i int) string { return strconv.Itoa(g.Steps[i]) },
+		func(a *Axes, i int) { a.Steps = g.Steps[i] })
+	addF("fail", g.Fail, func(a *Axes, v float64) { a.Fail = v })
+	addF("sleep", g.Sleep, func(a *Axes, v float64) { a.Sleep = v })
+	addF("loss", g.Loss, func(a *Axes, v float64) { a.Loss = v })
+	addF("burst", g.Burst, func(a *Axes, v float64) { a.Burst = v })
+	addF("failfrac", g.FailFrac, func(a *Axes, v float64) { a.FailFrac = v })
+	add("sfault", len(g.SensorFault), func(i int) string { return g.SensorFault[i] },
+		func(a *Axes, i int) { a.SensorFault = g.SensorFault[i] })
+	addF("sfaultfrac", g.SensorFaultFrac, func(a *Axes, v float64) { a.SensorFaultFrac = v })
+	addF("sfaultmag", g.SensorFaultMag, func(a *Axes, v float64) { a.SensorFaultMag = v })
+	add("defend", len(g.Defend), func(i int) string { return strconv.FormatBool(g.Defend[i]) },
+		func(a *Axes, i int) { a.Defend = g.Defend[i] })
+	addF("mobility", g.Mobility, func(a *Axes, v float64) { a.Mobility = v })
+	addF("duty", g.Duty, func(a *Axes, v float64) { a.Duty = v })
+	add("targets", len(g.Targets), func(i int) string { return strconv.Itoa(g.Targets[i]) },
+		func(a *Axes, i int) { a.Targets = g.Targets[i] })
+	add("algo", len(g.Algo), func(i int) string { return g.Algo[i] },
+		func(a *Axes, i int) { a.Algo = g.Algo[i] })
+	add("seed", len(g.Seed), func(i int) string { return strconv.FormatUint(g.Seed[i], 10) },
+		func(a *Axes, i int) { a.Seed = g.Seed[i] })
+	return out
+}
+
+// File is one spec document: the version tag, a name for manifests and
+// logs, the base axes every cell inherits, and the grid of varied axes.
+type File struct {
+	Version string `json:"version"`
+	// Name identifies the spec in cell manifests and run logs; the file
+	// base name is a good choice but any label works.
+	Name string `json:"name,omitempty"`
+	// Notes is free-form documentation carried with the spec.
+	Notes string `json:"notes,omitempty"`
+	// Base is the scenario point every cell starts from.
+	Base Axes `json:"base"`
+	// Grid lists the axes to vary; empty means the spec is its single base
+	// cell.
+	Grid Grid `json:"grid,omitempty"`
+}
+
+// Cell is one expanded grid point: its name (the gridded axes joined as
+// "axis=value" in canonical order, or "base" for a gridless spec), the grid
+// coordinates that produced it, and the fully resolved axes.
+type Cell struct {
+	Name string
+	// Coords maps each gridded axis to this cell's value label.
+	Coords map[string]string
+	Axes   Axes
+}
+
+// File returns the resolved single-cell spec document for the cell — the
+// standalone re-run artifact cdpfmatrix writes next to each cell's metrics.
+// specName is the parent spec's name; the cell reference syntax
+// "name#cell" names the origin.
+func (c Cell) File(specName string) *File {
+	name := c.Name
+	if specName != "" {
+		name = specName + "#" + c.Name
+	}
+	return &File{Version: Version, Name: name, Base: c.Axes}
+}
+
+// Decode reads and strictly validates one spec document from r: unknown
+// fields, version skew, malformed JSON, and trailing data are all errors.
+// The result is structurally decoded but not yet semantically validated —
+// call Validate (or Expand, which validates each cell) next.
+func Decode(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("spec: trailing data after spec document")
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("spec: unsupported version %q (want %q)", f.Version, Version)
+	}
+	return &f, nil
+}
+
+// DecodeBytes is Decode over a byte slice.
+func DecodeBytes(b []byte) (*File, error) { return Decode(bytes.NewReader(b)) }
+
+// Load reads a spec file from disk.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Name == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		f.Name = strings.TrimSuffix(base, ".json")
+	}
+	return f, nil
+}
+
+// Encode writes the document as canonical indented JSON with a trailing
+// newline. Encoding a decoded file reproduces an equivalent document
+// (field order is fixed by the struct), so re-encoding is stable.
+func (f *File) Encode(w io.Writer) error {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// Expand enumerates the grid's cross-product in canonical axis order and
+// returns the named, validated cells. A gridless file expands to the single
+// cell "base". Duplicate cell names (duplicate values in an axis list) are
+// an error.
+func (f *File) Expand() ([]Cell, error) {
+	axes := f.Grid.axes()
+	if len(axes) == 0 {
+		a := f.Base.Normalized()
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("cell base: %w", err)
+		}
+		return []Cell{{Name: "base", Coords: map[string]string{}, Axes: a}}, nil
+	}
+	// Cap the cross-product (overflow-safely) before enumerating anything:
+	// a grid this size is a mistake, not a matrix.
+	const maxCells = 1 << 20
+	total := 1
+	for _, ax := range axes {
+		total *= len(ax.vals)
+		if total > maxCells {
+			return nil, fmt.Errorf("spec: grid expands past %d cells", maxCells)
+		}
+	}
+	cells := make([]Cell, 0, total)
+	seen := make(map[string]bool, total)
+	idx := make([]int, len(axes))
+	for {
+		a := f.Base
+		coords := make(map[string]string, len(axes))
+		var parts []string
+		for i, ax := range axes {
+			v := ax.vals[idx[i]]
+			v.set(&a)
+			coords[ax.name] = v.label
+			parts = append(parts, ax.name+"="+v.label)
+		}
+		name := strings.Join(parts, ",")
+		if seen[name] {
+			return nil, fmt.Errorf("spec: duplicate cell %q (repeated value in an axis list)", name)
+		}
+		seen[name] = true
+		a = a.Normalized()
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("cell %s: %w", name, err)
+		}
+		cells = append(cells, Cell{Name: name, Coords: coords, Axes: a})
+		// Odometer: the last axis (seed) spins fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i].vals) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells, nil
+		}
+	}
+}
+
+// Validate expands the grid and validates every cell, so one call covers
+// the whole document.
+func (f *File) Validate() error {
+	_, err := f.Expand()
+	return err
+}
+
+// FindCell returns the named cell of the expanded grid.
+func (f *File) FindCell(name string) (Cell, error) {
+	cells, err := f.Expand()
+	if err != nil {
+		return Cell{}, err
+	}
+	for _, c := range cells {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Cell{}, fmt.Errorf("spec %s: no cell %q among %d cells", f.Name, name, len(cells))
+}
+
+// LoadCell resolves a "path#cell" reference: the file is loaded and the
+// named cell returned. Without a "#cell" part the spec must expand to
+// exactly one cell.
+func LoadCell(ref string) (Cell, *File, error) {
+	path, cellName := ref, ""
+	if i := strings.LastIndexByte(ref, '#'); i >= 0 {
+		path, cellName = ref[:i], ref[i+1:]
+	}
+	f, err := Load(path)
+	if err != nil {
+		return Cell{}, nil, err
+	}
+	cells, err := f.Expand()
+	if err != nil {
+		return Cell{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if cellName == "" {
+		if len(cells) != 1 {
+			return Cell{}, nil, fmt.Errorf("%s expands to %d cells; name one as %s#<cell>", path, len(cells), path)
+		}
+		return cells[0], f, nil
+	}
+	for _, c := range cells {
+		if c.Name == cellName {
+			return c, f, nil
+		}
+	}
+	return Cell{}, nil, fmt.Errorf("%s: no cell %q among %d cells", path, cellName, len(cells))
+}

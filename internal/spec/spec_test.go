@@ -1,0 +1,389 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sensorfault"
+)
+
+const goldenSpec = `{
+  "version": "spec/v1",
+  "name": "golden",
+  "notes": "round-trip fixture",
+  "base": {
+    "density": 10,
+    "burst": 3,
+    "hardened": "on"
+  },
+  "grid": {
+    "loss": [0, 0.3],
+    "algo": ["cdpf", "cdpf-ne"],
+    "seed": [31, 62]
+  }
+}
+`
+
+func TestDecodeGolden(t *testing.T) {
+	f, err := DecodeBytes([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "golden" || f.Base.Density != 10 || f.Base.Burst != 3 {
+		t.Fatalf("decoded file mismatch: %+v", f)
+	}
+	cells, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// Canonical order: loss outermost, then algo, seed innermost.
+	wantNames := []string{
+		"loss=0,algo=cdpf,seed=31",
+		"loss=0,algo=cdpf,seed=62",
+		"loss=0,algo=cdpf-ne,seed=31",
+		"loss=0,algo=cdpf-ne,seed=62",
+		"loss=0.3,algo=cdpf,seed=31",
+		"loss=0.3,algo=cdpf,seed=62",
+		"loss=0.3,algo=cdpf-ne,seed=31",
+		"loss=0.3,algo=cdpf-ne,seed=62",
+	}
+	for i, w := range wantNames {
+		if cells[i].Name != w {
+			t.Fatalf("cell %d name = %q, want %q", i, cells[i].Name, w)
+		}
+	}
+	// Cells are fully resolved: grid values override base, defaults filled.
+	c := cells[5]
+	if c.Axes.Loss != 0.3 || c.Axes.Algo != "cdpf" || c.Axes.Seed != 62 {
+		t.Fatalf("cell axes mismatch: %+v", c.Axes)
+	}
+	if c.Axes.Steps != 10 || c.Axes.Dt != 5 || c.Axes.SigmaN != 0.05 || c.Axes.Targets != 1 {
+		t.Fatalf("defaults not applied: %+v", c.Axes)
+	}
+	if c.Coords["loss"] != "0.3" || c.Coords["seed"] != "62" {
+		t.Fatalf("coords mismatch: %+v", c.Coords)
+	}
+}
+
+// TestRoundTripStable is the golden round-trip: decode → compile → re-encode
+// reproduces a stable document, and re-decoding it yields the same expansion.
+func TestRoundTripStable(t *testing.T) {
+	f, err := DecodeBytes([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var once bytes.Buffer
+	if err := f.Encode(&once); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := DecodeBytes(once.Bytes())
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	var twice bytes.Buffer
+	if err := f2.Encode(&twice); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+		t.Fatalf("re-encode not stable:\n-- first --\n%s\n-- second --\n%s", once.Bytes(), twice.Bytes())
+	}
+	c1, _ := f.Expand()
+	c2, err := f2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("expansion size changed: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i].Name != c2[i].Name || c1[i].Axes != c2[i].Axes {
+			t.Fatalf("cell %d changed across round trip", i)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty", "", "spec:"},
+		{"not json", "hello", "spec:"},
+		{"truncated", goldenSpec[:len(goldenSpec)/2], "spec:"},
+		{"missing version", `{"base": {}}`, "unsupported version"},
+		{"version skew", `{"version": "spec/v2", "base": {}}`, "unsupported version"},
+		{"unknown field", `{"version": "spec/v1", "base": {"densty": 10}}`, "unknown field"},
+		{"unknown grid axis", `{"version": "spec/v1", "base": {}, "grid": {"lss": [0.1]}}`, "unknown field"},
+		{"trailing data", `{"version": "spec/v1", "base": {}} {"x": 1}`, "trailing data"},
+		{"wrong type", `{"version": "spec/v1", "base": {"density": "ten"}}`, "spec:"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeBytes([]byte(c.in)); err == nil {
+				t.Fatalf("decoded %q without error", c.in)
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*Axes)
+		wantSub string
+	}{
+		{"bad algo", func(a *Axes) { a.Algo = "pf" }, "unknown algo"},
+		{"density", func(a *Axes) { a.Density = -1 }, "density"},
+		{"steps", func(a *Axes) { a.Steps = -2 }, "steps"},
+		{"dt", func(a *Axes) { a.Dt = -5 }, "dt"},
+		{"sigma", func(a *Axes) { a.SigmaN = -0.05 }, "sigma_n"},
+		{"fail", func(a *Axes) { a.Fail = 1.5 }, "fail 1.5"},
+		{"sleep", func(a *Axes) { a.Sleep = -0.1 }, "sleep"},
+		{"loss one", func(a *Axes) { a.Loss = 1 }, "loss 1 outside"},
+		{"loss neg", func(a *Axes) { a.Loss = -0.1 }, "loss"},
+		{"burst", func(a *Axes) { a.Burst = -3 }, "burst"},
+		{"failfrac", func(a *Axes) { a.FailFrac = 2 }, "failfrac"},
+		{"unreachable burst", func(a *Axes) { a.Loss = 0.9; a.Burst = 2 }, "unreachable"},
+		{"sfaultfrac", func(a *Axes) { a.SensorFaultFrac = 1.1 }, "sfaultfrac"},
+		{"sfaultmag", func(a *Axes) { a.SensorFaultMag = -1 }, "sfaultmag"},
+		{"sfault kind", func(a *Axes) { a.SensorFault = "flaky" }, "sfault"},
+		{"defend baseline", func(a *Axes) { a.Algo = "cpf"; a.Defend = true }, "defend"},
+		{"hardened enum", func(a *Axes) { a.Hardened = "maybe" }, "hardened"},
+		{"mobility", func(a *Axes) { a.Mobility = -1 }, "mobility"},
+		{"duty range", func(a *Axes) { a.Duty = 1.5 }, "duty"},
+		{"duty baseline", func(a *Axes) { a.Algo = "sdpf"; a.Duty = 0.5 }, "duty"},
+		{"targets", func(a *Axes) { a.Targets = -1 }, "targets"},
+		{"targets baseline", func(a *Axes) { a.Algo = "cpf"; a.Targets = 3 }, "targets"},
+		{"targets dirty", func(a *Axes) { a.Targets = 3; a.Loss = 0.2 }, "clean"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var a Axes
+			c.mut(&a)
+			err := a.Validate()
+			if err == nil {
+				t.Fatal("validated without error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+	if err := (Axes{}).Validate(); err != nil {
+		t.Fatalf("zero axes (all defaults) should validate: %v", err)
+	}
+}
+
+func TestHardenedResolved(t *testing.T) {
+	cases := []struct {
+		a    Axes
+		want bool
+	}{
+		{Axes{}, false},
+		{Axes{Loss: 0.2}, true},
+		{Axes{FailFrac: 0.1}, true},
+		{Axes{Hardened: "on"}, true},
+		{Axes{Hardened: "off", Loss: 0.4}, false},
+		{Axes{Hardened: "auto", Loss: 0.4}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.HardenedResolved(); got != c.want {
+			t.Errorf("HardenedResolved(%+v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestTrackerConfigComposition(t *testing.T) {
+	cfg, err := Axes{Algo: "cdpf"}.TrackerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != core.DefaultConfig(false) {
+		t.Fatalf("clean cdpf config = %+v, want DefaultConfig", cfg)
+	}
+	cfg, err = Axes{Algo: "cdpf-ne", Loss: 0.3}.TrackerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != core.ResilientConfig(true) {
+		t.Fatalf("lossy cdpf-ne config = %+v, want ResilientConfig", cfg)
+	}
+	cfg, err = Axes{Algo: "cdpf", Defend: true}.TrackerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != core.HardenedSensingConfig(false) {
+		t.Fatalf("defended clean cdpf config = %+v, want HardenedSensingConfig", cfg)
+	}
+	// Hardened + defended composes both overlays.
+	cfg, err = Axes{Algo: "cdpf", Loss: 0.3, Defend: true}.TrackerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.ResilientConfig(false)
+	hs := core.HardenedSensingConfig(false)
+	want.GateSigma = hs.GateSigma
+	want.Sensor.TailNu = hs.Sensor.TailNu
+	want.Quarantine = hs.Quarantine
+	if cfg != want {
+		t.Fatalf("hardened+defended config = %+v, want %+v", cfg, want)
+	}
+	if _, err := (Axes{Algo: "cpf"}).TrackerConfig(); err == nil {
+		t.Fatal("baseline algorithm should have no tracker config")
+	}
+}
+
+func TestBuildMatchesScenario(t *testing.T) {
+	a := Axes{Density: 10, Seed: 62, SensorFault: "drift", SensorFaultFrac: 0.2}
+	sc, faults, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults == nil {
+		t.Fatal("fault schedule should never be nil")
+	}
+	p := scenario.Default(10, 62)
+	p.SensorFault.Kind = mustKind(t, "drift")
+	p.SensorFault.Fraction = 0.2
+	want, err := scenario.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Net.Len() != want.Net.Len() {
+		t.Fatalf("node count %d vs %d", sc.Net.Len(), want.Net.Len())
+	}
+	for k := 0; k < sc.Iterations(); k++ {
+		if sc.Truth(k) != want.Truth(k) {
+			t.Fatalf("truth diverges at k=%d", k)
+		}
+	}
+	if sc.SensorFaults == nil {
+		t.Fatal("sensor-fault script not compiled")
+	}
+}
+
+func TestGridlessExpandsToBase(t *testing.T) {
+	f := &File{Version: Version, Base: Axes{Density: 5}}
+	cells, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Name != "base" {
+		t.Fatalf("gridless expansion = %+v", cells)
+	}
+	if cells[0].Axes.Density != 5 || cells[0].Axes.Algo != "cdpf" {
+		t.Fatalf("base cell axes = %+v", cells[0].Axes)
+	}
+}
+
+func TestExpandRejectsDuplicateValues(t *testing.T) {
+	f := &File{Version: Version, Grid: Grid{Loss: []float64{0.1, 0.1}}}
+	if _, err := f.Expand(); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("want duplicate-cell error, got %v", err)
+	}
+}
+
+func TestExpandRejectsInvalidCell(t *testing.T) {
+	f := &File{Version: Version, Grid: Grid{Loss: []float64{0, 0.5}, Algo: []string{"cdpf", "cpf"}}}
+	// loss=0.5 is fine, but nothing invalid yet; force one: defend on a baseline.
+	f.Base.Defend = true
+	_, err := f.Expand()
+	if err == nil || !strings.Contains(err.Error(), "cell loss=0,algo=cpf") {
+		t.Fatalf("want error naming the offending cell, got %v", err)
+	}
+}
+
+func TestLoadCellRef(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	if err := os.WriteFile(path, []byte(goldenSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, f, err := LoadCell(path + "#loss=0.3,algo=cdpf,seed=31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "golden" || c.Axes.Loss != 0.3 || c.Axes.Seed != 31 {
+		t.Fatalf("LoadCell mismatch: %+v", c.Axes)
+	}
+	if _, _, err := LoadCell(path); err == nil || !strings.Contains(err.Error(), "expands to 8 cells") {
+		t.Fatalf("multi-cell ref without #cell should error, got %v", err)
+	}
+	if _, _, err := LoadCell(path + "#nope"); err == nil || !strings.Contains(err.Error(), "no cell") {
+		t.Fatalf("unknown cell should error, got %v", err)
+	}
+	// Single-cell specs resolve without a fragment, and Load fills Name from
+	// the file base name.
+	single := filepath.Join(dir, "single.json")
+	if err := os.WriteFile(single, []byte(`{"version": "spec/v1", "base": {"density": 5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, f, err = LoadCell(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "single" || c.Name != "base" || c.Axes.Density != 5 {
+		t.Fatalf("single-cell ref mismatch: %q %+v", f.Name, c.Axes)
+	}
+}
+
+func TestCellFile(t *testing.T) {
+	f, err := DecodeBytes([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := cells[4].File(f.Name)
+	if cf.Name != "golden#loss=0.3,algo=cdpf,seed=31" {
+		t.Fatalf("cell file name = %q", cf.Name)
+	}
+	sub, err := cf.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 || sub[0].Axes != cells[4].Axes {
+		t.Fatalf("resolved cell file does not reproduce the cell: %+v", sub)
+	}
+}
+
+func TestAxisValue(t *testing.T) {
+	a := Axes{Loss: 0.3, Algo: "cdpf-ne", Seed: 93, Defend: true}
+	cases := map[string]string{
+		"loss": "0.3", "algo": "cdpf-ne", "seed": "93", "defend": "true",
+		"density": "20", "burst": "1", "sfault": "stuck", "hardened": "auto",
+		"targets": "1", "steps": "10",
+	}
+	for name, want := range cases {
+		got, ok := a.AxisValue(name)
+		if !ok || got != want {
+			t.Errorf("AxisValue(%q) = %q, %v; want %q", name, got, ok, want)
+		}
+	}
+	if _, ok := a.AxisValue("bogus"); ok {
+		t.Error("unknown axis name should report !ok")
+	}
+}
+
+func mustKind(t *testing.T, name string) sensorfault.Kind {
+	t.Helper()
+	k, err := sensorfault.ParseKind(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

@@ -154,6 +154,12 @@ func (fs *FaultSchedule) Validate() error {
 // Len returns the number of scheduled events.
 func (fs *FaultSchedule) Len() int { return len(fs.events) }
 
+// Events returns a copy of the scheduled events in replay order, for
+// drivers that report or serialize a schedule they did not build.
+func (fs *FaultSchedule) Events() []FaultEvent {
+	return append([]FaultEvent(nil), fs.events...)
+}
+
 // Times returns the distinct event times in ascending order, for drivers
 // that schedule replay points on an event engine.
 func (fs *FaultSchedule) Times() []float64 {
